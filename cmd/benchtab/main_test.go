@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunAllQuick executes every experiment section in quick mode and
+// asserts that all verdicts matched their reference solvers — the same
+// invariant a full benchtab run records in EXPERIMENTS.md.
+func TestRunAllQuick(t *testing.T) {
+	var buf strings.Builder
+	out = &buf
+	quick = true
+	defer func() { quick = false }()
+	if code := runAll(2002); code != 0 {
+		t.Fatalf("exit = %d\n%s", code, buf.String())
+	}
+	o := buf.String()
+	for _, frag := range []string{
+		"FIG1/FIG2", "FIG3/AC_{K,FK}", "FIG3/AC^{*,1}_{PK,FK}",
+		"FIG3/AC^{reg}_{K,FK}", "FIG3/AC^{*,*}_{K,FK}",
+		"FIG4/RC_{K,FK}", "FIG4/HRC_{K,FK}", "FIG4/d-HRC_{K,FK}",
+		"THM3.5a", "THM3.5b", "PROP3.6",
+		"fig2a hierarchical=true",
+		"Count (Monte Carlo",
+	} {
+		if !strings.Contains(o, frag) {
+			t.Errorf("output missing section %q", frag)
+		}
+	}
+	if strings.Contains(o, "MISMATCH") {
+		t.Errorf("mismatches present:\n%s", o)
+	}
+	// Every decidable section declares full agreement.
+	if got := strings.Count(o, "all verdicts match the reference solvers"); got < 9 {
+		t.Errorf("agreement lines = %d, want ≥ 9\n%s", got, o)
+	}
+}

@@ -1,0 +1,93 @@
+package main
+
+// The paper's worked specifications, verbatim from Sections 1 and 4.2.
+
+const schoolDTD = `
+<!ELEMENT r        (students, courses, faculty, labs)>
+<!ELEMENT students (student+)>
+<!ELEMENT courses  (cs340, cs108, cs434)>
+<!ELEMENT faculty  (prof+)>
+<!ELEMENT labs     (dbLab, pcLab)>
+<!ELEMENT student  (record)>
+<!ELEMENT prof     (record)>
+<!ELEMENT cs434    (takenBy+)>
+<!ELEMENT cs340    (takenBy+)>
+<!ELEMENT cs108    (takenBy+)>
+<!ELEMENT dbLab    (acc+)>
+<!ELEMENT pcLab    (acc+)>
+<!ELEMENT record   EMPTY>
+<!ELEMENT takenBy  EMPTY>
+<!ELEMENT acc      EMPTY>
+<!ATTLIST record  id  CDATA #REQUIRED>
+<!ATTLIST takenBy sid CDATA #REQUIRED>
+<!ATTLIST acc     num CDATA #REQUIRED>
+`
+
+const schoolConstraints = `
+r._*.(student ∪ prof).record.id -> r._*.(student ∪ prof).record
+r._*.student.record.id -> r._*.student.record
+r._*.cs434.takenBy.sid -> r._*.cs434.takenBy
+r._*.cs434.takenBy.sid ⊆ r._*.student.record.id
+r._*.dbLab.acc.num ⊆ r._*.cs434.takenBy.sid
+`
+
+const schoolExtension = `
+r._*.dbLab.acc.num -> r._*.dbLab.acc
+r.faculty.prof.record.id ⊆ r._*.dbLab.acc.num
+`
+
+const geoDTD = `
+<!ELEMENT db       (country+)>
+<!ELEMENT country  (province+, capital+)>
+<!ELEMENT province (capital, city*)>
+<!ELEMENT capital  EMPTY>
+<!ELEMENT city     EMPTY>
+<!ATTLIST country  name       CDATA #REQUIRED>
+<!ATTLIST province name       CDATA #REQUIRED>
+<!ATTLIST capital  inProvince CDATA #REQUIRED>
+`
+
+const geoConstraints = `
+country.name -> country
+country(province.name -> province)
+country(capital.inProvince -> capital)
+country(capital.inProvince ⊆ province.name)
+`
+
+const libraryDTD = `
+<!ELEMENT library (book+)>
+<!ELEMENT book    (author+, chapter+)>
+<!ELEMENT author  EMPTY>
+<!ELEMENT chapter (section*)>
+<!ELEMENT section EMPTY>
+<!ATTLIST book    isbn   CDATA #REQUIRED>
+<!ATTLIST author  name   CDATA #REQUIRED>
+<!ATTLIST chapter number CDATA #REQUIRED>
+<!ATTLIST section title  CDATA #REQUIRED>
+`
+
+const libraryConstraints = `
+library(book.isbn -> book)
+book(author.name -> author)
+book(chapter.number -> chapter)
+chapter(section.title -> section)
+`
+
+const library2DTD = `
+<!ELEMENT library     (book+, author_info+)>
+<!ELEMENT book        (author+, chapter+)>
+<!ELEMENT author      EMPTY>
+<!ELEMENT chapter     (section*)>
+<!ELEMENT section     EMPTY>
+<!ELEMENT author_info EMPTY>
+<!ATTLIST book        isbn   CDATA #REQUIRED>
+<!ATTLIST author      name   CDATA #REQUIRED>
+<!ATTLIST chapter     number CDATA #REQUIRED>
+<!ATTLIST section     title  CDATA #REQUIRED>
+<!ATTLIST author_info name   CDATA #REQUIRED>
+`
+
+const library2Constraints = libraryConstraints + `
+library(author_info.name -> author_info)
+library(author.name ⊆ author_info.name)
+`

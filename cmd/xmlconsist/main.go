@@ -1,0 +1,190 @@
+// Command xmlconsist statically checks the consistency of an XML
+// specification: given a DTD and a set of key/foreign-key constraints,
+// it decides whether any document can conform to both, printing the
+// verdict, the detected constraint dialect, the decision procedure
+// used, and (for consistent specifications) a sample witness document.
+//
+// Usage:
+//
+//	xmlconsist -dtd schema.dtd -constraints keys.txt [-witness] [-min-witness]
+//	           [-explain] [-implies "c.z ⊆ a.x"]
+//
+// Exit status: 0 consistent, 1 inconsistent, 2 unknown, 3 usage or
+// specification errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	xmlspec "repro"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xmlconsist", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dtdPath     = fs.String("dtd", "", "path to the DTD file (required)")
+		consPath    = fs.String("constraints", "", "path to the constraints file (one per line; optional)")
+		witness     = fs.Bool("witness", false, "print a witness document when consistent")
+		minWitness  = fs.Bool("min-witness", false, "shrink the witness to the fewest elements (slower)")
+		explain     = fs.Bool("explain", false, "on inconsistency, print a minimal conflicting constraint subset")
+		implies     = fs.String("implies", "", "also check whether the specification implies this constraint")
+		searchNodes = fs.Int("search-nodes", 6, "node bound for the fallback search on undecidable dialects")
+		maxNodes    = fs.Int("solver-nodes", 0, "integer-solver node budget (0 = default)")
+		jsonOut     = fs.Bool("json", false, "emit a single JSON object instead of text")
+		sample      = fs.Int("sample", 0, "additionally generate N random valid documents (text mode only)")
+		sampleNodes = fs.Int("sample-nodes", 30, "soft element bound per sampled document")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 3
+	}
+	if *dtdPath == "" {
+		fmt.Fprintln(stderr, "xmlconsist: -dtd is required")
+		fs.Usage()
+		return 3
+	}
+	dtdSrc, err := os.ReadFile(*dtdPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "xmlconsist:", err)
+		return 3
+	}
+	var consSrc []byte
+	if *consPath != "" {
+		consSrc, err = os.ReadFile(*consPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "xmlconsist:", err)
+			return 3
+		}
+	}
+	spec, err := xmlspec.Parse(string(dtdSrc), string(consSrc))
+	if err != nil {
+		fmt.Fprintln(stderr, "xmlconsist:", err)
+		return 3
+	}
+
+	if !*jsonOut {
+		fmt.Fprintf(stdout, "class:  %s\n", spec.Class())
+		if pairs := spec.ConflictingPairs(); len(pairs) > 0 {
+			fmt.Fprintln(stdout, "non-hierarchical: conflicting scope pairs:")
+			for _, p := range pairs {
+				fmt.Fprintln(stdout, "  ", p)
+			}
+		}
+	}
+	res, err := spec.Consistent(&xmlspec.Options{
+		SkipWitness:     !*witness,
+		MinimizeWitness: *minWitness,
+		SearchNodes:     *searchNodes,
+		MaxSolverNodes:  *maxNodes,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "xmlconsist:", err)
+		return 3
+	}
+	var core []string
+	if *explain && res.Verdict == xmlspec.Inconsistent {
+		core, err = spec.ExplainInconsistency()
+		if err != nil {
+			fmt.Fprintln(stderr, "xmlconsist:", err)
+			return 3
+		}
+	}
+	var impliesRes *xmlspec.ImplicationResult
+	if *implies != "" {
+		ir, err := spec.Implies(*implies)
+		if err != nil {
+			fmt.Fprintln(stderr, "xmlconsist:", err)
+			return 3
+		}
+		impliesRes = &ir
+	}
+
+	if *jsonOut {
+		type report struct {
+			Class            string   `json:"class"`
+			Method           string   `json:"method"`
+			Verdict          string   `json:"verdict"`
+			Diagnosis        string   `json:"diagnosis,omitempty"`
+			Witness          string   `json:"witness,omitempty"`
+			ConflictingPairs []string `json:"conflictingPairs,omitempty"`
+			MinimalCore      []string `json:"minimalCore,omitempty"`
+			Implies          string   `json:"implies,omitempty"`
+			ImpliesVerdict   string   `json:"impliesVerdict,omitempty"`
+			Counterexample   string   `json:"counterexample,omitempty"`
+			SolverNodes      int      `json:"solverNodes"`
+		}
+		rep := report{
+			Class:            spec.Class(),
+			Method:           res.Method,
+			Verdict:          res.Verdict.String(),
+			Diagnosis:        res.Diagnosis,
+			Witness:          res.Witness,
+			ConflictingPairs: spec.ConflictingPairs(),
+			MinimalCore:      core,
+			SolverNodes:      res.Stats.SolverNodes,
+		}
+		if impliesRes != nil {
+			rep.Implies = *implies
+			rep.ImpliesVerdict = impliesRes.Verdict.String()
+			rep.Counterexample = impliesRes.Counterexample
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, "xmlconsist:", err)
+			return 3
+		}
+	} else {
+		fmt.Fprintf(stdout, "method: %s\n", res.Method)
+		fmt.Fprintf(stdout, "verdict: %s\n", res.Verdict)
+		if res.Diagnosis != "" {
+			fmt.Fprintf(stdout, "note:   %s\n", res.Diagnosis)
+		}
+		if *witness && res.Witness != "" {
+			fmt.Fprintln(stdout, "witness document:")
+			fmt.Fprint(stdout, res.Witness)
+		}
+		if *explain && res.Verdict == xmlspec.Inconsistent {
+			fmt.Fprintln(stdout, "minimal conflicting subset:")
+			for _, line := range core {
+				fmt.Fprintln(stdout, "  ", line)
+			}
+		}
+		if impliesRes != nil {
+			fmt.Fprintf(stdout, "implies %q: %s\n", *implies, impliesRes.Verdict)
+			if impliesRes.Counterexample != "" {
+				fmt.Fprintln(stdout, "counterexample document:")
+				fmt.Fprint(stdout, impliesRes.Counterexample)
+			}
+		}
+	}
+
+	if *sample > 0 && !*jsonOut {
+		docs, err := spec.Sample(*sample, &xmlspec.SampleOptions{MaxNodes: *sampleNodes})
+		if err != nil {
+			fmt.Fprintln(stderr, "xmlconsist:", err)
+			return 3
+		}
+		for i, doc := range docs {
+			fmt.Fprintf(stdout, "sample document %d:\n", i+1)
+			fmt.Fprint(stdout, doc)
+		}
+	}
+
+	switch res.Verdict {
+	case xmlspec.Consistent:
+		return 0
+	case xmlspec.Inconsistent:
+		return 1
+	default:
+		return 2
+	}
+}

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const testDTD = `
+<!ELEMENT db (a, a, b)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+<!ATTLIST b y CDATA #REQUIRED>
+`
+
+func TestRunInconsistentWithExplain(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := write(t, dir, "s.dtd", testDTD)
+	consPath := write(t, dir, "s.keys", "a.x -> a\nb.y -> b\na.x ⊆ b.y\n")
+	var out, errb strings.Builder
+	code := run([]string{"-dtd", dtdPath, "-constraints", consPath, "-explain"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (inconsistent); stderr: %s", code, errb.String())
+	}
+	o := out.String()
+	for _, frag := range []string{"verdict: inconsistent", "minimal conflicting subset:", "a.x ⊆ b.y"} {
+		if !strings.Contains(o, frag) {
+			t.Errorf("output missing %q:\n%s", frag, o)
+		}
+	}
+}
+
+func TestRunConsistentWithWitness(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := write(t, dir, "s.dtd", `
+<!ELEMENT db (a, b*)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+<!ATTLIST b y CDATA #REQUIRED>
+`)
+	consPath := write(t, dir, "s.keys", "a.x -> a\nb.y -> b\na.x ⊆ b.y\n")
+	var out, errb strings.Builder
+	code := run([]string{"-dtd", dtdPath, "-constraints", consPath, "-witness", "-min-witness"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d; stderr: %s", code, errb.String())
+	}
+	o := out.String()
+	for _, frag := range []string{"verdict: consistent", "witness document:", "<db>"} {
+		if !strings.Contains(o, frag) {
+			t.Errorf("output missing %q:\n%s", frag, o)
+		}
+	}
+}
+
+func TestRunImplies(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := write(t, dir, "s.dtd", `
+<!ELEMENT db (a)>
+<!ELEMENT a EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+`)
+	var out, errb strings.Builder
+	code := run([]string{"-dtd", dtdPath, "-implies", "a.x -> a"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), `implies "a.x -> a": implied`) {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 3 {
+		t.Errorf("missing -dtd: exit = %d, want 3", code)
+	}
+	if code := run([]string{"-dtd", "/nonexistent/x.dtd"}, &out, &errb); code != 3 {
+		t.Errorf("missing file: exit = %d, want 3", code)
+	}
+	if code := run([]string{"-bogus-flag"}, &out, &errb); code != 3 {
+		t.Errorf("bad flag: exit = %d, want 3", code)
+	}
+	dir := t.TempDir()
+	bad := write(t, dir, "bad.dtd", "not a dtd")
+	if code := run([]string{"-dtd", bad}, &out, &errb); code != 3 {
+		t.Errorf("bad dtd: exit = %d, want 3", code)
+	}
+}
+
+func TestRunUnknownExit(t *testing.T) {
+	dir := t.TempDir()
+	// The AC^{*,*} open instance: satisfiable only above the search
+	// bound → unknown → exit 2.
+	dtdPath := write(t, dir, "s.dtd", `
+<!ELEMENT db (a, a, a, a, a, a, a, a, b*)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ATTLIST a x CDATA #REQUIRED y CDATA #REQUIRED>
+<!ATTLIST b u CDATA #REQUIRED v CDATA #REQUIRED>
+`)
+	consPath := write(t, dir, "s.keys", "a[x,y] -> a\nb[u,v] -> b\na[x,y] ⊆ b[u,v]\n")
+	var out, errb strings.Builder
+	code := run([]string{"-dtd", dtdPath, "-constraints", consPath, "-search-nodes", "3"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 (unknown)\n%s", code, out.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := write(t, dir, "s.dtd", testDTD)
+	consPath := write(t, dir, "s.keys", "a.x -> a\nb.y -> b\na.x ⊆ b.y\n")
+	var out, errb strings.Builder
+	code := run([]string{"-dtd", dtdPath, "-constraints", consPath, "-json", "-explain"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d; stderr: %s", code, errb.String())
+	}
+	var rep map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if rep["verdict"] != "inconsistent" {
+		t.Errorf("verdict = %v", rep["verdict"])
+	}
+	core, ok := rep["minimalCore"].([]any)
+	if !ok || len(core) != 3 {
+		t.Errorf("minimalCore = %v", rep["minimalCore"])
+	}
+	if rep["class"] != "AC_{PK,FK}" {
+		t.Errorf("class = %v", rep["class"])
+	}
+}
+
+func TestRunSample(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := write(t, dir, "s.dtd", `
+<!ELEMENT db (p*)>
+<!ELEMENT p EMPTY>
+<!ATTLIST p id CDATA #REQUIRED>
+`)
+	consPath := write(t, dir, "s.keys", "p.id -> p\n")
+	var out, errb strings.Builder
+	code := run([]string{"-dtd", dtdPath, "-constraints", consPath, "-sample", "2"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d; %s", code, errb.String())
+	}
+	o := out.String()
+	if !strings.Contains(o, "sample document 1:") || !strings.Contains(o, "sample document 2:") {
+		t.Errorf("output:\n%s", o)
+	}
+}

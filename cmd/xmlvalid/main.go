@@ -1,0 +1,101 @@
+// Command xmlvalid dynamically validates XML documents against a
+// specification: conformance to the DTD (Definition 2.2) and
+// satisfaction of every key and foreign-key constraint. It prints one
+// line per violation.
+//
+// Usage:
+//
+//	xmlvalid -dtd schema.dtd [-constraints keys.txt] doc1.xml [doc2.xml ...]
+//
+// Exit status: 0 when all documents are valid, 1 when any violation
+// was found, 3 on usage or specification errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	xmlspec "repro"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xmlvalid", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dtdPath  = fs.String("dtd", "", "path to the DTD file (required)")
+		consPath = fs.String("constraints", "", "path to the constraints file (optional)")
+		stream   = fs.Bool("stream", false, "validate in one streaming pass (constant memory in document size)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 3
+	}
+	if *dtdPath == "" || fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "xmlvalid: -dtd and at least one document are required")
+		fs.Usage()
+		return 3
+	}
+	dtdSrc, err := os.ReadFile(*dtdPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "xmlvalid:", err)
+		return 3
+	}
+	var consSrc []byte
+	if *consPath != "" {
+		consSrc, err = os.ReadFile(*consPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "xmlvalid:", err)
+			return 3
+		}
+	}
+	spec, err := xmlspec.Parse(string(dtdSrc), string(consSrc))
+	if err != nil {
+		fmt.Fprintln(stderr, "xmlvalid:", err)
+		return 3
+	}
+
+	status := 0
+	for _, path := range fs.Args() {
+		var violations []xmlspec.Violation
+		if *stream {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintln(stderr, "xmlvalid:", err)
+				return 3
+			}
+			violations, err = spec.ValidateStream(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(stdout, "%s: malformed XML: %v\n", path, err)
+				status = 1
+				continue
+			}
+		} else {
+			doc, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintln(stderr, "xmlvalid:", err)
+				return 3
+			}
+			violations, err = spec.ValidateDocument(string(doc))
+			if err != nil {
+				fmt.Fprintf(stdout, "%s: malformed XML: %v\n", path, err)
+				status = 1
+				continue
+			}
+		}
+		if len(violations) == 0 {
+			fmt.Fprintf(stdout, "%s: valid\n", path)
+			continue
+		}
+		status = 1
+		for _, v := range violations {
+			fmt.Fprintf(stdout, "%s: %s\n", path, v)
+		}
+	}
+	return status
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func setup(t *testing.T) (dtdPath, consPath string, dir string) {
+	t.Helper()
+	dir = t.TempDir()
+	dtdPath = write(t, dir, "s.dtd", `
+<!ELEMENT db (p*)>
+<!ELEMENT p EMPTY>
+<!ATTLIST p id CDATA #REQUIRED>
+`)
+	consPath = write(t, dir, "s.keys", "p.id -> p\n")
+	return
+}
+
+func TestValidDocument(t *testing.T) {
+	dtdPath, consPath, dir := setup(t)
+	doc := write(t, dir, "good.xml", `<db><p id="1"/><p id="2"/></db>`)
+	var out, errb strings.Builder
+	code := run([]string{"-dtd", dtdPath, "-constraints", consPath, doc}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d; %s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "good.xml: valid") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestViolationsReported(t *testing.T) {
+	dtdPath, consPath, dir := setup(t)
+	dup := write(t, dir, "dup.xml", `<db><p id="1"/><p id="1"/></db>`)
+	malformed := write(t, dir, "mal.xml", `<db><p id="1"`)
+	nonconforming := write(t, dir, "bad.xml", `<db><q/></db>`)
+	var out, errb strings.Builder
+	code := run([]string{"-dtd", dtdPath, "-constraints", consPath, dup, malformed, nonconforming}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; %s", code, errb.String())
+	}
+	o := out.String()
+	for _, frag := range []string{"duplicate key value", "malformed XML", "content model"} {
+		if !strings.Contains(o, frag) {
+			t.Errorf("output missing %q:\n%s", frag, o)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 3 {
+		t.Errorf("no args: exit = %d, want 3", code)
+	}
+	dtdPath, _, _ := setup(t)
+	if code := run([]string{"-dtd", dtdPath}, &out, &errb); code != 3 {
+		t.Errorf("no documents: exit = %d, want 3", code)
+	}
+	if code := run([]string{"-dtd", dtdPath, "/nonexistent.xml"}, &out, &errb); code != 3 {
+		t.Errorf("missing document: exit = %d, want 3", code)
+	}
+}
+
+func TestStreamMode(t *testing.T) {
+	dtdPath, consPath, dir := setup(t)
+	good := write(t, dir, "good.xml", `<db><p id="1"/><p id="2"/></db>`)
+	dup := write(t, dir, "dup.xml", `<db><p id="1"/><p id="1"/></db>`)
+	var out, errb strings.Builder
+	code := run([]string{"-dtd", dtdPath, "-constraints", consPath, "-stream", good, dup}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; %s", code, errb.String())
+	}
+	o := out.String()
+	if !strings.Contains(o, "good.xml: valid") || !strings.Contains(o, "duplicate key") {
+		t.Errorf("output:\n%s", o)
+	}
+	// Malformed input in stream mode.
+	bad := write(t, dir, "bad.xml", "<db><p id='1'")
+	code = run([]string{"-dtd", dtdPath, "-stream", bad}, &out, &errb)
+	if code != 1 {
+		t.Errorf("malformed stream: exit = %d, want 1", code)
+	}
+}

@@ -1,0 +1,137 @@
+package xmlspec_test
+
+import (
+	"fmt"
+	"strings"
+
+	xmlspec "repro"
+)
+
+// The geography specification of the paper's introduction: province
+// names are keys only relative to their country, and the relative
+// foreign key makes the whole specification unsatisfiable.
+func Example() {
+	spec, err := xmlspec.Parse(`
+<!ELEMENT db (country+)>
+<!ELEMENT country (province+, capital+)>
+<!ELEMENT province (capital, city*)>
+<!ELEMENT capital EMPTY>
+<!ELEMENT city EMPTY>
+<!ATTLIST country name CDATA #REQUIRED>
+<!ATTLIST province name CDATA #REQUIRED>
+<!ATTLIST capital inProvince CDATA #REQUIRED>
+`, `
+country.name -> country
+country(province.name -> province)
+country(capital.inProvince -> capital)
+country(capital.inProvince ⊆ province.name)
+`)
+	if err != nil {
+		panic(err)
+	}
+	res, err := spec.Consistent(nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(spec.Class(), "-", res.Verdict)
+	// Output:
+	// RC_{K,FK} - inconsistent
+}
+
+// Static checking with a witness document.
+func ExampleSpec_Consistent() {
+	spec := xmlspec.MustParse(`
+<!ELEMENT store (book*, order*)>
+<!ELEMENT book EMPTY>
+<!ELEMENT order EMPTY>
+<!ATTLIST book isbn CDATA #REQUIRED>
+<!ATTLIST order isbn CDATA #REQUIRED>
+`, `
+book.isbn -> book
+order.isbn ⊆ book.isbn
+`)
+	res, _ := spec.Consistent(&xmlspec.Options{MinimizeWitness: true})
+	fmt.Println(res.Verdict)
+	fmt.Println(res.Witness == "" /* minimal witness is the empty store */)
+	// Output:
+	// consistent
+	// false
+}
+
+// Dynamic validation of a concrete document.
+func ExampleSpec_ValidateDocument() {
+	spec := xmlspec.MustParse(`
+<!ELEMENT db (p*)>
+<!ELEMENT p EMPTY>
+<!ATTLIST p id CDATA #REQUIRED>
+`, "p.id -> p")
+	violations, _ := spec.ValidateDocument(`<db><p id="1"/><p id="1"/></db>`)
+	for _, v := range violations {
+		fmt.Println(v.Constraint)
+	}
+	// Output:
+	// p.id -> p
+}
+
+// Constraint implication: inclusion dependencies compose.
+func ExampleSpec_Implies() {
+	spec := xmlspec.MustParse(`
+<!ELEMENT db (a*, b*, c*)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ELEMENT c EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+<!ATTLIST b y CDATA #REQUIRED>
+<!ATTLIST c z CDATA #REQUIRED>
+`, `
+b.y -> b
+c.z -> c
+a.x ⊆ b.y
+b.y ⊆ c.z
+`)
+	res, _ := spec.Implies("a.x ⊆ c.z")
+	fmt.Println("a.x ⊆ c.z:", res.Verdict)
+	res, _ = spec.Implies("c.z ⊆ a.x")
+	fmt.Println("c.z ⊆ a.x:", res.Verdict)
+	// Output:
+	// a.x ⊆ c.z: implied
+	// c.z ⊆ a.x: not-implied
+}
+
+// Diagnosing an inconsistent specification: which constraints clash?
+func ExampleSpec_ExplainInconsistency() {
+	spec := xmlspec.MustParse(`
+<!ELEMENT db (a, a, b, c)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ELEMENT c EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+<!ATTLIST b y CDATA #REQUIRED>
+<!ATTLIST c z CDATA #REQUIRED>
+`, `
+c.z -> c
+a.x -> a
+b.y -> b
+a.x ⊆ b.y
+`)
+	core, _ := spec.ExplainInconsistency()
+	fmt.Println(strings.Join(core, "\n"))
+	// Output:
+	// a.x -> a
+	// b.y -> b
+	// a.x ⊆ b.y
+}
+
+// Streaming validation for large documents.
+func ExampleSpec_ValidateStream() {
+	spec := xmlspec.MustParse(`
+<!ELEMENT db (p*)>
+<!ELEMENT p EMPTY>
+<!ATTLIST p id CDATA #REQUIRED>
+`, "p.id -> p")
+	violations, _ := spec.ValidateStream(strings.NewReader(
+		`<db><p id="1"/><p id="2"/><p id="1"/></db>`))
+	fmt.Println(len(violations))
+	// Output:
+	// 1
+}

@@ -1,0 +1,147 @@
+// Audit: the schema-evolution workflow the paper's introduction
+// motivates — "specifications are rarely written at once". A team
+// iterates on an order-management spec: each proposed constraint batch
+// is audited before adoption (consistency, redundancy via implication,
+// equivalence of a refactoring), and when a batch breaks the spec the
+// minimal conflicting subset names the lines to fix.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	xmlspec "repro"
+)
+
+const ordersDTD = `
+<!ELEMENT shop     (catalog, orders)>
+<!ELEMENT catalog  (item, item, item*)>
+<!ELEMENT orders   (order?)>
+<!ELEMENT item     EMPTY>
+<!ELEMENT order    EMPTY>
+<!ATTLIST item  sku    CDATA #REQUIRED
+                vendor CDATA #REQUIRED>
+<!ATTLIST order sku    CDATA #REQUIRED
+                ref    CDATA #REQUIRED>
+`
+
+func main() {
+	// Round 1: the initial constraints.
+	spec, err := xmlspec.Parse(ordersDTD, `
+item.sku -> item
+order.ref -> order
+order.sku ⊆ item.sku
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := spec.Consistent(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("round 1:", res.Verdict, "—", spec.Class())
+
+	// Redundancy audit: is a proposed constraint already implied?
+	for _, proposal := range []string{
+		"order.sku ⊆ item.sku", // literally present
+		"order.sku -> order",   // implied here: the DTD caps orders at one
+		"item.vendor -> item",  // NOT implied: vendors may repeat
+	} {
+		ir, err := spec.Implies(proposal)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  proposal %-22q %s\n", proposal, ir.Verdict)
+	}
+
+	// Round 2: a bad batch. Each line is plausible in isolation, but
+	// the catalog's two mandatory items carry two distinct vendors
+	// (vendor is now a key), every vendor must appear among order
+	// refs, and the DTD allows at most one order — a counting
+	// conflict the checker finds statically.
+	bad, err := xmlspec.Parse(ordersDTD, `
+item.sku -> item
+item.vendor -> item
+order.ref -> order
+order.sku ⊆ item.sku
+item.vendor ⊆ order.ref
+order.ref ⊆ item.vendor
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := bad.Consistent(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("round 2:", res2.Verdict)
+	if res2.Verdict == xmlspec.Inconsistent {
+		core, err := bad.ExplainInconsistency()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("  minimal conflicting subset:")
+		for _, line := range core {
+			fmt.Println("   ", line)
+		}
+	}
+
+	// Round 3: a refactoring — does rewriting the constraints change
+	// the set of admissible documents?
+	refactored, err := xmlspec.Parse(ordersDTD, `
+item.sku -> item
+order.ref -> order
+order.sku ⊆ item.sku
+order.sku ⊆ item.sku
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eq, err := spec.EquivalentTo(refactored)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("round 3: refactoring equivalent?", eq.Verdict)
+
+	// And one that silently weakens the spec: dropping the foreign key
+	// admits documents the original rejects.
+	weakened, err := xmlspec.Parse(ordersDTD, `
+item.sku -> item
+order.ref -> order
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eq2, err := spec.EquivalentTo(weakened)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("round 4: weakened spec equivalent?", eq2.Verdict)
+	if eq2.Separating != "" {
+		fmt.Println("  separating document (", eq2.Direction, "):")
+		fmt.Print(indent(eq2.Separating))
+	}
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "    " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+// Geography: the relative-constraint example of Section 1 / Figure
+// 1(b). Province names are only unique within a country (both Belgium
+// and the Netherlands have a Limburg), so the keys are *relative* to
+// country elements. The specification looks reasonable — and is
+// subtly inconsistent: each country has at least one capital child and
+// one capital per province, so capitals always outnumber provinces,
+// yet the relative foreign key needs an injection from capitals into
+// provinces.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	xmlspec "repro"
+)
+
+const geoDTD = `
+<!ELEMENT db       (country+)>
+<!ELEMENT country  (province+, capital+)>
+<!ELEMENT province (capital, city*)>
+<!ELEMENT capital  EMPTY>
+<!ELEMENT city     EMPTY>
+<!ATTLIST country  name       CDATA #REQUIRED>
+<!ATTLIST province name       CDATA #REQUIRED>
+<!ATTLIST capital  inProvince CDATA #REQUIRED>
+`
+
+const geoConstraints = `
+country.name -> country
+country(province.name -> province)
+country(capital.inProvince -> capital)
+country(capital.inProvince ⊆ province.name)
+`
+
+func main() {
+	spec, err := xmlspec.Parse(geoDTD, geoConstraints)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("class:        ", spec.Class())
+	fmt.Println("hierarchical: ", spec.Hierarchical())
+
+	res, err := spec.Consistent(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verdict:      ", res.Verdict)
+	fmt.Println("method:       ", res.Method)
+	fmt.Println()
+	fmt.Println("why: inside each country, #capitals > #provinces by the DTD,")
+	fmt.Println("     but inProvince keys capitals and must inject into province names.")
+
+	// Documents that violate the constraints are caught dynamically —
+	// without the static check one would keep blaming the documents.
+	doc := `
+<db>
+  <country name="Belgium">
+    <province name="Limburg"><capital inProvince="Limburg"/></province>
+    <capital inProvince="Limburg"/>
+  </country>
+</db>`
+	vs, err := spec.ValidateDocument(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("validating a candidate document:")
+	for _, v := range vs {
+		fmt.Println("  violation:", v)
+	}
+
+	// Dropping the foreign key repairs the specification.
+	repaired, err := xmlspec.Parse(geoDTD, `
+country.name -> country
+country(province.name -> province)
+country(capital.inProvince -> capital)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := repaired.Consistent(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("without the relative foreign key:", res2.Verdict)
+	fmt.Println("sample document:")
+	fmt.Print(res2.Witness)
+}

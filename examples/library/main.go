@@ -1,0 +1,90 @@
+// Library: the two schemas of Figure 2 of the paper. Schema (a) is
+// hierarchical — every relative constraint stays inside one scope, so
+// consistency decomposes into independent sub-checks (Theorem 4.3).
+// Schema (b) adds an author_info registry and a foreign key from
+// book-scoped authors into the library-scoped registry: the scopes of
+// library and book become a conflicting pair, the decomposition no
+// longer applies, and the checker falls back to bounded search (the
+// general relative class is undecidable, Theorem 4.1).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	xmlspec "repro"
+)
+
+const libraryDTD = `
+<!ELEMENT library (book+)>
+<!ELEMENT book    (author+, chapter+)>
+<!ELEMENT author  EMPTY>
+<!ELEMENT chapter (section*)>
+<!ELEMENT section EMPTY>
+<!ATTLIST book    isbn   CDATA #REQUIRED>
+<!ATTLIST author  name   CDATA #REQUIRED>
+<!ATTLIST chapter number CDATA #REQUIRED>
+<!ATTLIST section title  CDATA #REQUIRED>
+`
+
+const libraryConstraints = `
+library(book.isbn -> book)
+book(author.name -> author)
+book(chapter.number -> chapter)
+chapter(section.title -> section)
+`
+
+const library2DTD = `
+<!ELEMENT library     (book+, author_info+)>
+<!ELEMENT book        (author+, chapter+)>
+<!ELEMENT author      EMPTY>
+<!ELEMENT chapter     (section*)>
+<!ELEMENT section     EMPTY>
+<!ELEMENT author_info EMPTY>
+<!ATTLIST book        isbn   CDATA #REQUIRED>
+<!ATTLIST author      name   CDATA #REQUIRED>
+<!ATTLIST chapter     number CDATA #REQUIRED>
+<!ATTLIST section     title  CDATA #REQUIRED>
+<!ATTLIST author_info name   CDATA #REQUIRED>
+`
+
+const library2Constraints = libraryConstraints + `
+library(author_info.name -> author_info)
+library(author.name ⊆ author_info.name)
+`
+
+func main() {
+	// Figure 2(a): hierarchical.
+	a, err := xmlspec.Parse(libraryDTD, libraryConstraints)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("schema (a): hierarchical =", a.Hierarchical())
+	resA, err := a.Consistent(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("schema (a):", resA.Verdict, "via", resA.Method)
+	fmt.Println("sample library:")
+	fmt.Print(resA.Witness)
+
+	// Figure 2(b): the author_info foreign key breaks the hierarchy.
+	b, err := xmlspec.Parse(library2DTD, library2Constraints)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("schema (b): hierarchical =", b.Hierarchical())
+	for _, p := range b.ConflictingPairs() {
+		fmt.Println("  conflicting pair:", p)
+	}
+	resB, err := b.Consistent(&xmlspec.Options{SearchNodes: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("schema (b):", resB.Verdict, "via", resB.Method)
+	if resB.Witness != "" {
+		fmt.Println("sample library:")
+		fmt.Print(resB.Witness)
+	}
+}

@@ -1,0 +1,67 @@
+// Quickstart: parse a specification, check it statically, get a sample
+// document, and validate documents dynamically.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	xmlspec "repro"
+)
+
+const bookstoreDTD = `
+<!ELEMENT store    (book*, order*)>
+<!ELEMENT book     EMPTY>
+<!ELEMENT order    EMPTY>
+<!ATTLIST book  isbn  CDATA #REQUIRED>
+<!ATTLIST order isbn  CDATA #REQUIRED>
+`
+
+const bookstoreConstraints = `
+# isbn identifies books, and every order references a stocked book
+book.isbn -> book
+order.isbn ⊆ book.isbn
+`
+
+func main() {
+	spec, err := xmlspec.Parse(bookstoreDTD, bookstoreConstraints)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("constraint class:", spec.Class())
+
+	// Static check: is any valid document possible at all?
+	res, err := spec.Consistent(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verdict:", res.Verdict)
+	fmt.Println("method: ", res.Method)
+	fmt.Println("sample document:")
+	fmt.Print(res.Witness)
+
+	// Dynamic check: validate concrete documents.
+	good := `<store><book isbn="a"/><order isbn="a"/></store>`
+	bad := `<store><book isbn="a"/><order isbn="zz"/></store>`
+	for _, doc := range []string{good, bad} {
+		vs, err := spec.ValidateDocument(doc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(vs) == 0 {
+			fmt.Println("document valid:", doc)
+			continue
+		}
+		fmt.Println("document invalid:", doc)
+		for _, v := range vs {
+			fmt.Println("  violation:", v)
+		}
+	}
+
+	// Implication: an order key follows from nothing here — check it.
+	ir, err := spec.Implies("order.isbn -> order")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(`implies "order.isbn -> order":`, ir.Verdict)
+}

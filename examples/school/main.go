@@ -1,0 +1,88 @@
+// School: the worked example of Section 1 / Figure 1(a) of the paper.
+// A specification with regular-path keys and foreign keys is
+// consistent until one more — individually reasonable — requirement
+// arrives: "all faculty members must have a dbLab account". The
+// addition contradicts "dbLab users are students taking cs434" through
+// the shared record-id key, and the checker detects it statically.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	xmlspec "repro"
+)
+
+const schoolDTD = `
+<!ELEMENT r        (students, courses, faculty, labs)>
+<!ELEMENT students (student+)>
+<!ELEMENT courses  (cs340, cs108, cs434)>
+<!ELEMENT faculty  (prof+)>
+<!ELEMENT labs     (dbLab, pcLab)>
+<!ELEMENT student  (record)>
+<!ELEMENT prof     (record)>
+<!ELEMENT cs434    (takenBy+)>
+<!ELEMENT cs340    (takenBy+)>
+<!ELEMENT cs108    (takenBy+)>
+<!ELEMENT dbLab    (acc+)>
+<!ELEMENT pcLab    (acc+)>
+<!ELEMENT record   EMPTY>
+<!ELEMENT takenBy  EMPTY>
+<!ELEMENT acc      EMPTY>
+<!ATTLIST record  id  CDATA #REQUIRED>
+<!ATTLIST takenBy sid CDATA #REQUIRED>
+<!ATTLIST acc     num CDATA #REQUIRED>
+`
+
+// The original constraints: record ids key students and professors
+// jointly; cs434 is taken by students; dbLab accounts belong to
+// students taking cs434.
+const schoolConstraints = `
+r._*.(student ∪ prof).record.id -> r._*.(student ∪ prof).record
+r._*.student.record.id -> r._*.student.record
+r._*.cs434.takenBy.sid -> r._*.cs434.takenBy
+r._*.cs434.takenBy.sid ⊆ r._*.student.record.id
+r._*.dbLab.acc.num ⊆ r._*.cs434.takenBy.sid
+`
+
+func main() {
+	spec, err := xmlspec.Parse(schoolDTD, schoolConstraints)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("class:", spec.Class())
+
+	res, err := spec.Consistent(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("original specification:", res.Verdict)
+	fmt.Println("sample school document:")
+	fmt.Print(res.Witness)
+
+	// A new requirement is discovered: every professor needs a dbLab
+	// account. Each constraint is plausible on its own...
+	fmt.Println()
+	fmt.Println("adding: all faculty members must have a dbLab account")
+	for _, line := range []string{
+		"r._*.dbLab.acc.num -> r._*.dbLab.acc",
+		"r.faculty.prof.record.id ⊆ r._*.dbLab.acc.num",
+	} {
+		if err := spec.AddConstraint(line); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("  +", line)
+	}
+
+	// ...but together they are contradictory: professors would have to
+	// be students, and ids keep them apart.
+	res2, err := spec.Consistent(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("extended specification:", res2.Verdict)
+	fmt.Println()
+	fmt.Println("why: dbLab accounts ⊆ cs434 students ⊆ student ids,")
+	fmt.Println("     prof ids ⊆ dbLab accounts, and the DTD forces a prof —")
+	fmt.Println("     but record ids key students and professors jointly.")
+}

@@ -1,0 +1,272 @@
+// Package bruteforce implements a bounded exhaustive reference decision
+// procedure for XML specification consistency: it enumerates every tree
+// shape conforming to a DTD up to a node budget, and for each shape
+// every equality pattern of attribute values (as set partitions of the
+// attribute slots, which is exhaustive because keys and foreign keys
+// only compare values for equality), checking the constraint set
+// dynamically. It is exponential and only suitable for tiny instances,
+// which is exactly its role: an independently correct oracle the
+// encoding-based deciders are property-tested against.
+package bruteforce
+
+import (
+	"strings"
+
+	"repro/internal/constraint"
+	"repro/internal/contentmodel"
+	"repro/internal/dtd"
+	"repro/internal/xmltree"
+)
+
+// Options bounds the search.
+type Options struct {
+	// MaxNodes bounds the number of element nodes per candidate tree
+	// (zero means 6).
+	MaxNodes int
+	// MaxShapes bounds the number of tree shapes examined (zero means
+	// 200000).
+	MaxShapes int
+	// MaxPartitions bounds the number of attribute-value equality
+	// patterns per shape (zero means 200000).
+	MaxPartitions int
+	// MaxWordLen bounds the child-list length per node (zero means
+	// MaxNodes).
+	MaxWordLen int
+	// Extra, when set, must also accept the candidate tree (used to
+	// search for counterexamples: trees satisfying Σ but violating a
+	// further constraint).
+	Extra func(*xmltree.Tree) bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 6
+	}
+	if o.MaxShapes == 0 {
+		o.MaxShapes = 200000
+	}
+	if o.MaxPartitions == 0 {
+		o.MaxPartitions = 200000
+	}
+	if o.MaxWordLen == 0 {
+		o.MaxWordLen = o.MaxNodes
+	}
+	return o
+}
+
+// Result of a bounded search.
+type Result struct {
+	// Witness is a satisfying tree, if one was found.
+	Witness *xmltree.Tree
+	// Exhausted is true when the bounded space was fully searched, so
+	// "no witness" means "no tree within the bounds".
+	Exhausted bool
+	// Shapes and Assignments count the explored candidates.
+	Shapes, Assignments int
+}
+
+// Sat reports whether a witness was found.
+func (r Result) Sat() bool { return r.Witness != nil }
+
+// Decide searches for a tree T with T ⊨ D and T ⊨ Σ within the bounds.
+func Decide(d *dtd.DTD, set *constraint.Set, opts Options) Result {
+	opts = opts.withDefaults()
+	e := &enumerator{d: d, set: set, opts: opts, res: Result{Exhausted: true}}
+	e.run()
+	return e.res
+}
+
+type enumerator struct {
+	d    *dtd.DTD
+	set  *constraint.Set
+	opts Options
+	res  Result
+	stop bool
+}
+
+func (e *enumerator) run() {
+	e.trees(e.d.Root, e.opts.MaxNodes, func(root *xmltree.Node, used int) bool {
+		e.res.Shapes++
+		if e.res.Shapes > e.opts.MaxShapes {
+			e.res.Exhausted = false
+			return false
+		}
+		tree := &xmltree.Tree{Root: root}
+		if e.tryAssignments(tree) {
+			e.res.Witness = tree
+			return false
+		}
+		return !e.stop
+	})
+}
+
+// trees enumerates subtrees rooted at an element of the given type
+// using at most budget element nodes, invoking yield for each; yield
+// returns false to abort the whole enumeration.
+func (e *enumerator) trees(typ string, budget int, yield func(n *xmltree.Node, used int) bool) bool {
+	if budget < 1 {
+		return true
+	}
+	el := e.d.Element(typ)
+	if el == nil {
+		return true
+	}
+	maxLen := budget - 1
+	if maxLen > e.opts.MaxWordLen {
+		maxLen = e.opts.MaxWordLen
+	}
+	for _, word := range words(el.Content, maxLen) {
+		ok := e.childLists(word, budget-1, func(kids []*xmltree.Node, used int) bool {
+			n := xmltree.NewElement(typ)
+			for _, l := range el.Attrs {
+				n.SetAttr(l, "") // placeholder; assigned per partition
+			}
+			n.Append(kids...)
+			return yield(n, used+1)
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// childLists enumerates the possible child slices for a word of
+// symbols within the budget.
+func (e *enumerator) childLists(syms []string, budget int, yield func(kids []*xmltree.Node, used int) bool) bool {
+	if len(syms) == 0 {
+		return yield(nil, 0)
+	}
+	head, rest := syms[0], syms[1:]
+	if head == contentmodel.TextSymbol {
+		return e.childLists(rest, budget, func(kids []*xmltree.Node, used int) bool {
+			all := append([]*xmltree.Node{xmltree.NewText("t")}, kids...)
+			return yield(all, used)
+		})
+	}
+	// Count the element symbols remaining after head to reserve budget.
+	reserve := 0
+	for _, s := range rest {
+		if s != contentmodel.TextSymbol {
+			reserve++
+		}
+	}
+	return e.trees(head, budget-reserve, func(first *xmltree.Node, used int) bool {
+		return e.childLists(rest, budget-used, func(kids []*xmltree.Node, usedRest int) bool {
+			all := append([]*xmltree.Node{cloneNode(first)}, kids...)
+			return yield(all, used+usedRest)
+		})
+	})
+}
+
+// cloneNode deep-copies a node so enumerated subtrees can be shared
+// across yields safely.
+func cloneNode(n *xmltree.Node) *xmltree.Node {
+	if n.IsText {
+		return xmltree.NewText(n.Text)
+	}
+	c := xmltree.NewElement(n.Label)
+	for k, v := range n.Attrs {
+		c.SetAttr(k, v)
+	}
+	for _, kid := range n.Children {
+		c.Append(cloneNode(kid))
+	}
+	return c
+}
+
+// tryAssignments enumerates equality patterns of the attribute slots
+// (restricted growth strings, i.e. set partitions) and checks the
+// constraints for each. Distinct blocks get distinct values v0, v1, …,
+// which is fully general because the constraint semantics only compare
+// values for equality.
+func (e *enumerator) tryAssignments(tree *xmltree.Tree) bool {
+	type slot struct {
+		node *xmltree.Node
+		attr string
+	}
+	var slots []slot
+	tree.Walk(func(n *xmltree.Node) {
+		el := e.d.Element(n.Label)
+		if el == nil {
+			return
+		}
+		for _, l := range el.Attrs {
+			slots = append(slots, slot{n, l})
+		}
+	})
+	assign := make([]int, len(slots))
+	valueName := func(block int) string {
+		return "v" + strings.Repeat("'", block/26) + string(rune('a'+block%26))
+	}
+	var rec func(i, maxBlock int) bool
+	rec = func(i, maxBlock int) bool {
+		if e.res.Assignments >= e.opts.MaxPartitions {
+			e.res.Exhausted = false
+			e.stop = true
+			return false
+		}
+		if i == len(slots) {
+			e.res.Assignments++
+			for j, s := range slots {
+				s.node.SetAttr(s.attr, valueName(assign[j]))
+			}
+			if !constraint.Satisfies(tree, e.set) {
+				return false
+			}
+			return e.opts.Extra == nil || e.opts.Extra(tree)
+		}
+		for b := 0; b <= maxBlock+1; b++ {
+			assign[i] = b
+			next := maxBlock
+			if b > maxBlock {
+				next = b
+			}
+			if rec(i+1, next) {
+				return true
+			}
+			if e.stop {
+				return false
+			}
+		}
+		return false
+	}
+	return rec(0, -1)
+}
+
+// words returns every word of the content model with at most maxLen
+// symbols, deduplicated, in a deterministic order.
+func words(e *contentmodel.Expr, maxLen int) [][]string {
+	seen := map[string]bool{}
+	var out [][]string
+	var rec func(cur []string, d *contentmodel.Expr)
+	rec = func(cur []string, d *contentmodel.Expr) {
+		if d.Nullable() {
+			key := strings.Join(cur, "\x00")
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, append([]string(nil), cur...))
+			}
+		}
+		if len(cur) == maxLen {
+			return
+		}
+		for _, sym := range symbolsOf(d) {
+			if next := contentmodel.Derive(d, sym); next != nil {
+				rec(append(cur, sym), next)
+			}
+		}
+	}
+	rec(nil, e)
+	return out
+}
+
+// symbolsOf lists the symbols the expression can start with or
+// mention; deriving on them covers all first steps.
+func symbolsOf(e *contentmodel.Expr) []string {
+	syms := e.Alphabet()
+	if e.HasText() {
+		syms = append(syms, contentmodel.TextSymbol)
+	}
+	return syms
+}

@@ -1,0 +1,182 @@
+package bruteforce
+
+import (
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/contentmodel"
+	"repro/internal/dtd"
+)
+
+func decide(t *testing.T, dtdSrc, constraintSrc string, opts Options) Result {
+	t.Helper()
+	d := dtd.MustParse(dtdSrc)
+	set := constraint.MustParseSet(constraintSrc)
+	if err := set.Validate(d); err != nil {
+		t.Fatalf("constraint validation: %v", err)
+	}
+	res := Decide(d, set, opts)
+	if res.Witness != nil {
+		if err := res.Witness.Conforms(d); err != nil {
+			t.Fatalf("witness does not conform: %v\n%s", err, res.Witness.XML())
+		}
+		if vs := constraint.Check(res.Witness, set); len(vs) != 0 {
+			t.Fatalf("witness violates constraints: %v", vs)
+		}
+	}
+	return res
+}
+
+func TestSatisfiableSpec(t *testing.T) {
+	res := decide(t, `
+<!ELEMENT db (a, b)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+<!ATTLIST b y CDATA #REQUIRED>
+`, `
+a.x -> a
+b.y -> b
+a.x ⊆ b.y
+`, Options{MaxNodes: 4})
+	if !res.Sat() {
+		t.Fatal("satisfiable specification not found")
+	}
+	if !res.Exhausted && res.Witness == nil {
+		t.Fatal("inconclusive")
+	}
+}
+
+func TestUnsatisfiableCountingConflict(t *testing.T) {
+	// Two a's forced by the DTD but a.x is a key and a.x ⊆ b.y with a
+	// single b whose y is a key... two a's need two distinct x values,
+	// both must appear among the single b.y value: impossible.
+	res := decide(t, `
+<!ELEMENT db (a, a, b)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+<!ATTLIST b y CDATA #REQUIRED>
+`, `
+a.x -> a
+b.y -> b
+a.x ⊆ b.y
+`, Options{MaxNodes: 5})
+	if res.Sat() {
+		t.Fatalf("unsatisfiable spec got witness:\n%s", res.Witness.XML())
+	}
+	if !res.Exhausted {
+		t.Fatal("search space not exhausted; enlarge bounds for this test")
+	}
+}
+
+func TestGeographyInconsistent(t *testing.T) {
+	// The country/province/capital specification of Section 1 is
+	// inconsistent; within 6 nodes the brute force must find nothing.
+	res := decide(t, `
+<!ELEMENT db (country)>
+<!ELEMENT country (province, capital)>
+<!ELEMENT province (capital)>
+<!ELEMENT capital EMPTY>
+<!ATTLIST country name CDATA #REQUIRED>
+<!ATTLIST province name CDATA #REQUIRED>
+<!ATTLIST capital inProvince CDATA #REQUIRED>
+`, `
+country.name -> country
+country(province.name -> province)
+country(capital.inProvince -> capital)
+country(capital.inProvince ⊆ province.name)
+`, Options{MaxNodes: 6})
+	if res.Sat() {
+		t.Fatalf("inconsistent geography spec got witness:\n%s", res.Witness.XML())
+	}
+}
+
+func TestChoiceAndStarShapes(t *testing.T) {
+	// Choice shapes must be explored.
+	res2 := decide(t, `
+<!ELEMENT db (a | b)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b (a)>
+<!ATTLIST a x CDATA #REQUIRED>
+`, `
+a.x -> a
+`, Options{MaxNodes: 3})
+	if !res2.Sat() {
+		t.Fatal("choice shape not found")
+	}
+	// Star: need two c's to satisfy an inclusion from two keyed a's.
+	res3 := decide(t, `
+<!ELEMENT db (a, a, c*)>
+<!ELEMENT a EMPTY>
+<!ELEMENT c EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+<!ATTLIST c y CDATA #REQUIRED>
+`, `
+a.x -> a
+c.y -> c
+a.x ⊆ c.y
+`, Options{MaxNodes: 6})
+	if !res3.Sat() {
+		t.Fatal("star expansion not found")
+	}
+	if got := len(res3.Witness.Ext("c")); got < 2 {
+		t.Fatalf("witness has %d c nodes, want ≥ 2:\n%s", got, res3.Witness.XML())
+	}
+}
+
+func TestBudgetsReportInexhaustive(t *testing.T) {
+	res := decide(t, `
+<!ELEMENT db (a*)>
+<!ELEMENT a (a*)>
+<!ATTLIST a x CDATA #REQUIRED>
+`, "", Options{MaxNodes: 5, MaxShapes: 3})
+	// With a shape cap of 3 the space cannot be exhausted — unless a
+	// witness was found first (the empty db is consistent here).
+	if !res.Sat() && res.Exhausted {
+		t.Fatal("capped search claimed exhaustion")
+	}
+}
+
+func TestWordsEnumeration(t *testing.T) {
+	e := contentmodel.MustParse("(a, (b | c), d*)")
+	ws := words(e, 4)
+	want := map[string]bool{
+		"a\x00b": true, "a\x00c": true,
+		"a\x00b\x00d": true, "a\x00c\x00d": true,
+		"a\x00b\x00d\x00d": true, "a\x00c\x00d\x00d": true,
+	}
+	if len(ws) != len(want) {
+		t.Fatalf("words = %v (%d), want %d", ws, len(ws), len(want))
+	}
+	// Every enumerated word must be a member.
+	for _, w := range ws {
+		if !e.Match(w) {
+			t.Errorf("enumerated non-member %v", w)
+		}
+	}
+	// Text symbols.
+	ws = words(contentmodel.MustParse("(#PCDATA | a)"), 1)
+	if len(ws) != 2 {
+		t.Fatalf("words with text = %v", ws)
+	}
+}
+
+func TestRelativeWitness(t *testing.T) {
+	// Relative key satisfiable with distinct values inside a country.
+	res := decide(t, `
+<!ELEMENT db (country)>
+<!ELEMENT country (province, province)>
+<!ELEMENT province EMPTY>
+<!ATTLIST province name CDATA #REQUIRED>
+`, `
+country(province.name -> province)
+`, Options{MaxNodes: 4})
+	if !res.Sat() {
+		t.Fatal("relative spec not satisfied")
+	}
+	names := res.Witness.ExtAttr("province", "name")
+	if len(names) != 2 {
+		t.Fatalf("provinces must have distinct names, got %v", names)
+	}
+}

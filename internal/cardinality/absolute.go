@@ -1,0 +1,274 @@
+package cardinality
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/constraint"
+	"repro/internal/dtd"
+	"repro/internal/ilp"
+	"repro/internal/xmltree"
+)
+
+// AbsoluteEncoding is Ψ(D, Σ) for type-based absolute constraints: the
+// stateless flow Ψ_D plus the cardinality constraints C_Σ of Lemma 1
+// (and of Lemma 9 / [14] in the unary case).
+type AbsoluteEncoding struct {
+	Flow *Flow
+	D    *dtd.DTD
+	Set  *constraint.Set
+	// ExtVar maps "τ.l" to the |ext(τ.l)| variable.
+	ExtVar map[string]ilp.Var
+	// Exact reports whether the encoding decides consistency exactly.
+	// It is false when Σ contains multi-attribute inclusions, or
+	// multi-attribute keys that are neither primary nor disjoint — in
+	// those cases a solution does not guarantee a tree (the encoding
+	// remains refutation-sound: no solution still means inconsistent).
+	Exact bool
+	// keyGroups[τ] lists the attribute groups used by value
+	// assignment: one group per key on τ, plus singletons for the
+	// remaining mentioned attributes.
+	keyGroups map[string][][]string
+}
+
+// EncodeAbsolute compiles a type-based absolute constraint set over
+// the DTD. It returns an error for constraint sets outside the
+// type-based absolute dialects (paths or contexts present).
+func EncodeAbsolute(d *dtd.DTD, set *constraint.Set) (*AbsoluteEncoding, error) {
+	prof := constraint.Classify(set)
+	if prof.Regular || prof.Relative {
+		return nil, fmt.Errorf("cardinality: EncodeAbsolute requires type-based absolute constraints, got %s", prof.ClassName())
+	}
+	sys := ilp.NewSystem()
+	flow := BuildFlow(sys, dtd.Narrow(d), nil)
+	enc := &AbsoluteEncoding{
+		Flow:      flow,
+		D:         d,
+		Set:       set,
+		ExtVar:    map[string]ilp.Var{},
+		Exact:     true,
+		keyGroups: map[string][][]string{},
+	}
+	if prof.MaxIncArity > 1 {
+		enc.Exact = false
+	}
+	if prof.MaxKeyArity > 1 && !prof.Primary && !prof.DisjointKeys {
+		enc.Exact = false
+	}
+
+	typeVar := func(typ string) ilp.Var {
+		return flow.Vars[flow.Lookup(typ, 0)]
+	}
+	// ext(τ.l) variables with the generic bounds: 0 ≤ ext(τ.l) ≤
+	// ext(τ), and ext(τ) > 0 → ext(τ.l) > 0 (every τ element carries
+	// an l attribute).
+	extVar := func(typ, attr string) ilp.Var {
+		key := typ + "." + attr
+		if v, ok := enc.ExtVar[key]; ok {
+			return v
+		}
+		v := sys.Var("ext(" + key + ")")
+		enc.ExtVar[key] = v
+		sys.AddVarLE(v, typeVar(typ))
+		sys.AddCondVar(typeVar(typ), v)
+		return v
+	}
+
+	// C_Σ.
+	for _, k := range set.Keys {
+		typ := k.Target.Type
+		exts := make([]ilp.Var, len(k.Target.Attrs))
+		for i, l := range k.Target.Attrs {
+			exts[i] = extVar(typ, l)
+		}
+		// |ext(τ)| ≤ Π |ext(τ.l_i)| (for unary keys this plus the
+		// generic upper bound forces equality).
+		sys.AddProductUpper(typeVar(typ), exts)
+		enc.addKeyGroup(typ, k.Target.Attrs)
+	}
+	for _, c := range set.Incls {
+		// Coordinate-wise |ext(τ1.x_i)| ≤ |ext(τ2.y_i)|; exact for
+		// unary inclusions (Lemma 1), refutation-sound otherwise.
+		for i := range c.From.Attrs {
+			from := extVar(c.From.Type, c.From.Attrs[i])
+			to := extVar(c.To.Type, c.To.Attrs[i])
+			sys.AddVarLE(from, to)
+		}
+	}
+	return enc, nil
+}
+
+// addKeyGroup records a key's attribute group for value assignment,
+// deduplicating identical groups.
+func (e *AbsoluteEncoding) addKeyGroup(typ string, attrs []string) {
+	for _, g := range e.keyGroups[typ] {
+		if len(g) == len(attrs) {
+			same := true
+			for i := range g {
+				if g[i] != attrs[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return
+			}
+		}
+	}
+	e.keyGroups[typ] = append(e.keyGroups[typ], append([]string(nil), attrs...))
+}
+
+// Witness builds an XML tree from a satisfying assignment: Realize
+// gives the shape (Lemma 6), and the prefix-pool value assignment of
+// Lemma 1 populates the attributes. The caller should dynamically
+// verify the result when Exact is false.
+func (e *AbsoluteEncoding) Witness(vals []int64, maxNodes int) (*xmltree.Tree, error) {
+	tree, _, err := e.Flow.Realize(vals, maxNodes)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.assignValues(tree, vals); err != nil {
+		return nil, err
+	}
+	return tree, nil
+}
+
+// poolValue names the i-th value of the global pool (Lemma 1's a_i);
+// every ext(τ.l) is realized as the prefix {a_0, …}.
+func poolValue(i int64) string { return fmt.Sprintf("a%d", i) }
+
+// assignValues implements the construction of Lemma 1: each mentioned
+// ext(τ.l) becomes a prefix of a global value pool; keyed attribute
+// groups receive distinct tuples with exact per-coordinate coverage.
+func (e *AbsoluteEncoding) assignValues(tree *xmltree.Tree, vals []int64) error {
+	size := func(typ, attr string) int64 {
+		if v, ok := e.ExtVar[typ+"."+attr]; ok {
+			return vals[v]
+		}
+		return 1 // unconstrained attributes share one value
+	}
+	for _, typ := range e.D.Names {
+		nodes := tree.Ext(typ)
+		if len(nodes) == 0 {
+			continue
+		}
+		attrs := e.D.Attrs(typ)
+		if len(attrs) == 0 {
+			continue
+		}
+		grouped := map[string]bool{}
+		for _, g := range e.keyGroups[typ] {
+			sizes := make([]int64, len(g))
+			for i, l := range g {
+				sizes[i] = size(typ, l)
+				grouped[l] = true
+			}
+			tuples, err := distinctTuples(int64(len(nodes)), sizes)
+			if err != nil {
+				return fmt.Errorf("cardinality: key group %v on %s: %w", g, typ, err)
+			}
+			for j, n := range nodes {
+				for i, l := range g {
+					n.SetAttr(l, poolValue(tuples[j][i]))
+				}
+			}
+		}
+		for _, l := range attrs {
+			if grouped[l] {
+				continue
+			}
+			v := size(typ, l)
+			for j, n := range nodes {
+				n.SetAttr(l, poolValue(int64(j)%v))
+			}
+		}
+	}
+	return nil
+}
+
+// distinctTuples returns n distinct tuples over the box Π [0, sizes_i)
+// such that coordinate i covers exactly {0, …, sizes_i - 1}. Requires
+// max(sizes) ≤ n ≤ Π sizes, which C_Σ guarantees for keyed groups.
+func distinctTuples(n int64, sizes []int64) ([][]int64, error) {
+	var maxSize, prod int64 = 0, 1
+	for _, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("coordinate size %d", s)
+		}
+		if s > maxSize {
+			maxSize = s
+		}
+		prod = mulSatLocal(prod, s)
+	}
+	if n < maxSize || n > prod {
+		return nil, fmt.Errorf("need max %d ≤ n=%d ≤ product %d", maxSize, n, prod)
+	}
+	out := make([][]int64, 0, n)
+	used := map[string]bool{}
+	keyOf := func(t []int64) string {
+		s := ""
+		for _, v := range t {
+			s += fmt.Sprintf("%d,", v)
+		}
+		return s
+	}
+	// Diagonal phase: j-th tuple is (j mod s_1, …, j mod s_k); these
+	// are distinct for j < max(sizes) (they differ in a maximal
+	// coordinate) and cover every coordinate's full range.
+	for j := int64(0); j < maxSize; j++ {
+		t := make([]int64, len(sizes))
+		for i, s := range sizes {
+			t[i] = j % s
+		}
+		out = append(out, t)
+		used[keyOf(t)] = true
+	}
+	// Fill phase: walk the box in mixed-radix order, skipping used
+	// tuples, until n tuples exist.
+	cur := make([]int64, len(sizes))
+	for int64(len(out)) < n {
+		if !used[keyOf(cur)] {
+			t := append([]int64(nil), cur...)
+			out = append(out, t)
+			used[keyOf(t)] = true
+			if int64(len(out)) == n {
+				break
+			}
+		}
+		// Increment mixed-radix counter.
+		i := 0
+		for ; i < len(sizes); i++ {
+			cur[i]++
+			if cur[i] < sizes[i] {
+				break
+			}
+			cur[i] = 0
+		}
+		if i == len(sizes) {
+			return nil, fmt.Errorf("box exhausted before %d tuples", n)
+		}
+	}
+	return out, nil
+}
+
+func mulSatLocal(a, b int64) int64 {
+	const lim = int64(1) << 40
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > lim/b {
+		return lim
+	}
+	return a * b
+}
+
+// SortedExtKeys returns the mentioned τ.l names in deterministic order
+// (used by diagnostics).
+func (e *AbsoluteEncoding) SortedExtKeys() []string {
+	out := make([]string, 0, len(e.ExtVar))
+	for k := range e.ExtVar {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,72 @@
+package cardinality
+
+import "repro/internal/ilp"
+
+// MaxCuts bounds the connectivity cutting-plane iterations of
+// DecideFlow; the loop provably terminates (each component set occurs
+// at most once) but can in principle need exponentially many rounds on
+// adversarial recursive DTDs.
+const MaxCuts = 256
+
+// DecideFlow solves the flow's system exactly: it runs the ILP solver
+// and, whenever a solution's support is disconnected from the root
+// (possible only for recursive DTDs), adds the violated-component cut
+// and re-solves. The returned result is the final solver result; for
+// Sat it carries a tree-realizable assignment.
+//
+// The second return value counts the cuts added. If the cut budget is
+// exhausted the verdict degrades to Unknown.
+func DecideFlow(f *Flow, opts ilp.Options) (ilp.Result, int) {
+	cuts := 0
+	for {
+		res := ilp.Solve(f.Sys, opts)
+		if res.Verdict != ilp.Sat {
+			return res, cuts
+		}
+		comp := f.UnreachedSupport(res.Values)
+		if len(comp) == 0 {
+			return res, cuts
+		}
+		if cuts >= MaxCuts {
+			res.Verdict = ilp.Unknown
+			res.Values = nil
+			return res, cuts
+		}
+		f.AddCut(comp)
+		cuts++
+	}
+}
+
+// DecideFlowMinimal is DecideFlow followed by element-count
+// minimization: while the system stays satisfiable, it tightens a
+// "total XML elements ≤ incumbent − 1" bound and re-solves, returning
+// the smallest solution found. The minimum is exact when the final
+// tightening comes back Unsat; an Unknown stops the descent with the
+// incumbent (still a valid solution). The flow's system is consumed:
+// it ends up carrying the failed bound.
+func DecideFlowMinimal(f *Flow, opts ilp.Options) (ilp.Result, int) {
+	res, cuts := DecideFlow(f, opts)
+	if res.Verdict != ilp.Sat {
+		return res, cuts
+	}
+	var terms []ilp.Term
+	for _, fn := range f.ElementNodes() {
+		terms = append(terms, ilp.T(1, f.Vars[fn]))
+	}
+	for {
+		var total int64
+		for _, t := range terms {
+			total += res.Values[t.Var]
+		}
+		if total <= 1 {
+			return res, cuts // a document has at least its root
+		}
+		f.Sys.AddLE(terms, total-1)
+		next, c := DecideFlow(f, opts)
+		cuts += c
+		if next.Verdict != ilp.Sat {
+			return res, cuts
+		}
+		res = next
+	}
+}

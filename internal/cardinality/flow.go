@@ -1,0 +1,312 @@
+// Package cardinality implements the paper's compilers from XML
+// specifications to integer constraint systems:
+//
+//   - Ψ_D, the cardinality constraints of a DTD over its narrowing D_N
+//     (proof of Theorem 3.4, specialized to the stateless case for the
+//     type-based classes of [14] used in Theorems 3.1 and 3.5);
+//   - Ψ_D^Σ, the state-tagged variant that runs the product automaton
+//     of the constraint path expressions alongside the grammar
+//     (Lemmas 5 and 6);
+//   - C_Σ, the constraint side: ext(τ.l) variables with the key /
+//     foreign-key (in)equalities of Lemma 1, and the z_θ cell variables
+//     over Boolean combinations of values_D(β.τ.l) sets of Lemma 4;
+//   - witness realization: from an integer solution back to an XML
+//     tree (Lemmas 1, 2, 6).
+//
+// The flow equations alone are exact for non-recursive DTDs. For
+// recursive DTDs a nonnegative solution can hide "phantom cycles"
+// (components of positive counts disconnected from the root), so the
+// package also provides the support-connectivity check and violated-
+// component cuts that make the encoding exact for arbitrary DTDs — the
+// standard Parikh-image characterization (flow + connectedness),
+// applied as a cutting-plane loop by the deciders.
+package cardinality
+
+import (
+	"fmt"
+
+	"repro/internal/dtd"
+	"repro/internal/ilp"
+	"repro/internal/pathre"
+)
+
+// FlowNode is one symbol of the narrowed grammar paired with a product
+// automaton state (state 0 when no automaton is attached).
+type FlowNode struct {
+	Sym   string
+	State int
+}
+
+// Flow is the counting graph of a (possibly state-tagged) narrowed
+// DTD, with its equations installed in an ilp.System.
+type Flow struct {
+	// Sys receives the equations; callers add their C_Σ on top.
+	Sys *ilp.System
+	// N is the narrowed DTD.
+	N *dtd.Narrowed
+	// Product is the constraint automaton, nil for stateless flows.
+	Product *pathre.Product
+	// Nodes lists the reachable (symbol, state) pairs; Nodes[Root] is
+	// the root symbol at its initial state.
+	Nodes []FlowNode
+	// Vars[i] is the count variable of Nodes[i].
+	Vars []ilp.Var
+	// Root is the index of the root node.
+	Root int
+
+	index map[FlowNode]int
+	// refsInto[i] lists, for an original-type node i, the RuleRef
+	// nodes feeding it.
+	refsInto map[int][]int
+}
+
+// Lookup returns the index of a (symbol, state) pair, or -1.
+func (f *Flow) Lookup(sym string, state int) int {
+	if i, ok := f.index[FlowNode{sym, state}]; ok {
+		return i
+	}
+	return -1
+}
+
+// NumCuts tracks connectivity cuts added so far (for stats).
+func (f *Flow) rule(i int) dtd.Rule { return f.N.Rules[f.Nodes[i].Sym] }
+
+// operand returns the flow-node index of an operand symbol in the same
+// state as node i (creating it must have happened during construction).
+func (f *Flow) operand(i int, sym string) int {
+	return f.index[FlowNode{sym, f.Nodes[i].State}]
+}
+
+// refTarget returns the flow node a RuleRef at node i feeds.
+func (f *Flow) refTarget(i int) int {
+	r := f.rule(i)
+	state := f.Nodes[i].State
+	if f.Product != nil {
+		state = f.Product.Step(state, r.A)
+	}
+	return f.index[FlowNode{r.A, state}]
+}
+
+// BuildFlow constructs the counting graph of the narrowed DTD into the
+// given system. With product == nil the flow is stateless (the [14]
+// encoding); otherwise symbols are tagged with reachable product
+// states (the Ψ_D^Σ encoding of Theorem 3.4).
+func BuildFlow(sys *ilp.System, n *dtd.Narrowed, product *pathre.Product) *Flow {
+	f := &Flow{
+		Sys:      sys,
+		N:        n,
+		Product:  product,
+		index:    map[FlowNode]int{},
+		refsInto: map[int][]int{},
+	}
+	intern := func(nd FlowNode) int {
+		if i, ok := f.index[nd]; ok {
+			return i
+		}
+		i := len(f.Nodes)
+		f.Nodes = append(f.Nodes, nd)
+		f.index[nd] = i
+		name := nd.Sym
+		if product != nil {
+			name = fmt.Sprintf("%s@%d", nd.Sym, nd.State)
+		}
+		f.Vars = append(f.Vars, sys.Var("x("+name+")"))
+		return i
+	}
+	rootState := 0
+	if product != nil {
+		rootState = product.Step(0, n.Root)
+	}
+	f.Root = intern(FlowNode{n.Root, rootState})
+
+	// Reachability closure over (symbol, state) pairs.
+	for q := 0; q < len(f.Nodes); q++ {
+		nd := f.Nodes[q]
+		r := n.Rules[nd.Sym]
+		switch r.Kind {
+		case dtd.RuleSeq, dtd.RuleChoice:
+			intern(FlowNode{r.A, nd.State})
+			intern(FlowNode{r.B, nd.State})
+		case dtd.RuleStar:
+			intern(FlowNode{r.A, nd.State})
+		case dtd.RuleRef:
+			state := nd.State
+			if product != nil {
+				state = product.Step(state, r.A)
+			}
+			t := intern(FlowNode{r.A, state})
+			f.refsInto[t] = append(f.refsInto[t], q)
+		}
+	}
+
+	// Equations.
+	sys.AddConst(f.Vars[f.Root], 1)
+	for i, nd := range f.Nodes {
+		r := n.Rules[nd.Sym]
+		switch r.Kind {
+		case dtd.RuleSeq:
+			sys.AddVarEQ(f.Vars[f.operand(i, r.A)], f.Vars[i])
+			sys.AddVarEQ(f.Vars[f.operand(i, r.B)], f.Vars[i])
+		case dtd.RuleChoice:
+			sys.AddSumEQ(f.Vars[i], []ilp.Var{
+				f.Vars[f.operand(i, r.A)], f.Vars[f.operand(i, r.B)],
+			})
+		case dtd.RuleStar:
+			sys.AddCondVar(f.Vars[f.operand(i, r.A)], f.Vars[i])
+		}
+	}
+	// Original element types: count = Σ of feeding RuleRef symbols
+	// (each RuleRef instance contributes exactly one element).
+	for i := range f.Nodes {
+		if !f.N.IsOriginal(f.Nodes[i].Sym) {
+			continue
+		}
+		if i == f.Root {
+			continue
+		}
+		var feeders []ilp.Var
+		for _, src := range f.refsInto[i] {
+			feeders = append(feeders, f.Vars[src])
+		}
+		f.Sys.AddSumEQ(f.Vars[i], feeders)
+	}
+	return f
+}
+
+// ElementNodes returns the indices of flow nodes that are original
+// element types (the nodes that become XML elements).
+func (f *Flow) ElementNodes() []int {
+	var out []int
+	for i := range f.Nodes {
+		if f.N.IsOriginal(f.Nodes[i].Sym) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TypeNodes returns the indices of the flow nodes of one original
+// element type (across states).
+func (f *Flow) TypeNodes(typ string) []int {
+	var out []int
+	for i := range f.Nodes {
+		if f.Nodes[i].Sym == typ && f.N.IsOriginal(typ) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// UnreachedSupport returns a positive-count component of the solution
+// that is not reachable from the root through positive-flow edges, or
+// nil when the support is connected (and the solution therefore
+// realizable as a tree).
+func (f *Flow) UnreachedSupport(vals []int64) []int {
+	val := func(i int) int64 { return vals[f.Vars[i]] }
+	reached := make([]bool, len(f.Nodes))
+	queue := []int{}
+	if val(f.Root) > 0 {
+		reached[f.Root] = true
+		queue = append(queue, f.Root)
+	}
+	push := func(i int) {
+		if !reached[i] {
+			reached[i] = true
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		if val(i) == 0 {
+			continue
+		}
+		r := f.rule(i)
+		switch r.Kind {
+		case dtd.RuleSeq:
+			push(f.operand(i, r.A))
+			push(f.operand(i, r.B))
+		case dtd.RuleChoice:
+			if a := f.operand(i, r.A); val(a) > 0 {
+				push(a)
+			}
+			if b := f.operand(i, r.B); val(b) > 0 {
+				push(b)
+			}
+		case dtd.RuleStar:
+			if a := f.operand(i, r.A); val(a) > 0 {
+				push(a)
+			}
+		case dtd.RuleRef:
+			push(f.refTarget(i))
+		}
+	}
+	var comp []int
+	for i := range f.Nodes {
+		if val(i) > 0 && !reached[i] {
+			comp = append(comp, i)
+		}
+	}
+	return comp
+}
+
+// AddCut installs the connectivity cut for an unreached component C:
+// if any count in C is positive, some edge crossing into C from
+// outside must be active. Each such cut excludes the current spurious
+// solution and is valid for every tree-realizable one, so the decide
+// loop converges (no component set can recur).
+func (f *Flow) AddCut(comp []int) {
+	inC := map[int]bool{}
+	for _, i := range comp {
+		inC[i] = true
+	}
+	var ifTerms, thenTerms []ilp.Term
+	for _, i := range comp {
+		ifTerms = append(ifTerms, ilp.T(1, f.Vars[i]))
+	}
+	seen := map[ilp.Var]bool{}
+	addThen := func(v ilp.Var) {
+		if !seen[v] {
+			seen[v] = true
+			thenTerms = append(thenTerms, ilp.T(1, v))
+		}
+	}
+	for i := range f.Nodes {
+		if inC[i] {
+			continue
+		}
+		r := f.rule(i)
+		switch r.Kind {
+		case dtd.RuleSeq:
+			// Both operand counts equal x_i; operand variables serve
+			// as the activity proxies.
+			for _, op := range []int{f.operand(i, r.A), f.operand(i, r.B)} {
+				if inC[op] {
+					addThen(f.Vars[op])
+				}
+			}
+		case dtd.RuleChoice, dtd.RuleStar:
+			ops := []int{f.operand(i, r.A)}
+			if r.Kind == dtd.RuleChoice {
+				ops = append(ops, f.operand(i, r.B))
+			}
+			for _, op := range ops {
+				if inC[op] {
+					addThen(f.Vars[op])
+				}
+			}
+		case dtd.RuleRef:
+			if inC[f.refTarget(i)] {
+				addThen(f.Vars[i])
+			}
+		}
+	}
+	if len(thenTerms) == 0 {
+		// No edge can ever enter the component: its counts must be 0.
+		for _, i := range comp {
+			f.Sys.AddConst(f.Vars[i], 0)
+		}
+		return
+	}
+	f.Sys.AddCond(ifTerms, thenTerms)
+}

@@ -1,0 +1,132 @@
+package cardinality
+
+import (
+	"fmt"
+
+	"repro/internal/dtd"
+	"repro/internal/xmltree"
+)
+
+// Realize constructs an XML tree whose per-(symbol, state) element
+// counts match the solution exactly (the constructive direction of
+// Lemma 6). The solution must satisfy the flow equations and have
+// connected support (see UnreachedSupport). Attribute values are left
+// empty; callers assign them afterwards (Lemmas 1, 2 and 4).
+//
+// maxNodes guards against runaway solutions; Realize fails rather than
+// building a tree larger than that.
+//
+// The returned map gives, for every created element, its flow node
+// index, which value assignment uses to recover the regions the
+// element belongs to.
+func (f *Flow) Realize(vals []int64, maxNodes int) (*xmltree.Tree, map[*xmltree.Node]int, error) {
+	rem := make([]int64, len(f.Nodes))
+	var total int64
+	for i := range f.Nodes {
+		rem[i] = vals[f.Vars[i]]
+		if f.N.IsOriginal(f.Nodes[i].Sym) {
+			total += rem[i]
+		}
+	}
+	if maxNodes > 0 && total > int64(maxNodes) {
+		return nil, nil, fmt.Errorf("cardinality: solution needs %d elements, above the %d-node realization limit", total, maxNodes)
+	}
+
+	origin := map[*xmltree.Node]int{}
+	type pending struct {
+		node *xmltree.Node
+		fn   int
+	}
+	var queue []pending
+
+	newElement := func(fn int) (*xmltree.Node, error) {
+		if rem[fn] <= 0 {
+			return nil, fmt.Errorf("cardinality: count of %v exhausted", f.Nodes[fn])
+		}
+		rem[fn]--
+		n := xmltree.NewElement(f.Nodes[fn].Sym)
+		for _, l := range f.N.Orig.Attrs(f.Nodes[fn].Sym) {
+			n.SetAttr(l, "")
+		}
+		origin[n] = fn
+		queue = append(queue, pending{n, fn})
+		return n, nil
+	}
+
+	// expand emits the children of parent derived from the rule of the
+	// grammar symbol at flow node sym (a nonterminal or the element's
+	// own type symbol), consuming counts.
+	var expand func(parent *xmltree.Node, fn int) error
+	expand = func(parent *xmltree.Node, fn int) error {
+		r := f.rule(fn)
+		switch r.Kind {
+		case dtd.RuleEmpty:
+			return nil
+		case dtd.RuleText:
+			parent.Append(xmltree.NewText("t"))
+			return nil
+		case dtd.RuleRef:
+			child, err := newElement(f.refTarget(fn))
+			if err != nil {
+				return err
+			}
+			parent.Append(child)
+			return nil
+		case dtd.RuleSeq:
+			for _, op := range []int{f.operand(fn, r.A), f.operand(fn, r.B)} {
+				if rem[op] <= 0 {
+					return fmt.Errorf("cardinality: count of %v exhausted in sequence", f.Nodes[op])
+				}
+				rem[op]--
+				if err := expand(parent, op); err != nil {
+					return err
+				}
+			}
+			return nil
+		case dtd.RuleChoice:
+			a, b := f.operand(fn, r.A), f.operand(fn, r.B)
+			pick := a
+			if rem[a] <= 0 {
+				pick = b
+			}
+			if rem[pick] <= 0 {
+				return fmt.Errorf("cardinality: both choice branches of %v exhausted", f.Nodes[fn])
+			}
+			rem[pick]--
+			return expand(parent, pick)
+		case dtd.RuleStar:
+			// Give all remaining iterations to the first instance that
+			// expands this star; any distribution among instances
+			// yields a conforming tree, and totals match by the flow
+			// equations.
+			op := f.operand(fn, r.A)
+			take := rem[op]
+			rem[op] = 0
+			for k := int64(0); k < take; k++ {
+				if err := expand(parent, op); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return fmt.Errorf("cardinality: unknown rule kind")
+	}
+
+	root, err := newElement(f.Root)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cardinality: root count is zero")
+	}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if err := expand(p.node, p.fn); err != nil {
+			return nil, nil, err
+		}
+	}
+	for i, r := range rem {
+		if r != 0 {
+			return nil, nil, fmt.Errorf("cardinality: %d unplaced instances of %v (disconnected support?)", r, f.Nodes[i])
+		}
+	}
+	return &xmltree.Tree{Root: root}, origin, nil
+}

@@ -1,0 +1,509 @@
+package cardinality
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/constraint"
+	"repro/internal/dtd"
+	"repro/internal/ilp"
+	"repro/internal/pathre"
+	"repro/internal/xmltree"
+)
+
+// MaxRegions caps the number of distinct β.τ.l targets in a regular
+// constraint set: the cell construction of Lemma 4 introduces 2^k - 1
+// variables for k targets, which is the paper's NEXPTIME bound made
+// concrete. Encodings above the cap are refused rather than attempted.
+const MaxRegions = 14
+
+// Region is one β.τ.l target appearing in a regular constraint set,
+// together with its automaton and variables: NodesVar is
+// |nodes_D(β.τ)| and ValuesVar is |values_D(β.τ.l)|.
+type Region struct {
+	Beta *pathre.Expr
+	Type string
+	Attr string
+	// Expr is the full path language β.τ (from the root).
+	Expr *pathre.Expr
+	DFA  *pathre.DFA
+	// Keyed reports whether Σ contains the key β.τ.l → β.τ.
+	Keyed     bool
+	NodesVar  ilp.Var
+	ValuesVar ilp.Var
+}
+
+func (r *Region) id() string { return r.Expr.String() + "#" + r.Attr }
+
+// RegularEncoding is Ψ(D, Σ) for AC^reg constraint sets: the
+// state-tagged flow Ψ_D^Σ of Lemma 6 plus the cell-based C_Σ of
+// Lemma 4.
+type RegularEncoding struct {
+	Flow    *Flow
+	D       *dtd.DTD
+	Set     *constraint.Set
+	Product *pathre.Product
+	Regions []*Region
+	// CellVars[m] is z_θ for the bitmask m over Regions (bit i set
+	// means θ(i) = 1); masks run over 1 … 2^k - 1.
+	CellVars map[uint]ilp.Var
+}
+
+// EncodeRegular compiles a unary absolute constraint set (type-based
+// and/or path-based) over the DTD into the Theorem 3.4 system. The
+// encoding is exact: a solution exists iff the specification is
+// consistent (given connected support; see the decide loop).
+func EncodeRegular(d *dtd.DTD, set *constraint.Set) (*RegularEncoding, error) {
+	return EncodeRegularWithTargets(d, set, nil)
+}
+
+// EncodeRegularWithTargets is EncodeRegular with additional tracked
+// targets: each extra target becomes a region with nodes/values/cell
+// variables but contributes no constraint of its own. The implication
+// checker uses this to track the constraint being refuted.
+func EncodeRegularWithTargets(d *dtd.DTD, set *constraint.Set, extra []constraint.Target) (*RegularEncoding, error) {
+	prof := constraint.Classify(set)
+	if prof.Relative {
+		return nil, fmt.Errorf("cardinality: EncodeRegular does not handle relative constraints")
+	}
+	if prof.MaxKeyArity > 1 || prof.MaxIncArity > 1 {
+		return nil, fmt.Errorf("cardinality: EncodeRegular requires unary constraints")
+	}
+	enc := &RegularEncoding{D: d, Set: set, CellVars: map[uint]ilp.Var{}}
+
+	// Collect the distinct β.τ.l targets.
+	regionIndex := map[string]int{}
+	addRegion := func(t constraint.Target) int {
+		expr := regionExpr(d, t)
+		r := &Region{Beta: t.Path, Type: t.Type, Attr: t.Attrs[0], Expr: expr}
+		if i, ok := regionIndex[r.id()]; ok {
+			return i
+		}
+		regionIndex[r.id()] = len(enc.Regions)
+		enc.Regions = append(enc.Regions, r)
+		return len(enc.Regions) - 1
+	}
+	type incl struct{ from, to int }
+	var incls []incl
+	var keyed []int
+	for _, k := range set.Keys {
+		keyed = append(keyed, addRegion(k.Target))
+	}
+	for _, c := range set.Incls {
+		incls = append(incls, incl{addRegion(c.From), addRegion(c.To)})
+	}
+	for _, t := range extra {
+		addRegion(t)
+	}
+	for _, i := range keyed {
+		enc.Regions[i].Keyed = true
+	}
+	k := len(enc.Regions)
+	if k > MaxRegions {
+		return nil, fmt.Errorf("cardinality: %d distinct β.τ.l targets exceed the %d-region cap (the encoding is exponential in this count)", k, MaxRegions)
+	}
+
+	// Compile the automata and the product, over the element alphabet.
+	alphabet := append([]string(nil), d.Names...)
+	sort.Strings(alphabet)
+	dfas := make([]*pathre.DFA, k)
+	for i, r := range enc.Regions {
+		// Minimizing each automaton before the product keeps the
+		// reachable product state space (and hence the flow system)
+		// small.
+		dfas[i] = pathre.CompileDFA(r.Expr, alphabet).Minimize()
+		r.DFA = dfas[i]
+	}
+	if k == 0 {
+		// No constraints: a single-state product suffices.
+		dfas = []*pathre.DFA{pathre.CompileDFA(pathre.AnyPath(), alphabet)}
+	}
+	product := pathre.NewProduct(dfas)
+	enc.Product = product
+
+	sys := ilp.NewSystem()
+	enc.Flow = BuildFlow(sys, dtd.Narrow(d), product)
+
+	// nodes_D(β.τ) = Σ of the element counts at accepting states.
+	for i, r := range enc.Regions {
+		r.NodesVar = sys.Var("nodes(" + r.Expr.String() + ")")
+		var members []ilp.Var
+		for _, fn := range enc.Flow.ElementNodes() {
+			nd := enc.Flow.Nodes[fn]
+			if product.AcceptsComponent(nd.State, i) {
+				members = append(members, enc.Flow.Vars[fn])
+			}
+		}
+		sys.AddSumEQ(r.NodesVar, members)
+		r.ValuesVar = sys.Var("values(" + r.id() + ")")
+		sys.AddVarLE(r.ValuesVar, r.NodesVar)
+		sys.AddCondVar(r.NodesVar, r.ValuesVar)
+		if r.Keyed {
+			sys.AddGE([]ilp.Term{ilp.T(1, r.ValuesVar), ilp.T(-1, r.NodesVar)}, 0)
+		}
+	}
+
+	// Cell variables z_θ and the value-set equations.
+	if k > 0 {
+		for m := uint(1); m < 1<<uint(k); m++ {
+			enc.CellVars[m] = sys.Var(fmt.Sprintf("z(%b)", m))
+		}
+		for i, r := range enc.Regions {
+			var terms []ilp.Term
+			for m, v := range enc.CellVars {
+				if m&(1<<uint(i)) != 0 {
+					terms = append(terms, ilp.T(1, v))
+				}
+			}
+			terms = append(terms, ilp.T(-1, r.ValuesVar))
+			sys.AddEQ(terms, 0)
+		}
+		// Inclusion constraints and language containments empty the
+		// cells with θ(i)=1, θ(j)=0.
+		zeroDiff := func(i, j int) {
+			var terms []ilp.Term
+			for m, v := range enc.CellVars {
+				if m&(1<<uint(i)) != 0 && m&(1<<uint(j)) == 0 {
+					terms = append(terms, ilp.T(1, v))
+				}
+			}
+			if len(terms) > 0 {
+				sys.AddEQ(terms, 0)
+			}
+		}
+		for _, c := range incls {
+			zeroDiff(c.from, c.to)
+		}
+		// Region subsumption: if every reachable element position that
+		// lies in region i also lies in region j (same attribute),
+		// then values_D(i) ⊆ values_D(j) in every conforming tree.
+		// Checking subsumption on the DTD-reachable product states is
+		// strictly tighter than the paper's syntactic containment
+		// β_i ⊆ β_j and is what makes the encoding exact for regions
+		// that coincide only on realizable paths.
+		for i, ri := range enc.Regions {
+			for j, rj := range enc.Regions {
+				if i == j || ri.Attr != rj.Attr {
+					continue
+				}
+				if enc.subsumes(i, j) {
+					zeroDiff(i, j)
+				}
+			}
+		}
+		// Pattern positivity: a node lying in all regions of a pattern
+		// P carries one value that must be in every S_i, i ∈ P — so
+		// some cell θ ⊇ P must be nonempty whenever such nodes exist.
+		patterns := enc.patterns()
+		for pattern, members := range patterns {
+			if popcount(pattern) < 2 {
+				continue // singletons are the "values ≥ 1" conditionals
+			}
+			var ifTerms, thenTerms []ilp.Term
+			for _, fn := range members {
+				ifTerms = append(ifTerms, ilp.T(1, enc.Flow.Vars[fn]))
+			}
+			for m, v := range enc.CellVars {
+				if m&pattern == pattern {
+					thenTerms = append(thenTerms, ilp.T(1, v))
+				}
+			}
+			if len(thenTerms) == 0 {
+				// No cell can cover the pattern: such nodes cannot
+				// exist at all.
+				for _, t := range ifTerms {
+					sys.AddConst(t.Var, 0)
+				}
+				continue
+			}
+			sys.AddCond(ifTerms, thenTerms)
+		}
+		// Hall conditions per keyed region (a refinement the paper's
+		// proof sketch glosses over, and without which its own school
+		// example is not refuted): members of a keyed region take
+		// pairwise distinct values, and a member with pattern P can
+		// only use values of cells θ ⊇ P. A perfect matching into the
+		// value pool therefore requires, for every family F of member
+		// patterns, Σ_{P∈F} #members(P) ≤ Σ_{θ ⊇ some P∈F} z_θ.
+		for i, r := range enc.Regions {
+			if !r.Keyed {
+				continue
+			}
+			var pats []uint
+			for pattern := range patterns {
+				if pattern&(1<<uint(i)) != 0 {
+					pats = append(pats, pattern)
+				}
+			}
+			sort.Slice(pats, func(a, b int) bool { return pats[a] < pats[b] })
+			if len(pats) > hallFamilyCap {
+				// Too many patterns for full Hall enumeration: keep
+				// the singleton and whole-family conditions.
+				var fams [][]uint
+				for _, p := range pats {
+					fams = append(fams, []uint{p})
+				}
+				fams = append(fams, pats)
+				enc.addHall(patterns, fams)
+				continue
+			}
+			var fams [][]uint
+			for sub := uint(1); sub < 1<<uint(len(pats)); sub++ {
+				var fam []uint
+				for b := 0; b < len(pats); b++ {
+					if sub&(1<<uint(b)) != 0 {
+						fam = append(fam, pats[b])
+					}
+				}
+				fams = append(fams, fam)
+			}
+			enc.addHall(patterns, fams)
+		}
+	}
+	return enc, nil
+}
+
+// hallFamilyCap bounds the 2^m Hall-family enumeration per keyed
+// region.
+const hallFamilyCap = 10
+
+// addHall installs one Hall inequality per pattern family.
+func (e *RegularEncoding) addHall(patterns map[uint][]int, fams [][]uint) {
+	sys := e.Flow.Sys
+	for _, fam := range fams {
+		var lhs []ilp.Term
+		for _, p := range fam {
+			for _, fn := range patterns[p] {
+				lhs = append(lhs, ilp.T(1, e.Flow.Vars[fn]))
+			}
+		}
+		var rhs []ilp.Term
+		for m, v := range e.CellVars {
+			covered := false
+			for _, p := range fam {
+				if m&p == p {
+					covered = true
+					break
+				}
+			}
+			if covered {
+				rhs = append(rhs, ilp.T(-1, v))
+			}
+		}
+		sys.AddLE(append(lhs, rhs...), 0)
+	}
+}
+
+// subsumes reports whether every reachable element flow node in region
+// i is also in region j.
+func (e *RegularEncoding) subsumes(i, j int) bool {
+	for _, fn := range e.Flow.ElementNodes() {
+		s := e.Flow.Nodes[fn].State
+		if e.Product.AcceptsComponent(s, i) && !e.Product.AcceptsComponent(s, j) {
+			return false
+		}
+	}
+	return true
+}
+
+// patterns groups the element flow nodes by their per-attribute region
+// membership pattern (only nodes with at least one region membership
+// appear). The key mixes the attribute in implicitly: regions of
+// different attributes never co-occur in one pattern only if their
+// attribute names differ on the same type — they can, so patterns are
+// computed per (type, attr).
+func (e *RegularEncoding) patterns() map[uint][]int {
+	out := map[uint][]int{}
+	for _, fn := range e.Flow.ElementNodes() {
+		nd := e.Flow.Nodes[fn]
+		for _, attr := range e.D.Attrs(nd.Sym) {
+			var pattern uint
+			for i, r := range e.Regions {
+				if r.Type == nd.Sym && r.Attr == attr && e.Product.AcceptsComponent(nd.State, i) {
+					pattern |= 1 << uint(i)
+				}
+			}
+			if pattern != 0 {
+				out[pattern] = append(out[pattern], fn)
+			}
+		}
+	}
+	return out
+}
+
+// RegionIndex returns the index of the region addressing a target, or
+// -1 when the target was not part of the encoding.
+func (e *RegularEncoding) RegionIndex(t constraint.Target) int {
+	id := regionExpr(e.D, t).String() + "#" + t.Attrs[0]
+	for i, r := range e.Regions {
+		if r.id() == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// regionExpr returns the full root-to-node path language of a target:
+// β.τ for path targets, the root symbol alone for the root type, and
+// root._*.τ (= ext(τ)) for other type-based targets.
+func regionExpr(d *dtd.DTD, t constraint.Target) *pathre.Expr {
+	if t.Path != nil {
+		return pathre.Concat(t.Path, pathre.Symbol(t.Type))
+	}
+	if t.Type == d.Root {
+		return pathre.Symbol(d.Root)
+	}
+	return pathre.Concat(pathre.Symbol(d.Root), pathre.AnyPath(), pathre.Symbol(t.Type))
+}
+
+// Witness builds an XML tree from a satisfying assignment. The shape
+// comes from Realize; values are assigned per Lemma 4 from the z_θ
+// cells with a greedy strategy that is complete in the common cases
+// (distinct keyed regions per attribute); callers must dynamically
+// verify the result and treat failure as "witness unavailable", which
+// does not affect the decision itself.
+func (e *RegularEncoding) Witness(vals []int64, maxNodes int) (*xmltree.Tree, error) {
+	tree, origin, err := e.Flow.Realize(vals, maxNodes)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.assignValues(tree, origin, vals); err != nil {
+		return nil, err
+	}
+	if vs := constraint.Check(tree, e.Set); len(vs) > 0 {
+		return nil, fmt.Errorf("cardinality: greedy value assignment failed verification: %s", vs[0])
+	}
+	return tree, nil
+}
+
+// cellValue names the j-th value of cell θ (cells are disjoint pools,
+// the s_θ of Lemma 4).
+func cellValue(mask uint, j int64) string { return fmt.Sprintf("c%d_%d", mask, j) }
+
+// valueSlot is one (element, attribute) position needing a value from
+// the cell pools.
+type valueSlot struct {
+	node    *xmltree.Node
+	attr    string
+	pattern uint // region membership
+	keyed   uint // keyed subset of pattern
+}
+
+// assignValues distributes the cell values of the solution over the
+// attribute slots: every slot takes a value from a cell θ ⊇ pattern,
+// and slots sharing a keyed region take distinct values. The search is
+// an exact backtracking over slots (most-constrained first) with a
+// step budget; Lemma 4 guarantees an assignment exists for solutions
+// that correspond to trees.
+func (e *RegularEncoding) assignValues(tree *xmltree.Tree, origin map[*xmltree.Node]int, vals []int64) error {
+	type value struct {
+		name string
+		mask uint
+	}
+	var pool []value
+	for m, v := range e.CellVars {
+		for j := int64(0); j < vals[v]; j++ {
+			pool = append(pool, value{cellValue(m, j), m})
+		}
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].name < pool[j].name })
+
+	var slots []valueSlot
+	tree.Walk(func(n *xmltree.Node) {
+		fn, ok := origin[n]
+		if !ok {
+			return
+		}
+		state := e.Flow.Nodes[fn].State
+		for _, attr := range e.D.Attrs(n.Label) {
+			var pattern, keyed uint
+			for i, r := range e.Regions {
+				if r.Type == n.Label && r.Attr == attr && e.Product.AcceptsComponent(state, i) {
+					pattern |= 1 << uint(i)
+					if r.Keyed {
+						keyed |= 1 << uint(i)
+					}
+				}
+			}
+			if pattern == 0 {
+				n.SetAttr(attr, "u")
+				continue
+			}
+			slots = append(slots, valueSlot{n, attr, pattern, keyed})
+		}
+	})
+	// Most-constrained slots first: fewest compatible pool values.
+	compat := func(s valueSlot) int {
+		c := 0
+		for _, v := range pool {
+			if v.mask&s.pattern == s.pattern {
+				c++
+			}
+		}
+		return c
+	}
+	sort.SliceStable(slots, func(i, j int) bool { return compat(slots[i]) < compat(slots[j]) })
+
+	// usedBy[i] is the set of pool indices taken by members of keyed
+	// region i.
+	usedBy := make([]map[int]bool, len(e.Regions))
+	for i := range usedBy {
+		usedBy[i] = map[int]bool{}
+	}
+	assign := make([]int, len(slots))
+	budget := 200000
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if budget--; budget < 0 {
+			return false
+		}
+		if k == len(slots) {
+			return true
+		}
+		s := slots[k]
+		for pi, v := range pool {
+			if v.mask&s.pattern != s.pattern {
+				continue
+			}
+			clash := false
+			for i := 0; i < len(e.Regions) && !clash; i++ {
+				if s.keyed&(1<<uint(i)) != 0 && usedBy[i][pi] {
+					clash = true
+				}
+			}
+			if clash {
+				continue
+			}
+			assign[k] = pi
+			for i := range e.Regions {
+				if s.keyed&(1<<uint(i)) != 0 {
+					usedBy[i][pi] = true
+				}
+			}
+			if rec(k + 1) {
+				return true
+			}
+			for i := range e.Regions {
+				if s.keyed&(1<<uint(i)) != 0 {
+					delete(usedBy[i], pi)
+				}
+			}
+		}
+		return false
+	}
+	if !rec(0) {
+		return fmt.Errorf("cardinality: no per-region-injective value assignment found for %d slots", len(slots))
+	}
+	for k, s := range slots {
+		s.node.SetAttr(s.attr, pool[assign[k]].name)
+	}
+	return nil
+}
+
+func popcount(m uint) int {
+	c := 0
+	for ; m != 0; m &= m - 1 {
+		c++
+	}
+	return c
+}

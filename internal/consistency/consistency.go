@@ -1,0 +1,284 @@
+// Package consistency implements the paper's decision procedures for
+// the XML specification consistency problem SAT(C): given a DTD D and
+// a constraint set Σ, decide whether some XML tree conforms to D and
+// satisfies Σ.
+//
+// The dispatcher routes a specification to the strongest applicable
+// procedure:
+//
+//   - SAT(AC_K) — keys only: consistency equals DTD satisfiability
+//     (PTIME, Section 3.3).
+//   - SAT(AC_{K,FK}) — unary absolute keys and foreign keys: the [14]
+//     cardinality encoding, exact (NP).
+//   - SAT(AC^{*,1}_{PK,FK}) and the disjoint-keys variant — primary /
+//     disjoint multi-attribute keys with unary foreign keys: the
+//     prequadratic (PDE) encoding of Theorem 3.1, exact (NEXPTIME).
+//   - SAT(AC^reg_{K,FK}) — unary regular-path constraints: the
+//     state-tagged cell encoding of Theorem 3.4, exact (NEXPTIME).
+//   - SAT(HRC_{K,FK}) — hierarchical relative constraints over
+//     non-recursive DTDs: scope decomposition (Theorem 4.3).
+//   - everything else (AC^{*,*}, non-hierarchical RC — both proved
+//     undecidable) — sound refutation by relaxation plus bounded
+//     witness search, with an honest Unknown when neither side lands.
+//
+// Results are three-valued; Inconsistent and Consistent are exact,
+// and Consistent verdicts carry a dynamically verified witness tree
+// whenever one could be built within the configured limits.
+package consistency
+
+import (
+	"fmt"
+
+	"repro/internal/bruteforce"
+	"repro/internal/cardinality"
+	"repro/internal/constraint"
+	"repro/internal/dtd"
+	"repro/internal/ilp"
+	"repro/internal/xmltree"
+)
+
+// Verdict is the three-valued outcome of a consistency check.
+type Verdict int
+
+// The verdicts.
+const (
+	// Unknown means the procedure could not decide within its limits
+	// (or the class is undecidable and neither side was established).
+	Unknown Verdict = iota
+	// Consistent means some tree conforms to D and satisfies Σ.
+	Consistent
+	// Inconsistent means no such tree exists.
+	Inconsistent
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Consistent:
+		return "consistent"
+	case Inconsistent:
+		return "inconsistent"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures the checker.
+type Options struct {
+	// ILP configures the integer solver.
+	ILP ilp.Options
+	// WitnessMaxNodes bounds witness-tree realization (zero: 2000).
+	WitnessMaxNodes int
+	// SkipWitness disables witness construction (decision only).
+	SkipWitness bool
+	// MinimizeWitness shrinks witnesses to the fewest XML elements by
+	// iterative re-solving (slower; Consistent verdicts unchanged).
+	MinimizeWitness bool
+	// BruteForce bounds the fallback searches on undecidable classes.
+	BruteForce bruteforce.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.WitnessMaxNodes == 0 {
+		o.WitnessMaxNodes = 2000
+	}
+	return o
+}
+
+// Stats reports the work a check did.
+type Stats struct {
+	// ILPNodes and LPCalls aggregate solver effort.
+	ILPNodes, LPCalls int
+	// Cuts counts connectivity cutting planes.
+	Cuts int
+	// Scopes counts hierarchical sub-checks.
+	Scopes int
+}
+
+// Result is the outcome of a consistency check.
+type Result struct {
+	Verdict Verdict
+	// Class is the detected constraint dialect.
+	Class string
+	// Method names the procedure that produced the verdict.
+	Method string
+	// Witness is a conforming, constraint-satisfying tree (Consistent
+	// only, when construction succeeded within limits).
+	Witness *xmltree.Tree
+	// WitnessVerified reports that Witness passed the dynamic checker.
+	WitnessVerified bool
+	// Diagnosis explains Unknown verdicts and witness gaps.
+	Diagnosis string
+	Stats     Stats
+}
+
+// Check validates and decides a specification.
+func Check(d *dtd.DTD, set *constraint.Set, opts Options) (Result, error) {
+	if err := d.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := set.Validate(d); err != nil {
+		return Result{}, err
+	}
+	opts = opts.withDefaults()
+	prof := constraint.Classify(set)
+	res := Result{Class: prof.ClassName()}
+
+	switch {
+	case prof.Relative:
+		checkRelative(d, set, opts, &res)
+	case len(set.Incls) == 0 && !prof.Regular:
+		// SAT(AC_K): keys alone never conflict; only the DTD matters.
+		res.Method = "keys-only (PTIME, Section 3.3)"
+		if d.Satisfiable() {
+			res.Verdict = Consistent
+			if !opts.SkipWitness {
+				attachKeysOnlyWitness(d, set, opts, &res)
+			}
+		} else {
+			res.Verdict = Inconsistent
+		}
+	case prof.Regular:
+		checkRegular(d, set, opts, &res)
+	default:
+		checkAbsolute(d, set, prof, opts, &res)
+	}
+	return res, nil
+}
+
+// checkAbsolute decides type-based absolute constraint sets.
+func checkAbsolute(d *dtd.DTD, set *constraint.Set, prof constraint.Profile, opts Options, res *Result) {
+	enc, err := cardinality.EncodeAbsolute(d, set)
+	if err != nil {
+		res.Verdict = Unknown
+		res.Diagnosis = err.Error()
+		return
+	}
+	if enc.Exact {
+		res.Method = "cardinality encoding (Lemma 1 / Theorem 3.1)"
+	} else {
+		res.Method = "cardinality relaxation (refutation-sound) + bounded search"
+	}
+	ilpRes, cuts := decideFlow(enc.Flow, opts)
+	res.Stats.ILPNodes += ilpRes.Stats.Nodes
+	res.Stats.LPCalls += ilpRes.Stats.LPCalls
+	res.Stats.Cuts += cuts
+	switch ilpRes.Verdict {
+	case ilp.Unsat:
+		res.Verdict = Inconsistent
+	case ilp.Unknown:
+		res.Verdict = Unknown
+		res.Diagnosis = "integer search exhausted its budget"
+	case ilp.Sat:
+		if enc.Exact {
+			res.Verdict = Consistent
+			if !opts.SkipWitness {
+				attachAbsoluteWitness(enc, ilpRes.Values, set, opts, res)
+			}
+			return
+		}
+		// Inexact class (AC^{*,*} or overlapping multi-attribute
+		// keys): the solution may not correspond to a tree. Try the
+		// witness; then bounded search; else Unknown.
+		if !opts.SkipWitness {
+			if w, err := enc.Witness(ilpRes.Values, opts.WitnessMaxNodes); err == nil {
+				if w.Conforms(d) == nil && constraint.Satisfies(w, set) {
+					res.Verdict = Consistent
+					res.Witness = w
+					res.WitnessVerified = true
+					return
+				}
+			}
+		}
+		bf := bruteforce.Decide(d, set, opts.BruteForce)
+		if bf.Sat() {
+			res.Verdict = Consistent
+			res.Witness = bf.Witness
+			res.WitnessVerified = true
+			return
+		}
+		res.Verdict = Unknown
+		res.Diagnosis = fmt.Sprintf(
+			"class %s is undecidable in general: the relaxation is satisfiable but no witness was found within the search bounds", res.Class)
+	}
+}
+
+// checkRegular decides unary regular-path constraint sets.
+func checkRegular(d *dtd.DTD, set *constraint.Set, opts Options, res *Result) {
+	enc, err := cardinality.EncodeRegular(d, set)
+	if err != nil {
+		res.Verdict = Unknown
+		res.Diagnosis = err.Error()
+		return
+	}
+	res.Method = "state-tagged cell encoding (Theorem 3.4)"
+	ilpRes, cuts := decideFlow(enc.Flow, opts)
+	res.Stats.ILPNodes += ilpRes.Stats.Nodes
+	res.Stats.LPCalls += ilpRes.Stats.LPCalls
+	res.Stats.Cuts += cuts
+	switch ilpRes.Verdict {
+	case ilp.Unsat:
+		res.Verdict = Inconsistent
+	case ilp.Unknown:
+		res.Verdict = Unknown
+		res.Diagnosis = "integer search exhausted its budget"
+	case ilp.Sat:
+		res.Verdict = Consistent
+		if opts.SkipWitness {
+			return
+		}
+		w, err := enc.Witness(ilpRes.Values, opts.WitnessMaxNodes)
+		if err != nil {
+			res.Diagnosis = "witness construction failed: " + err.Error()
+			return
+		}
+		if w.Conforms(d) == nil && constraint.Satisfies(w, set) {
+			res.Witness = w
+			res.WitnessVerified = true
+		} else {
+			res.Diagnosis = "constructed witness failed dynamic verification"
+		}
+	}
+}
+
+// decideFlow dispatches to the plain or minimizing decide loop.
+func decideFlow(f *cardinality.Flow, opts Options) (ilp.Result, int) {
+	if opts.MinimizeWitness && !opts.SkipWitness {
+		return cardinality.DecideFlowMinimal(f, opts.ILP)
+	}
+	return cardinality.DecideFlow(f, opts.ILP)
+}
+
+// attachAbsoluteWitness builds and verifies the Lemma 1 witness.
+func attachAbsoluteWitness(enc *cardinality.AbsoluteEncoding, vals []int64, set *constraint.Set, opts Options, res *Result) {
+	w, err := enc.Witness(vals, opts.WitnessMaxNodes)
+	if err != nil {
+		res.Diagnosis = "witness construction skipped: " + err.Error()
+		return
+	}
+	if w.Conforms(enc.D) == nil && constraint.Satisfies(w, set) {
+		res.Witness = w
+		res.WitnessVerified = true
+	} else {
+		res.Diagnosis = "constructed witness failed dynamic verification"
+	}
+}
+
+// attachKeysOnlyWitness generates any conforming tree and gives every
+// attribute a distinct value, which satisfies every key.
+func attachKeysOnlyWitness(d *dtd.DTD, set *constraint.Set, opts Options, res *Result) {
+	tree, err := xmltree.Generate(d, deterministicRand(), xmltree.GenerateOptions{MaxNodes: opts.WitnessMaxNodes})
+	if err != nil {
+		return
+	}
+	serial := 0
+	tree.Walk(func(n *xmltree.Node) {
+		for _, l := range d.Attrs(n.Label) {
+			n.SetAttr(l, fmt.Sprintf("k%d", serial))
+			serial++
+		}
+	})
+	if tree.Conforms(d) == nil && constraint.Satisfies(tree, set) {
+		res.Witness = tree
+		res.WitnessVerified = true
+	}
+}

@@ -1,0 +1,525 @@
+package consistency
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/bruteforce"
+	"repro/internal/cardinality"
+	"repro/internal/constraint"
+	"repro/internal/contentmodel"
+	"repro/internal/dtd"
+	"repro/internal/ilp"
+	"repro/internal/xmltree"
+)
+
+// scopeRootPrefix names the fresh root type of a scope DTD. It uses a
+// character the parsers reject in names, so it can never collide with
+// a user element type.
+const scopeRootPrefix = "scope#"
+
+// normalizeContext maps the empty (absolute) context to the root type.
+func normalizeContext(ctx, root string) string {
+	if ctx == "" {
+		return root
+	}
+	return ctx
+}
+
+// RestrictedTypes returns the restricted types of (D, Σ): the root
+// plus every context type (Section 4.2).
+func RestrictedTypes(d *dtd.DTD, set *constraint.Set) map[string]bool {
+	out := map[string]bool{d.Root: true}
+	for _, k := range set.Keys {
+		out[normalizeContext(k.Context, d.Root)] = true
+	}
+	for _, c := range set.Incls {
+		out[normalizeContext(c.Context, d.Root)] = true
+	}
+	return out
+}
+
+// ConflictingPair is a pair of restricted types whose scopes are
+// related by a foreign key (Section 4.2), the obstruction to the
+// hierarchical decomposition.
+type ConflictingPair struct {
+	Outer, Inner string
+	// Via is a constraint witnessing the conflict.
+	Via string
+}
+
+// ConflictingPairs returns all conflicting pairs of the specification.
+// (τ1, τ2) is conflicting iff τ1 ≠ τ2, there is a path in D from τ1 to
+// τ2, τ2 is the context type of some constraint, and some inclusion
+// with context τ1 mentions a type strictly below τ2.
+func ConflictingPairs(d *dtd.DTD, set *constraint.Set) []ConflictingPair {
+	restricted := RestrictedTypes(d, set)
+	contexts := map[string]bool{}
+	for _, k := range set.Keys {
+		contexts[normalizeContext(k.Context, d.Root)] = true
+	}
+	for _, c := range set.Incls {
+		contexts[normalizeContext(c.Context, d.Root)] = true
+	}
+	var out []ConflictingPair
+	for t1 := range restricted {
+		for t2 := range contexts {
+			if t1 == t2 || !d.HasPath(t1, t2) {
+				continue
+			}
+			for _, c := range set.Incls {
+				if normalizeContext(c.Context, d.Root) != t1 {
+					continue
+				}
+				for _, t3 := range []string{c.From.Type, c.To.Type} {
+					if t3 != t2 && d.HasPath(t2, t3) {
+						out = append(out, ConflictingPair{Outer: t1, Inner: t2, Via: c.String()})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Outer != out[j].Outer {
+			return out[i].Outer < out[j].Outer
+		}
+		if out[i].Inner != out[j].Inner {
+			return out[i].Inner < out[j].Inner
+		}
+		return out[i].Via < out[j].Via
+	})
+	return out
+}
+
+// Hierarchical reports whether (D, Σ) ∈ HRC: the DTD is non-recursive
+// and no conflicting pair exists.
+func Hierarchical(d *dtd.DTD, set *constraint.Set) bool {
+	return !d.IsRecursive() && len(ConflictingPairs(d, set)) == 0
+}
+
+// scopeDTD builds the restricted DTD D_τ of Section 4.2. For non-root
+// scopes a fresh root type stands in for τ: τ's own attributes and any
+// τ-typed nodes belong to enclosing scopes. The document-root scope
+// keeps its own type and attributes — the root node itself
+// participates in absolute constraints that mention the root type.
+// It returns the DTD and its exit types: context types that occur
+// inside the scope as leaves.
+func scopeDTD(d *dtd.DTD, contexts map[string]bool, tau string) (*dtd.DTD, []string) {
+	rootName := scopeRootPrefix + tau
+	var rootAttrs []string
+	if tau == d.Root {
+		// The root type never occurs in content models (Definition
+		// 2.1), so no collision is possible.
+		rootName = tau
+		rootAttrs = d.Element(tau).Attrs
+	}
+	sd := dtd.New(rootName)
+	content := d.Element(tau).Content.Clone()
+	sd.Define(rootName, content, rootAttrs...)
+	var exits []string
+	seen := map[string]bool{rootName: true}
+	queue := content.Alphabet()
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		el := d.Element(t)
+		if contexts[t] {
+			// Context types are scope boundaries: leaves here, roots
+			// of their own scope problems.
+			sd.Define(t, contentmodel.Eps(), el.Attrs...)
+			exits = append(exits, t)
+			continue
+		}
+		sd.Define(t, el.Content.Clone(), el.Attrs...)
+		queue = append(queue, el.Content.Alphabet()...)
+	}
+	sort.Strings(exits)
+	return sd, exits
+}
+
+// DLocality returns the largest Depth(D_τ) over the root and every
+// context type (the d of d-HRC, Theorem 4.4). The DTD must be
+// non-recursive.
+func DLocality(d *dtd.DTD, set *constraint.Set) int {
+	contexts := contextTypes(d, set)
+	best := 0
+	for tau := range scopeRoots(d, contexts) {
+		sd, _ := scopeDTD(d, contexts, tau)
+		if v := sd.Depth(); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// contextTypes returns the context types of Σ (normalized).
+func contextTypes(d *dtd.DTD, set *constraint.Set) map[string]bool {
+	out := map[string]bool{}
+	for _, k := range set.Keys {
+		if k.Context != "" {
+			out[normalizeContext(k.Context, d.Root)] = true
+		}
+	}
+	for _, c := range set.Incls {
+		if c.Context != "" {
+			out[normalizeContext(c.Context, d.Root)] = true
+		}
+	}
+	return out
+}
+
+// scopeRoots is the root plus every context type reachable in D.
+func scopeRoots(d *dtd.DTD, contexts map[string]bool) map[string]bool {
+	out := map[string]bool{d.Root: true}
+	reach := d.Reachable()
+	for c := range contexts {
+		if reach[c] {
+			out[c] = true
+		}
+	}
+	return out
+}
+
+// checkRelative decides relative constraint sets: hierarchical
+// specifications over non-recursive DTDs get the exact scope
+// decomposition of Theorem 4.3; everything else (the undecidable
+// general case, Theorem 4.1) gets a bounded witness search and an
+// honest Unknown.
+func checkRelative(d *dtd.DTD, set *constraint.Set, opts Options, res *Result) {
+	if d.IsRecursive() || len(ConflictingPairs(d, set)) > 0 {
+		res.Method = "bounded search (SAT(RC) is undecidable, Theorem 4.1)"
+		bf := bruteforce.Decide(d, set, opts.BruteForce)
+		if bf.Sat() {
+			res.Verdict = Consistent
+			res.Witness = bf.Witness
+			res.WitnessVerified = true
+			return
+		}
+		res.Verdict = Unknown
+		if bf.Exhausted {
+			res.Diagnosis = "no witness within the search bounds; the class is undecidable, so no refutation is attempted"
+		} else {
+			res.Diagnosis = "bounded search inconclusive (budget exhausted)"
+		}
+		return
+	}
+	res.Method = "hierarchical scope decomposition (Theorem 4.3)"
+	h := &hierChecker{d: d, set: set, opts: opts, contexts: contextTypes(d, set), memo: map[string]hierScope{}}
+	root := h.scope(map[string]bool{d.Root: true}, d.Root)
+	res.Stats.Scopes = len(h.memo)
+	res.Stats.ILPNodes += h.stats.ILPNodes
+	res.Stats.LPCalls += h.stats.LPCalls
+	res.Stats.Cuts += h.stats.Cuts
+	switch {
+	case root.verdict == ilp.Sat:
+		res.Verdict = Consistent
+		if !opts.SkipWitness {
+			h.attachWitness(res)
+		}
+	case root.verdict == ilp.Unsat:
+		res.Verdict = Inconsistent
+	default:
+		res.Verdict = Unknown
+		res.Diagnosis = "a scope sub-problem exhausted the solver budget"
+	}
+}
+
+// hierScope is the memoized outcome of one (chain, τ) scope problem.
+type hierScope struct {
+	verdict ilp.Verdict
+	// enc and vals allow witness reconstruction for satisfiable
+	// scopes.
+	enc  *cardinality.AbsoluteEncoding
+	vals []int64
+	// exits lists the exit types and whether each was forced absent.
+	exits  []string
+	banned map[string]bool
+	chain  map[string]bool
+}
+
+type hierChecker struct {
+	d        *dtd.DTD
+	set      *constraint.Set
+	opts     Options
+	contexts map[string]bool
+	memo     map[string]hierScope
+	stats    Stats
+}
+
+func chainKey(chain map[string]bool, tau string) string {
+	var names []string
+	for c := range chain {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",") + "|" + tau
+}
+
+// scope decides the consistency of the sub-documents rooted at τ nodes
+// reached along a chain of restricted types.
+func (h *hierChecker) scope(chain map[string]bool, tau string) hierScope {
+	key := chainKey(chain, tau)
+	if s, ok := h.memo[key]; ok {
+		return s
+	}
+	// Mark in-progress defensively (non-recursive DTDs cannot loop).
+	h.memo[key] = hierScope{verdict: ilp.Unknown}
+
+	sd, exits := scopeDTD(h.d, h.contexts, tau)
+	// Recurse into exits first: inconsistent exits must not occur.
+	banned := map[string]bool{}
+	undecidedExit := false
+	for _, e := range exits {
+		sub := map[string]bool{e: true}
+		for c := range chain {
+			sub[c] = true
+		}
+		switch h.scope(sub, e).verdict {
+		case ilp.Unsat:
+			banned[e] = true
+		case ilp.Unknown:
+			undecidedExit = true
+		}
+	}
+
+	local, forceZero := h.localSet(sd, chain, tau)
+	enc, err := cardinality.EncodeAbsolute(sd, local)
+	if err != nil {
+		h.memo[key] = hierScope{verdict: ilp.Unknown}
+		return h.memo[key]
+	}
+	for e := range banned {
+		forceZero = append(forceZero, e)
+	}
+	for _, t := range forceZero {
+		if fn := enc.Flow.Lookup(t, 0); fn >= 0 {
+			enc.Flow.Sys.AddConst(enc.Flow.Vars[fn], 0)
+		}
+	}
+	ilpRes, cuts := decideFlow(enc.Flow, h.opts)
+	h.stats.ILPNodes += ilpRes.Stats.Nodes
+	h.stats.LPCalls += ilpRes.Stats.LPCalls
+	h.stats.Cuts += cuts
+	out := hierScope{
+		verdict: ilpRes.Verdict,
+		enc:     enc,
+		vals:    ilpRes.Values,
+		exits:   exits,
+		banned:  banned,
+		chain:   chain,
+	}
+	// Unsat is exact (only provably inconsistent exits were banned).
+	// A Sat that places an exit whose own problem is Unknown is
+	// unproven: retry with those exits banned as well, and downgrade
+	// to Unknown if the retry fails.
+	if out.verdict == ilp.Sat && undecidedExit && h.usesUndecidedExit(out) {
+		for _, e := range exits {
+			if !out.banned[e] && h.exitVerdict(chain, e) == ilp.Unknown {
+				if fn := enc.Flow.Lookup(e, 0); fn >= 0 {
+					enc.Flow.Sys.AddConst(enc.Flow.Vars[fn], 0)
+				}
+			}
+		}
+		retry, cuts2 := cardinality.DecideFlow(enc.Flow, h.opts.ILP)
+		h.stats.ILPNodes += retry.Stats.Nodes
+		h.stats.Cuts += cuts2
+		if retry.Verdict == ilp.Sat {
+			out.vals = retry.Values
+		} else {
+			out.verdict = ilp.Unknown
+			out.vals = nil
+		}
+	}
+	h.memo[key] = out
+	return out
+}
+
+// exitVerdict returns the memoized verdict of an exit's scope problem.
+func (h *hierChecker) exitVerdict(chain map[string]bool, e string) ilp.Verdict {
+	sub := map[string]bool{e: true}
+	for c := range chain {
+		sub[c] = true
+	}
+	return h.memo[chainKey(sub, e)].verdict
+}
+
+// usesUndecidedExit reports whether the satisfying assignment places
+// any exit whose own scope problem came back Unknown.
+func (h *hierChecker) usesUndecidedExit(s hierScope) bool {
+	for _, e := range s.exits {
+		if s.banned[e] || h.exitVerdict(s.chain, e) != ilp.Unknown {
+			continue
+		}
+		if fn := s.enc.Flow.Lookup(e, 0); fn >= 0 && s.vals != nil && s.vals[s.enc.Flow.Vars[fn]] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// localSet projects Σ onto a scope: keys of any chain context whose
+// target type lives in the scope become absolute keys; inclusions with
+// context τ become absolute inclusions. It also returns types whose
+// extent must be forced to zero (inclusion sources whose target type
+// cannot occur in the scope).
+//
+// Absolute constraints (empty context) and root-relative constraints
+// differ exactly on the root type: the absolute extent of the root
+// type contains the root node, the relative one (proper descendants)
+// does not. In the root scope the root type is a scope member, so
+// absolute constraints apply to it directly, while root-relative
+// constraints targeting the root type are vacuous (keys) or
+// unsatisfiable-with-sources (inclusions).
+func (h *hierChecker) localSet(sd *dtd.DTD, chain map[string]bool, tau string) (*constraint.Set, []string) {
+	isRootScope := tau == h.d.Root
+	// inScope: does the target type have instances inside this scope?
+	// The scope-root type itself counts only in the root scope and
+	// only for absolute constraints.
+	inScope := func(t string, absolute bool) bool {
+		if sd.Element(t) == nil || strings.HasPrefix(t, scopeRootPrefix) {
+			return false
+		}
+		if t == tau {
+			return isRootScope && absolute
+		}
+		return true
+	}
+	local := &constraint.Set{}
+	var forceZero []string
+	for _, k := range h.set.Keys {
+		ctx := normalizeContext(k.Context, h.d.Root)
+		if !chain[ctx] || !inScope(k.Target.Type, k.Context == "") {
+			continue
+		}
+		local.AddKey(constraint.Key{Target: constraint.Target{Type: k.Target.Type, Attrs: k.Target.Attrs}})
+	}
+	for _, c := range h.set.Incls {
+		ctx := normalizeContext(c.Context, h.d.Root)
+		if ctx != tau {
+			continue
+		}
+		absolute := c.Context == ""
+		fromIn, toIn := inScope(c.From.Type, absolute), inScope(c.To.Type, absolute)
+		switch {
+		case !fromIn:
+			// No sources in this scope: vacuous.
+		case fromIn && !toIn:
+			// Sources can never find a target: they must be absent.
+			forceZero = append(forceZero, c.From.Type)
+		default:
+			local.AddInclusion(constraint.Inclusion{
+				From: constraint.Target{Type: c.From.Type, Attrs: c.From.Attrs},
+				To:   constraint.Target{Type: c.To.Type, Attrs: c.To.Attrs},
+			})
+			// The paired key must exist locally too.
+			local.AddKey(constraint.Key{Target: constraint.Target{Type: c.To.Type, Attrs: c.To.Attrs}})
+		}
+	}
+	return dedupSet(local), forceZero
+}
+
+// dedupSet removes duplicate constraints (projection can repeat them).
+func dedupSet(s *constraint.Set) *constraint.Set {
+	out := &constraint.Set{}
+	seenK := map[string]bool{}
+	for _, k := range s.Keys {
+		if !seenK[k.String()] {
+			seenK[k.String()] = true
+			out.AddKey(k)
+		}
+	}
+	seenI := map[string]bool{}
+	for _, c := range s.Incls {
+		if !seenI[c.String()] {
+			seenI[c.String()] = true
+			out.AddInclusion(c)
+		}
+	}
+	return out
+}
+
+// attachWitness composes the per-scope witnesses into one document
+// (the construction of Lemma 14): each scope instance is realized from
+// its solution, its values are prefixed with a unique instance id
+// (freshness across scopes), and exit nodes receive the recursively
+// built sub-documents as children.
+func (h *hierChecker) attachWitness(res *Result) {
+	budget := h.opts.WitnessMaxNodes
+	instance := 0
+	var build func(chain map[string]bool, tau string) (*xmltree.Node, bool)
+	build = func(chain map[string]bool, tau string) (*xmltree.Node, bool) {
+		s := h.memo[chainKey(chain, tau)]
+		if s.verdict != ilp.Sat || s.vals == nil {
+			return nil, false
+		}
+		tree, err := s.enc.Witness(s.vals, budget)
+		if err != nil {
+			return nil, false
+		}
+		budget -= tree.Size()
+		if budget < 0 {
+			return nil, false
+		}
+		instance++
+		prefix := fmt.Sprintf("s%d:", instance)
+		ok := true
+		tree.Walk(func(n *xmltree.Node) {
+			for l, v := range n.Attrs {
+				n.SetAttr(l, prefix+v)
+			}
+		})
+		// Splice sub-documents under the exit nodes. Collect them
+		// before splicing: Walk must not descend into freshly added
+		// subtrees (their exits belong to deeper scopes already
+		// handled by the recursive build).
+		var exitNodes []*xmltree.Node
+		tree.Walk(func(n *xmltree.Node) {
+			if h.contexts[n.Label] && n != tree.Root {
+				exitNodes = append(exitNodes, n)
+			}
+		})
+		for _, n := range exitNodes {
+			sub := map[string]bool{n.Label: true}
+			for c := range chain {
+				sub[c] = true
+			}
+			child, okc := build(sub, n.Label)
+			if !okc {
+				ok = false
+				break
+			}
+			// The sub-scope root stands for this very node: adopt its
+			// children.
+			for _, kid := range child.Children {
+				n.Append(kid)
+			}
+		}
+		if !ok {
+			return nil, false
+		}
+		tree.Root.Label = tau
+		return tree.Root, true
+	}
+	rootNode, ok := build(map[string]bool{h.d.Root: true}, h.d.Root)
+	if !ok {
+		res.Diagnosis = "hierarchical witness construction exceeded its budget"
+		return
+	}
+	w := &xmltree.Tree{Root: rootNode}
+	if w.Conforms(h.d) == nil && constraint.Satisfies(w, h.set) {
+		res.Witness = w
+		res.WitnessVerified = true
+	} else {
+		res.Diagnosis = "composed hierarchical witness failed dynamic verification"
+	}
+}
+
+// deterministicRand returns a fixed-seed source for reproducible
+// witness generation.
+func deterministicRand() *rand.Rand { return rand.New(rand.NewSource(1)) }

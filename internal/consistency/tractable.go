@@ -1,0 +1,337 @@
+package consistency
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/constraint"
+	"repro/internal/contentmodel"
+	"repro/internal/dtd"
+)
+
+// CountResult is the outcome of the randomized Count procedure.
+type CountResult struct {
+	// Consistent is true when some run produced extent counts
+	// satisfying the cardinality constraints (a proof of consistency
+	// by Lemma 9 of the paper / Lemma 1 of [14]).
+	Consistent bool
+	// Runs is the number of guesses performed.
+	Runs int
+}
+
+// CountMonteCarlo is the NLOGSPACE procedure of Theorem 3.5(b), run as
+// a one-sided Monte-Carlo algorithm: it repeatedly guesses a tree
+// conforming to the (non-recursive, no-star) DTD by resolving each
+// choice with a coin flip, tracking only the |ext(τ)| and |ext(τ.l)|
+// counters for the constrained types, and checks the cardinality
+// constraints C_Σ of the unary constraint set. Success proves
+// consistency; failure after all runs proves nothing (the exact
+// deciders remain available). The space used per run is O(|Σ| ·
+// Depth(D) · log |D|), which is the theorem's bound.
+func CountMonteCarlo(d *dtd.DTD, set *constraint.Set, rng *rand.Rand, runs int) (CountResult, error) {
+	if d.IsRecursive() {
+		return CountResult{}, fmt.Errorf("consistency: Count requires a non-recursive DTD")
+	}
+	if !d.NoStar() {
+		return CountResult{}, fmt.Errorf("consistency: Count requires a no-star DTD")
+	}
+	prof := constraint.Classify(set)
+	if prof.Regular || prof.Relative || prof.MaxKeyArity > 1 || prof.MaxIncArity > 1 {
+		return CountResult{}, fmt.Errorf("consistency: Count handles unary absolute constraints only, got %s", prof.ClassName())
+	}
+	restricted := restrictedExtents(set)
+	res := CountResult{}
+	for run := 0; run < runs; run++ {
+		res.Runs++
+		ext := map[string]int64{}
+		var walkExpr func(e *contentmodel.Expr)
+		walkExpr = func(e *contentmodel.Expr) {
+			switch e.Kind {
+			case contentmodel.Empty, contentmodel.Text:
+			case contentmodel.Name:
+				walkType(e.Ref, restricted, ext, rng, d, walkExpr)
+			case contentmodel.Seq:
+				for _, k := range e.Kids {
+					walkExpr(k)
+				}
+			case contentmodel.Choice:
+				walkExpr(e.Kids[rng.Intn(len(e.Kids))])
+			case contentmodel.Star:
+				// Unreachable: no-star checked above.
+			}
+		}
+		walkType(d.Root, restricted, ext, rng, d, walkExpr)
+		if satisfiesCardinality(set, ext) {
+			res.Consistent = true
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// restrictedSet tracks the τ and τ.l mentioned in Σ.
+type restrictedSet map[string]bool
+
+func (r restrictedSet) attrsOf(typ string) []string {
+	var out []string
+	for k := range r {
+		if len(k) > len(typ)+1 && k[:len(typ)] == typ && k[len(typ)] == '.' {
+			out = append(out, k[len(typ)+1:])
+		}
+	}
+	return out
+}
+
+func restrictedExtents(set *constraint.Set) restrictedSet {
+	r := restrictedSet{}
+	add := func(t constraint.Target) {
+		r[t.Type] = true
+		for _, l := range t.Attrs {
+			r[t.Type+"."+l] = true
+		}
+	}
+	for _, k := range set.Keys {
+		add(k.Target)
+	}
+	for _, c := range set.Incls {
+		add(c.From)
+		add(c.To)
+	}
+	return r
+}
+
+// walkType counts one τ element and recurses into its content.
+func walkType(typ string, restricted restrictedSet, ext map[string]int64,
+	rng *rand.Rand, d *dtd.DTD, walkExpr func(*contentmodel.Expr)) {
+	if restricted[typ] {
+		ext[typ]++
+		for _, l := range restricted.attrsOf(typ) {
+			key := typ + "." + l
+			if ext[key] == 0 {
+				ext[key] = 1
+			} else if rng.Intn(2) == 0 {
+				ext[key]++
+			}
+		}
+	}
+	walkExpr(d.Elements[typ].Content)
+}
+
+// satisfiesCardinality checks the C_Σ constraints of Lemma 9 over the
+// counted extents: |ext(τ)| = |ext(τ.l)| for keys and |ext(τ1.l1)| ≤
+// |ext(τ2.l2)| for inclusions.
+func satisfiesCardinality(set *constraint.Set, ext map[string]int64) bool {
+	for _, k := range set.Keys {
+		typ := k.Target.Type
+		if ext[typ] != ext[typ+"."+k.Target.Attrs[0]] {
+			return false
+		}
+	}
+	for _, c := range set.Incls {
+		from := ext[c.From.Type+"."+c.From.Attrs[0]]
+		to := ext[c.To.Type+"."+c.To.Attrs[0]]
+		if from > to {
+			return false
+		}
+	}
+	return true
+}
+
+// tractableSetCap bounds the achievable-vector sets of TractableExact;
+// it is generous for genuinely fixed-k fixed-depth inputs (where the
+// set stays polynomial) and trips on misuse.
+const tractableSetCap = 200000
+
+// TractableExact is the derandomized Theorem 3.5(b) procedure: for
+// no-star non-recursive DTDs and unary absolute constraint sets it
+// decides consistency exactly in time polynomial for fixed |Σ| and
+// Depth(D), by computing the set of achievable constrained-type count
+// vectors compositionally over the content models and then checking
+// the cardinality constraints against each vector with a maximal-
+// solution fixpoint over the attribute counts.
+func TractableExact(d *dtd.DTD, set *constraint.Set) (bool, error) {
+	if d.IsRecursive() {
+		return false, fmt.Errorf("consistency: TractableExact requires a non-recursive DTD")
+	}
+	if !d.NoStar() {
+		return false, fmt.Errorf("consistency: TractableExact requires a no-star DTD")
+	}
+	prof := constraint.Classify(set)
+	if prof.Regular || prof.Relative || prof.MaxKeyArity > 1 || prof.MaxIncArity > 1 {
+		return false, fmt.Errorf("consistency: TractableExact handles unary absolute constraints only, got %s", prof.ClassName())
+	}
+
+	// The tracked types, in deterministic order.
+	tracked := map[string]int{}
+	var order []string
+	track := func(typ string) {
+		if _, ok := tracked[typ]; !ok {
+			tracked[typ] = len(order)
+			order = append(order, typ)
+		}
+	}
+	for _, k := range set.Keys {
+		track(k.Target.Type)
+	}
+	for _, c := range set.Incls {
+		track(c.From.Type)
+		track(c.To.Type)
+	}
+	n := len(order)
+
+	// Achievable count vectors per content expression, memoized per
+	// element type. Vectors are joined into strings for set keys.
+	type vecSet map[string][]int64
+	encode := func(v []int64) string {
+		var b strings.Builder
+		for _, x := range v {
+			fmt.Fprintf(&b, "%d,", x)
+		}
+		return b.String()
+	}
+	addVec := func(s vecSet, v []int64) error {
+		k := encode(v)
+		if _, ok := s[k]; !ok {
+			if len(s) >= tractableSetCap {
+				return fmt.Errorf("consistency: achievable-vector set exceeded %d entries; the input is not fixed-k fixed-depth", tractableSetCap)
+			}
+			s[k] = append([]int64(nil), v...)
+		}
+		return nil
+	}
+
+	memo := map[string]vecSet{}
+	var ofType func(typ string) (vecSet, error)
+	var ofExpr func(e *contentmodel.Expr) (vecSet, error)
+	ofExpr = func(e *contentmodel.Expr) (vecSet, error) {
+		out := vecSet{}
+		switch e.Kind {
+		case contentmodel.Empty, contentmodel.Text:
+			if err := addVec(out, make([]int64, n)); err != nil {
+				return nil, err
+			}
+		case contentmodel.Name:
+			return ofType(e.Ref)
+		case contentmodel.Seq:
+			cur := vecSet{encode(make([]int64, n)): make([]int64, n)}
+			for _, kid := range e.Kids {
+				ks, err := ofExpr(kid)
+				if err != nil {
+					return nil, err
+				}
+				next := vecSet{}
+				for _, a := range cur {
+					for _, b := range ks {
+						sum := make([]int64, n)
+						for i := range sum {
+							sum[i] = a[i] + b[i]
+						}
+						if err := addVec(next, sum); err != nil {
+							return nil, err
+						}
+					}
+				}
+				cur = next
+			}
+			return cur, nil
+		case contentmodel.Choice:
+			for _, kid := range e.Kids {
+				ks, err := ofExpr(kid)
+				if err != nil {
+					return nil, err
+				}
+				for _, v := range ks {
+					if err := addVec(out, v); err != nil {
+						return nil, err
+					}
+				}
+			}
+		case contentmodel.Star:
+			return nil, fmt.Errorf("consistency: unexpected star")
+		}
+		return out, nil
+	}
+	ofType = func(typ string) (vecSet, error) {
+		if s, ok := memo[typ]; ok {
+			return s, nil
+		}
+		inner, err := ofExpr(d.Element(typ).Content)
+		if err != nil {
+			return nil, err
+		}
+		out := vecSet{}
+		idx, isTracked := tracked[typ]
+		for _, v := range inner {
+			w := append([]int64(nil), v...)
+			if isTracked {
+				w[idx]++
+			}
+			if err := addVec(out, w); err != nil {
+				return nil, err
+			}
+		}
+		memo[typ] = out
+		return out, nil
+	}
+
+	root, err := ofType(d.Root)
+	if err != nil {
+		return false, err
+	}
+	for _, counts := range root {
+		if tractableFeasible(set, order, tracked, counts) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// tractableFeasible checks the cardinality constraints against one
+// type-count vector: each constrained attribute's value count ranges
+// over [1, ext(τ)] (or {0} when ext(τ) = 0); the maximal fixpoint
+// under the inclusion inequalities decides feasibility, with keys
+// demanding the maximum.
+func tractableFeasible(set *constraint.Set, order []string, tracked map[string]int, counts []int64) bool {
+	type attr struct{ typ, l string }
+	ext := func(typ string) int64 { return counts[tracked[typ]] }
+	vals := map[attr]int64{}
+	seed := func(t constraint.Target) {
+		a := attr{t.Type, t.Attrs[0]}
+		if _, ok := vals[a]; !ok {
+			vals[a] = ext(t.Type) // maximal start
+		}
+	}
+	for _, k := range set.Keys {
+		seed(k.Target)
+	}
+	for _, c := range set.Incls {
+		seed(c.From)
+		seed(c.To)
+	}
+	// Decreasing fixpoint over l_from ≤ l_to.
+	for changed := true; changed; {
+		changed = false
+		for _, c := range set.Incls {
+			from := attr{c.From.Type, c.From.Attrs[0]}
+			to := attr{c.To.Type, c.To.Attrs[0]}
+			if vals[from] > vals[to] {
+				vals[from] = vals[to]
+				changed = true
+			}
+		}
+	}
+	// Keys need the maximum; every present attribute needs ≥ 1 value.
+	for _, k := range set.Keys {
+		a := attr{k.Target.Type, k.Target.Attrs[0]}
+		if vals[a] != ext(k.Target.Type) {
+			return false
+		}
+	}
+	for a, v := range vals {
+		if ext(a.typ) > 0 && v < 1 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,165 @@
+package constraint
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pathre"
+	"repro/internal/xmltree"
+)
+
+// Violation reports one constraint violation found in a document.
+type Violation struct {
+	// Constraint is the violated constraint, rendered.
+	Constraint string
+	// Msg explains the violation.
+	Msg string
+	// Nodes are the offending nodes (two for a key clash, one for a
+	// dangling foreign key).
+	Nodes []*xmltree.Node
+}
+
+func (v Violation) String() string {
+	var paths []string
+	for _, n := range v.Nodes {
+		paths = append(paths, strings.Join(n.Path(), "."))
+	}
+	if len(paths) == 0 {
+		return fmt.Sprintf("%s: %s", v.Constraint, v.Msg)
+	}
+	return fmt.Sprintf("%s: %s (at %s)", v.Constraint, v.Msg, strings.Join(paths, ", "))
+}
+
+// Check evaluates T ⊨ Σ and returns all violations (nil means the
+// document satisfies the set). Nodes missing a constrained attribute
+// are reported as violations: the paper's model gives every τ element
+// exactly the attributes R(τ), so a missing attribute means the
+// document does not even conform to the DTD the set was validated
+// against.
+func Check(t *xmltree.Tree, set *Set) []Violation {
+	var out []Violation
+	for _, k := range set.Keys {
+		out = append(out, checkKey(t, k)...)
+	}
+	for _, c := range set.Incls {
+		out = append(out, checkInclusion(t, c)...)
+	}
+	return out
+}
+
+// Satisfies reports whether the document satisfies the set.
+func Satisfies(t *xmltree.Tree, set *Set) bool { return len(Check(t, set)) == 0 }
+
+// extent returns the nodes a target ranges over: the whole document
+// (root included) for absolute constraints, and the proper descendants
+// of the scope node for relative ones (the x ≺ y of Section 4).
+func extent(t *xmltree.Tree, scope *xmltree.Node, relative bool, tgt Target) []*xmltree.Node {
+	if tgt.Path != nil {
+		return t.NodesMatching(pathre.Concat(tgt.Path, pathre.Symbol(tgt.Type)))
+	}
+	var out []*xmltree.Node
+	var walk func(n *xmltree.Node)
+	walk = func(n *xmltree.Node) {
+		if n.Label == tgt.Type {
+			out = append(out, n)
+		}
+		for _, k := range n.Children {
+			if !k.IsText {
+				walk(k)
+			}
+		}
+	}
+	if scope == nil {
+		scope = t.Root
+	}
+	if relative {
+		for _, k := range scope.Children {
+			if !k.IsText {
+				walk(k)
+			}
+		}
+	} else {
+		walk(scope)
+	}
+	return out
+}
+
+// contexts returns the scopes a constraint is evaluated in: the tree
+// root for absolute constraints, every node of the context type for
+// relative ones.
+func contexts(t *xmltree.Tree, context string) []*xmltree.Node {
+	if context == "" {
+		return []*xmltree.Node{t.Root}
+	}
+	return t.Ext(context)
+}
+
+func checkKey(t *xmltree.Tree, k Key) []Violation {
+	var out []Violation
+	for _, scope := range contexts(t, k.Context) {
+		seen := map[string]*xmltree.Node{}
+		for _, n := range extent(t, scope, k.Context != "", k.Target) {
+			vals, ok := n.AttrList(k.Target.Attrs)
+			if !ok {
+				out = append(out, Violation{
+					Constraint: k.String(),
+					Msg:        fmt.Sprintf("node lacks key attribute(s) %v", k.Target.Attrs),
+					Nodes:      []*xmltree.Node{n},
+				})
+				continue
+			}
+			key := encodeTuple(vals)
+			if prev, dup := seen[key]; dup {
+				out = append(out, Violation{
+					Constraint: k.String(),
+					Msg:        fmt.Sprintf("duplicate key value %v", vals),
+					Nodes:      []*xmltree.Node{prev, n},
+				})
+				continue
+			}
+			seen[key] = n
+		}
+	}
+	return out
+}
+
+func checkInclusion(t *xmltree.Tree, c Inclusion) []Violation {
+	var out []Violation
+	for _, scope := range contexts(t, c.Context) {
+		have := map[string]bool{}
+		for _, n := range extent(t, scope, c.Context != "", c.To) {
+			if vals, ok := n.AttrList(c.To.Attrs); ok {
+				have[encodeTuple(vals)] = true
+			}
+		}
+		for _, n := range extent(t, scope, c.Context != "", c.From) {
+			vals, ok := n.AttrList(c.From.Attrs)
+			if !ok {
+				out = append(out, Violation{
+					Constraint: c.String(),
+					Msg:        fmt.Sprintf("node lacks foreign-key attribute(s) %v", c.From.Attrs),
+					Nodes:      []*xmltree.Node{n},
+				})
+				continue
+			}
+			if !have[encodeTuple(vals)] {
+				out = append(out, Violation{
+					Constraint: c.String(),
+					Msg:        fmt.Sprintf("value %v has no matching %s", vals, c.To),
+					Nodes:      []*xmltree.Node{n},
+				})
+			}
+		}
+	}
+	return out
+}
+
+// encodeTuple encodes a value list unambiguously (length-prefixed) so
+// tuples can be used as map keys.
+func encodeTuple(vals []string) string {
+	var b strings.Builder
+	for _, v := range vals {
+		fmt.Fprintf(&b, "%d:%s;", len(v), v)
+	}
+	return b.String()
+}

@@ -1,0 +1,410 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dtd"
+	"repro/internal/pathre"
+	"repro/internal/xmltree"
+)
+
+func TestParseNotation(t *testing.T) {
+	cases := []struct {
+		in    string
+		out   string // canonical rendering; "" means same as in
+		isKey bool
+	}{
+		{"country.name -> country", "", true},
+		{"person[first,last] -> person", "", true},
+		{"takenBy.sid ⊆ record.id", "", false},
+		{"takenBy.sid <= record.id", "takenBy.sid ⊆ record.id", false},
+		{"r._*.student.record.id -> r._*.student.record", "", true},
+		{"r._*.(student ∪ prof).record.id -> r._*.(student ∪ prof).record", "", true},
+		{"r._*.dbLab.acc.num ⊆ r._*.cs434.takenBy.sid", "", false},
+		{"country(province.name -> province)", "", true},
+		{"country(capital.inProvince ⊆ province.name)", "", false},
+		{"a[x,y] ⊆ b[u,v]", "", false},
+		{"country.name → country", "country.name -> country", true},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		want := c.out
+		if want == "" {
+			want = c.in
+		}
+		if got.String() != want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got.String(), want)
+		}
+		if _, isKey := got.(Key); isKey != c.isKey {
+			t.Errorf("Parse(%q): key-ness = %v, want %v", c.in, isKey, c.isKey)
+		}
+		// Round trip.
+		again, err := Parse(got.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", got.String(), err)
+		}
+		if again.String() != got.String() {
+			t.Errorf("round trip of %q changed to %q", got.String(), again.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"country.name",                 // no relation
+		"country.name -> province",     // rhs mismatch
+		"a[x,y] -> b",                  // rhs mismatch
+		"r._*.record.id -> r._*.wrong", // rhs mismatch (regular)
+		"(a ∪ b).id -> (a ∪ b)",        // final type must be named
+		"x -> x",                       // no attribute
+		"a.b.c ⊆ d",                    // rhs lacks attribute
+		"ctx(a.b -> c)",                // relative rhs mismatch
+		"a[] -> a",                     // empty attrs
+		"a[x,,y] -> a",                 // empty attr name
+		"country(x[a,b] -> x)",         // multi-attribute relative: parses as path error
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): expected error", in)
+		}
+	}
+}
+
+func TestParseSetAndComments(t *testing.T) {
+	set := MustParseSet(`
+# the school constraints of Section 1
+r._*.(student ∪ prof).record.id -> r._*.(student ∪ prof).record
+r._*.cs434.takenBy.sid ⊆ r._*.student.record.id
+// line comment
+r._*.cs434.takenBy.sid -> r._*.cs434.takenBy
+`)
+	if len(set.Keys) != 2 || len(set.Incls) != 1 {
+		t.Fatalf("parsed %d keys, %d inclusions; want 2, 1", len(set.Keys), len(set.Incls))
+	}
+	if _, err := ParseSet("bad line here"); err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("ParseSet error must carry the line number, got %v", err)
+	}
+}
+
+const geoDTD = `
+<!ELEMENT db (country+)>
+<!ELEMENT country (province+, capital+)>
+<!ELEMENT province (capital, city*)>
+<!ELEMENT capital EMPTY>
+<!ELEMENT city EMPTY>
+<!ATTLIST country name CDATA #REQUIRED>
+<!ATTLIST province name CDATA #REQUIRED>
+<!ATTLIST capital inProvince CDATA #REQUIRED>
+`
+
+// geoConstraints is the country/province specification of Section 1.
+const geoConstraints = `
+country.name -> country
+country(province.name -> province)
+country(capital.inProvince -> capital)
+country(capital.inProvince ⊆ province.name)
+`
+
+func TestValidate(t *testing.T) {
+	d := dtd.MustParse(geoDTD)
+	set := MustParseSet(geoConstraints)
+	if err := set.Validate(d); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	bad := []string{
+		"nosuch.name -> nosuch",              // unknown type
+		"country.zzz -> country",             // unknown attribute
+		"capital.inProvince ⊆ province.name", // absolute inclusion whose absolute key is missing
+		"nosuch(province.name -> province)",  // unknown context
+		"country[name,name] -> country",      // repeated attribute
+	}
+	for _, line := range bad {
+		s := set.Clone()
+		c := MustParse(line)
+		switch v := c.(type) {
+		case Key:
+			s.AddKey(v)
+		case Inclusion:
+			s.AddInclusion(v)
+		}
+		if err := s.Validate(d); err == nil {
+			t.Errorf("Validate with %q: expected error", line)
+		}
+	}
+	// Arity mismatch.
+	s := &Set{}
+	s.AddForeignKey(Inclusion{
+		From: Target{Type: "country", Attrs: []string{"name"}},
+		To:   Target{Type: "province", Attrs: []string{"name", "name"}},
+	})
+	if err := s.Validate(d); err == nil {
+		t.Error("arity mismatch must fail validation")
+	}
+}
+
+func TestAddForeignKeyDedup(t *testing.T) {
+	s := &Set{}
+	inc := Inclusion{
+		From: Target{Type: "a", Attrs: []string{"x"}},
+		To:   Target{Type: "b", Attrs: []string{"y"}},
+	}
+	s.AddForeignKey(inc)
+	s.AddForeignKey(Inclusion{
+		From: Target{Type: "c", Attrs: []string{"z"}},
+		To:   Target{Type: "b", Attrs: []string{"y"}},
+	})
+	if len(s.Keys) != 1 {
+		t.Fatalf("key deduplication failed: %d keys", len(s.Keys))
+	}
+	if len(s.Incls) != 2 {
+		t.Fatalf("inclusions = %d, want 2", len(s.Incls))
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		src  string
+		name string
+	}{
+		{"a.x -> a", "AC_{PK,FK}"}, // a single key is trivially primary
+		{"a.x -> a\na.y -> a", "AC_{K,FK}"},
+		{"a.x -> a\nb.y -> b\nb.y ⊆ a.x", "AC_{PK,FK}"},
+		{"a[x,y] -> a", "AC^{*,1}_{PK,FK}"},
+		{"a[x,y] -> a\na[z,w] -> a", "AC^{*,1}_{K,FK}"},
+		{"a[x,y] -> a\nb[u,v] -> b\na[x,y] ⊆ b[u,v]", "AC^{*,*}_{K,FK}"},
+		{"r._*.a.x -> r._*.a", "AC^{reg}_{K,FK}"},
+		{"c(a.x -> a)", "RC_{K,FK}"},
+	}
+	for _, c := range cases {
+		p := Classify(MustParseSet(c.src))
+		if got := p.ClassName(); got != c.name {
+			t.Errorf("Classify(%q) = %s, want %s", c.src, got, c.name)
+		}
+	}
+	// Primary flag details.
+	p := Classify(MustParseSet("a.x -> a\na.x -> a"))
+	if !p.Primary {
+		t.Error("identical keys remain primary")
+	}
+	p = Classify(MustParseSet("a[x,y] -> a\na[y,z] -> a"))
+	if p.DisjointKeys {
+		t.Error("overlapping multi-attribute keys are not disjoint")
+	}
+	p = Classify(MustParseSet("a[x,y] -> a\na[z,w] -> a"))
+	if !p.DisjointKeys {
+		t.Error("non-overlapping keys are disjoint")
+	}
+}
+
+const geoDoc = `
+<db>
+  <country name="Belgium">
+    <province name="Limburg"><capital inProvince="Limburg"/><city/></province>
+    <capital inProvince="Limburg"/>
+  </country>
+  <country name="Netherlands">
+    <province name="Limburg"><capital inProvince="Limburg"/></province>
+    <capital inProvince="Limburg"/>
+  </country>
+</db>
+`
+
+func TestCheckRelative(t *testing.T) {
+	set := MustParseSet(geoConstraints)
+	tree := xmltree.MustParseDocument(geoDoc)
+	// Both countries name a province Limburg: fine relatively (the
+	// absolute country key and relative province keys hold), but the
+	// two capital elements inside one country share inProvince
+	// = Limburg, violating country(capital.inProvince -> capital).
+	vs := Check(tree, set)
+	if len(vs) != 2 {
+		t.Fatalf("violations = %d (%v), want 2 (one per country)", len(vs), vs)
+	}
+	for _, v := range vs {
+		if !strings.Contains(v.Constraint, "capital.inProvince -> capital") {
+			t.Errorf("unexpected violation %v", v)
+		}
+		if len(v.Nodes) != 2 {
+			t.Errorf("key violation must name both nodes, got %d", len(v.Nodes))
+		}
+		if v.String() == "" {
+			t.Error("violation renders empty")
+		}
+	}
+	// Same names across countries do NOT violate the relative key but
+	// DO violate an absolute version of it.
+	absolute := MustParseSet("province.name -> province")
+	if vs := Check(tree, absolute); len(vs) != 1 {
+		t.Fatalf("absolute province key: %d violations, want 1", len(vs))
+	}
+	relative := MustParseSet("country(province.name -> province)")
+	if vs := Check(tree, relative); len(vs) != 0 {
+		t.Fatalf("relative province key: %v, want none", vs)
+	}
+}
+
+func TestCheckAbsoluteAndInclusion(t *testing.T) {
+	tree := xmltree.MustParseDocument(`
+<db>
+  <country name="X">
+    <province name="p1"><capital inProvince="p1"/></province>
+    <capital inProvince="p9"/>
+  </country>
+</db>
+`)
+	set := MustParseSet("country(province.name -> province)\ncountry(capital.inProvince ⊆ province.name)")
+	vs := Check(tree, set)
+	if len(vs) != 1 || !strings.Contains(vs[0].Msg, "no matching") {
+		t.Fatalf("dangling foreign key not reported: %v", vs)
+	}
+	// Duplicate absolute country names.
+	dup := xmltree.MustParseDocument(`
+<db>
+  <country name="X"><province name="p"><capital inProvince="p"/></province><capital inProvince="p"/></country>
+  <country name="X"><province name="p"><capital inProvince="p"/></province><capital inProvince="p"/></country>
+</db>
+`)
+	vs = Check(dup, MustParseSet("country.name -> country"))
+	if len(vs) != 1 {
+		t.Fatalf("duplicate country name not reported: %v", vs)
+	}
+}
+
+func TestCheckRegular(t *testing.T) {
+	// Fig 1(a)-style: sid of takenBy under cs434 must reference a
+	// student record id.
+	tree := xmltree.MustParseDocument(`
+<r>
+  <students>
+    <student><record id="s1"/></student>
+    <student><record id="s2"/></student>
+  </students>
+  <courses>
+    <cs434><takenBy sid="s1"/><takenBy sid="s9"/></cs434>
+  </courses>
+</r>
+`)
+	set := MustParseSet(`
+r._*.student.record.id -> r._*.student.record
+r._*.cs434.takenBy.sid -> r._*.cs434.takenBy
+r._*.cs434.takenBy.sid ⊆ r._*.student.record.id
+`)
+	vs := Check(tree, set)
+	if len(vs) != 1 || !strings.Contains(vs[0].Msg, "no matching") {
+		t.Fatalf("want exactly the dangling s9 violation, got %v", vs)
+	}
+	// Fix the document: no violations.
+	ok := xmltree.MustParseDocument(`
+<r>
+  <students><student><record id="s1"/></student></students>
+  <courses><cs434><takenBy sid="s1"/></cs434></courses>
+</r>
+`)
+	if vs := Check(ok, set); len(vs) != 0 {
+		t.Fatalf("clean document reports %v", vs)
+	}
+}
+
+func TestCheckMultiAttribute(t *testing.T) {
+	tree := xmltree.MustParseDocument(`
+<db>
+  <p first="ann" last="b"/>
+  <p first="ann" last="c"/>
+  <p first="ann" last="b"/>
+</db>
+`)
+	vs := Check(tree, MustParseSet("p[first,last] -> p"))
+	if len(vs) != 1 {
+		t.Fatalf("multi-attribute key: %d violations, want 1", len(vs))
+	}
+	// Tuple encoding must not confuse ("ab","c") with ("a","bc").
+	tricky := xmltree.MustParseDocument(`<db><p first="ab" last="c"/><p first="a" last="bc"/></db>`)
+	if vs := Check(tricky, MustParseSet("p[first,last] -> p")); len(vs) != 0 {
+		t.Fatalf("tuple encoding ambiguity: %v", vs)
+	}
+}
+
+func TestCheckMissingAttribute(t *testing.T) {
+	tree := xmltree.MustParseDocument(`<db><p/></db>`)
+	vs := Check(tree, MustParseSet("p.x -> p"))
+	if len(vs) != 1 || !strings.Contains(vs[0].Msg, "lacks key attribute") {
+		t.Fatalf("missing attribute not reported: %v", vs)
+	}
+	vs = Check(tree, MustParseSet("q.y -> q\np.x ⊆ q.y"))
+	if len(vs) != 1 || !strings.Contains(vs[0].Msg, "lacks foreign-key attribute") {
+		t.Fatalf("missing fk attribute not reported: %v", vs)
+	}
+}
+
+func TestSatisfiesAndSize(t *testing.T) {
+	tree := xmltree.MustParseDocument(`<db><p x="1"/></db>`)
+	set := MustParseSet("p.x -> p")
+	if !Satisfies(tree, set) {
+		t.Error("Satisfies = false on clean document")
+	}
+	if set.Size() != 1 {
+		t.Errorf("Size = %d, want 1", set.Size())
+	}
+	if got := MustParseSet("a.x -> a\nb.y -> b\na.x ⊆ b.y").Size(); got != 3 {
+		t.Errorf("Size = %d, want 3", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	set := MustParseSet(`
+p[b,a] -> p
+p[a,b] -> p
+q.x -> q
+q.x -> q
+q.x ⊆ q.x
+p.a ⊆ q.x
+p.a ⊆ q.x
+`)
+	n := set.Normalize()
+	if n.Size() != 3 {
+		t.Fatalf("normalized size = %d (%s), want 3", n.Size(), n)
+	}
+	if len(n.Keys) != 2 {
+		t.Fatalf("keys = %d, want 2 (the permuted multi-attribute keys merge)", len(n.Keys))
+	}
+	if n.Keys[0].Target.Attrs[0] != "a" {
+		t.Errorf("key attrs not canonicalized: %v", n.Keys[0].Target.Attrs)
+	}
+	if len(n.Incls) != 1 {
+		t.Fatalf("inclusions = %d, want 1 (self-inclusion and duplicate dropped)", len(n.Incls))
+	}
+}
+
+func TestTargetEqualAndNodeString(t *testing.T) {
+	a := Target{Type: "t", Attrs: []string{"x"}}
+	b := Target{Type: "t", Attrs: []string{"x"}}
+	if !a.Equal(b) {
+		t.Error("identical targets unequal")
+	}
+	c := Target{Type: "t", Attrs: []string{"y"}}
+	if a.Equal(c) {
+		t.Error("different attrs equal")
+	}
+	p := Target{Path: pathre.MustParse("r._*"), Type: "t", Attrs: []string{"x"}}
+	if a.Equal(p) || p.Equal(a) {
+		t.Error("path vs type-based equal")
+	}
+	p2 := Target{Path: pathre.MustParse("r._*"), Type: "t", Attrs: []string{"x"}}
+	if !p.Equal(p2) {
+		t.Error("identical path targets unequal")
+	}
+	if got := p.NodeString(); got != "r._*.t" {
+		t.Errorf("NodeString = %q", got)
+	}
+	if got := a.NodeString(); got != "t" {
+		t.Errorf("NodeString = %q", got)
+	}
+	multi := Target{Type: "t", Attrs: []string{"x", "y"}}
+	if got := multi.String(); got != "t[x,y]" {
+		t.Errorf("String = %q", got)
+	}
+}

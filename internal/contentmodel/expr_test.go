@@ -1,0 +1,336 @@
+package contentmodel
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // canonical rendering; "" means same as in
+	}{
+		{"EMPTY", ""},
+		{"#PCDATA", ""},
+		{"a", ""},
+		{"(a, b)", "a, b"},
+		{"(a | b)", "a | b"},
+		{"(a, b, c)", "a, b, c"},
+		{"(a | b | c)", "a | b | c"},
+		{"(a, (b | c))", "a, (b | c)"},
+		{"((a, b) | c)", "(a, b) | c"},
+		{"a*", ""},
+		{"(a, b)*", ""},
+		{"(a | b)*", ""},
+		{"(a, b*, c)", "a, b*, c"},
+		{"(#PCDATA)", "#PCDATA"},
+		{"(student+)", "student, student*"},
+		{"(a?)", "a | EMPTY"},
+		{"(a, EMPTY, b)", "a, b"},
+		{"( cs340 , cs108 , cs434 )", "cs340, cs108, cs434"},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		want := c.want
+		if want == "" {
+			want = c.in
+		}
+		if got := e.String(); got != want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, want)
+		}
+		// Re-parsing the rendering must give a structurally equal AST.
+		e2, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", e.String(), err)
+		}
+		if !e.Equal(e2) {
+			t.Errorf("round trip of %q changed structure: %q vs %q", c.in, e, e2)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"", "(", "(a", "(a,,b)", "(a,b))", "(a , b | c)", "#FOO", "(a b)", "a)b",
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): expected error, got none", in)
+		}
+	}
+}
+
+func TestMatch(t *testing.T) {
+	cases := []struct {
+		re   string
+		word []string
+		want bool
+	}{
+		{"EMPTY", nil, true},
+		{"EMPTY", []string{"a"}, false},
+		{"a", []string{"a"}, true},
+		{"a", nil, false},
+		{"a", []string{"b"}, false},
+		{"#PCDATA", []string{TextSymbol}, true},
+		{"#PCDATA", []string{"a"}, false},
+		{"(a, b)", []string{"a", "b"}, true},
+		{"(a, b)", []string{"b", "a"}, false},
+		{"(a | b)", []string{"a"}, true},
+		{"(a | b)", []string{"b"}, true},
+		{"(a | b)", []string{"a", "b"}, false},
+		{"a*", nil, true},
+		{"a*", []string{"a", "a", "a"}, true},
+		{"a*", []string{"a", "b"}, false},
+		{"(a, b)*", []string{"a", "b", "a", "b"}, true},
+		{"(a, b)*", []string{"a", "b", "a"}, false},
+		{"(a+, b?)", []string{"a"}, true},
+		{"(a+, b?)", []string{"a", "a", "b"}, true},
+		{"(a+, b?)", []string{"b"}, false},
+		{"(students, courses, faculty, labs)", []string{"students", "courses", "faculty", "labs"}, true},
+		{"((a|b)*, c)", []string{"b", "a", "b", "c"}, true},
+		{"((a|b)*, c)", []string{"c"}, true},
+		{"((a|b)*, c)", []string{"b", "a"}, false},
+	}
+	for _, c := range cases {
+		e := MustParse(c.re)
+		if got := e.Match(c.word); got != c.want {
+			t.Errorf("%q.Match(%v) = %v, want %v", c.re, c.word, got, c.want)
+		}
+	}
+}
+
+func TestNullableMinLen(t *testing.T) {
+	cases := []struct {
+		re       string
+		nullable bool
+		minLen   int
+	}{
+		{"EMPTY", true, 0},
+		{"a", false, 1},
+		{"a*", true, 0},
+		{"(a, b)", false, 2},
+		{"(a | EMPTY)", true, 0},
+		{"(a, b*, c)", false, 2},
+		{"(a+, b)", false, 2},
+		{"((a|b), (c|EMPTY))", false, 1},
+	}
+	for _, c := range cases {
+		e := MustParse(c.re)
+		if got := e.Nullable(); got != c.nullable {
+			t.Errorf("%q.Nullable() = %v, want %v", c.re, got, c.nullable)
+		}
+		if got := e.MinLen(); got != c.minLen {
+			t.Errorf("%q.MinLen() = %d, want %d", c.re, got, c.minLen)
+		}
+		if got := len(e.MinWord()); got != c.minLen {
+			t.Errorf("%q.MinWord() has len %d, want %d", c.re, got, c.minLen)
+		}
+		if !e.Match(e.MinWord()) {
+			t.Errorf("%q does not match its own MinWord %v", c.re, e.MinWord())
+		}
+	}
+}
+
+func TestMinCount(t *testing.T) {
+	cases := []struct {
+		re   string
+		name string
+		want int
+	}{
+		{"(a, a, b)", "a", 2},
+		{"(a | b)", "a", 0},
+		{"(a, (a | b))", "a", 1},
+		{"a*", "a", 0},
+		{"(a+, a)", "a", 2},
+		{"(a, b)", "c", 0},
+	}
+	for _, c := range cases {
+		if got := MustParse(c.re).MinCount(c.name); got != c.want {
+			t.Errorf("%q.MinCount(%q) = %d, want %d", c.re, c.name, got, c.want)
+		}
+	}
+}
+
+func TestAlphabetAndFlags(t *testing.T) {
+	e := MustParse("(b, a*, (#PCDATA | c))")
+	if got, want := e.Alphabet(), []string{"a", "b", "c"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Alphabet = %v, want %v", got, want)
+	}
+	if !e.HasStar() {
+		t.Error("HasStar = false, want true")
+	}
+	if !e.HasText() {
+		t.Error("HasText = false, want true")
+	}
+	if !e.Mentions("c") || e.Mentions("d") {
+		t.Error("Mentions misreports")
+	}
+	if MustParse("(a, b)").HasStar() {
+		t.Error("no-star expression reported as starred")
+	}
+	if MustParse("(a+)").HasStar() != true {
+		t.Error("a+ must desugar to a starred expression")
+	}
+}
+
+func TestFinite(t *testing.T) {
+	cases := []struct {
+		re   string
+		want bool
+	}{
+		{"(a, b)", true},
+		{"a*", false},
+		{"(a | b)", true},
+		{"(a, b*)", false},
+		{"EMPTY", true},
+	}
+	for _, c := range cases {
+		if got := MustParse(c.re).Finite(); got != c.want {
+			t.Errorf("%q.Finite() = %v, want %v", c.re, got, c.want)
+		}
+	}
+}
+
+func TestSampleAlwaysMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	res := []string{
+		"(a, (b | c)*, d?)", "((a|b)+, c*)", "EMPTY", "(x | (y, z))*", "(#PCDATA | a)*",
+	}
+	for _, re := range res {
+		e := MustParse(re)
+		for i := 0; i < 200; i++ {
+			w := e.Sample(rng, SampleOptions{StarMax: 4})
+			if !e.Match(w) {
+				t.Fatalf("%q.Sample produced non-member %v", re, w)
+			}
+		}
+	}
+}
+
+func TestMatchSubsetAndRestrict(t *testing.T) {
+	e := MustParse("(a, (b | c), d*)")
+	only := func(names ...string) func(string) bool {
+		set := map[string]bool{}
+		for _, n := range names {
+			set[n] = true
+		}
+		return func(n string) bool { return set[n] }
+	}
+	if !e.MatchSubset(only("a", "b")) {
+		t.Error("MatchSubset(a,b) = false, want true (word 'a b')")
+	}
+	if e.MatchSubset(only("b", "c", "d")) {
+		t.Error("MatchSubset(b,c,d) = true, want false (mandatory 'a')")
+	}
+	r := e.Restrict(only("a", "c"))
+	if r == nil {
+		t.Fatal("Restrict(a,c) = nil, want non-empty")
+	}
+	if !r.Match([]string{"a", "c"}) {
+		t.Errorf("restricted %q does not match [a c]", r)
+	}
+	if r.Match([]string{"a", "b"}) {
+		t.Errorf("restricted %q still matches excluded 'b'", r)
+	}
+	if got := MustParse("(a, b)").Restrict(only("a")); got != nil {
+		t.Errorf("Restrict dropping mandatory symbol = %q, want nil", got)
+	}
+	if got := MustParse("b*").Restrict(only("a")); got == nil || !got.Nullable() {
+		t.Errorf("Restrict of b* must keep ε, got %v", got)
+	}
+}
+
+// quickWord generates random words over a tiny alphabet to cross-check
+// Match against a simple backtracking membership oracle.
+func TestQuickMatchAgainstOracle(t *testing.T) {
+	exprs := []*Expr{
+		MustParse("(a, (b | c)*, d?)"),
+		MustParse("((a | b)*, (c, d)*)"),
+		MustParse("(a*, a, b)"),
+		MustParse("((a, b) | (b, a))*"),
+	}
+	alphabet := []string{"a", "b", "c", "d"}
+	cfg := &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(11))}
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := make([]string, int(n)%8)
+		for i := range w {
+			w[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		for _, e := range exprs {
+			if e.Match(w) != oracleMatch(e, w) {
+				t.Logf("mismatch on %q with word %v", e, w)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// oracleMatch is a deliberately naive membership test used only to
+// validate the derivative-based matcher.
+func oracleMatch(e *Expr, w []string) bool {
+	switch e.Kind {
+	case Empty:
+		return len(w) == 0
+	case Text:
+		return len(w) == 1 && w[0] == TextSymbol
+	case Name:
+		return len(w) == 1 && w[0] == e.Ref
+	case Seq:
+		return oracleSeq(e.Kids, w)
+	case Choice:
+		for _, k := range e.Kids {
+			if oracleMatch(k, w) {
+				return true
+			}
+		}
+		return false
+	case Star:
+		if len(w) == 0 {
+			return true
+		}
+		// Try all non-empty prefixes for the first iteration.
+		for i := 1; i <= len(w); i++ {
+			if oracleMatch(e.Kids[0], w[:i]) && oracleMatch(e, w[i:]) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func oracleSeq(kids []*Expr, w []string) bool {
+	if len(kids) == 0 {
+		return len(w) == 0
+	}
+	if len(kids) == 1 {
+		return oracleMatch(kids[0], w)
+	}
+	for i := 0; i <= len(w); i++ {
+		if oracleMatch(kids[0], w[:i]) && oracleSeq(kids[1:], w[i:]) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	e := MustParse("(a, (b | c)*)")
+	c := e.Clone()
+	if !e.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Kids[0].Ref = "zzz"
+	if e.Kids[0].Ref == "zzz" {
+		t.Fatal("clone aliases original")
+	}
+}

@@ -1,0 +1,179 @@
+package contentmodel
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a content model in DTD surface syntax. Accepted forms:
+//
+//	EMPTY                      the ε expression
+//	#PCDATA                    the S (text) type
+//	name                       an element type reference
+//	(α, α, ...)                concatenation
+//	(α | α | ...)              union
+//	α*  α+  α?                 closure, one-or-more, optional
+//
+// "+" and "?" are desugared into star and union, so "+" makes a DTD
+// starred for the purposes of the no-star restriction.
+func Parse(src string) (*Expr, error) {
+	p := &parser{src: src}
+	p.skipSpace()
+	if p.eof() {
+		return nil, p.errf("empty content model")
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return nil, p.errf("trailing input %q", p.rest())
+	}
+	return e, nil
+}
+
+// MustParse is Parse for known-good literals; it panics on error.
+func MustParse(src string) *Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("contentmodel.MustParse(%q): %v", src, err))
+	}
+	return e
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) eof() bool    { return p.pos >= len(p.src) }
+func (p *parser) peek() byte   { return p.src[p.pos] }
+func (p *parser) rest() string { return p.src[p.pos:] }
+func (p *parser) advance()     { p.pos++ }
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("content model %q at offset %d: %s", p.src, p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for !p.eof() && unicode.IsSpace(rune(p.peek())) {
+		p.advance()
+	}
+}
+
+// parseExpr parses a full expression at the current position: either a
+// single postfixed atom, or a parenthesized sequence/choice. Bare
+// top-level sequences and choices without parentheses are also accepted
+// ("a, b" / "a | b") for convenience in the textual constraint format.
+func (p *parser) parseExpr() (*Expr, error) {
+	first, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.eof() || (p.peek() != ',' && p.peek() != '|') {
+		return first, nil
+	}
+	sep := p.peek()
+	kids := []*Expr{first}
+	for !p.eof() && p.peek() == sep {
+		p.advance()
+		next, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, next)
+		p.skipSpace()
+	}
+	if !p.eof() && (p.peek() == ',' || p.peek() == '|') {
+		return nil, p.errf("mixed ',' and '|' require parentheses")
+	}
+	if sep == ',' {
+		return NewSeq(kids...), nil
+	}
+	return NewChoice(kids...), nil
+}
+
+// parsePostfix parses an atom followed by any run of *, +, ? postfixes.
+func (p *parser) parsePostfix() (*Expr, error) {
+	e, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.eof() {
+			return e, nil
+		}
+		switch p.peek() {
+		case '*':
+			p.advance()
+			e = NewStar(e)
+		case '+':
+			p.advance()
+			e = Plus(e)
+		case '?':
+			p.advance()
+			e = Opt(e)
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parseAtom() (*Expr, error) {
+	p.skipSpace()
+	if p.eof() {
+		return nil, p.errf("expected expression")
+	}
+	if p.peek() == '(' {
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.eof() || p.peek() != ')' {
+			return nil, p.errf("expected ')'")
+		}
+		p.advance()
+		return e, nil
+	}
+	name := p.parseName()
+	switch {
+	case name == "":
+		return nil, p.errf("expected name, '(' , EMPTY or #PCDATA")
+	case strings.EqualFold(name, "EMPTY"):
+		return Eps(), nil
+	case name == TextSymbol:
+		return PCData(), nil
+	case name[0] == '#':
+		return nil, p.errf("unknown keyword %q", name)
+	}
+	return Ref(name), nil
+}
+
+// parseName consumes an XML-ish name: letters, digits, and the
+// punctuation XML allows in names (.-_:), optionally prefixed by '#'
+// for the #PCDATA keyword.
+func (p *parser) parseName() string {
+	start := p.pos
+	if !p.eof() && p.peek() == '#' {
+		p.advance()
+	}
+	for !p.eof() && isNameByte(p.peek()) {
+		p.advance()
+	}
+	return p.src[start:p.pos]
+}
+
+func isNameByte(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	case c == '.' || c == '-' || c == '_' || c == ':':
+		return true
+	}
+	return false
+}

@@ -1,0 +1,420 @@
+// Package docgen generates random documents that satisfy a
+// specification — conforming to the DTD and satisfying every key and
+// foreign key. It is the test-data-generation counterpart of the
+// static checker: where the checker's witness is one minimal example,
+// docgen produces varied documents of requested sizes (fixture data
+// for systems that consume the schema).
+//
+// The generator samples a conforming shape, then assigns attribute
+// values with a constraint-guided heuristic (keys get per-scope serial
+// values, inclusion sources draw from their targets' values,
+// mutually-included groups share value sets), verifies the result with
+// the dynamic checker, and resamples on failure. It is a Las Vegas
+// procedure: output documents are always valid; generation fails only
+// by exhausting its retry budget (e.g. on inconsistent specifications).
+package docgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/constraint"
+	"repro/internal/dtd"
+	"repro/internal/xmltree"
+)
+
+// Options configures generation.
+type Options struct {
+	// MaxNodes softly bounds the element count per document (zero: 30).
+	MaxNodes int
+	// Retries bounds shape/assignment attempts per document (zero: 50).
+	Retries int
+	// StarMax bounds Kleene-star iterations while the budget lasts
+	// (zero: 3).
+	StarMax int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 30
+	}
+	if o.Retries == 0 {
+		o.Retries = 50
+	}
+	if o.StarMax == 0 {
+		o.StarMax = 3
+	}
+	return o
+}
+
+// Generate produces one random document satisfying the specification,
+// or an error when the retry budget is exhausted.
+func Generate(d *dtd.DTD, set *constraint.Set, rng *rand.Rand, opts Options) (*xmltree.Tree, error) {
+	opts = opts.withDefaults()
+	if err := set.Validate(d); err != nil {
+		return nil, err
+	}
+	g := newGuide(d, set)
+	var lastErr error
+	for attempt := 0; attempt < opts.Retries; attempt++ {
+		tree, err := xmltree.Generate(d, rng, xmltree.GenerateOptions{
+			MaxNodes: opts.MaxNodes,
+			StarMax:  opts.StarMax,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := g.assign(tree, rng); err != nil {
+			lastErr = err
+			continue
+		}
+		if vs := constraint.Check(tree, set); len(vs) > 0 {
+			lastErr = fmt.Errorf("docgen: assignment violates %s", vs[0].Constraint)
+			continue
+		}
+		return tree, nil
+	}
+	return nil, fmt.Errorf("docgen: no valid document in %d attempts (last: %v); the specification may be inconsistent or too tight for this size", opts.Retries, lastErr)
+}
+
+// slotKey identifies a value population: an element type + attribute.
+type slotKey struct{ typ, attr string }
+
+// guide is the precomputed assignment plan.
+type guide struct {
+	d   *dtd.DTD
+	set *constraint.Set
+	// comp maps each constrained (type, attr) to its mutual-inclusion
+	// component id; members of one component share value sets.
+	comp map[slotKey]int
+	// order lists component ids targets-first (reverse topological
+	// order of the inclusion DAG between components).
+	order []int
+	// members lists the slots of each component.
+	members map[int][]slotKey
+	// outgoing[c] lists components c's values must be drawn from
+	// (inclusion source → target component).
+	outgoing map[int][]int
+	// keyed marks slots carrying a (possibly relative) unary key, and
+	// keyGroups collects multi-attribute key groups per type.
+	keyed     map[slotKey]bool
+	keyGroups map[string][][]string
+	regular   bool
+}
+
+func newGuide(d *dtd.DTD, set *constraint.Set) *guide {
+	g := &guide{
+		d: d, set: set,
+		comp:      map[slotKey]int{},
+		members:   map[int][]slotKey{},
+		outgoing:  map[int][]int{},
+		keyed:     map[slotKey]bool{},
+		keyGroups: map[string][][]string{},
+	}
+	prof := constraint.Classify(set)
+	g.regular = prof.Regular
+
+	// Union-find over slots joined by mutual inclusions.
+	parent := map[slotKey]slotKey{}
+	var find func(slotKey) slotKey
+	find = func(x slotKey) slotKey {
+		if _, ok := parent[x]; !ok {
+			parent[x] = x
+		}
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b slotKey) { parent[find(a)] = find(b) }
+
+	type edge struct{ from, to slotKey }
+	var edges []edge
+	mutual := map[[2]slotKey]bool{}
+	for _, c := range set.Incls {
+		if !c.From.Unary() || c.From.Path != nil || c.To.Path != nil {
+			continue
+		}
+		from := slotKey{c.From.Type, c.From.Attrs[0]}
+		to := slotKey{c.To.Type, c.To.Attrs[0]}
+		find(from)
+		find(to)
+		edges = append(edges, edge{from, to})
+		mutual[[2]slotKey{from, to}] = true
+	}
+	for _, e := range edges {
+		if mutual[[2]slotKey{e.to, e.from}] {
+			union(e.from, e.to)
+		}
+	}
+	for _, k := range set.Keys {
+		if k.Target.Unary() && k.Target.Path == nil {
+			sk := slotKey{k.Target.Type, k.Target.Attrs[0]}
+			find(sk)
+			g.keyed[sk] = true
+		}
+		if !k.Target.Unary() {
+			g.keyGroups[k.Target.Type] = append(g.keyGroups[k.Target.Type], k.Target.Attrs)
+		}
+	}
+
+	// Number the components deterministically.
+	ids := map[slotKey]int{}
+	var roots []slotKey
+	for sk := range parent {
+		r := find(sk)
+		if _, ok := ids[r]; !ok {
+			roots = append(roots, r)
+		}
+		ids[r] = 0
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		if roots[i].typ != roots[j].typ {
+			return roots[i].typ < roots[j].typ
+		}
+		return roots[i].attr < roots[j].attr
+	})
+	for i, r := range roots {
+		ids[r] = i
+	}
+	for sk := range parent {
+		c := ids[find(sk)]
+		g.comp[sk] = c
+		g.members[c] = append(g.members[c], sk)
+	}
+	for c := range g.members {
+		sort.Slice(g.members[c], func(i, j int) bool {
+			a, b := g.members[c][i], g.members[c][j]
+			if a.typ != b.typ {
+				return a.typ < b.typ
+			}
+			return a.attr < b.attr
+		})
+	}
+	// Component-level inclusion edges (excluding intra-component).
+	seenEdge := map[[2]int]bool{}
+	for _, e := range edges {
+		cf, ct := g.comp[e.from], g.comp[e.to]
+		if cf == ct || seenEdge[[2]int{cf, ct}] {
+			continue
+		}
+		seenEdge[[2]int{cf, ct}] = true
+		g.outgoing[cf] = append(g.outgoing[cf], ct)
+	}
+	// Reverse topological order (targets first). The component graph
+	// may have cycles only through distinct components with one-way
+	// edges forming a loop, which mutual-union has not collapsed; a
+	// DFS postorder still yields a usable order (the checker catches
+	// residual violations and generation retries).
+	visited := map[int]bool{}
+	var post []int
+	var dfs func(int)
+	dfs = func(c int) {
+		if visited[c] {
+			return
+		}
+		visited[c] = true
+		for _, t := range g.outgoing[c] {
+			dfs(t)
+		}
+		post = append(post, c)
+	}
+	var all []int
+	for c := range g.members {
+		all = append(all, c)
+	}
+	sort.Ints(all)
+	for _, c := range all {
+		dfs(c)
+	}
+	// post is targets-first already (children before parents).
+	g.order = post
+	return g
+}
+
+// assign populates all attribute values of the tree.
+func (g *guide) assign(tree *xmltree.Tree, rng *rand.Rand) error {
+	// Unconstrained attributes: small shared pool for variety.
+	serial := 0
+	fresh := func() string {
+		serial++
+		return fmt.Sprintf("g%d", serial)
+	}
+	tree.Walk(func(n *xmltree.Node) {
+		for _, l := range g.d.Attrs(n.Label) {
+			if _, constrained := g.comp[slotKey{n.Label, l}]; constrained {
+				continue
+			}
+			n.SetAttr(l, fmt.Sprintf("p%d", rng.Intn(3)))
+		}
+	})
+
+	// Constrained components, targets first: used[c] accumulates the
+	// values the component's nodes actually carry.
+	used := map[int][]string{}
+	for _, c := range g.order {
+		vals, err := g.assignComponent(tree, rng, c, used, fresh)
+		if err != nil {
+			return err
+		}
+		used[c] = vals
+	}
+
+	// Multi-attribute key groups: serialize one coordinate per group
+	// when it is unconstrained (distinct tuples follow); otherwise rely
+	// on the component assignment plus verification.
+	for typ, groups := range g.keyGroups {
+		nodes := tree.Ext(typ)
+		for _, group := range groups {
+			free := ""
+			for _, l := range group {
+				if _, constrained := g.comp[slotKey{typ, l}]; !constrained {
+					free = l
+					break
+				}
+			}
+			if free == "" {
+				continue
+			}
+			for _, n := range nodes {
+				n.SetAttr(free, fresh())
+			}
+		}
+	}
+	return nil
+}
+
+// assignComponent assigns every slot of one component. Values come
+// from the intersection of the target components' used values (or are
+// fresh when the component has no targets); keyed slots draw without
+// replacement per scope.
+func (g *guide) assignComponent(tree *xmltree.Tree, rng *rand.Rand, c int, used map[int][]string, fresh func() string) ([]string, error) {
+	// Allowed pool.
+	var pool []string
+	if targets := g.outgoing[c]; len(targets) > 0 {
+		inAll := map[string]int{}
+		for _, t := range targets {
+			seen := map[string]bool{}
+			for _, v := range used[t] {
+				if !seen[v] {
+					seen[v] = true
+					inAll[v]++
+				}
+			}
+		}
+		for v, cnt := range inAll {
+			if cnt == len(targets) {
+				pool = append(pool, v)
+			}
+		}
+		sort.Strings(pool)
+		if len(pool) == 0 {
+			return nil, fmt.Errorf("docgen: empty value pool for component %d", c)
+		}
+	}
+
+	var all []string
+	for _, sk := range g.members[c] {
+		nodes := tree.Ext(sk.typ)
+		// Scope partitioning for relative keys: scopes[i] lists the
+		// indexes of context-node groups each node belongs to.
+		scopes := g.scopesFor(tree, sk, nodes)
+		usedInScope := make([]map[string]bool, len(scopes))
+		for i := range usedInScope {
+			usedInScope[i] = map[string]bool{}
+		}
+		for ni, n := range nodes {
+			var v string
+			if pool == nil {
+				if g.isKeyedAnywhere(sk) {
+					v = fresh()
+				} else if rng.Intn(2) == 0 && len(all) > 0 {
+					v = all[rng.Intn(len(all))]
+				} else {
+					v = fresh()
+				}
+			} else {
+				// Draw from the pool avoiding per-scope collisions for
+				// keyed slots.
+				v = g.draw(rng, pool, sk, ni, scopes, usedInScope)
+				if v == "" {
+					return nil, fmt.Errorf("docgen: pool exhausted for %s.%s", sk.typ, sk.attr)
+				}
+			}
+			for si := range scopes {
+				if scopes[si][ni] {
+					usedInScope[si][v] = true
+				}
+			}
+			n.SetAttr(sk.attr, v)
+			all = append(all, v)
+		}
+	}
+	return all, nil
+}
+
+// isKeyedAnywhere reports whether the slot carries any key (absolute
+// or relative).
+func (g *guide) isKeyedAnywhere(sk slotKey) bool {
+	if g.keyed[sk] {
+		return true
+	}
+	for _, k := range g.set.Keys {
+		if k.Context != "" && k.Target.Unary() && k.Target.Type == sk.typ && k.Target.Attrs[0] == sk.attr {
+			return true
+		}
+	}
+	return false
+}
+
+// scopesFor returns, per key on the slot, a membership vector: for
+// scope s and node index i, scopes[s][i] reports whether node i must
+// be distinct within s.
+func (g *guide) scopesFor(tree *xmltree.Tree, sk slotKey, nodes []*xmltree.Node) []map[int]bool {
+	var scopes []map[int]bool
+	for _, k := range g.set.Keys {
+		if !k.Target.Unary() || k.Target.Path != nil ||
+			k.Target.Type != sk.typ || k.Target.Attrs[0] != sk.attr {
+			continue
+		}
+		if k.Context == "" {
+			m := map[int]bool{}
+			for i := range nodes {
+				m[i] = true
+			}
+			scopes = append(scopes, m)
+			continue
+		}
+		for _, ctx := range tree.Ext(k.Context) {
+			m := map[int]bool{}
+			for i, n := range nodes {
+				if ctx.Descendant(n) {
+					m[i] = true
+				}
+			}
+			scopes = append(scopes, m)
+		}
+	}
+	return scopes
+}
+
+// draw picks a pool value avoiding collisions in every scope that
+// contains node ni.
+func (g *guide) draw(rng *rand.Rand, pool []string, sk slotKey, ni int, scopes []map[int]bool, usedInScope []map[string]bool) string {
+	start := rng.Intn(len(pool))
+	for off := 0; off < len(pool); off++ {
+		v := pool[(start+off)%len(pool)]
+		ok := true
+		for si := range scopes {
+			if scopes[si][ni] && usedInScope[si][v] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return v
+		}
+	}
+	return ""
+}

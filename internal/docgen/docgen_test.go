@@ -1,0 +1,148 @@
+package docgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/dtd"
+)
+
+func gen(t *testing.T, dtdSrc, consSrc string, opts Options) {
+	t.Helper()
+	d := dtd.MustParse(dtdSrc)
+	set := constraint.MustParseSet(consSrc)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 15; i++ {
+		tree, err := Generate(d, set, rng, opts)
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		if err := tree.Conforms(d); err != nil {
+			t.Fatalf("conformance: %v\n%s", err, tree.XML())
+		}
+		if vs := constraint.Check(tree, set); len(vs) != 0 {
+			t.Fatalf("violations: %v\n%s", vs, tree.XML())
+		}
+	}
+}
+
+func TestGenerateKeysAndForeignKeys(t *testing.T) {
+	gen(t, `
+<!ELEMENT store (book*, order*)>
+<!ELEMENT book EMPTY>
+<!ELEMENT order EMPTY>
+<!ATTLIST book isbn CDATA #REQUIRED>
+<!ATTLIST order isbn CDATA #REQUIRED>
+`, `
+book.isbn -> book
+order.isbn ⊆ book.isbn
+`, Options{MaxNodes: 25})
+}
+
+func TestGenerateMutualInclusion(t *testing.T) {
+	gen(t, `
+<!ELEMENT db (a*, b*)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+<!ATTLIST b y CDATA #REQUIRED>
+`, `
+a.x -> a
+b.y -> b
+a.x ⊆ b.y
+b.y ⊆ a.x
+`, Options{MaxNodes: 20, Retries: 200})
+}
+
+func TestGenerateRelative(t *testing.T) {
+	gen(t, `
+<!ELEMENT db (country+)>
+<!ELEMENT country (province+, capital*)>
+<!ELEMENT province EMPTY>
+<!ELEMENT capital EMPTY>
+<!ATTLIST country name CDATA #REQUIRED>
+<!ATTLIST province name CDATA #REQUIRED>
+<!ATTLIST capital inProvince CDATA #REQUIRED>
+`, `
+country.name -> country
+country(province.name -> province)
+country(capital.inProvince ⊆ province.name)
+country(province.name -> province)
+`, Options{MaxNodes: 25, Retries: 200})
+}
+
+func TestGenerateChains(t *testing.T) {
+	gen(t, `
+<!ELEMENT db (a*, b*, c*)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ELEMENT c EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+<!ATTLIST b y CDATA #REQUIRED>
+<!ATTLIST c z CDATA #REQUIRED>
+`, `
+b.y -> b
+c.z -> c
+a.x ⊆ b.y
+b.y ⊆ c.z
+`, Options{MaxNodes: 25})
+}
+
+func TestGenerateMultiAttributeKey(t *testing.T) {
+	gen(t, `
+<!ELEMENT db (p*)>
+<!ELEMENT p EMPTY>
+<!ATTLIST p first CDATA #REQUIRED last CDATA #REQUIRED>
+`, "p[first,last] -> p", Options{MaxNodes: 20})
+}
+
+func TestGenerateRegularFallback(t *testing.T) {
+	// Regular constraints go through assign + verify + retry; small
+	// shapes succeed quickly.
+	gen(t, `
+<!ELEMENT r (x, y)>
+<!ELEMENT x (b*)>
+<!ELEMENT y (b*)>
+<!ELEMENT b EMPTY>
+<!ATTLIST b v CDATA #REQUIRED>
+`, `
+r.y.b.v -> r.y.b
+`, Options{MaxNodes: 12, Retries: 300})
+}
+
+func TestGenerateInconsistentFails(t *testing.T) {
+	d := dtd.MustParse(`
+<!ELEMENT db (a, a, b)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+<!ATTLIST b y CDATA #REQUIRED>
+`)
+	set := constraint.MustParseSet("a.x -> a\nb.y -> b\na.x ⊆ b.y")
+	if _, err := Generate(d, set, rand.New(rand.NewSource(1)), Options{Retries: 10}); err == nil {
+		t.Fatal("inconsistent spec must fail generation")
+	}
+}
+
+func TestGenerateVariety(t *testing.T) {
+	// Different seeds should produce different documents (a generator
+	// that always returns the same tree is useless as a sampler).
+	d := dtd.MustParse(`
+<!ELEMENT db (p*)>
+<!ELEMENT p EMPTY>
+<!ATTLIST p id CDATA #REQUIRED>
+`)
+	set := constraint.MustParseSet("p.id -> p")
+	seen := map[string]bool{}
+	for seed := int64(0); seed < 10; seed++ {
+		tree, err := Generate(d, set, rand.New(rand.NewSource(seed)), Options{MaxNodes: 15, StarMax: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[tree.XML()] = true
+	}
+	if len(seen) < 4 {
+		t.Fatalf("only %d distinct documents over 10 seeds", len(seen))
+	}
+}

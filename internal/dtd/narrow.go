@@ -1,0 +1,168 @@
+package dtd
+
+import (
+	"fmt"
+
+	"repro/internal/contentmodel"
+)
+
+// RuleKind discriminates the production forms of a narrowed DTD. After
+// narrowing, every production has one of the shapes of the proof of
+// Theorem 3.4:
+//
+//	τ → τ1, τ2    τ → τ1 | τ2    τ → τ1*    τ → τ'    τ → S    τ → ε
+//
+// where τ1, τ2 are nonterminals, τ' is an original element type, and S
+// is the string type.
+type RuleKind int
+
+// The narrowed production forms.
+const (
+	// RuleEmpty is τ → ε.
+	RuleEmpty RuleKind = iota
+	// RuleText is τ → S.
+	RuleText
+	// RuleRef is τ → τ' with τ' an original element type (field A).
+	RuleRef
+	// RuleSeq is τ → A, B with A and B fresh nonterminals.
+	RuleSeq
+	// RuleChoice is τ → A | B with A and B fresh nonterminals.
+	RuleChoice
+	// RuleStar is τ → A* with A a fresh nonterminal.
+	RuleStar
+)
+
+// Rule is one narrowed production. A is the first (or only) operand and
+// B the second one for RuleSeq/RuleChoice.
+type Rule struct {
+	Kind RuleKind
+	A, B string
+}
+
+// Narrowed is the narrowed DTD D_N of the proof of Theorem 3.4. The
+// symbol set is E ∪ N where N holds the fresh nonterminals introduced
+// while binarizing the content models; original element types appear on
+// the right-hand side of productions only in RuleRef rules, which is
+// what makes the sum-form cardinality equations of the encodings exact.
+type Narrowed struct {
+	// Orig is the DTD the narrowing was computed from.
+	Orig *DTD
+	// Root is the root symbol (same as Orig.Root).
+	Root string
+	// Symbols lists all symbols (original types first, then
+	// nonterminals) in deterministic order.
+	Symbols []string
+	// Rules maps every symbol to its single production.
+	Rules map[string]Rule
+	// Owner maps each symbol to the original element type whose content
+	// model introduced it; original types own themselves.
+	Owner map[string]string
+}
+
+// nonterminalSep separates the owner name from the counter in generated
+// nonterminal names. It is not a legal name byte in the parsers, so
+// parsed DTDs can never collide with generated nonterminals.
+const nonterminalSep = "#"
+
+// Narrow computes the narrowed DTD D_N. The input must Validate.
+func Narrow(d *DTD) *Narrowed {
+	n := &Narrowed{
+		Orig:  d,
+		Root:  d.Root,
+		Rules: map[string]Rule{},
+		Owner: map[string]string{},
+	}
+	for _, name := range d.Names {
+		n.Symbols = append(n.Symbols, name)
+		n.Owner[name] = name
+	}
+	for _, name := range d.Names {
+		counter := 0
+		fresh := func() string {
+			counter++
+			return fmt.Sprintf("%s%s%d", name, nonterminalSep, counter)
+		}
+		n.Rules[name] = n.narrow(name, d.Elements[name].Content, fresh)
+	}
+	return n
+}
+
+// narrow converts one content-model expression into a production,
+// introducing fresh nonterminals (owned by owner) for sub-expressions.
+func (n *Narrowed) narrow(owner string, e *contentmodel.Expr, fresh func() string) Rule {
+	define := func(sub *contentmodel.Expr) string {
+		name := fresh()
+		n.Symbols = append(n.Symbols, name)
+		n.Owner[name] = owner
+		n.Rules[name] = n.narrow(owner, sub, fresh)
+		return name
+	}
+	switch e.Kind {
+	case contentmodel.Empty:
+		return Rule{Kind: RuleEmpty}
+	case contentmodel.Text:
+		return Rule{Kind: RuleText}
+	case contentmodel.Name:
+		return Rule{Kind: RuleRef, A: e.Ref}
+	case contentmodel.Star:
+		return Rule{Kind: RuleStar, A: define(e.Kids[0])}
+	case contentmodel.Seq, contentmodel.Choice:
+		kind := RuleSeq
+		if e.Kind == contentmodel.Choice {
+			kind = RuleChoice
+		}
+		// Binarize left-to-right: (k1, rest) with rest re-narrowed.
+		a := define(e.Kids[0])
+		var b string
+		if len(e.Kids) == 2 {
+			b = define(e.Kids[1])
+		} else {
+			restExpr := &contentmodel.Expr{Kind: e.Kind, Kids: e.Kids[1:]}
+			b = define(restExpr)
+		}
+		return Rule{Kind: kind, A: a, B: b}
+	}
+	panic("dtd: unknown content model kind")
+}
+
+// IsOriginal reports whether the symbol is an original element type
+// (as opposed to a narrowing nonterminal).
+func (n *Narrowed) IsOriginal(sym string) bool { return n.Owner[sym] == sym }
+
+// RefParents returns, for every original element type u, the sorted
+// list of symbols whose rule is RuleRef(u). The cardinality equation of
+// the encodings is x_u = Σ over these parents.
+func (n *Narrowed) RefParents() map[string][]string {
+	out := map[string][]string{}
+	for _, sym := range n.Symbols {
+		r := n.Rules[sym]
+		if r.Kind == RuleRef {
+			out[r.A] = append(out[r.A], sym)
+		}
+	}
+	return out
+}
+
+// String renders the narrowed grammar for debugging, one production per
+// line in symbol order.
+func (n *Narrowed) String() string {
+	s := ""
+	for _, sym := range n.Symbols {
+		r := n.Rules[sym]
+		switch r.Kind {
+		case RuleEmpty:
+			s += fmt.Sprintf("%s -> EMPTY\n", sym)
+		case RuleText:
+			s += fmt.Sprintf("%s -> #PCDATA\n", sym)
+		case RuleRef:
+			s += fmt.Sprintf("%s -> %s\n", sym, r.A)
+		case RuleSeq:
+			s += fmt.Sprintf("%s -> %s, %s\n", sym, r.A, r.B)
+		case RuleChoice:
+			s += fmt.Sprintf("%s -> %s | %s\n", sym, r.A, r.B)
+		case RuleStar:
+			s += fmt.Sprintf("%s -> %s*\n", sym, r.A)
+		}
+	}
+	return s
+}

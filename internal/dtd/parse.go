@@ -1,0 +1,190 @@
+package dtd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/contentmodel"
+)
+
+// Parse parses DTD surface syntax:
+//
+//	<!ELEMENT name content>
+//	<!ATTLIST name attr1 CDATA #REQUIRED attr2 CDATA #REQUIRED ...>
+//	<!-- comments -->
+//
+// Content is either EMPTY, ANY is not supported (the paper's grammar
+// has no ANY), or a parenthesized content-model expression. Attribute
+// types and defaults other than "CDATA #REQUIRED" are accepted and
+// ignored: in the paper's model every τ element carries exactly the
+// attributes R(τ), which matches #REQUIRED semantics.
+//
+// The element type of the root is the first declared element, matching
+// the convention that a DTD is written top-down; use ParseWithRoot to
+// override.
+func Parse(src string) (*DTD, error) {
+	return ParseWithRoot(src, "")
+}
+
+// ParseWithRoot is Parse with an explicit root element type; an empty
+// root means "first declared element".
+func ParseWithRoot(src, root string) (*DTD, error) {
+	type attlist struct {
+		elem  string
+		attrs []string
+	}
+	var (
+		order    []string
+		contents = map[string]*contentmodel.Expr{}
+		attrs    = map[string][]string{}
+	)
+	rest := src
+	for {
+		rest = skipXMLSpaceAndComments(rest)
+		if rest == "" {
+			break
+		}
+		if !strings.HasPrefix(rest, "<!") {
+			return nil, fmt.Errorf("dtd: expected declaration, found %q", truncate(rest))
+		}
+		end := strings.IndexByte(rest, '>')
+		if end < 0 {
+			return nil, fmt.Errorf("dtd: unterminated declaration %q", truncate(rest))
+		}
+		decl := rest[2:end]
+		rest = rest[end+1:]
+		fields := strings.Fields(decl)
+		if len(fields) == 0 {
+			return nil, fmt.Errorf("dtd: empty declaration")
+		}
+		switch fields[0] {
+		case "ELEMENT":
+			body := strings.TrimSpace(strings.TrimPrefix(decl, "ELEMENT"))
+			sp := strings.IndexAny(body, " \t\r\n(")
+			if sp < 0 {
+				return nil, fmt.Errorf("dtd: malformed <!ELEMENT %s>", body)
+			}
+			name := strings.TrimSpace(body[:sp])
+			cm := strings.TrimSpace(body[sp:])
+			if name == "" || cm == "" {
+				return nil, fmt.Errorf("dtd: malformed <!ELEMENT %s>", body)
+			}
+			expr, err := contentmodel.Parse(cm)
+			if err != nil {
+				return nil, fmt.Errorf("dtd: element %q: %w", name, err)
+			}
+			if _, dup := contents[name]; dup {
+				return nil, fmt.Errorf("dtd: duplicate <!ELEMENT %s>", name)
+			}
+			contents[name] = expr
+			order = append(order, name)
+		case "ATTLIST":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("dtd: malformed <!ATTLIST %s>", decl)
+			}
+			elem := fields[1]
+			// Remaining fields come in (name, type, default) triples;
+			// we record the names and ignore type/default tokens.
+			toks := fields[2:]
+			for i := 0; i < len(toks); {
+				attrs[elem] = append(attrs[elem], toks[i])
+				i++
+				// Skip a type token and a default token when present.
+				for _, expect := range []func(string) bool{isAttrType, isAttrDefault} {
+					if i < len(toks) && expect(toks[i]) {
+						i++
+					}
+				}
+			}
+		default:
+			return nil, fmt.Errorf("dtd: unsupported declaration <!%s ...>", fields[0])
+		}
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("dtd: no element declarations")
+	}
+	if root == "" {
+		root = order[0]
+	}
+	d := New(root)
+	for _, name := range order {
+		d.Define(name, contents[name], attrs[name]...)
+	}
+	for elem := range attrs {
+		if _, ok := contents[elem]; !ok {
+			return nil, fmt.Errorf("dtd: <!ATTLIST %s> for undeclared element", elem)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// MustParse is Parse for known-good literals; it panics on error.
+func MustParse(src string) *DTD {
+	d, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("dtd.MustParse: %v", err))
+	}
+	return d
+}
+
+func isAttrType(tok string) bool {
+	switch tok {
+	case "CDATA", "ID", "IDREF", "IDREFS", "NMTOKEN", "NMTOKENS", "ENTITY", "ENTITIES":
+		return true
+	}
+	return false
+}
+
+func isAttrDefault(tok string) bool {
+	return strings.HasPrefix(tok, "#") || strings.HasPrefix(tok, "\"") || strings.HasPrefix(tok, "'")
+}
+
+func skipXMLSpaceAndComments(s string) string {
+	for {
+		s = strings.TrimLeft(s, " \t\r\n")
+		if strings.HasPrefix(s, "<!--") {
+			end := strings.Index(s, "-->")
+			if end < 0 {
+				return ""
+			}
+			s = s[end+3:]
+			continue
+		}
+		return s
+	}
+}
+
+func truncate(s string) string {
+	if len(s) > 40 {
+		return s[:40] + "..."
+	}
+	return s
+}
+
+// String renders the DTD back in surface syntax, one declaration per
+// line, elements in definition order with the root first.
+func (d *DTD) String() string {
+	var b strings.Builder
+	for _, name := range d.Names {
+		e := d.Elements[name]
+		cm := e.Content.String()
+		if e.Content.Kind != contentmodel.Empty {
+			cm = "(" + cm + ")"
+		}
+		fmt.Fprintf(&b, "<!ELEMENT %s %s>\n", name, cm)
+		if len(e.Attrs) > 0 {
+			as := append([]string(nil), e.Attrs...)
+			sort.Strings(as)
+			fmt.Fprintf(&b, "<!ATTLIST %s", name)
+			for _, a := range as {
+				fmt.Fprintf(&b, " %s CDATA #REQUIRED", a)
+			}
+			b.WriteString(">\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,135 @@
+package dtd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/contentmodel"
+)
+
+// RandomOptions controls random DTD generation for property tests and
+// benchmark workloads.
+type RandomOptions struct {
+	// Types is the number of element types including the root (min 1).
+	Types int
+	// MaxAttrs is the maximum number of attributes per element type.
+	MaxAttrs int
+	// MaxExprSize bounds the size of each content model expression.
+	MaxExprSize int
+	// AllowStar enables Kleene stars (off yields no-star DTDs).
+	AllowStar bool
+	// AllowRecursion permits references from a type to itself or to
+	// earlier types; off yields a topologically layered (non-recursive)
+	// DTD.
+	AllowRecursion bool
+	// AllowText enables #PCDATA leaves inside content models.
+	AllowText bool
+}
+
+// Random generates a pseudo-random well-formed DTD. Every generated DTD
+// passes Validate; with AllowRecursion off it is non-recursive and
+// satisfiable. Element types are named e0 (root), e1, ....
+func Random(rng *rand.Rand, opts RandomOptions) *DTD {
+	if opts.Types < 1 {
+		opts.Types = 1
+	}
+	if opts.MaxExprSize < 1 {
+		opts.MaxExprSize = 6
+	}
+	names := make([]string, opts.Types)
+	for i := range names {
+		names[i] = fmt.Sprintf("e%d", i)
+	}
+	d := New(names[0])
+	for i, name := range names {
+		// Candidate references: later types only (non-recursive mode)
+		// or any non-root type (recursive mode).
+		var refs []string
+		if opts.AllowRecursion {
+			refs = names[1:]
+		} else {
+			refs = names[i+1:]
+		}
+		g := &exprGen{rng: rng, refs: refs, opts: opts}
+		content := g.gen(opts.MaxExprSize)
+		nAttrs := 0
+		if opts.MaxAttrs > 0 {
+			nAttrs = rng.Intn(opts.MaxAttrs + 1)
+		}
+		attrs := make([]string, nAttrs)
+		for j := range attrs {
+			attrs[j] = fmt.Sprintf("a%d", j)
+		}
+		d.Define(name, content, attrs...)
+	}
+	// Force connectivity: every non-root type must be reachable. Walk
+	// the types in order and splice unreachable ones into the content
+	// model of a reachable earlier type.
+	for i := 1; i < opts.Types; i++ {
+		reach := d.Reachable()
+		if reach[names[i]] {
+			continue
+		}
+		// Choose a reachable earlier host to reference names[i]; an
+		// earlier host keeps non-recursive DTDs non-recursive.
+		hosts := make([]string, 0, i)
+		for j := 0; j < i; j++ {
+			if reach[names[j]] {
+				hosts = append(hosts, names[j])
+			}
+		}
+		host := hosts[rng.Intn(len(hosts))]
+		he := d.Elements[host]
+		// Append either an optional or a mandatory occurrence so both
+		// satisfiable-with and satisfiable-without shapes arise.
+		ref := contentmodel.Ref(names[i])
+		if rng.Intn(2) == 0 {
+			ref = contentmodel.Opt(ref)
+		}
+		d.Define(host, contentmodel.NewSeq(he.Content, ref), he.Attrs...)
+	}
+	return d
+}
+
+type exprGen struct {
+	rng  *rand.Rand
+	refs []string
+	opts RandomOptions
+}
+
+// gen produces an expression of size at most budget.
+func (g *exprGen) gen(budget int) *contentmodel.Expr {
+	if budget <= 1 || len(g.refs) == 0 {
+		return g.leaf()
+	}
+	switch g.rng.Intn(6) {
+	case 0:
+		return g.leaf()
+	case 1, 2: // sequence
+		left := g.gen(budget / 2)
+		right := g.gen(budget - budget/2 - 1)
+		return contentmodel.NewSeq(left, right)
+	case 3, 4: // choice
+		left := g.gen(budget / 2)
+		right := g.gen(budget - budget/2 - 1)
+		return contentmodel.NewChoice(left, right)
+	default: // star (or a leaf when stars are disabled)
+		if !g.opts.AllowStar {
+			return g.leaf()
+		}
+		return contentmodel.NewStar(g.gen(budget - 1))
+	}
+}
+
+func (g *exprGen) leaf() *contentmodel.Expr {
+	n := len(g.refs)
+	roll := g.rng.Intn(n + 2)
+	switch {
+	case roll < n:
+		return contentmodel.Ref(g.refs[roll])
+	case roll == n && g.opts.AllowText:
+		return contentmodel.PCData()
+	default:
+		return contentmodel.Eps()
+	}
+}

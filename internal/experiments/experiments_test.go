@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/consistency"
+)
+
+// TestFamiliesMeetExpectations runs every family at small sizes and
+// checks the verdicts against the expectations (which the generators
+// computed with the independent reference solvers).
+func TestFamiliesMeetExpectations(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var insts []Instance
+	for n := 2; n <= 4; n++ {
+		insts = append(insts, Fig3Unary(rng, n))
+	}
+	for n := 1; n <= 3; n++ {
+		if in, ok := Fig3PDE(rng, n); ok {
+			insts = append(insts, in)
+		}
+	}
+	for m := 2; m <= 3; m++ {
+		insts = append(insts, Fig3Regular(rng, m))
+		insts = append(insts, Fig4DLocal(rng, m))
+	}
+	for _, kind := range []string{"sat", "unsat", "open"} {
+		insts = append(insts, Fig3MultiMulti(kind))
+	}
+	for _, kind := range []string{"linear-sat", "linear-unsat", "quad"} {
+		insts = append(insts, Fig4Diophantine(kind))
+	}
+	for levels := 1; levels <= 4; levels++ {
+		insts = append(insts, Fig4Hierarchical(levels, true))
+		insts = append(insts, Fig4Hierarchical(levels, false))
+	}
+	for n := 2; n <= 4; n++ {
+		insts = append(insts, Thm35SubsetSum(rng, n, 9))
+	}
+	for w := 1; w <= 16; w *= 2 {
+		insts = append(insts, Thm35Tractable(w, true))
+		insts = append(insts, Thm35Tractable(w, false))
+	}
+	for _, in := range insts {
+		if err := in.D.Validate(); err != nil {
+			t.Fatalf("%s: invalid DTD: %v", in.Name, err)
+		}
+		if err := in.Set.Validate(in.D); err != nil {
+			t.Fatalf("%s: invalid constraints: %v", in.Name, err)
+		}
+		res, err := in.Check()
+		if err != nil {
+			t.Fatalf("%s: %v", in.Name, err)
+		}
+		if res.Verdict != in.Expect {
+			t.Errorf("%s: verdict %v, want %v (%s)", in.Name, res.Verdict, in.Expect, res.Diagnosis)
+		}
+	}
+}
+
+func TestTractableFamilyStaysFast(t *testing.T) {
+	// The fixed-k fixed-depth family must stay decided and correct as
+	// the width grows (the Theorem 3.5(b) tractable cell).
+	for _, w := range []int{1, 32, 128} {
+		in := Thm35Tractable(w, w%2 == 0)
+		res, err := in.Check()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != in.Expect {
+			t.Fatalf("width %d: %v, want %v", w, res.Verdict, in.Expect)
+		}
+	}
+	_ = consistency.Consistent
+}

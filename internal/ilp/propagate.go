@@ -1,0 +1,342 @@
+package ilp
+
+import "math/big"
+
+// propResult is the outcome of a propagation pass.
+type propResult int
+
+const (
+	propOK propResult = iota
+	propConflict
+	propTainted
+)
+
+// satCap is the saturation threshold for interval arithmetic; bounds
+// at or above it are treated as "effectively infinite" but distinct
+// from the noBound sentinel to keep arithmetic overflow-free.
+const satCap = int64(1) << 56
+
+// maxPropRounds bounds fixpoint iteration. Slow unit-at-a-time
+// convergence (e.g. x ≤ y, y ≤ x-1 from a huge cap) is left to the
+// search rather than ground out here.
+const maxPropRounds = 60
+
+// propagate tightens lo/hi in place until a fixpoint, a conflict or
+// the round budget. It is sound: it never removes integer solutions.
+func (sv *solver) propagate(lo, hi []int64) propResult {
+	n := len(lo)
+	for v := 0; v < n; v++ {
+		if hi[v] != noBound && lo[v] > hi[v] {
+			return propConflict
+		}
+	}
+	for round := 0; round < maxPropRounds; round++ {
+		changed := false
+		tighten := func(v Var, newLo, newHi int64, hasLo, hasHi bool) bool {
+			if hasLo && newLo > lo[v] {
+				lo[v] = newLo
+				changed = true
+			}
+			if hasHi && (hi[v] == noBound || newHi < hi[v]) {
+				hi[v] = newHi
+				changed = true
+			}
+			return hi[v] == noBound || lo[v] <= hi[v]
+		}
+
+		for _, l := range sv.sys.Lins {
+			if l.Rel == LE || l.Rel == EQ {
+				if !sv.propagateLE(l.Terms, l.K, lo, hi, tighten) {
+					return propConflict
+				}
+			}
+			if l.Rel == GE || l.Rel == EQ {
+				if !sv.propagateLE(negateTerms(l.Terms), -l.K, lo, hi, tighten) {
+					return propConflict
+				}
+			}
+		}
+
+		for _, c := range sv.sys.Conds {
+			ifMin := sumLower(c.If, lo)
+			ifMax := sumUpper(c.If, hi)
+			thenMin := sumLower(c.Then, lo)
+			thenMax := sumUpper(c.Then, hi)
+			switch {
+			case ifMin > 0 && thenMax == 0:
+				return propConflict
+			case ifMin > 0:
+				// Conclusion must be positive: if exactly one Then
+				// variable can still be positive, force it to ≥ 1.
+				if thenMin == 0 {
+					free := -1
+					for _, t := range c.Then {
+						if hi[t.Var] == noBound || hi[t.Var] > 0 {
+							if free >= 0 {
+								free = -2
+								break
+							}
+							free = int(t.Var)
+						}
+					}
+					if free >= 0 {
+						if !tighten(Var(free), 1, 0, true, false) {
+							return propConflict
+						}
+					}
+				}
+			case thenMax == 0:
+				// Premise must be zero: every If variable is 0.
+				if ifMax > 0 {
+					for _, t := range c.If {
+						if !tighten(t.Var, 0, 0, false, true) {
+							return propConflict
+						}
+					}
+				}
+			}
+		}
+
+		for _, q := range sv.sys.Quads {
+			// x ≤ y·z. Upper bound on x from the factor uppers.
+			if hi[q.Y] != noBound && hi[q.Z] != noBound {
+				prod := mulSat(hi[q.Y], hi[q.Z])
+				if !tighten(q.X, 0, prod, false, prod < satCap) {
+					return propConflict
+				}
+				if lo[q.X] > prod {
+					return propConflict
+				}
+			}
+			// Lower bounds on factors from a positive x.
+			if lo[q.X] > 0 {
+				if !tighten(q.Y, 1, 0, true, false) || !tighten(q.Z, 1, 0, true, false) {
+					return propConflict
+				}
+				if hi[q.Z] != noBound && hi[q.Z] > 0 {
+					need := ceilDiv(lo[q.X], hi[q.Z])
+					if !tighten(q.Y, need, 0, true, false) {
+						return propConflict
+					}
+				}
+				if hi[q.Y] != noBound && hi[q.Y] > 0 {
+					need := ceilDiv(lo[q.X], hi[q.Y])
+					if !tighten(q.Z, need, 0, true, false) {
+						return propConflict
+					}
+				}
+			}
+		}
+
+		if !changed {
+			return propOK
+		}
+	}
+	return propOK
+}
+
+// propagateLE tightens bounds using Σ terms ≤ k. It reports false on a
+// conflict.
+func (sv *solver) propagateLE(terms []Term, k int64, lo, hi []int64,
+	tighten func(v Var, newLo, newHi int64, hasLo, hasHi bool) bool) bool {
+	// minSum = Σ min over each term; track whether it is -∞.
+	var minSum int64
+	minInf := false
+	for _, t := range terms {
+		if t.Coef > 0 {
+			minSum = addSat(minSum, mulSat(t.Coef, lo[t.Var]))
+		} else {
+			if hi[t.Var] == noBound {
+				minInf = true
+				continue
+			}
+			minSum = addSat(minSum, -mulSat(-t.Coef, hi[t.Var]))
+		}
+	}
+	if !minInf && minSum > k {
+		return false
+	}
+	for _, t := range terms {
+		// Residual minimum of the other terms.
+		restInf := minInf
+		rest := minSum
+		if t.Coef > 0 {
+			rest -= mulSat(t.Coef, lo[t.Var])
+		} else {
+			if hi[t.Var] == noBound {
+				// This term was the (an) infinite contributor; others
+				// may still be infinite.
+				restInf = otherNegUnbounded(terms, t.Var, hi)
+				rest = minSumWithout(terms, t.Var, lo, hi)
+			} else {
+				rest += mulSat(-t.Coef, hi[t.Var])
+			}
+		}
+		if restInf {
+			continue
+		}
+		budget := k - rest
+		if t.Coef > 0 {
+			// t.Coef * x ≤ budget → x ≤ floor(budget / coef).
+			if budget < 0 {
+				return false
+			}
+			if !tighten(t.Var, 0, budget/t.Coef, false, true) {
+				return false
+			}
+		} else {
+			// -|c|·x ≤ budget → x ≥ ceil(-budget/|c|).
+			c := -t.Coef
+			if need := ceilDiv(-budget, c); need > 0 {
+				if !tighten(t.Var, need, 0, true, false) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func otherNegUnbounded(terms []Term, skip Var, hi []int64) bool {
+	for _, t := range terms {
+		if t.Var != skip && t.Coef < 0 && hi[t.Var] == noBound {
+			return true
+		}
+	}
+	return false
+}
+
+func minSumWithout(terms []Term, skip Var, lo, hi []int64) int64 {
+	var sum int64
+	for _, t := range terms {
+		if t.Var == skip {
+			continue
+		}
+		if t.Coef > 0 {
+			sum = addSat(sum, mulSat(t.Coef, lo[t.Var]))
+		} else if hi[t.Var] != noBound {
+			sum = addSat(sum, -mulSat(-t.Coef, hi[t.Var]))
+		}
+	}
+	return sum
+}
+
+func negateTerms(terms []Term) []Term {
+	out := make([]Term, len(terms))
+	for i, t := range terms {
+		out[i] = Term{Var: t.Var, Coef: -t.Coef}
+	}
+	return out
+}
+
+// sumLower returns the minimum of Σ terms (positive coefficients) under
+// the bounds.
+func sumLower(terms []Term, lo []int64) int64 {
+	var sum int64
+	for _, t := range terms {
+		sum = addSat(sum, mulSat(t.Coef, lo[t.Var]))
+	}
+	return sum
+}
+
+// sumUpper returns the maximum of Σ terms (positive coefficients), with
+// satCap standing in for infinity.
+func sumUpper(terms []Term, hi []int64) int64 {
+	var sum int64
+	for _, t := range terms {
+		if hi[t.Var] == noBound {
+			return satCap
+		}
+		sum = addSat(sum, mulSat(t.Coef, hi[t.Var]))
+	}
+	return sum
+}
+
+func mulSat(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	neg := (a < 0) != (b < 0)
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if a > satCap/b {
+		if neg {
+			return -satCap
+		}
+		return satCap
+	}
+	if neg {
+		return -a * b
+	}
+	return a * b
+}
+
+func addSat(a, b int64) int64 {
+	s := a + b
+	if s > satCap {
+		return satCap
+	}
+	if s < -satCap {
+		return -satCap
+	}
+	return s
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		panic("ilp: ceilDiv by nonpositive")
+	}
+	if a <= 0 {
+		return -((-a) / b)
+	}
+	return (a + b - 1) / b
+}
+
+// papadimitriouBound returns an upper bound B such that a pure linear
+// system that is satisfiable has a solution with all values ≤ B
+// (Papadimitriou 1981: B = n·(m·a)^{2m+1}), or noBound when the bound
+// overflows or the system has prequadratic constraints (whose
+// solution-size bound is not single-exponential). Searching values up
+// to B is then complete, so Unsat verdicts under a cap ≥ B are exact.
+func papadimitriouBound(s *System) int64 {
+	if len(s.Quads) > 0 {
+		return noBound
+	}
+	n := int64(s.NumVars())
+	// Conditionals case-split into one extra row each.
+	m := int64(len(s.Lins)+len(s.Conds)) + 1
+	var amax int64 = 1
+	consider := func(v int64) {
+		if v < 0 {
+			v = -v
+		}
+		if v > amax {
+			amax = v
+		}
+	}
+	for _, l := range s.Lins {
+		consider(l.K)
+		for _, t := range l.Terms {
+			consider(t.Coef)
+		}
+	}
+	for _, c := range s.Conds {
+		for _, t := range c.If {
+			consider(t.Coef)
+		}
+		for _, t := range c.Then {
+			consider(t.Coef)
+		}
+	}
+	base := new(big.Int).Mul(big.NewInt(m), big.NewInt(amax))
+	exp := new(big.Int).Exp(base, big.NewInt(2*m+1), nil)
+	bound := new(big.Int).Mul(big.NewInt(n), exp)
+	if !bound.IsInt64() || bound.Int64() >= satCap {
+		return noBound
+	}
+	return bound.Int64()
+}

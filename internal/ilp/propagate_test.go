@@ -1,0 +1,162 @@
+package ilp
+
+import "testing"
+
+func TestConditionalSums(t *testing.T) {
+	// (x + y > 0) → (u + v > 0): the form the connectivity cuts use.
+	s := NewSystem()
+	x, y := s.Var("x"), s.Var("y")
+	u, v := s.Var("u"), s.Var("v")
+	s.AddCond([]Term{T(1, x), T(1, y)}, []Term{T(1, u), T(1, v)})
+	s.AddGE([]Term{T(1, x)}, 1)
+	s.AddConst(u, 0)
+	res := Solve(s, Options{})
+	if res.Verdict != Sat {
+		t.Fatalf("verdict = %v, want sat (v can be positive)", res.Verdict)
+	}
+	if res.Values[v] < 1 {
+		t.Fatalf("v = %d, want ≥ 1", res.Values[v])
+	}
+	// Zeroing both conclusions forces the premise to zero — which the
+	// x ≥ 1 row contradicts.
+	s2 := NewSystem()
+	x2, y2 := s2.Var("x"), s2.Var("y")
+	u2, v2 := s2.Var("u"), s2.Var("v")
+	s2.AddCond([]Term{T(1, x2), T(1, y2)}, []Term{T(1, u2), T(1, v2)})
+	s2.AddGE([]Term{T(1, x2)}, 1)
+	s2.AddConst(u2, 0)
+	s2.AddConst(v2, 0)
+	if res := Solve(s2, Options{}); res.Verdict != Unsat {
+		t.Fatalf("verdict = %v, want unsat", res.Verdict)
+	}
+}
+
+func TestCondPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddCond with nonpositive coefficient must panic")
+		}
+	}()
+	s := NewSystem()
+	x, y := s.Var("x"), s.Var("y")
+	s.AddCond([]Term{T(-1, x)}, []Term{T(1, y)})
+}
+
+func TestQuadForcesFactorsPositive(t *testing.T) {
+	// x ≥ 3 with x ≤ y·z and z ≤ 1 forces z = 1 and y ≥ 3.
+	s := NewSystem()
+	x, y, z := s.Var("x"), s.Var("y"), s.Var("z")
+	s.AddQuad(x, y, z)
+	s.AddGE([]Term{T(1, x)}, 3)
+	s.AddLE([]Term{T(1, z)}, 1)
+	s.AddLE([]Term{T(1, y)}, 5)
+	res := Solve(s, Options{})
+	if res.Verdict != Sat {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if res.Values[z] != 1 || res.Values[y] < 3 {
+		t.Fatalf("y=%d z=%d, want z=1 y≥3", res.Values[y], res.Values[z])
+	}
+	// y capped at 2 makes it impossible.
+	s2 := NewSystem()
+	x2, y2, z2 := s2.Var("x"), s2.Var("y"), s2.Var("z")
+	s2.AddQuad(x2, y2, z2)
+	s2.AddGE([]Term{T(1, x2)}, 3)
+	s2.AddLE([]Term{T(1, z2)}, 1)
+	s2.AddLE([]Term{T(1, y2)}, 2)
+	if res := Solve(s2, Options{}); res.Verdict != Unsat {
+		t.Fatalf("verdict = %v, want unsat", res.Verdict)
+	}
+}
+
+func TestEqualityChainPropagation(t *testing.T) {
+	// A long chain x0 = x1 = … = x20 = 7 must be decided essentially
+	// by propagation (few search nodes).
+	s := NewSystem()
+	const n = 21
+	vars := make([]Var, n)
+	for i := range vars {
+		vars[i] = s.Var(string(rune('A' + i)))
+	}
+	for i := 0; i+1 < n; i++ {
+		s.AddVarEQ(vars[i], vars[i+1])
+	}
+	s.AddConst(vars[n-1], 7)
+	res := Solve(s, Options{})
+	if res.Verdict != Sat {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	for i := range vars {
+		if res.Values[vars[i]] != 7 {
+			t.Fatalf("x%d = %d, want 7", i, res.Values[vars[i]])
+		}
+	}
+	if res.Stats.Nodes > 50 {
+		t.Errorf("chain needed %d nodes; propagation should close it quickly", res.Stats.Nodes)
+	}
+}
+
+func TestLargeCoefficientsSaturate(t *testing.T) {
+	// Huge coefficients must not overflow the propagation arithmetic.
+	s := NewSystem()
+	x, y := s.Var("x"), s.Var("y")
+	big := int64(1) << 40
+	s.AddLE([]Term{T(big, x), T(big, y)}, 3*big)
+	s.AddGE([]Term{T(1, x)}, 2)
+	res := Solve(s, Options{})
+	if res.Verdict != Sat {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if res.Values[x] < 2 || res.Values[x]+res.Values[y] > 3 {
+		t.Fatalf("x=%d y=%d", res.Values[x], res.Values[y])
+	}
+}
+
+func TestPapadimitriouBound(t *testing.T) {
+	// Tiny systems get a finite bound; prequadratic ones never do.
+	s := NewSystem()
+	x := s.Var("x")
+	s.AddLE([]Term{T(1, x)}, 5)
+	if b := papadimitriouBound(s); b == noBound {
+		t.Error("tiny linear system must have a finite bound")
+	}
+	s.AddQuad(x, x, x)
+	if b := papadimitriouBound(s); b != noBound {
+		t.Errorf("prequadratic system must have no bound, got %d", b)
+	}
+	// Large coefficient blows the bound past int64.
+	s2 := NewSystem()
+	y := s2.Var("y")
+	var terms []Term
+	for i := 0; i < 30; i++ {
+		terms = append(terms, T(1<<30, s2.Var(string(rune('a'+i)))))
+	}
+	s2.AddLE(terms, 1<<40)
+	_ = y
+	if b := papadimitriouBound(s2); b != noBound {
+		t.Errorf("huge system must overflow to noBound, got %d", b)
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{7, 2, 4}, {6, 2, 3}, {0, 5, 0}, {-7, 2, -3}, {1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := ceilDiv(c.a, c.b); got != c.want {
+			t.Errorf("ceilDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ceilDiv by zero must panic")
+		}
+	}()
+	ceilDiv(1, 0)
+}
+
+func TestVerdictStrings(t *testing.T) {
+	if Sat.String() != "sat" || Unsat.String() != "unsat" || Unknown.String() != "unknown" {
+		t.Error("verdict strings wrong")
+	}
+}

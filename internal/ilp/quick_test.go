@@ -1,0 +1,159 @@
+package ilp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickPlantedSolutions is a completeness property test: draw a
+// random assignment first, then draw random constraints that the
+// assignment satisfies by construction; the solver must find the
+// system satisfiable, and its own model must evaluate clean.
+func TestQuickPlantedSolutions(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 250, Rand: rand.New(rand.NewSource(99))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		planted := make([]int64, n)
+		for i := range planted {
+			planted[i] = int64(rng.Intn(5))
+		}
+		s := NewSystem()
+		vars := make([]Var, n)
+		for i := range vars {
+			vars[i] = s.Var(string(rune('a' + i)))
+		}
+		evalTerms := func(terms []Term) int64 {
+			var sum int64
+			for _, tm := range terms {
+				sum += tm.Coef * planted[tm.Var]
+			}
+			return sum
+		}
+		// Random linear rows anchored at the planted point.
+		for k := rng.Intn(5); k > 0; k-- {
+			var terms []Term
+			for i := range vars {
+				if c := rng.Intn(7) - 3; c != 0 {
+					terms = append(terms, T(int64(c), vars[i]))
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			v := evalTerms(terms)
+			switch rng.Intn(3) {
+			case 0:
+				s.AddLE(terms, v+int64(rng.Intn(3)))
+			case 1:
+				s.AddGE(terms, v-int64(rng.Intn(3)))
+			default:
+				s.AddEQ(terms, v)
+			}
+		}
+		// Conditionals satisfied by the planted point.
+		for k := rng.Intn(3); k > 0; k-- {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if planted[i] > 0 && planted[j] == 0 {
+				continue // would be violated
+			}
+			s.AddCondVar(vars[i], vars[j])
+		}
+		// Prequadratic rows satisfied by the planted point.
+		for k := rng.Intn(3); k > 0; k-- {
+			x, y, z := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+			if planted[x] <= planted[y]*planted[z] {
+				s.AddQuad(vars[x], vars[y], vars[z])
+			}
+		}
+		if err := s.Eval(planted); err != nil {
+			t.Logf("planted assignment invalid: %v", err)
+			return false
+		}
+		res := Solve(s, Options{})
+		if res.Verdict != Sat {
+			t.Logf("planted-sat system reported %v:\n%s", res.Verdict, s)
+			return false
+		}
+		if err := s.Eval(res.Values); err != nil {
+			t.Logf("model invalid: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRefutations plants an impossible pair of rows among random
+// noise; the solver must never report Sat.
+func TestQuickRefutations(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(7))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		s := NewSystem()
+		vars := make([]Var, n)
+		for i := range vars {
+			vars[i] = s.Var(string(rune('a' + i)))
+		}
+		// Impossible core: Σ x_i ≤ k and Σ x_i ≥ k+1.
+		var terms []Term
+		for _, v := range vars {
+			terms = append(terms, T(1, v))
+		}
+		k := int64(rng.Intn(6))
+		s.AddLE(terms, k)
+		s.AddGE(terms, k+1)
+		// Noise.
+		for c := rng.Intn(4); c > 0; c-- {
+			s.AddCondVar(vars[rng.Intn(n)], vars[rng.Intn(n)])
+		}
+		for c := rng.Intn(2); c > 0; c-- {
+			s.AddQuad(vars[rng.Intn(n)], vars[rng.Intn(n)], vars[rng.Intn(n)])
+		}
+		res := Solve(s, Options{})
+		return res.Verdict == Unsat
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLPModesAgree checks that the three relaxation modes agree
+// on random small systems.
+func TestQuickLPModesAgree(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(13))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		s := NewSystem()
+		vars := make([]Var, n)
+		for i := range vars {
+			vars[i] = s.Var(string(rune('a' + i)))
+			s.AddLE([]Term{T(1, vars[i])}, 4)
+		}
+		for c := 1 + rng.Intn(4); c > 0; c-- {
+			var terms []Term
+			for i := range vars {
+				if co := rng.Intn(5) - 2; co != 0 {
+					terms = append(terms, T(int64(co), vars[i]))
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			s.AddLinear(terms, Rel(rng.Intn(3)), int64(rng.Intn(9)-3))
+		}
+		var verdicts []Verdict
+		for _, mode := range []LPMode{LPAuto, LPAlways, LPNever} {
+			verdicts = append(verdicts, Solve(s, Options{LP: mode}).Verdict)
+		}
+		return verdicts[0] == verdicts[1] && verdicts[1] == verdicts[2]
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,270 @@
+package implication
+
+import (
+	"testing"
+
+	"repro/internal/consistency"
+	"repro/internal/constraint"
+	"repro/internal/dtd"
+	"repro/internal/xmltree"
+)
+
+func implies(t *testing.T, dtdSrc, setSrc, phiSrc string) Result {
+	t.Helper()
+	d := dtd.MustParse(dtdSrc)
+	set := constraint.MustParseSet(setSrc)
+	if err := set.Validate(d); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	phi := constraint.MustParse(phiSrc)
+	res, err := Implies(d, set, phi, Options{})
+	if err != nil {
+		t.Fatalf("Implies: %v", err)
+	}
+	if res.Verdict == NotImplied {
+		if res.Counterexample == nil {
+			t.Fatal("NotImplied without counterexample")
+		}
+		if err := res.Counterexample.Conforms(d); err != nil {
+			t.Fatalf("counterexample conformance: %v", err)
+		}
+		if !constraint.Satisfies(res.Counterexample, set) {
+			t.Fatal("counterexample violates Σ")
+		}
+		if sat := satisfiesPhi(res.Counterexample, phi); sat {
+			t.Fatalf("counterexample satisfies φ:\n%s", res.Counterexample.XML())
+		}
+	}
+	return res
+}
+
+func satisfiesPhi(tree *xmltree.Tree, phi constraint.Constraint) bool {
+	s := &constraint.Set{}
+	switch v := phi.(type) {
+	case constraint.Key:
+		s.AddKey(v)
+	case constraint.Inclusion:
+		s.AddInclusion(v)
+	}
+	return constraint.Satisfies(tree, s)
+}
+
+func TestTrivialSelfImplication(t *testing.T) {
+	res := implies(t, `
+<!ELEMENT db (a, a)>
+<!ELEMENT a EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+`, "a.x -> a", "a.x -> a")
+	if res.Verdict != Implied {
+		t.Fatalf("verdict = %v, want implied", res.Verdict)
+	}
+}
+
+func TestSingletonKeyImplied(t *testing.T) {
+	// One a element: any key on a holds vacuously.
+	res := implies(t, `
+<!ELEMENT db (a)>
+<!ELEMENT a EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+`, "", "a.x -> a")
+	if res.Verdict != Implied {
+		t.Fatalf("verdict = %v, want implied (at most one a)", res.Verdict)
+	}
+}
+
+func TestKeyNotImplied(t *testing.T) {
+	res := implies(t, `
+<!ELEMENT db (a, a)>
+<!ELEMENT a EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+`, "", "a.x -> a")
+	if res.Verdict != NotImplied {
+		t.Fatalf("verdict = %v (%s), want not-implied", res.Verdict, res.Diagnosis)
+	}
+}
+
+func TestInclusionTransitivity(t *testing.T) {
+	const d = `
+<!ELEMENT db (a*, b*, c*)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ELEMENT c EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+<!ATTLIST b y CDATA #REQUIRED>
+<!ATTLIST c z CDATA #REQUIRED>
+`
+	const sigma = `
+b.y -> b
+c.z -> c
+a.x ⊆ b.y
+b.y ⊆ c.z
+`
+	res := implies(t, d, sigma, "a.x ⊆ c.z")
+	if res.Verdict != Implied {
+		t.Fatalf("transitivity: verdict = %v (%s), want implied", res.Verdict, res.Diagnosis)
+	}
+	// The reverse direction is not implied.
+	res2 := implies(t, d, sigma, "c.z ⊆ a.x")
+	if res2.Verdict != NotImplied {
+		t.Fatalf("reverse: verdict = %v (%s), want not-implied", res2.Verdict, res2.Diagnosis)
+	}
+}
+
+func TestInclusionNotImpliedWithRepair(t *testing.T) {
+	// Nothing relates a and b: the inclusion can fail.
+	res := implies(t, `
+<!ELEMENT db (a, b)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+<!ATTLIST b y CDATA #REQUIRED>
+`, "b.y -> b", "a.x ⊆ b.y")
+	if res.Verdict != NotImplied {
+		t.Fatalf("verdict = %v (%s), want not-implied", res.Verdict, res.Diagnosis)
+	}
+}
+
+func TestDTDForcedImplication(t *testing.T) {
+	// The DTD caps ext(b) at one element, and Σ keys both: with
+	// a.x ⊆ b.y in Σ and exactly one a and one b, b.y ⊆ a.x follows.
+	res := implies(t, `
+<!ELEMENT db (a, b)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+<!ATTLIST b y CDATA #REQUIRED>
+`, `
+a.x -> a
+b.y -> b
+a.x ⊆ b.y
+`, "b.y ⊆ a.x")
+	if res.Verdict != Implied {
+		t.Fatalf("verdict = %v (%s), want implied (1 a, 1 b, a.x ⊆ b.y)", res.Verdict, res.Diagnosis)
+	}
+}
+
+func TestRegularImplication(t *testing.T) {
+	// A key over all b's implies the key over the b's under x.
+	const d = `
+<!ELEMENT r (x, y)>
+<!ELEMENT x (b, b)>
+<!ELEMENT y (b)>
+<!ELEMENT b EMPTY>
+<!ATTLIST b v CDATA #REQUIRED>
+`
+	res := implies(t, d, "b.v -> b", "r.x.b.v -> r.x.b")
+	if res.Verdict != Implied {
+		t.Fatalf("verdict = %v (%s), want implied (subregion of a keyed region)", res.Verdict, res.Diagnosis)
+	}
+	// The converse is not implied: the path key leaves the y-side b
+	// free to duplicate an x-side value.
+	res2 := implies(t, d, "r.x.b.v -> r.x.b", "b.v -> b")
+	if res2.Verdict != NotImplied {
+		t.Fatalf("verdict = %v (%s), want not-implied", res2.Verdict, res2.Diagnosis)
+	}
+}
+
+func TestForeignKeyImplication(t *testing.T) {
+	// φ as a whole foreign key (inclusion + key on the target): the
+	// key part b.y -> b already fails (two b's may share values), so
+	// the foreign key is not implied even where the inclusion is.
+	d := dtd.MustParse(`
+<!ELEMENT db (a, b, b)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+<!ATTLIST b y CDATA #REQUIRED>
+`)
+	inc := constraint.MustParse("a.x ⊆ b.y").(constraint.Inclusion)
+	res, err := ImpliesForeignKey(d, &constraint.Set{}, inc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != NotImplied {
+		t.Fatalf("verdict = %v (%s), want not-implied", res.Verdict, res.Diagnosis)
+	}
+	// With the key in Σ, only the inclusion part can fail — and does.
+	res2, err := ImpliesForeignKey(d, constraint.MustParseSet("b.y -> b"), inc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Verdict != NotImplied {
+		t.Fatalf("keyed verdict = %v (%s), want not-implied", res2.Verdict, res2.Diagnosis)
+	}
+}
+
+func TestProposition36Reduction(t *testing.T) {
+	cases := []struct {
+		name       string
+		dtdSrc     string
+		setSrc     string
+		consistent bool
+	}{
+		{
+			name: "sat",
+			dtdSrc: `
+<!ELEMENT db (a, b*)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+<!ATTLIST b y CDATA #REQUIRED>
+`,
+			setSrc:     "a.x -> a\nb.y -> b\na.x ⊆ b.y",
+			consistent: true,
+		},
+		{
+			name: "unsat",
+			dtdSrc: `
+<!ELEMENT db (a, a, b)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+<!ATTLIST b y CDATA #REQUIRED>
+`,
+			setSrc:     "a.x -> a\nb.y -> b\na.x ⊆ b.y",
+			consistent: false,
+		},
+	}
+	for _, c := range cases {
+		d := dtd.MustParse(c.dtdSrc)
+		set := constraint.MustParseSet(c.setSrc)
+		// Confirm the SAT status with the consistency checker.
+		cres, err := consistency.Check(d, set, consistency.Options{SkipWitness: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantV := consistency.Inconsistent
+		if c.consistent {
+			wantV = consistency.Consistent
+		}
+		if cres.Verdict != wantV {
+			t.Fatalf("%s: consistency = %v, want %v", c.name, cres.Verdict, wantV)
+		}
+		d2, set2, phi, err := ReduceSATToNonImplication(d, set)
+		if err != nil {
+			t.Fatalf("%s: reduction: %v", c.name, err)
+		}
+		ires, err := Implies(d2, set2, phi, Options{})
+		if err != nil {
+			t.Fatalf("%s: Implies: %v", c.name, err)
+		}
+		// SAT(D, Σ) iff (D′, Σ ∪ {ψ}) ⊬ φ.
+		if c.consistent && ires.Verdict != NotImplied {
+			t.Fatalf("%s: reduction verdict = %v (%s), want not-implied", c.name, ires.Verdict, ires.Diagnosis)
+		}
+		if !c.consistent && ires.Verdict != Implied {
+			t.Fatalf("%s: reduction verdict = %v (%s), want implied", c.name, ires.Verdict, ires.Diagnosis)
+		}
+	}
+}
+
+func TestRejectsUnsupported(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT db (a)><!ELEMENT a EMPTY><!ATTLIST a x CDATA #REQUIRED>`)
+	set := &constraint.Set{}
+	if _, err := Implies(d, set, constraint.MustParse("db(a.x -> a)"), Options{}); err == nil {
+		t.Error("relative φ must be rejected")
+	}
+	if _, err := Implies(d, set, constraint.MustParse("a[x,x] -> a"), Options{}); err == nil {
+		t.Error("multi-attribute φ must be rejected")
+	}
+}

@@ -1,0 +1,165 @@
+package implication
+
+import (
+	"fmt"
+
+	"repro/internal/bruteforce"
+	"repro/internal/constraint"
+	"repro/internal/dtd"
+	"repro/internal/xmltree"
+)
+
+// ImpliesAny decides (D, Σ) ⊢ φ for any dialect of φ: unary absolute
+// and regular constraints go through the exact encoded-negation
+// procedure; relative and multi-attribute constraints — whose
+// implication problems the paper proves undecidable or leaves open
+// (Corollary 4.5) — get a bounded counterexample search and an honest
+// Unknown when nothing small refutes them.
+func ImpliesAny(d *dtd.DTD, set *constraint.Set, phi constraint.Constraint, opts Options) (Result, error) {
+	exactable := false
+	switch c := phi.(type) {
+	case constraint.Key:
+		exactable = c.Context == "" && c.Target.Unary()
+	case constraint.Inclusion:
+		exactable = c.Context == "" && c.From.Unary()
+	default:
+		return Result{}, fmt.Errorf("implication: unsupported constraint %v", phi)
+	}
+	if exactable {
+		return Implies(d, set, phi, opts)
+	}
+	return refuteBounded(d, set, phi, opts)
+}
+
+// refuteBounded searches exhaustively for a small counterexample: a
+// document satisfying Σ but violating φ. It can return NotImplied
+// (with the counterexample) or Unknown — never Implied, matching the
+// undecidability of the general problem.
+func refuteBounded(d *dtd.DTD, set *constraint.Set, phi constraint.Constraint, opts Options) (Result, error) {
+	searchNodes := opts.SearchNodes
+	if searchNodes == 0 {
+		searchNodes = 5
+	}
+	phiSet := singleton(phi)
+	bf := bruteforce.Decide(d, set, bruteforce.Options{
+		MaxNodes: searchNodes,
+		Extra:    func(t *xmltree.Tree) bool { return !constraint.Satisfies(t, phiSet) },
+	})
+	if bf.Sat() {
+		return Result{Verdict: NotImplied, Counterexample: bf.Witness}, nil
+	}
+	diag := "no counterexample within the search bounds; the implication problem for this dialect is undecidable (Corollary 4.5), so no proof is attempted"
+	if !bf.Exhausted {
+		diag = "bounded counterexample search inconclusive (budget exhausted)"
+	}
+	return Result{Verdict: Unknown, Diagnosis: diag}, nil
+}
+
+func singleton(phi constraint.Constraint) *constraint.Set {
+	s := &constraint.Set{}
+	switch v := phi.(type) {
+	case constraint.Key:
+		s.AddKey(v)
+	case constraint.Inclusion:
+		s.AddInclusion(v)
+	}
+	return s
+}
+
+// SetResult is the outcome of a set-level implication check.
+type SetResult struct {
+	Verdict Verdict
+	// Failing is the first constraint found not to be implied
+	// (NotImplied only), with its counterexample.
+	Failing        string
+	Counterexample *xmltree.Tree
+	Diagnosis      string
+}
+
+// ImpliesSet decides (D, Σ1) ⊢ Σ2: every constraint of Σ2 must be
+// implied. The verdict is Implied only when every member check is
+// exactly Implied; one refuted member makes it NotImplied; otherwise
+// Unknown.
+func ImpliesSet(d *dtd.DTD, sigma1, sigma2 *constraint.Set, opts Options) (SetResult, error) {
+	sawUnknown := false
+	var diag string
+	check := func(phi constraint.Constraint) (SetResult, bool, error) {
+		res, err := ImpliesAny(d, sigma1, phi, opts)
+		if err != nil {
+			return SetResult{}, false, err
+		}
+		switch res.Verdict {
+		case NotImplied:
+			return SetResult{
+				Verdict:        NotImplied,
+				Failing:        phi.String(),
+				Counterexample: res.Counterexample,
+			}, true, nil
+		case Unknown:
+			sawUnknown = true
+			if diag == "" {
+				diag = fmt.Sprintf("%s: %s", phi, res.Diagnosis)
+			}
+		}
+		return SetResult{}, false, nil
+	}
+	for _, k := range sigma2.Keys {
+		if out, done, err := check(k); done || err != nil {
+			return out, err
+		}
+	}
+	for _, c := range sigma2.Incls {
+		if out, done, err := check(c); done || err != nil {
+			return out, err
+		}
+	}
+	if sawUnknown {
+		return SetResult{Verdict: Unknown, Diagnosis: diag}, nil
+	}
+	return SetResult{Verdict: Implied}, nil
+}
+
+// EquivalenceResult is the outcome of an equivalence check between two
+// constraint sets over one DTD.
+type EquivalenceResult struct {
+	// Equivalent is a three-valued verdict reusing the implication
+	// scale: Implied means equivalent, NotImplied means separated,
+	// Unknown means undecided.
+	Verdict Verdict
+	// Separating is a document satisfying one set but not the other
+	// (NotImplied only), and Direction says which set it violates.
+	Separating *xmltree.Tree
+	Direction  string
+	Diagnosis  string
+}
+
+// EquivalentSets decides whether Σ1 and Σ2 admit exactly the same
+// documents over D, by checking implication in both directions.
+func EquivalentSets(d *dtd.DTD, sigma1, sigma2 *constraint.Set, opts Options) (EquivalenceResult, error) {
+	fwd, err := ImpliesSet(d, sigma1, sigma2, opts)
+	if err != nil {
+		return EquivalenceResult{}, err
+	}
+	if fwd.Verdict == NotImplied {
+		return EquivalenceResult{
+			Verdict:    NotImplied,
+			Separating: fwd.Counterexample,
+			Direction:  fmt.Sprintf("satisfies Σ1 but violates %s of Σ2", fwd.Failing),
+		}, nil
+	}
+	bwd, err := ImpliesSet(d, sigma2, sigma1, opts)
+	if err != nil {
+		return EquivalenceResult{}, err
+	}
+	if bwd.Verdict == NotImplied {
+		return EquivalenceResult{
+			Verdict:    NotImplied,
+			Separating: bwd.Counterexample,
+			Direction:  fmt.Sprintf("satisfies Σ2 but violates %s of Σ1", bwd.Failing),
+		}, nil
+	}
+	if fwd.Verdict == Implied && bwd.Verdict == Implied {
+		return EquivalenceResult{Verdict: Implied}, nil
+	}
+	return EquivalenceResult{Verdict: Unknown, Diagnosis: firstNonEmpty(fwd.Diagnosis, bwd.Diagnosis)}, nil
+}

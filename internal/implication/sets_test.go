@@ -1,0 +1,118 @@
+package implication
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/dtd"
+)
+
+const setsDTD = `
+<!ELEMENT db (a*, b*, c*)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ELEMENT c EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+<!ATTLIST b y CDATA #REQUIRED>
+<!ATTLIST c z CDATA #REQUIRED>
+`
+
+func TestImpliesSet(t *testing.T) {
+	d := dtd.MustParse(setsDTD)
+	sigma1 := constraint.MustParseSet("b.y -> b\nc.z -> c\na.x ⊆ b.y\nb.y ⊆ c.z")
+	implied := constraint.MustParseSet("c.z -> c\na.x ⊆ c.z")
+	res, err := ImpliesSet(d, sigma1, implied, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Implied {
+		t.Fatalf("verdict = %v (%s), want implied", res.Verdict, res.Diagnosis)
+	}
+	notImplied := constraint.MustParseSet("a.x -> a\nc.z -> c\na.x ⊆ c.z")
+	res2, err := ImpliesSet(d, sigma1, notImplied, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Verdict != NotImplied || res2.Failing != "a.x -> a" {
+		t.Fatalf("verdict = %v failing=%q, want not-implied on a.x -> a", res2.Verdict, res2.Failing)
+	}
+	if res2.Counterexample == nil {
+		t.Fatal("no counterexample")
+	}
+}
+
+func TestEquivalentSets(t *testing.T) {
+	d := dtd.MustParse(setsDTD)
+	// Σ1 and a transitively closed variant admit the same documents.
+	sigma1 := constraint.MustParseSet("b.y -> b\nc.z -> c\na.x ⊆ b.y\nb.y ⊆ c.z")
+	sigma2 := constraint.MustParseSet("b.y -> b\nc.z -> c\na.x ⊆ b.y\nb.y ⊆ c.z\na.x ⊆ c.z")
+	res, err := EquivalentSets(d, sigma1, sigma2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Implied {
+		t.Fatalf("closure equivalence: %v (%s)", res.Verdict, res.Diagnosis)
+	}
+	// Dropping a key separates the sets.
+	sigma3 := constraint.MustParseSet("c.z -> c\nb.y -> b")
+	res2, err := EquivalentSets(d, sigma1, sigma3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Verdict != NotImplied {
+		t.Fatalf("separation: %v (%s)", res2.Verdict, res2.Diagnosis)
+	}
+	if res2.Separating == nil || !strings.Contains(res2.Direction, "Σ2") {
+		t.Fatalf("direction = %q, separating = %v", res2.Direction, res2.Separating)
+	}
+}
+
+func TestImpliesAnyRelative(t *testing.T) {
+	d := dtd.MustParse(`
+<!ELEMENT db (ctx, ctx)>
+<!ELEMENT ctx (p, p)>
+<!ELEMENT p EMPTY>
+<!ATTLIST p id CDATA #REQUIRED>
+`)
+	// Nothing constrains p: the relative key is refutable by a small
+	// counterexample.
+	phi := constraint.MustParse("ctx(p.id -> p)")
+	res, err := ImpliesAny(d, &constraint.Set{}, phi, Options{SearchNodes: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != NotImplied {
+		t.Fatalf("verdict = %v (%s), want not-implied", res.Verdict, res.Diagnosis)
+	}
+	// With an ABSOLUTE key on p.id, the relative key follows — but the
+	// dialect is undecidable, so the checker must answer Unknown, not
+	// Implied.
+	sigma := constraint.MustParseSet("p.id -> p")
+	res2, err := ImpliesAny(d, sigma, phi, Options{SearchNodes: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Verdict != Unknown {
+		t.Fatalf("verdict = %v, want unknown (undecidable dialect, Corollary 4.5)", res2.Verdict)
+	}
+	if !strings.Contains(res2.Diagnosis, "undecidable") {
+		t.Errorf("diagnosis = %q", res2.Diagnosis)
+	}
+}
+
+func TestImpliesAnyMultiAttribute(t *testing.T) {
+	d := dtd.MustParse(`
+<!ELEMENT db (p, p)>
+<!ELEMENT p EMPTY>
+<!ATTLIST p a CDATA #REQUIRED b CDATA #REQUIRED>
+`)
+	phi := constraint.MustParse("p[a,b] -> p")
+	res, err := ImpliesAny(d, &constraint.Set{}, phi, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != NotImplied {
+		t.Fatalf("verdict = %v (%s)", res.Verdict, res.Diagnosis)
+	}
+}

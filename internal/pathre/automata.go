@@ -1,0 +1,348 @@
+package pathre
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NFA is a Thompson automaton for a path expression. Transitions carry
+// either a concrete element type or the wildcard; ε-moves are kept
+// separate. State 0 is the start state; there is a single accept state.
+type NFA struct {
+	// Trans[s] maps an element type to successor states.
+	Trans []map[string][]int
+	// WildTrans[s] lists successors on any symbol.
+	WildTrans [][]int
+	// EpsTrans[s] lists ε-successors.
+	EpsTrans [][]int
+	// Start and Accept are the designated states.
+	Start, Accept int
+}
+
+// CompileNFA builds a Thompson NFA for the expression.
+func CompileNFA(e *Expr) *NFA {
+	n := &NFA{}
+	newState := func() int {
+		n.Trans = append(n.Trans, nil)
+		n.WildTrans = append(n.WildTrans, nil)
+		n.EpsTrans = append(n.EpsTrans, nil)
+		return len(n.Trans) - 1
+	}
+	var build func(e *Expr) (int, int)
+	build = func(e *Expr) (start, accept int) {
+		switch e.Kind {
+		case Eps:
+			s := newState()
+			return s, s
+		case Sym:
+			s, a := newState(), newState()
+			if n.Trans[s] == nil {
+				n.Trans[s] = map[string][]int{}
+			}
+			n.Trans[s][e.Name] = append(n.Trans[s][e.Name], a)
+			return s, a
+		case Wild:
+			s, a := newState(), newState()
+			n.WildTrans[s] = append(n.WildTrans[s], a)
+			return s, a
+		case Cat:
+			start, accept = build(e.Kids[0])
+			for _, k := range e.Kids[1:] {
+				ks, ka := build(k)
+				n.EpsTrans[accept] = append(n.EpsTrans[accept], ks)
+				accept = ka
+			}
+			return start, accept
+		case Alt:
+			s, a := newState(), newState()
+			for _, k := range e.Kids {
+				ks, ka := build(k)
+				n.EpsTrans[s] = append(n.EpsTrans[s], ks)
+				n.EpsTrans[ka] = append(n.EpsTrans[ka], a)
+			}
+			return s, a
+		case Star:
+			s, a := newState(), newState()
+			ks, ka := build(e.Kids[0])
+			n.EpsTrans[s] = append(n.EpsTrans[s], ks, a)
+			n.EpsTrans[ka] = append(n.EpsTrans[ka], ks, a)
+			return s, a
+		}
+		panic("pathre: unknown expression kind")
+	}
+	n.Start, n.Accept = build(e)
+	return n
+}
+
+// closure expands a state set with ε-moves, in place, returning the
+// sorted deduplicated set.
+func (n *NFA) closure(set []int) []int {
+	seen := map[int]bool{}
+	stack := append([]int(nil), set...)
+	for _, s := range stack {
+		seen[s] = true
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.EpsTrans[s] {
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Match reports whether the path (a word of element type names) is in
+// the language. Matching runs the NFA directly so it works without a
+// fixed alphabet.
+func (n *NFA) Match(path []string) bool {
+	cur := n.closure([]int{n.Start})
+	for _, sym := range path {
+		var next []int
+		for _, s := range cur {
+			next = append(next, n.Trans[s][sym]...)
+			next = append(next, n.WildTrans[s]...)
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur = n.closure(next)
+	}
+	for _, s := range cur {
+		if s == n.Accept {
+			return true
+		}
+	}
+	return false
+}
+
+// Match reports whether the path is in the language of the expression.
+// It compiles a throwaway NFA; callers matching many paths should
+// compile once.
+func (e *Expr) Match(path []string) bool { return CompileNFA(e).Match(path) }
+
+// DFA is a complete deterministic automaton over an explicit alphabet.
+// State 0 is the start state. Every state has a transition for every
+// alphabet symbol (a dead state is materialized as needed).
+type DFA struct {
+	// Alphabet is the sorted symbol set; Index maps symbol to column.
+	Alphabet []string
+	Index    map[string]int
+	// Trans[s*len(Alphabet)+c] is the successor state.
+	Trans []int
+	// Accept[s] reports whether s is accepting.
+	Accept []bool
+	// Start is always 0.
+	Start int
+}
+
+// NumStates returns the number of DFA states.
+func (d *DFA) NumStates() int { return len(d.Accept) }
+
+// Step returns δ(s, sym). Unknown symbols go to a dead state only if
+// one exists; they panic otherwise, since a complete DFA must be built
+// over the full alphabet of interest.
+func (d *DFA) Step(s int, sym string) int {
+	c, ok := d.Index[sym]
+	if !ok {
+		panic(fmt.Sprintf("pathre: symbol %q not in DFA alphabet", sym))
+	}
+	return d.Trans[s*len(d.Alphabet)+c]
+}
+
+// Match runs the DFA over the path.
+func (d *DFA) Match(path []string) bool {
+	s := d.Start
+	for _, sym := range path {
+		s = d.Step(s, sym)
+	}
+	return d.Accept[s]
+}
+
+// Determinize builds a complete DFA from the NFA over the given
+// alphabet via subset construction. Symbols of the NFA outside the
+// alphabet are unreachable in any matched path and are ignored.
+func Determinize(n *NFA, alphabet []string) *DFA {
+	alpha := append([]string(nil), alphabet...)
+	sort.Strings(alpha)
+	d := &DFA{Alphabet: alpha, Index: map[string]int{}}
+	for i, a := range alpha {
+		d.Index[a] = i
+	}
+	key := func(set []int) string {
+		var b strings.Builder
+		for _, s := range set {
+			fmt.Fprintf(&b, "%d,", s)
+		}
+		return b.String()
+	}
+	start := n.closure([]int{n.Start})
+	ids := map[string]int{key(start): 0}
+	sets := [][]int{start}
+	d.Accept = []bool{containsInt(start, n.Accept)}
+	d.Trans = make([]int, len(alpha))
+	for q := 0; q < len(sets); q++ {
+		set := sets[q]
+		for ci, sym := range alpha {
+			var next []int
+			for _, s := range set {
+				next = append(next, n.Trans[s][sym]...)
+				next = append(next, n.WildTrans[s]...)
+			}
+			next = n.closure(next)
+			k := key(next)
+			id, ok := ids[k]
+			if !ok {
+				id = len(sets)
+				ids[k] = id
+				sets = append(sets, next)
+				d.Accept = append(d.Accept, containsInt(next, n.Accept))
+				d.Trans = append(d.Trans, make([]int, len(alpha))...)
+			}
+			d.Trans[q*len(alpha)+ci] = id
+		}
+	}
+	return d
+}
+
+func containsInt(sorted []int, x int) bool {
+	i := sort.SearchInts(sorted, x)
+	return i < len(sorted) && sorted[i] == x
+}
+
+// CompileDFA compiles the expression directly to a complete DFA over
+// the alphabet.
+func CompileDFA(e *Expr, alphabet []string) *DFA {
+	return Determinize(CompileNFA(e), alphabet)
+}
+
+// Empty reports whether the DFA accepts no word (no accepting state is
+// reachable; in a reachable-only construction, no accepting state).
+func (d *DFA) Empty() bool {
+	for _, a := range d.Accept {
+		if a {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether L(d) ⊇ L(o), both DFAs being complete over
+// the same alphabet: it checks emptiness of L(o) ∩ co-L(d) via a
+// product reachability search.
+func (d *DFA) Contains(o *DFA) bool {
+	if len(d.Alphabet) != len(o.Alphabet) {
+		panic("pathre: Contains over different alphabets")
+	}
+	for i := range d.Alphabet {
+		if d.Alphabet[i] != o.Alphabet[i] {
+			panic("pathre: Contains over different alphabets")
+		}
+	}
+	type pair struct{ a, b int }
+	seen := map[pair]bool{{o.Start, d.Start}: true}
+	queue := []pair{{o.Start, d.Start}}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if o.Accept[p.a] && !d.Accept[p.b] {
+			return false
+		}
+		for c := range d.Alphabet {
+			np := pair{o.Trans[p.a*len(o.Alphabet)+c], d.Trans[p.b*len(d.Alphabet)+c]}
+			if !seen[np] {
+				seen[np] = true
+				queue = append(queue, np)
+			}
+		}
+	}
+	return true
+}
+
+// Equivalent reports whether two complete DFAs over the same alphabet
+// accept the same language.
+func (d *DFA) Equivalent(o *DFA) bool { return d.Contains(o) && o.Contains(d) }
+
+// Product is the product automaton M of the proof of Theorem 3.4: it
+// runs k DFAs in lockstep. Product states are created lazily for the
+// reachable part only. State 0 is the start state.
+type Product struct {
+	DFAs     []*DFA
+	Alphabet []string
+	// Trans[s*len(Alphabet)+c] is the successor product state.
+	Trans []int
+	// tuples[s] is the underlying tuple of DFA states.
+	tuples [][]int
+}
+
+// NewProduct builds the reachable product of the DFAs, which must all
+// share the same alphabet.
+func NewProduct(dfas []*DFA) *Product {
+	if len(dfas) == 0 {
+		panic("pathre: empty product")
+	}
+	alpha := dfas[0].Alphabet
+	for _, d := range dfas[1:] {
+		if len(d.Alphabet) != len(alpha) {
+			panic("pathre: product over different alphabets")
+		}
+	}
+	p := &Product{DFAs: dfas, Alphabet: alpha}
+	key := func(tuple []int) string {
+		var b strings.Builder
+		for _, s := range tuple {
+			fmt.Fprintf(&b, "%d,", s)
+		}
+		return b.String()
+	}
+	start := make([]int, len(dfas))
+	ids := map[string]int{key(start): 0}
+	p.tuples = [][]int{start}
+	p.Trans = make([]int, len(alpha))
+	for q := 0; q < len(p.tuples); q++ {
+		tuple := p.tuples[q]
+		for ci := range alpha {
+			next := make([]int, len(dfas))
+			for i, d := range dfas {
+				next[i] = d.Trans[tuple[i]*len(alpha)+ci]
+			}
+			k := key(next)
+			id, ok := ids[k]
+			if !ok {
+				id = len(p.tuples)
+				ids[k] = id
+				p.tuples = append(p.tuples, next)
+				p.Trans = append(p.Trans, make([]int, len(alpha))...)
+			}
+			p.Trans[q*len(alpha)+ci] = id
+		}
+	}
+	return p
+}
+
+// NumStates returns the number of reachable product states.
+func (p *Product) NumStates() int { return len(p.tuples) }
+
+// Step returns δ(s, sym).
+func (p *Product) Step(s int, sym string) int {
+	c, ok := p.DFAs[0].Index[sym]
+	if !ok {
+		panic(fmt.Sprintf("pathre: symbol %q not in product alphabet", sym))
+	}
+	return p.Trans[s*len(p.Alphabet)+c]
+}
+
+// AcceptsComponent reports whether product state s contains a final
+// state of the i-th DFA (Lemma 5: the node is in nodes_D(β_i)).
+func (p *Product) AcceptsComponent(s, i int) bool {
+	return p.DFAs[i].Accept[p.tuples[s][i]]
+}

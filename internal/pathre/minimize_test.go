@@ -1,0 +1,73 @@
+package pathre
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinimizeEquivalent(t *testing.T) {
+	alphabet := []string{"a", "b", "c"}
+	for _, re := range []string{
+		"_*", "a.b ∪ a.c", "a.(b ∪ c)", "(a ∪ b)*.c", "ε", "a",
+		"r", "(a.b)* ∪ (a.b)*.a", "_._._",
+	} {
+		d := CompileDFA(MustParse(re), alphabet)
+		m := d.Minimize()
+		if !d.Equivalent(m) {
+			t.Fatalf("%q: minimized DFA not equivalent", re)
+		}
+		if m.NumStates() > d.NumStates() {
+			t.Fatalf("%q: minimization grew the DFA (%d -> %d)", re, d.NumStates(), m.NumStates())
+		}
+	}
+}
+
+func TestMinimizeMergesEquivalentStates(t *testing.T) {
+	alphabet := []string{"a", "b"}
+	// a.b and a.b ∪ a.b written redundantly determinize to more states
+	// than the minimum; distributivity pairs must merge.
+	d1 := CompileDFA(MustParse("a.b ∪ a.b ∪ a.b"), alphabet).Minimize()
+	d2 := CompileDFA(MustParse("a.b"), alphabet).Minimize()
+	if d1.NumStates() != d2.NumStates() {
+		t.Fatalf("redundant union: %d states vs %d", d1.NumStates(), d2.NumStates())
+	}
+	// Σ* has a 1-state minimal DFA.
+	if m := CompileDFA(MustParse("_*"), alphabet).Minimize(); m.NumStates() != 1 {
+		t.Fatalf("_* minimal DFA has %d states, want 1", m.NumStates())
+	}
+}
+
+func TestQuickMinimizePreservesLanguage(t *testing.T) {
+	alphabet := []string{"a", "b", "c"}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(19))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randomExpr(rng, 3)
+		d := CompileDFA(e, alphabet)
+		m := d.Minimize()
+		if !d.Equivalent(m) {
+			t.Logf("%q: language changed", e)
+			return false
+		}
+		// Minimality: minimizing again is a fixpoint.
+		if mm := m.Minimize(); mm.NumStates() != m.NumStates() {
+			t.Logf("%q: not a fixpoint (%d -> %d)", e, m.NumStates(), mm.NumStates())
+			return false
+		}
+		// Random words agree.
+		for i := 0; i < 30; i++ {
+			w := make([]string, rng.Intn(6))
+			for j := range w {
+				w[j] = alphabet[rng.Intn(len(alphabet))]
+			}
+			if d.Match(w) != m.Match(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,375 @@
+// Package pathre implements the "vertical" regular path expressions of
+// Section 3.2 of the paper:
+//
+//	β ::= ε | τ | _ | β.β | β∪β | β*
+//
+// where τ is an element type, '_' is a wildcard matching any element
+// type, '.' concatenates path steps, '∪' (also written '|') is union
+// and '*' the Kleene closure. Expressions denote sets of paths (words
+// over the element-type alphabet). The package provides a parser,
+// Thompson NFAs, subset-construction DFAs over an explicit alphabet,
+// the product automaton used by the state-tagged cardinality encoding
+// of Theorem 3.4, and language containment tests.
+package pathre
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates the AST node variants of a path expression.
+type Kind int
+
+// The path-expression AST node kinds.
+const (
+	// Eps matches only the empty path.
+	Eps Kind = iota
+	// Sym matches the single element type in field Name.
+	Sym
+	// Wild matches any single element type.
+	Wild
+	// Cat is n-ary concatenation.
+	Cat
+	// Alt is n-ary union.
+	Alt
+	// Star is the Kleene closure of its single child.
+	Star
+)
+
+// Expr is a node of a path regular expression.
+type Expr struct {
+	Kind Kind
+	Name string  // for Sym
+	Kids []*Expr // operands for Cat/Alt (≥2) and Star (1)
+}
+
+// Epsilon returns the ε path expression.
+func Epsilon() *Expr { return &Expr{Kind: Eps} }
+
+// Symbol returns the single-step expression for an element type.
+func Symbol(name string) *Expr { return &Expr{Kind: Sym, Name: name} }
+
+// Wildcard returns the '_' expression.
+func Wildcard() *Expr { return &Expr{Kind: Wild} }
+
+// Concat returns the concatenation of the operands, flattening nested
+// concatenations and dropping ε.
+func Concat(xs ...*Expr) *Expr {
+	var kids []*Expr
+	for _, x := range xs {
+		switch x.Kind {
+		case Eps:
+		case Cat:
+			kids = append(kids, x.Kids...)
+		default:
+			kids = append(kids, x)
+		}
+	}
+	switch len(kids) {
+	case 0:
+		return Epsilon()
+	case 1:
+		return kids[0]
+	}
+	return &Expr{Kind: Cat, Kids: kids}
+}
+
+// Union returns the union of the operands, flattening nested unions.
+func Union(xs ...*Expr) *Expr {
+	var kids []*Expr
+	for _, x := range xs {
+		if x.Kind == Alt {
+			kids = append(kids, x.Kids...)
+		} else {
+			kids = append(kids, x)
+		}
+	}
+	switch len(kids) {
+	case 0:
+		return Epsilon()
+	case 1:
+		return kids[0]
+	}
+	return &Expr{Kind: Alt, Kids: kids}
+}
+
+// Closure returns the Kleene closure of x.
+func Closure(x *Expr) *Expr {
+	switch x.Kind {
+	case Eps:
+		return Epsilon()
+	case Star:
+		return x
+	}
+	return &Expr{Kind: Star, Kids: []*Expr{x}}
+}
+
+// AnyPath returns "_*", the match-anything path used pervasively in
+// the paper's examples (e.g. r._*.student).
+func AnyPath() *Expr { return Closure(Wildcard()) }
+
+// Symbols returns the sorted set of element type names mentioned.
+func (e *Expr) Symbols() []string {
+	set := map[string]bool{}
+	var walk func(*Expr)
+	walk = func(x *Expr) {
+		if x.Kind == Sym {
+			set[x.Name] = true
+		}
+		for _, k := range x.Kids {
+			walk(k)
+		}
+	}
+	walk(e)
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasWildcard reports whether '_' occurs in the expression.
+func (e *Expr) HasWildcard() bool {
+	if e.Kind == Wild {
+		return true
+	}
+	for _, k := range e.Kids {
+		if k.HasWildcard() {
+			return true
+		}
+	}
+	return false
+}
+
+// Size returns the number of AST nodes.
+func (e *Expr) Size() int {
+	n := 1
+	for _, k := range e.Kids {
+		n += k.Size()
+	}
+	return n
+}
+
+// String renders the expression in the paper's syntax with '.' for
+// concatenation, '∪' for union and postfix '*'.
+func (e *Expr) String() string {
+	var b strings.Builder
+	e.render(&b, 0)
+	return b.String()
+}
+
+// precedence: 0 union, 1 concat, 2 atom/star.
+func (e *Expr) render(b *strings.Builder, prec int) {
+	switch e.Kind {
+	case Eps:
+		b.WriteString("ε")
+	case Sym:
+		b.WriteString(e.Name)
+	case Wild:
+		b.WriteString("_")
+	case Cat:
+		if prec > 1 {
+			b.WriteByte('(')
+		}
+		for i, k := range e.Kids {
+			if i > 0 {
+				b.WriteByte('.')
+			}
+			k.render(b, 2)
+		}
+		if prec > 1 {
+			b.WriteByte(')')
+		}
+	case Alt:
+		if prec > 0 {
+			b.WriteByte('(')
+		}
+		for i, k := range e.Kids {
+			if i > 0 {
+				b.WriteString(" ∪ ")
+			}
+			k.render(b, 1)
+		}
+		if prec > 0 {
+			b.WriteByte(')')
+		}
+	case Star:
+		switch e.Kids[0].Kind {
+		case Eps, Sym, Wild:
+			e.Kids[0].render(b, 2)
+		default:
+			b.WriteByte('(')
+			e.Kids[0].render(b, 0)
+			b.WriteByte(')')
+		}
+		b.WriteByte('*')
+	}
+}
+
+// Equal reports structural equality.
+func (e *Expr) Equal(o *Expr) bool {
+	if e == o {
+		return true
+	}
+	if e == nil || o == nil || e.Kind != o.Kind || e.Name != o.Name || len(e.Kids) != len(o.Kids) {
+		return false
+	}
+	for i := range e.Kids {
+		if !e.Kids[i].Equal(o.Kids[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Parse parses the paper's path-expression syntax. Both '∪' and '|'
+// denote union; 'ε' denotes the empty path; '_' the wildcard.
+//
+//	r._*.(student ∪ prof).record
+func Parse(src string) (*Expr, error) {
+	p := &rparser{src: []rune(src)}
+	p.skipSpace()
+	e, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return nil, p.errf("trailing input")
+	}
+	return e, nil
+}
+
+// MustParse is Parse for known-good literals; it panics on error.
+func MustParse(src string) *Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("pathre.MustParse(%q): %v", src, err))
+	}
+	return e
+}
+
+type rparser struct {
+	src []rune
+	pos int
+}
+
+func (p *rparser) eof() bool  { return p.pos >= len(p.src) }
+func (p *rparser) peek() rune { return p.src[p.pos] }
+func (p *rparser) errf(format string, args ...any) error {
+	return fmt.Errorf("path expression %q at offset %d: %s", string(p.src), p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *rparser) skipSpace() {
+	for !p.eof() && (p.peek() == ' ' || p.peek() == '\t' || p.peek() == '\n' || p.peek() == '\r') {
+		p.pos++
+	}
+}
+
+func (p *rparser) parseAlt() (*Expr, error) {
+	first, err := p.parseCat()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*Expr{first}
+	for {
+		p.skipSpace()
+		if p.eof() || (p.peek() != '∪' && p.peek() != '|') {
+			break
+		}
+		p.pos++
+		next, err := p.parseCat()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, next)
+	}
+	return Union(kids...), nil
+}
+
+func (p *rparser) parseCat() (*Expr, error) {
+	first, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*Expr{first}
+	for {
+		p.skipSpace()
+		if p.eof() || p.peek() != '.' {
+			break
+		}
+		p.pos++
+		next, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, next)
+	}
+	return Concat(kids...), nil
+}
+
+func (p *rparser) parsePostfix() (*Expr, error) {
+	e, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if !p.eof() && p.peek() == '*' {
+			p.pos++
+			e = Closure(e)
+			continue
+		}
+		return e, nil
+	}
+}
+
+func (p *rparser) parseAtom() (*Expr, error) {
+	p.skipSpace()
+	if p.eof() {
+		return nil, p.errf("expected path atom")
+	}
+	switch p.peek() {
+	case '(':
+		p.pos++
+		e, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.eof() || p.peek() != ')' {
+			return nil, p.errf("expected ')'")
+		}
+		p.pos++
+		return e, nil
+	case 'ε':
+		p.pos++
+		return Epsilon(), nil
+	}
+	start := p.pos
+	for !p.eof() && isNameRune(p.peek()) {
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, p.errf("expected name, '_', 'ε' or '('")
+	}
+	// A solitary '_' is the wildcard; '_' inside a longer token is an
+	// ordinary name character (as in author_info from Figure 2).
+	name := string(p.src[start:p.pos])
+	if name == "_" {
+		return Wildcard(), nil
+	}
+	return Symbol(name), nil
+}
+
+func isNameRune(c rune) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	case c == '-' || c == '$' || c == ':' || c == '_':
+		return true
+	}
+	return false
+}

@@ -1,0 +1,230 @@
+package pathre
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func split(p string) []string {
+	if p == "" {
+		return nil
+	}
+	return strings.Split(p, ".")
+}
+
+func TestParseAndString(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // canonical rendering; "" means identical
+	}{
+		{"r", ""},
+		{"_", ""},
+		{"ε", ""},
+		{"_*", ""},
+		{"r._*.student", ""},
+		{"r._*.(student ∪ prof).record", ""},
+		{"r._*.(student | prof).record", "r._*.(student ∪ prof).record"},
+		{"(a.b)*", ""},
+		{"a.b*", ""},
+		{"(a ∪ b).c", ""},
+		{"author_info", ""},
+		{"r.faculty.prof.record", ""},
+		{"a._._.b", ""},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		want := c.want
+		if want == "" {
+			want = c.in
+		}
+		if got := e.String(); got != want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, want)
+		}
+		e2, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", e.String(), err)
+		}
+		if !e.Equal(e2) {
+			t.Errorf("round trip of %q changed structure", c.in)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "(", "a.(b", "a..b", ".a", "a ∪", "*", "a)b", "a,b"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): expected error", in)
+		}
+	}
+}
+
+func TestNFAMatch(t *testing.T) {
+	cases := []struct {
+		re   string
+		path string
+		want bool
+	}{
+		{"ε", "", true},
+		{"ε", "a", false},
+		{"a", "a", true},
+		{"a", "b", false},
+		{"_", "b", true},
+		{"_", "", false},
+		{"_*", "", true},
+		{"_*", "a.b.c", true},
+		{"a.b", "a.b", true},
+		{"a.b", "a", false},
+		{"a ∪ b", "a", true},
+		{"a ∪ b", "b", true},
+		{"a ∪ b", "c", false},
+		{"(a.b)*", "", true},
+		{"(a.b)*", "a.b.a.b", true},
+		{"(a.b)*", "a.b.a", false},
+		{"r._*.student", "r.students.student", true},
+		{"r._*.student", "r.student", true},
+		{"r._*.student", "student", false},
+		{"r._*.(student ∪ prof).record", "r.faculty.prof.record", true},
+		{"r._*.(student ∪ prof).record", "r.faculty.dean.record", false},
+		{"a._._.b", "a.x.y.b", true},
+		{"a._._.b", "a.x.b", false},
+	}
+	for _, c := range cases {
+		e := MustParse(c.re)
+		if got := e.Match(split(c.path)); got != c.want {
+			t.Errorf("%q.Match(%q) = %v, want %v", c.re, c.path, got, c.want)
+		}
+	}
+}
+
+// TestDFAMatchesNFA cross-checks the subset construction against the
+// NFA on random paths.
+func TestDFAMatchesNFA(t *testing.T) {
+	alphabet := []string{"a", "b", "c", "r"}
+	res := []string{
+		"r._*.a", "(a ∪ b)*.c", "a.b*.c", "_*.(a.b)*", "r.(a ∪ (b.c))*", "ε", "_._",
+	}
+	rng := rand.New(rand.NewSource(21))
+	for _, re := range res {
+		e := MustParse(re)
+		nfa := CompileNFA(e)
+		dfa := CompileDFA(e, alphabet)
+		for i := 0; i < 500; i++ {
+			path := make([]string, rng.Intn(7))
+			for j := range path {
+				path[j] = alphabet[rng.Intn(len(alphabet))]
+			}
+			if nfa.Match(path) != dfa.Match(path) {
+				t.Fatalf("%q: NFA and DFA disagree on %v", re, path)
+			}
+		}
+	}
+}
+
+func TestDFAContains(t *testing.T) {
+	alphabet := []string{"a", "b", "c"}
+	cases := []struct {
+		big, small string
+		want       bool
+	}{
+		{"_*", "a.b", true},
+		{"a.b", "_*", false},
+		{"(a ∪ b)*", "a*", true},
+		{"a*", "(a ∪ b)*", false},
+		{"a.b ∪ a.c", "a.b", true},
+		{"a.(b ∪ c)", "a.b ∪ a.c", true},
+		{"a.b", "a.b", true},
+	}
+	for _, c := range cases {
+		big := CompileDFA(MustParse(c.big), alphabet)
+		small := CompileDFA(MustParse(c.small), alphabet)
+		if got := big.Contains(small); got != c.want {
+			t.Errorf("Contains(%q ⊇ %q) = %v, want %v", c.big, c.small, got, c.want)
+		}
+	}
+	a := CompileDFA(MustParse("a.(b ∪ c)"), alphabet)
+	b := CompileDFA(MustParse("a.b ∪ a.c"), alphabet)
+	if !a.Equivalent(b) {
+		t.Error("distributivity equivalence not detected")
+	}
+	if a.Empty() {
+		t.Error("nonempty language reported empty")
+	}
+}
+
+func TestProduct(t *testing.T) {
+	alphabet := []string{"a", "b", "c"}
+	exprs := []string{"_*.a", "a.b*", "(a ∪ b)*"}
+	dfas := make([]*DFA, len(exprs))
+	for i, s := range exprs {
+		dfas[i] = CompileDFA(MustParse(s), alphabet)
+	}
+	p := NewProduct(dfas)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		path := make([]string, rng.Intn(6))
+		for j := range path {
+			path[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		s := 0
+		for _, sym := range path {
+			s = p.Step(s, sym)
+		}
+		for k, d := range dfas {
+			if got, want := p.AcceptsComponent(s, k), d.Match(path); got != want {
+				t.Fatalf("product component %d disagrees with DFA %q on %v: %v vs %v",
+					k, exprs[k], path, got, want)
+			}
+		}
+	}
+	if p.NumStates() <= 1 {
+		t.Error("product suspiciously small")
+	}
+}
+
+func TestSymbolsAndWildcard(t *testing.T) {
+	e := MustParse("r._*.(student ∪ prof).record")
+	got := e.Symbols()
+	want := []string{"prof", "r", "record", "student"}
+	if len(got) != len(want) {
+		t.Fatalf("Symbols = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Symbols = %v, want %v", got, want)
+		}
+	}
+	if !e.HasWildcard() {
+		t.Error("HasWildcard = false")
+	}
+	if MustParse("a.b").HasWildcard() {
+		t.Error("a.b has no wildcard")
+	}
+	if MustParse("a.b.c").Size() != 4 {
+		t.Errorf("Size(a.b.c) = %d, want 4", MustParse("a.b.c").Size())
+	}
+}
+
+func TestCombinatorSimplifications(t *testing.T) {
+	if Concat().Kind != Eps {
+		t.Error("empty Concat must be ε")
+	}
+	if Concat(Epsilon(), Symbol("a")).Kind != Sym {
+		t.Error("ε.a must simplify to a")
+	}
+	if Closure(Closure(Symbol("a"))).String() != "a*" {
+		t.Error("a** must simplify to a*")
+	}
+	if Closure(Epsilon()).Kind != Eps {
+		t.Error("ε* must simplify to ε")
+	}
+	if Union(Symbol("a")).Kind != Sym {
+		t.Error("unary union must collapse")
+	}
+	if AnyPath().String() != "_*" {
+		t.Errorf("AnyPath = %q", AnyPath())
+	}
+}

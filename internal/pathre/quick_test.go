@@ -1,0 +1,105 @@
+package pathre
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomExpr draws a random path expression over a small alphabet.
+func randomExpr(rng *rand.Rand, depth int) *Expr {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return Epsilon()
+		case 1:
+			return Wildcard()
+		default:
+			return Symbol(string(rune('a' + rng.Intn(3))))
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return Concat(randomExpr(rng, depth-1), randomExpr(rng, depth-1))
+	case 1:
+		return Union(randomExpr(rng, depth-1), randomExpr(rng, depth-1))
+	case 2:
+		return Closure(randomExpr(rng, depth-1))
+	default:
+		return randomExpr(rng, 0)
+	}
+}
+
+// TestQuickStringParseRoundTrip: rendering and re-parsing preserves
+// structure exactly (the combinators normalize, so rendering a
+// normalized tree is a fixpoint).
+func TestQuickStringParseRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(3))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randomExpr(rng, 3)
+		parsed, err := Parse(e.String())
+		if err != nil {
+			t.Logf("render %q does not parse: %v", e, err)
+			return false
+		}
+		if !parsed.Equal(e) {
+			t.Logf("round trip changed %q to %q", e, parsed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDFAAgreesWithNFA: determinization preserves the language on
+// random expressions and random words.
+func TestQuickDFAAgreesWithNFA(t *testing.T) {
+	alphabet := []string{"a", "b", "c"}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(5))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randomExpr(rng, 3)
+		nfa := CompileNFA(e)
+		dfa := CompileDFA(e, alphabet)
+		for i := 0; i < 40; i++ {
+			w := make([]string, rng.Intn(6))
+			for j := range w {
+				w[j] = alphabet[rng.Intn(len(alphabet))]
+			}
+			if nfa.Match(w) != dfa.Match(w) {
+				t.Logf("%q: NFA/DFA disagree on %v", e, w)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickContainsReflexiveAndEmpty: every language contains itself,
+// and emptiness matches an explicit acceptance scan.
+func TestQuickContainsReflexiveAndEmpty(t *testing.T) {
+	// The alphabet covers every symbol randomExpr can draw: with no
+	// complement in the grammar and all symbols available, languages
+	// are never empty.
+	alphabet := []string{"a", "b", "c"}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(11))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randomExpr(rng, 3)
+		d := CompileDFA(e, alphabet)
+		if !d.Contains(d) || !d.Equivalent(d) {
+			return false
+		}
+		// This grammar has no complement: languages are never empty.
+		return !d.Empty()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

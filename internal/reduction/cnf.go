@@ -1,0 +1,183 @@
+// Package reduction implements the paper's lower-bound reductions as
+// executable instance generators, each paired with an independent
+// reference solver of the source problem, so that the reductions are
+// testable end to end: the generated XML specification must be
+// consistent exactly when the source instance is a yes-instance.
+//
+//   - CNF-SAT → depth-2 SAT(AC_{K,FK})            (Theorem 3.5a)
+//   - SUBSET-SUM → 2-constraint SAT(AC_{K,FK})    (Theorem 3.5a)
+//   - QBF → SAT(AC^reg_{K,FK})                    (Theorem 3.4b)
+//   - QBF → SAT(2-HRC_{K,FK})                     (Theorem 4.4)
+//   - PDE → SAT(AC^{*,1}_{PK,FK})                 (Theorem 3.1)
+//   - positive quadratic Diophantine → SAT(RC)    (Theorem 4.1)
+//
+// Together with the encodings of package cardinality (which constitute
+// the upper-bound directions) these generators regenerate the hardness
+// landscape of Figures 3 and 4.
+package reduction
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Literal is a propositional literal: a 1-based variable index,
+// negative for negated occurrences.
+type Literal int
+
+// Var returns the 1-based variable index.
+func (l Literal) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Positive reports whether the literal is positive.
+func (l Literal) Positive() bool { return l > 0 }
+
+// Clause is a disjunction of literals.
+type Clause []Literal
+
+// CNF is a propositional formula in conjunctive normal form over
+// variables 1..Vars.
+type CNF struct {
+	Vars    int
+	Clauses []Clause
+}
+
+func (f *CNF) String() string {
+	s := ""
+	for i, c := range f.Clauses {
+		if i > 0 {
+			s += " ∧ "
+		}
+		s += "("
+		for j, l := range c {
+			if j > 0 {
+				s += " ∨ "
+			}
+			if !l.Positive() {
+				s += "¬"
+			}
+			s += fmt.Sprintf("x%d", l.Var())
+		}
+		s += ")"
+	}
+	return s
+}
+
+// Eval evaluates the formula under an assignment (1-based; index 0
+// unused).
+func (f *CNF) Eval(assign []bool) bool {
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			if assign[l.Var()] == l.Positive() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SolveCNF is the reference CNF-SAT solver: exhaustive search with
+// unit-free early clause checks. Exponential by design; instances in
+// tests and benches stay small.
+func SolveCNF(f *CNF) (bool, []bool) {
+	assign := make([]bool, f.Vars+1)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i > f.Vars {
+			return f.Eval(assign)
+		}
+		assign[i] = false
+		if rec(i + 1) {
+			return true
+		}
+		assign[i] = true
+		return rec(i + 1)
+	}
+	if rec(1) {
+		return true, assign
+	}
+	return false, nil
+}
+
+// RandomCNF generates a random k-CNF instance.
+func RandomCNF(rng *rand.Rand, vars, clauses, width int) *CNF {
+	f := &CNF{Vars: vars}
+	for i := 0; i < clauses; i++ {
+		c := make(Clause, 0, width)
+		for j := 0; j < width; j++ {
+			v := 1 + rng.Intn(vars)
+			if rng.Intn(2) == 0 {
+				c = append(c, Literal(-v))
+			} else {
+				c = append(c, Literal(v))
+			}
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}
+
+// QBF is a fully quantified boolean formula in prenex CNF:
+// Q_1 x_1 … Q_m x_m ψ with ψ = Matrix over variables 1..len(Forall).
+type QBF struct {
+	// Forall[i] is true when variable i+1 is universally quantified.
+	Forall []bool
+	Matrix *CNF
+}
+
+func (q *QBF) String() string {
+	s := ""
+	for i, f := range q.Forall {
+		if f {
+			s += fmt.Sprintf("∀x%d ", i+1)
+		} else {
+			s += fmt.Sprintf("∃x%d ", i+1)
+		}
+	}
+	return s + q.Matrix.String()
+}
+
+// SolveQBF is the reference QBF evaluator: straightforward recursion
+// over the quantifier prefix.
+func SolveQBF(q *QBF) bool {
+	assign := make([]bool, len(q.Forall)+1)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i > len(q.Forall) {
+			return q.Matrix.Eval(assign)
+		}
+		if q.Forall[i-1] {
+			assign[i] = false
+			if !rec(i + 1) {
+				return false
+			}
+			assign[i] = true
+			return rec(i + 1)
+		}
+		assign[i] = false
+		if rec(i + 1) {
+			return true
+		}
+		assign[i] = true
+		return rec(i + 1)
+	}
+	return rec(1)
+}
+
+// RandomQBF generates a random quantified k-CNF instance.
+func RandomQBF(rng *rand.Rand, vars, clauses, width int) *QBF {
+	q := &QBF{Forall: make([]bool, vars), Matrix: RandomCNF(rng, vars, clauses, width)}
+	for i := range q.Forall {
+		q.Forall[i] = rng.Intn(2) == 0
+	}
+	return q
+}

@@ -1,0 +1,283 @@
+package reduction
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/constraint"
+	"repro/internal/contentmodel"
+	"repro/internal/dtd"
+)
+
+// Monomial is a positive-coefficient monomial of degree 1 or 2:
+// Coef · x_{Vars[0]} or Coef · x_{Vars[0]} · x_{Vars[1]}.
+type Monomial struct {
+	Coef int64
+	Vars []int // 0-based variable indices, length 1 or 2
+}
+
+// QuadEquation is one equation of a positive Diophantine quadratic
+// system (proof of Theorem 4.1):
+//
+//	Σ LHS monomials = Σ RHS monomials + Const
+//
+// with all coefficients positive and Const ≥ 0.
+type QuadEquation struct {
+	Vars     int
+	LHS, RHS []Monomial
+	Const    int64
+}
+
+func (e *QuadEquation) String() string {
+	side := func(ms []Monomial) string {
+		s := ""
+		for i, m := range ms {
+			if i > 0 {
+				s += " + "
+			}
+			s += fmt.Sprintf("%d", m.Coef)
+			for _, v := range m.Vars {
+				s += fmt.Sprintf("·x%d", v)
+			}
+		}
+		if s == "" {
+			s = "0"
+		}
+		return s
+	}
+	return fmt.Sprintf("%s = %s + %d", side(e.LHS), side(e.RHS), e.Const)
+}
+
+// Eval evaluates a side under an assignment.
+func evalSide(ms []Monomial, x []int64) int64 {
+	var sum int64
+	for _, m := range ms {
+		term := m.Coef
+		for _, v := range m.Vars {
+			term *= x[v]
+		}
+		sum += term
+	}
+	return sum
+}
+
+// SolveQuadEquation is the reference solver: bounded search over
+// assignments with each variable in [0, maxVal].
+func SolveQuadEquation(e *QuadEquation, maxVal int64) (bool, []int64) {
+	x := make([]int64, e.Vars)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == e.Vars {
+			return evalSide(e.LHS, x) == evalSide(e.RHS, x)+e.Const
+		}
+		for v := int64(0); v <= maxVal; v++ {
+			x[i] = v
+			if rec(i + 1) {
+				return true
+			}
+		}
+		x[i] = 0
+		return false
+	}
+	if rec(0) {
+		return true, x
+	}
+	return false, nil
+}
+
+// RandomQuadEquation generates a small positive quadratic equation.
+func RandomQuadEquation(rng *rand.Rand, vars int) *QuadEquation {
+	e := &QuadEquation{Vars: vars, Const: int64(rng.Intn(3))}
+	mono := func() Monomial {
+		m := Monomial{Coef: 1 + int64(rng.Intn(2)), Vars: []int{rng.Intn(vars)}}
+		if rng.Intn(2) == 0 {
+			m.Vars = append(m.Vars, rng.Intn(vars))
+		}
+		return m
+	}
+	for i := 1 + rng.Intn(2); i > 0; i-- {
+		e.LHS = append(e.LHS, mono())
+	}
+	for i := rng.Intn(2); i > 0; i-- {
+		e.RHS = append(e.RHS, mono())
+	}
+	return e
+}
+
+// QuadSystem is a positive Diophantine quadratic system (the actual
+// input of the Theorem 4.1 undecidability proof; the paper treats one
+// equation and notes the extension to systems is straightforward).
+type QuadSystem struct {
+	Vars      int
+	Equations []*QuadEquation
+}
+
+// SolveQuadSystem is the bounded reference solver for systems.
+func SolveQuadSystem(s *QuadSystem, maxVal int64) (bool, []int64) {
+	x := make([]int64, s.Vars)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == s.Vars {
+			for _, e := range s.Equations {
+				if evalSide(e.LHS, x) != evalSide(e.RHS, x)+e.Const {
+					return false
+				}
+			}
+			return true
+		}
+		for v := int64(0); v <= maxVal; v++ {
+			x[i] = v
+			if rec(i + 1) {
+				return true
+			}
+		}
+		x[i] = 0
+		return false
+	}
+	if rec(0) {
+		return true, x
+	}
+	return false, nil
+}
+
+// FromQuadSystem is the Theorem 4.1 reduction extended to systems:
+// each equation gets its own X/Y leaf pair and monomial gadgets under
+// a distinct name prefix, while the n_i variable types are shared
+// across equations.
+func FromQuadSystem(sys *QuadSystem) (*dtd.DTD, *constraint.Set) {
+	d := dtd.New("r")
+	set := &constraint.Set{}
+	b := &quadBuilder{d: d, set: set}
+	for i := 0; i < sys.Vars; i++ {
+		b.leaf(b.n(i))
+		b.rootParts = append(b.rootParts, contentmodel.NewStar(contentmodel.Ref(b.n(i))))
+	}
+	for k, e := range sys.Equations {
+		b.emit(e, fmt.Sprintf("q%d", k))
+	}
+	d.Define("r", contentmodel.NewSeq(b.rootParts...))
+	return d, dedup(set)
+}
+
+// FromQuadEquation is the single-equation form of FromQuadSystem (the
+// shape the paper's appendix presents): variable values become
+// |ext(n_i.v)|; linear monomials become a·x replications; quadratic
+// monomials a·x·y become the recursive α/α′ ladder whose relative keys
+// and foreign keys force exactly x blocks of a·y leaves; and the X/Y
+// mutual foreign keys equate the two sides. The resulting DTD is
+// recursive and the constraints are non-hierarchical — as the theorem
+// requires, the target class is undecidable, so the generated
+// instances exercise the bounded-search path of the checker.
+func FromQuadEquation(e *QuadEquation) (*dtd.DTD, *constraint.Set) {
+	return FromQuadSystem(&QuadSystem{Vars: e.Vars, Equations: []*QuadEquation{e}})
+}
+
+// quadBuilder accumulates the shared state of the reduction.
+type quadBuilder struct {
+	d         *dtd.DTD
+	set       *constraint.Set
+	rootParts []*contentmodel.Expr
+}
+
+func (b *quadBuilder) n(i int) string { return fmt.Sprintf("n%d", i) }
+
+func (b *quadBuilder) key(ctx, typ, attr string) {
+	b.set.AddKey(constraint.Key{Context: ctx, Target: constraint.Target{Type: typ, Attrs: []string{attr}}})
+}
+
+func (b *quadBuilder) relFK(ctx, from, to string) {
+	b.set.AddForeignKey(constraint.Inclusion{
+		Context: ctx,
+		From:    constraint.Target{Type: from, Attrs: []string{"v"}},
+		To:      constraint.Target{Type: to, Attrs: []string{"v"}},
+	})
+}
+
+func (b *quadBuilder) mutual(ctx, x, y string) {
+	b.relFK(ctx, x, y)
+	b.relFK(ctx, y, x)
+}
+
+func (b *quadBuilder) leaf(name string) {
+	if b.d.Element(name) == nil {
+		b.d.Define(name, contentmodel.Eps(), "v")
+		b.key("", name, "v")
+	}
+}
+
+func repeatRef(name string, count int64) *contentmodel.Expr {
+	var parts []*contentmodel.Expr
+	for c := int64(0); c < count; c++ {
+		parts = append(parts, contentmodel.Ref(name))
+	}
+	return contentmodel.NewSeq(parts...)
+}
+
+// emit adds one equation under the given name prefix: a fresh X/Y leaf
+// pair related by mutual foreign keys, the per-monomial gadgets, and
+// Const Y leaves at the root.
+func (b *quadBuilder) emit(e *QuadEquation, prefix string) {
+	xLeaf, yLeaf := prefix+"X", prefix+"Y"
+	b.leaf(xLeaf)
+	b.leaf(yLeaf)
+	b.mutual("", xLeaf, yLeaf)
+	b.side(e.LHS, xLeaf, prefix+"l")
+	b.side(e.RHS, yLeaf, prefix+"g")
+	b.rootParts = append(b.rootParts, repeatRef(yLeaf, e.Const))
+	// A "pad" carries one X and one Y: it keeps both leaf types
+	// reachable even when a side is empty, and adds equally to both
+	// sides of |X| = |Y|, so the equation's solvability is unchanged.
+	pad := prefix + "P"
+	b.d.Define(pad, contentmodel.NewSeq(contentmodel.Ref(xLeaf), contentmodel.Ref(yLeaf)))
+	b.rootParts = append(b.rootParts, contentmodel.NewStar(contentmodel.Ref(pad)))
+}
+
+// side emits the gadgets of one side's monomials.
+func (b *quadBuilder) side(ms []Monomial, leafType, prefix string) {
+	for idx, m := range ms {
+		if len(m.Vars) == 1 {
+			// a·x: a leaves per alpha element, |ext(alpha)| = x.
+			alpha := fmt.Sprintf("%sL%d", prefix, idx)
+			b.d.Define(alpha, repeatRef(leafType, m.Coef), "v")
+			b.key("", alpha, "v")
+			b.mutual("", alpha, b.n(m.Vars[0]))
+			b.rootParts = append(b.rootParts, contentmodel.NewStar(contentmodel.Ref(alpha)))
+			continue
+		}
+		// a·x·y via the α/α′ ladder of the proof.
+		x, y := m.Vars[0], m.Vars[1]
+		alpha := fmt.Sprintf("%sQ%d", prefix, idx)
+		alphaP := alpha + "p"
+		beta := fmt.Sprintf("%sB%d", prefix, idx)
+		c := fmt.Sprintf("%sC%d", prefix, idx)
+		dd := fmt.Sprintf("%sD%d", prefix, idx)
+		ee := fmt.Sprintf("%sE%d", prefix, idx)
+		for _, t := range []string{beta, c, dd, ee} {
+			b.leaf(t)
+		}
+		// P(α) = (β, c, c, X^a)*, α′
+		b.d.Define(alpha, contentmodel.NewSeq(
+			contentmodel.NewStar(contentmodel.NewSeq(
+				contentmodel.Ref(beta), contentmodel.Ref(c), contentmodel.Ref(c), repeatRef(leafType, m.Coef),
+			)),
+			contentmodel.Ref(alphaP),
+		), "v")
+		// P(α′) = (β, d, d)*, (α | (c, e)*)
+		b.d.Define(alphaP, contentmodel.NewSeq(
+			contentmodel.NewStar(contentmodel.NewSeq(
+				contentmodel.Ref(beta), contentmodel.Ref(dd), contentmodel.Ref(dd),
+			)),
+			contentmodel.NewChoice(
+				contentmodel.Ref(alpha),
+				contentmodel.NewStar(contentmodel.NewSeq(contentmodel.Ref(c), contentmodel.Ref(ee))),
+			),
+		))
+		b.key("", alpha, "v")
+		b.mutual("", alpha, b.n(x)) // |ext(α)| = x
+		b.mutual("", ee, b.n(y))    // |ext(e)| = y
+		// Relative ladder invariants.
+		b.mutual(alpha, beta, dd)
+		b.mutual(alphaP, beta, c)
+		b.rootParts = append(b.rootParts, contentmodel.NewStar(contentmodel.Ref(alpha)))
+	}
+}

@@ -1,0 +1,289 @@
+package reduction
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/constraint"
+	"repro/internal/contentmodel"
+	"repro/internal/dtd"
+	"repro/internal/ilp"
+)
+
+// PDE is an instance of the Prequadratic Diophantine Equations problem
+// (Theorem 3.1 / McAllester et al.): nonnegative integer variables
+// x_0..x_{n-1}, linear inequalities, and prequadratic side conditions
+// x_i ≤ x_j·x_k.
+type PDE struct {
+	Vars int
+	// Lins are Σ Coefs[v]·x_v ⋈ K rows (Coefs indexed by variable).
+	Lins []PDELinear
+	// Quads are (i, j, k) triples meaning x_i ≤ x_j · x_k.
+	Quads [][3]int
+}
+
+// PDELinear is one linear row.
+type PDELinear struct {
+	Coefs []int64
+	GE    bool // false: ≤ K, true: ≥ K
+	K     int64
+}
+
+// SolvePDE is the reference PDE solver, built directly on the ilp
+// package (which implements exactly this problem class).
+func SolvePDE(in PDE, opts ilp.Options) ilp.Verdict {
+	sys := ilp.NewSystem()
+	vars := make([]ilp.Var, in.Vars)
+	for i := range vars {
+		vars[i] = sys.Var(fmt.Sprintf("x%d", i))
+	}
+	for _, l := range in.Lins {
+		var terms []ilp.Term
+		for v, c := range l.Coefs {
+			if c != 0 {
+				terms = append(terms, ilp.T(c, vars[v]))
+			}
+		}
+		rel := ilp.LE
+		if l.GE {
+			rel = ilp.GE
+		}
+		sys.AddLinear(terms, rel, l.K)
+	}
+	for _, q := range in.Quads {
+		sys.AddQuad(vars[q[0]], vars[q[1]], vars[q[2]])
+	}
+	return ilp.Solve(sys, opts).Verdict
+}
+
+// RandomPDE generates a small instance with nonnegative coefficients.
+func RandomPDE(rng *rand.Rand, vars, lins, quads int) PDE {
+	in := PDE{Vars: vars}
+	for i := 0; i < lins; i++ {
+		l := PDELinear{Coefs: make([]int64, vars), GE: rng.Intn(2) == 0, K: int64(rng.Intn(7))}
+		for v := range l.Coefs {
+			l.Coefs[v] = int64(rng.Intn(3))
+		}
+		in.Lins = append(in.Lins, l)
+	}
+	for i := 0; i < quads; i++ {
+		in.Quads = append(in.Quads, [3]int{rng.Intn(vars), rng.Intn(vars), rng.Intn(vars)})
+	}
+	return in
+}
+
+// FromPDE is the Theorem 3.1 reduction from PDE to
+// SAT(AC^{*,1}_{PK,FK}): variable values become element counts
+// (|ext(X_i)|), linear rows become unary-replicated U/B counters
+// related by foreign keys, and each prequadratic constraint becomes a
+// two-attribute primary key on a copy X_i^p of X_i whose attributes
+// reference the keys of X_j and X_k. Coefficients and constants are
+// unary-encoded in the DTD, so keep them small.
+//
+// The reduction requires nonnegative coefficients and constants (the
+// paper's normal form; arbitrary rows can be split into positive
+// parts).
+func FromPDE(in PDE) (*dtd.DTD, *constraint.Set, error) {
+	for _, l := range in.Lins {
+		if l.K < 0 {
+			return nil, nil, fmt.Errorf("reduction: negative constant %d", l.K)
+		}
+		for _, c := range l.Coefs {
+			if c < 0 {
+				return nil, nil, fmt.Errorf("reduction: negative coefficient %d", c)
+			}
+		}
+	}
+	in, trivialUnsat := normalizePDE(in)
+	if trivialUnsat {
+		return unsatGadget()
+	}
+	d := dtd.New("r")
+	set := &constraint.Set{}
+	key := func(typ string, attrs ...string) {
+		set.AddKey(constraint.Key{Target: constraint.Target{Type: typ, Attrs: attrs}})
+	}
+	mutualFK := func(a, la, b, lb string) {
+		set.AddForeignKey(constraint.Inclusion{
+			From: constraint.Target{Type: a, Attrs: []string{la}},
+			To:   constraint.Target{Type: b, Attrs: []string{lb}},
+		})
+		set.AddForeignKey(constraint.Inclusion{
+			From: constraint.Target{Type: b, Attrs: []string{lb}},
+			To:   constraint.Target{Type: a, Attrs: []string{la}},
+		})
+	}
+	repeat := func(name string, count int64) *contentmodel.Expr {
+		var parts []*contentmodel.Expr
+		for c := int64(0); c < count; c++ {
+			parts = append(parts, contentmodel.Ref(name))
+		}
+		return contentmodel.NewSeq(parts...)
+	}
+
+	X := func(i int) string { return fmt.Sprintf("X%d", i) }
+	var rootParts []*contentmodel.Expr
+
+	// Per variable: X_i with key l, counters CX_{i,j}/DX_{i,j} per row.
+	for i := 0; i < in.Vars; i++ {
+		var cxs []*contentmodel.Expr
+		for j, l := range in.Lins {
+			if l.Coefs[i] == 0 {
+				continue
+			}
+			cx, dx := fmt.Sprintf("CX%d_%d", i, j), fmt.Sprintf("DX%d_%d", i, j)
+			d.Define(cx, repeat(dx, l.Coefs[i]))
+			d.Define(dx, contentmodel.Eps(), "l")
+			key(dx, "l")
+			cxs = append(cxs, contentmodel.Ref(cx))
+		}
+		d.Define(X(i), contentmodel.NewSeq(cxs...), "l")
+		key(X(i), "l")
+		rootParts = append(rootParts, contentmodel.NewStar(contentmodel.Ref(X(i))))
+	}
+
+	// Per linear row: E_j with b_j B-leaves and U_{i,j} counters whose
+	// counts are tied to DX_{i,j} by mutual foreign keys.
+	for j, l := range in.Lins {
+		ej, uj, bj := fmt.Sprintf("E%d", j), fmt.Sprintf("U%d", j), fmt.Sprintf("B%d", j)
+		d.Define(uj, contentmodel.Eps(), "l")
+		d.Define(bj, contentmodel.Eps(), "l")
+		key(uj, "l")
+		key(bj, "l")
+		var parts []*contentmodel.Expr
+		parts = append(parts, repeat(bj, l.K))
+		for i := 0; i < in.Vars; i++ {
+			if l.Coefs[i] == 0 {
+				continue
+			}
+			uij := fmt.Sprintf("U%d_%d", i, j)
+			d.Define(uij, contentmodel.Ref(uj), "l")
+			key(uij, "l")
+			mutualFK(uij, "l", fmt.Sprintf("DX%d_%d", i, j), "l")
+			parts = append(parts, contentmodel.NewStar(contentmodel.Ref(uij)))
+		}
+		d.Define(ej, contentmodel.NewSeq(parts...))
+		rootParts = append(rootParts, contentmodel.Ref(ej))
+		if l.GE {
+			set.AddForeignKey(constraint.Inclusion{
+				From: constraint.Target{Type: bj, Attrs: []string{"l"}},
+				To:   constraint.Target{Type: uj, Attrs: []string{"l"}},
+			})
+		} else {
+			set.AddForeignKey(constraint.Inclusion{
+				From: constraint.Target{Type: uj, Attrs: []string{"l"}},
+				To:   constraint.Target{Type: bj, Attrs: []string{"l"}},
+			})
+		}
+	}
+
+	// Per prequadratic constraint p: a copy X_i^p of X_i with a
+	// two-attribute primary key referencing X_j and X_k.
+	for p, q := range in.Quads {
+		i, j, k := q[0], q[1], q[2]
+		xp, nxp := fmt.Sprintf("XP%d", p), fmt.Sprintf("NXP%d", p)
+		a1, a2 := "la", "lb"
+		d.Define(xp, contentmodel.Ref(nxp), a1, a2)
+		d.Define(nxp, contentmodel.Eps(), "l")
+		key(nxp, "l")
+		set.AddKey(constraint.Key{Target: constraint.Target{Type: xp, Attrs: []string{a1, a2}}})
+		set.AddForeignKey(constraint.Inclusion{
+			From: constraint.Target{Type: xp, Attrs: []string{a1}},
+			To:   constraint.Target{Type: X(j), Attrs: []string{"l"}},
+		})
+		set.AddForeignKey(constraint.Inclusion{
+			From: constraint.Target{Type: xp, Attrs: []string{a2}},
+			To:   constraint.Target{Type: X(k), Attrs: []string{"l"}},
+		})
+		// |ext(X_i)| = |ext(NX_i^p)| (= |ext(X_i^p)| by the DTD).
+		mutualFK(X(i), "l", nxp, "l")
+		rootParts = append(rootParts, contentmodel.NewStar(contentmodel.Ref(xp)))
+	}
+
+	d.Define("r", contentmodel.NewSeq(rootParts...))
+	if err := d.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return d, dedup(set), nil
+}
+
+// normalizePDE eliminates variables forced to zero by "Σ ≤ 0" rows
+// (whose unary encoding would otherwise need unreachable types) and
+// drops trivially true rows. It reports trivially-unsat instances
+// (a constant row 0 ≥ K with K > 0).
+func normalizePDE(in PDE) (PDE, bool) {
+	zero := make([]bool, in.Vars)
+	for changed := true; changed; {
+		changed = false
+		for _, l := range in.Lins {
+			if l.GE {
+				continue
+			}
+			// Σ_{non-zeroed} c·x ≤ K with K == 0 forces those vars to 0.
+			if l.K != 0 {
+				continue
+			}
+			for v, c := range l.Coefs {
+				if c > 0 && !zero[v] {
+					zero[v] = true
+					changed = true
+				}
+			}
+		}
+		for _, q := range in.Quads {
+			// x_i ≤ x_j·x_k with a zero factor forces x_i to 0.
+			if (zero[q[1]] || zero[q[2]]) && !zero[q[0]] {
+				zero[q[0]] = true
+				changed = true
+			}
+		}
+	}
+	out := PDE{Vars: in.Vars}
+	for _, l := range in.Lins {
+		coefs := make([]int64, in.Vars)
+		allZero := true
+		for v, c := range l.Coefs {
+			if !zero[v] && c != 0 {
+				coefs[v] = c
+				allZero = false
+			}
+		}
+		switch {
+		case allZero && l.GE && l.K > 0:
+			return PDE{}, true // 0 ≥ K, K > 0: unsatisfiable
+		case allZero:
+			continue // 0 ≤ K or 0 ≥ 0: trivially true
+		case l.GE && l.K == 0:
+			continue // Σ ≥ 0: trivially true (and b_j = 0 would leave B_j unreachable)
+		case !l.GE && l.K == 0:
+			continue // already folded into the zero set
+		}
+		out.Lins = append(out.Lins, PDELinear{Coefs: coefs, GE: l.GE, K: l.K})
+	}
+	for _, q := range in.Quads {
+		if zero[q[0]] {
+			continue // 0 ≤ anything
+		}
+		out.Quads = append(out.Quads, q)
+	}
+	// Zeroed variables keep their X types (unconstrained); feasibility
+	// is unchanged since the original is solvable iff it is solvable
+	// with those variables at 0.
+	return out, false
+}
+
+// unsatGadget is a tiny specification that is never consistent: two
+// mandatory keyed t elements must inject into a single keyed s value.
+func unsatGadget() (*dtd.DTD, *constraint.Set, error) {
+	d := dtd.New("r")
+	d.Define("t", contentmodel.Eps(), "l")
+	d.Define("s", contentmodel.Eps(), "l")
+	d.Define("r", contentmodel.MustParse("(t, t, s)"))
+	set := &constraint.Set{}
+	set.AddKey(constraint.Key{Target: constraint.Target{Type: "t", Attrs: []string{"l"}}})
+	set.AddForeignKey(constraint.Inclusion{
+		From: constraint.Target{Type: "t", Attrs: []string{"l"}},
+		To:   constraint.Target{Type: "s", Attrs: []string{"l"}},
+	})
+	return d, set, nil
+}

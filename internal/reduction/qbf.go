@@ -1,0 +1,194 @@
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/constraint"
+	"repro/internal/contentmodel"
+	"repro/internal/dtd"
+	"repro/internal/pathre"
+)
+
+// qbfNames centralizes the element type names shared by the two QBF
+// reductions.
+func qbfPos(i int) string  { return fmt.Sprintf("x%d", i) }
+func qbfNeg(i int) string  { return fmt.Sprintf("nx%d", i) }
+func qbfN(i int) string    { return fmt.Sprintf("Nx%d", i) }
+func qbfP(i int) string    { return fmt.Sprintf("Px%d", i) }
+func qbfZero(i int) string { return fmt.Sprintf("zero%d", i) }
+func qbfOne(i int) string  { return fmt.Sprintf("one%d", i) }
+func qbfA(i int) string    { return fmt.Sprintf("A%d", i) }
+func qbfB(i int) string    { return fmt.Sprintf("B%d", i) }
+
+// trClause renders a clause as the union of its literal types.
+func trClause(c Clause) *contentmodel.Expr {
+	var alts []*contentmodel.Expr
+	for _, l := range c {
+		if l.Positive() {
+			alts = append(alts, contentmodel.Ref(qbfPos(l.Var())))
+		} else {
+			alts = append(alts, contentmodel.Ref(qbfNeg(l.Var())))
+		}
+	}
+	return contentmodel.NewChoice(alts...)
+}
+
+// quantifierExpr builds the (N|P) or (N, P) pair for quantifier level
+// i per the proofs of Theorems 3.4(b) and 4.4.
+func quantifierExpr(q *QBF, i int) *contentmodel.Expr {
+	n, p := contentmodel.Ref(qbfN(i)), contentmodel.Ref(qbfP(i))
+	if q.Forall[i-1] {
+		return contentmodel.NewSeq(n, p)
+	}
+	return contentmodel.NewChoice(n, p)
+}
+
+// FromQBFRegular is the Theorem 3.4(b) reduction from QBF validity to
+// SAT(AC^reg_{K,FK}): paths through the N/P levels enumerate the
+// quantified assignments; each leaf level exposes one witness literal
+// type per clause, and the foreign keys into the always-empty region
+// r.C.C forbid witnesses contradicting the assignment on their path.
+func FromQBFRegular(q *QBF) (*dtd.DTD, *constraint.Set) {
+	m := len(q.Forall)
+	if m == 0 {
+		panic("reduction: QBF without variables")
+	}
+	d := dtd.New("r")
+	d.Define("C", contentmodel.Eps(), "l")
+
+	d.Define("r", contentmodel.NewSeq(quantifierExpr(q, 1), contentmodel.Ref("C")))
+	for i := 1; i < m; i++ {
+		d.Define(qbfN(i), quantifierExpr(q, i+1))
+		d.Define(qbfP(i), quantifierExpr(q, i+1))
+	}
+	var leafParts []*contentmodel.Expr
+	for _, c := range q.Matrix.Clauses {
+		leafParts = append(leafParts, trClause(c))
+	}
+	leafContent := contentmodel.NewSeq(leafParts...)
+	d.Define(qbfN(m), leafContent.Clone())
+	d.Define(qbfP(m), leafContent.Clone())
+	for i := 1; i <= m; i++ {
+		// Only literal types that occur in the matrix are reachable.
+		if q.Matrix.mentions(i, true) {
+			d.Define(qbfPos(i), contentmodel.Eps(), "l")
+		}
+		if q.Matrix.mentions(i, false) {
+			d.Define(qbfNeg(i), contentmodel.Eps(), "l")
+		}
+	}
+
+	// Σ: r._*.Nx_i._*.x_i.l ⊆ r.C.C.l and the P/nx mirror, plus the
+	// key on the (empty) region r.C.C.
+	set := &constraint.Set{}
+	ccPath := pathre.MustParse("r.C")
+	cc := constraint.Target{Path: ccPath, Type: "C", Attrs: []string{"l"}}
+	for i := 1; i <= m; i++ {
+		if q.Matrix.mentions(i, true) {
+			set.AddForeignKey(constraint.Inclusion{
+				From: constraint.Target{
+					Path:  pathre.Concat(pathre.Symbol("r"), pathre.AnyPath(), pathre.Symbol(qbfN(i)), pathre.AnyPath()),
+					Type:  qbfPos(i),
+					Attrs: []string{"l"},
+				},
+				To: cc,
+			})
+		}
+		if q.Matrix.mentions(i, false) {
+			set.AddForeignKey(constraint.Inclusion{
+				From: constraint.Target{
+					Path:  pathre.Concat(pathre.Symbol("r"), pathre.AnyPath(), pathre.Symbol(qbfP(i)), pathre.AnyPath()),
+					Type:  qbfNeg(i),
+					Attrs: []string{"l"},
+				},
+				To: cc,
+			})
+		}
+	}
+	return d, set
+}
+
+// mentions reports whether variable v occurs with the given polarity.
+func (f *CNF) mentions(v int, positive bool) bool {
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			if l.Var() == v && l.Positive() == positive {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FromQBFHierarchical is the Theorem 4.4 reduction from QBF validity
+// to SAT(2-HRC_{K,FK}): the same N/P path structure, but the
+// assignment is enforced with relative constraints — each leaf records
+// the path's polarity for every variable with a (zero, A, A | one, B,
+// B) choice, and the relative keys of the N/P ancestors force the
+// recorded polarity to match the path (two B's under an Nx_i ancestor
+// would need distinct values inside the single-C leaf pool). The
+// result is hierarchical and 2-local.
+func FromQBFHierarchical(q *QBF) (*dtd.DTD, *constraint.Set) {
+	m := len(q.Forall)
+	if m == 0 {
+		panic("reduction: QBF without variables")
+	}
+	d := dtd.New("r")
+	d.Define("C", contentmodel.Eps(), "v")
+	d.Define("r", quantifierExpr(q, 1))
+	for i := 1; i < m; i++ {
+		d.Define(qbfN(i), quantifierExpr(q, i+1))
+		d.Define(qbfP(i), quantifierExpr(q, i+1))
+	}
+	leafParts := []*contentmodel.Expr{contentmodel.Ref("C")}
+	for i := 1; i <= m; i++ {
+		zero := contentmodel.NewSeq(
+			contentmodel.Ref(qbfZero(i)), contentmodel.Ref(qbfA(i)), contentmodel.Ref(qbfA(i)))
+		one := contentmodel.NewSeq(
+			contentmodel.Ref(qbfOne(i)), contentmodel.Ref(qbfB(i)), contentmodel.Ref(qbfB(i)))
+		leafParts = append(leafParts, contentmodel.NewChoice(zero, one))
+	}
+	for _, c := range q.Matrix.Clauses {
+		leafParts = append(leafParts, trClause(c))
+	}
+	leafContent := contentmodel.NewSeq(leafParts...)
+	d.Define(qbfN(m), leafContent.Clone())
+	d.Define(qbfP(m), leafContent.Clone())
+	for i := 1; i <= m; i++ {
+		for _, name := range []string{qbfZero(i), qbfOne(i), qbfA(i), qbfB(i)} {
+			d.Define(name, contentmodel.Eps(), "v")
+		}
+		if q.Matrix.mentions(i, true) {
+			d.Define(qbfPos(i), contentmodel.Eps(), "v")
+		}
+		if q.Matrix.mentions(i, false) {
+			d.Define(qbfNeg(i), contentmodel.Eps(), "v")
+		}
+	}
+
+	set := &constraint.Set{}
+	target := func(typ string) constraint.Target {
+		return constraint.Target{Type: typ, Attrs: []string{"v"}}
+	}
+	for i := 1; i <= m; i++ {
+		// Ancestor keys forbidding the wrong polarity below.
+		set.AddKey(constraint.Key{Context: qbfN(i), Target: target(qbfB(i))})
+		set.AddKey(constraint.Key{Context: qbfP(i), Target: target(qbfA(i))})
+	}
+	for _, leaf := range []string{qbfN(m), qbfP(m)} {
+		set.AddKey(constraint.Key{Context: leaf, Target: target("C")})
+		for i := 1; i <= m; i++ {
+			// A and B values must come from the single C child.
+			set.AddForeignKey(constraint.Inclusion{Context: leaf, From: target(qbfA(i)), To: target("C")})
+			set.AddForeignKey(constraint.Inclusion{Context: leaf, From: target(qbfB(i)), To: target("C")})
+			// Witness literals must match the recorded polarity.
+			if q.Matrix.mentions(i, true) {
+				set.AddForeignKey(constraint.Inclusion{Context: leaf, From: target(qbfPos(i)), To: target(qbfOne(i))})
+			}
+			if q.Matrix.mentions(i, false) {
+				set.AddForeignKey(constraint.Inclusion{Context: leaf, From: target(qbfNeg(i)), To: target(qbfZero(i))})
+			}
+		}
+	}
+	return d, dedup(set)
+}

@@ -1,0 +1,466 @@
+package reduction
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/consistency"
+	"repro/internal/constraint"
+	"repro/internal/dtd"
+	"repro/internal/ilp"
+)
+
+func decide(t *testing.T, d *dtd.DTD, set *constraint.Set, opts consistency.Options) consistency.Result {
+	t.Helper()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("generated DTD invalid: %v\n%s", err, d)
+	}
+	if err := set.Validate(d); err != nil {
+		t.Fatalf("generated constraints invalid: %v\n%s\n%s", err, d, set)
+	}
+	res, err := consistency.Check(d, set, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCNFReductionMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 60; trial++ {
+		f := RandomCNF(rng, 2+rng.Intn(4), 1+rng.Intn(5), 1+rng.Intn(3))
+		want, _ := SolveCNF(f)
+		d, set := FromCNF(f)
+		if d.Depth() != 2 {
+			t.Fatalf("reduction DTD depth = %d, want 2", d.Depth())
+		}
+		if !d.NoStar() || d.IsRecursive() {
+			t.Fatal("reduction DTD must be no-star and non-recursive")
+		}
+		res := decide(t, d, set, consistency.Options{})
+		if want && res.Verdict != consistency.Consistent {
+			t.Fatalf("sat formula %s → %v (%s)", f, res.Verdict, res.Diagnosis)
+		}
+		if !want && res.Verdict != consistency.Inconsistent {
+			t.Fatalf("unsat formula %s → %v (%s)", f, res.Verdict, res.Diagnosis)
+		}
+	}
+}
+
+func TestCNFKnownInstances(t *testing.T) {
+	// (x1) ∧ (¬x1): unsatisfiable.
+	f := &CNF{Vars: 1, Clauses: []Clause{{1}, {-1}}}
+	d, set := FromCNF(f)
+	res := decide(t, d, set, consistency.Options{})
+	if res.Verdict != consistency.Inconsistent {
+		t.Fatalf("x ∧ ¬x → %v", res.Verdict)
+	}
+	// (x1 ∨ ¬x2) ∧ (¬x1 ∨ x3): satisfiable (the paper's Figure 7).
+	f2 := &CNF{Vars: 3, Clauses: []Clause{{1, -2}, {-1, 3}}}
+	d2, set2 := FromCNF(f2)
+	res2 := decide(t, d2, set2, consistency.Options{})
+	if res2.Verdict != consistency.Consistent {
+		t.Fatalf("figure-7 formula → %v (%s)", res2.Verdict, res2.Diagnosis)
+	}
+	if res2.Witness == nil {
+		t.Fatalf("no witness: %s", res2.Diagnosis)
+	}
+}
+
+func TestSubsetSumReductionMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 40; trial++ {
+		in := RandomSubsetSum(rng, 1+rng.Intn(4), 9)
+		want := SolveSubsetSum(in)
+		d, set := FromSubsetSum(in)
+		if set.Size() != 4 { // 2 inclusions + 2 keys; the paper counts the 2 foreign keys
+			t.Fatalf("constraint count = %d, want 4 (two foreign keys)", set.Size())
+		}
+		if !d.NoStar() || d.IsRecursive() {
+			t.Fatal("subset-sum DTD must be no-star and non-recursive")
+		}
+		res := decide(t, d, set, consistency.Options{SkipWitness: true})
+		if want && res.Verdict != consistency.Consistent {
+			t.Fatalf("solvable %+v → %v (%s)", in, res.Verdict, res.Diagnosis)
+		}
+		if !want && res.Verdict != consistency.Inconsistent {
+			t.Fatalf("unsolvable %+v → %v (%s)", in, res.Verdict, res.Diagnosis)
+		}
+	}
+}
+
+func TestQBFRegularMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		q := RandomQBF(rng, 2+rng.Intn(3), 1+rng.Intn(3), 1+rng.Intn(2))
+		want := SolveQBF(q)
+		d, set := FromQBFRegular(q)
+		if !constraint.Classify(set).Regular {
+			t.Fatal("QBF-regular constraints must be regular")
+		}
+		res := decide(t, d, set, consistency.Options{SkipWitness: true})
+		if want && res.Verdict != consistency.Consistent {
+			t.Fatalf("valid %s → %v (%s)", q, res.Verdict, res.Diagnosis)
+		}
+		if !want && res.Verdict != consistency.Inconsistent {
+			t.Fatalf("invalid %s → %v (%s)", q, res.Verdict, res.Diagnosis)
+		}
+	}
+}
+
+func TestQBFRegularKnownInstance(t *testing.T) {
+	// ∀x1 ∃x2 (x1 ∨ x2) ∧ (¬x1 ∨ ¬x2): valid (choose x2 = ¬x1).
+	q := &QBF{
+		Forall: []bool{true, false},
+		Matrix: &CNF{Vars: 2, Clauses: []Clause{{1, 2}, {-1, -2}}},
+	}
+	if !SolveQBF(q) {
+		t.Fatal("reference solver wrong")
+	}
+	d, set := FromQBFRegular(q)
+	res := decide(t, d, set, consistency.Options{SkipWitness: true})
+	if res.Verdict != consistency.Consistent {
+		t.Fatalf("verdict = %v (%s)", res.Verdict, res.Diagnosis)
+	}
+	// ∀x1 ∀x2 (x1 ∨ x2): invalid.
+	q2 := &QBF{Forall: []bool{true, true}, Matrix: &CNF{Vars: 2, Clauses: []Clause{{1, 2}}}}
+	d2, set2 := FromQBFRegular(q2)
+	res2 := decide(t, d2, set2, consistency.Options{SkipWitness: true})
+	if res2.Verdict != consistency.Inconsistent {
+		t.Fatalf("verdict = %v (%s)", res2.Verdict, res2.Diagnosis)
+	}
+}
+
+func TestQBFHierarchicalMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		q := RandomQBF(rng, 2+rng.Intn(2), 1+rng.Intn(3), 1+rng.Intn(2))
+		want := SolveQBF(q)
+		d, set := FromQBFHierarchical(q)
+		if !consistency.Hierarchical(d, set) {
+			t.Fatalf("QBF-HRC instance must be hierarchical\n%s\n%s", d, set)
+		}
+		if got := consistency.DLocality(d, set); got > 2 {
+			t.Fatalf("DLocality = %d, want ≤ 2", got)
+		}
+		res := decide(t, d, set, consistency.Options{SkipWitness: true})
+		if want && res.Verdict != consistency.Consistent {
+			t.Fatalf("valid %s → %v (%s)", q, res.Verdict, res.Diagnosis)
+		}
+		if !want && res.Verdict != consistency.Inconsistent {
+			t.Fatalf("invalid %s → %v (%s)", q, res.Verdict, res.Diagnosis)
+		}
+	}
+}
+
+func TestPDEReductionMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	trials := 0
+	for trials < 30 {
+		in := RandomPDE(rng, 1+rng.Intn(3), 1+rng.Intn(3), rng.Intn(2))
+		want := SolvePDE(in, ilp.Options{})
+		if want == ilp.Unknown {
+			continue
+		}
+		trials++
+		d, set, err := FromPDE(in)
+		if err != nil {
+			t.Fatalf("FromPDE: %v", err)
+		}
+		prof := constraint.Classify(set)
+		if !prof.Primary {
+			t.Fatalf("PDE reduction must stay primary\n%s", set)
+		}
+		res := decide(t, d, set, consistency.Options{SkipWitness: true})
+		if want == ilp.Sat && res.Verdict != consistency.Consistent {
+			t.Fatalf("solvable PDE → %v (%s)\n%s\n%s", res.Verdict, res.Diagnosis, d, set)
+		}
+		if want == ilp.Unsat && res.Verdict != consistency.Inconsistent {
+			t.Fatalf("unsolvable PDE → %v (%s)\n%s\n%s", res.Verdict, res.Diagnosis, d, set)
+		}
+	}
+}
+
+func TestPDEKnownInstances(t *testing.T) {
+	// x0 ≥ 3, x0 ≤ x1·x2, x1 + x2 ≤ 3: needs 3 ≤ x1·x2 with x1+x2 ≤ 3
+	// → impossible (max product 2).
+	in := PDE{
+		Vars: 3,
+		Lins: []PDELinear{
+			{Coefs: []int64{1, 0, 0}, GE: true, K: 3},
+			{Coefs: []int64{0, 1, 1}, GE: false, K: 3},
+		},
+		Quads: [][3]int{{0, 1, 2}},
+	}
+	if got := SolvePDE(in, ilp.Options{}); got != ilp.Unsat {
+		t.Fatalf("reference: %v", got)
+	}
+	d, set, err := FromPDE(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := decide(t, d, set, consistency.Options{SkipWitness: true})
+	if res.Verdict != consistency.Inconsistent {
+		t.Fatalf("verdict = %v (%s)", res.Verdict, res.Diagnosis)
+	}
+	// Relaxing to x1 + x2 ≤ 4 makes it solvable (2·2).
+	in.Lins[1].K = 4
+	if got := SolvePDE(in, ilp.Options{}); got != ilp.Sat {
+		t.Fatalf("reference: %v", got)
+	}
+	d2, set2, err := FromPDE(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := decide(t, d2, set2, consistency.Options{SkipWitness: true})
+	if res2.Verdict != consistency.Consistent {
+		t.Fatalf("verdict = %v (%s)", res2.Verdict, res2.Diagnosis)
+	}
+}
+
+func TestPDENormalization(t *testing.T) {
+	// x0 ≤ 0 zeroes x0; quad x1 ≤ x0·x1 then zeroes x1; a GE row on x1
+	// becomes trivially unsat.
+	in := PDE{
+		Vars: 2,
+		Lins: []PDELinear{
+			{Coefs: []int64{1, 0}, GE: false, K: 0},
+			{Coefs: []int64{0, 1}, GE: true, K: 1},
+		},
+		Quads: [][3]int{{1, 0, 1}},
+	}
+	if got := SolvePDE(in, ilp.Options{}); got != ilp.Unsat {
+		t.Fatalf("reference: %v", got)
+	}
+	d, set, err := FromPDE(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := decide(t, d, set, consistency.Options{SkipWitness: true})
+	if res.Verdict != consistency.Inconsistent {
+		t.Fatalf("verdict = %v (%s)", res.Verdict, res.Diagnosis)
+	}
+}
+
+func TestDiophantineLinear(t *testing.T) {
+	// 2·x0 = 0 + 4: solvable with x0 = 2.
+	e := &QuadEquation{
+		Vars:  1,
+		LHS:   []Monomial{{Coef: 2, Vars: []int{0}}},
+		Const: 4,
+	}
+	ok, x := SolveQuadEquation(e, 5)
+	if !ok || x[0] != 2 {
+		t.Fatalf("reference: %v %v", ok, x)
+	}
+	d, set := FromQuadEquation(e)
+	res := decide(t, d, set, consistency.Options{
+		BruteForce: bruteforce.Options{MaxNodes: 12, MaxShapes: 300000, MaxPartitions: 300000},
+	})
+	if res.Verdict != consistency.Consistent {
+		t.Fatalf("verdict = %v (%s)", res.Verdict, res.Diagnosis)
+	}
+	// 2·x0 = 0 + 3: no solution. Linear equations produce purely
+	// absolute constraints, so they land in the DECIDABLE class and
+	// the checker refutes them exactly (parity conflict in counts).
+	e2 := &QuadEquation{Vars: 1, LHS: []Monomial{{Coef: 2, Vars: []int{0}}}, Const: 3}
+	if ok, _ := SolveQuadEquation(e2, 10); ok {
+		t.Fatal("reference: 2x=3 solvable?")
+	}
+	d2, set2 := FromQuadEquation(e2)
+	res2 := decide(t, d2, set2, consistency.Options{SkipWitness: true})
+	if res2.Verdict != consistency.Inconsistent {
+		t.Fatalf("verdict = %v (%s), want inconsistent", res2.Verdict, res2.Diagnosis)
+	}
+}
+
+func TestDiophantineQuadraticUnknown(t *testing.T) {
+	// x0·x1 = x0·x1 + 1: unsolvable, and the quadratic ladder puts it
+	// on the undecidable (relative, recursive) path, where the checker
+	// must answer Unknown — never a definitive verdict.
+	e := &QuadEquation{
+		Vars:  2,
+		LHS:   []Monomial{{Coef: 1, Vars: []int{0, 1}}},
+		RHS:   []Monomial{{Coef: 1, Vars: []int{0, 1}}},
+		Const: 1,
+	}
+	if ok, _ := SolveQuadEquation(e, 3); ok {
+		t.Fatal("reference: xy = xy + 1 solvable?")
+	}
+	d, set := FromQuadEquation(e)
+	res := decide(t, d, set, consistency.Options{
+		BruteForce: bruteforce.Options{MaxNodes: 4, MaxShapes: 500, MaxPartitions: 500},
+	})
+	if res.Verdict != consistency.Unknown {
+		t.Fatalf("verdict = %v (%s), want unknown", res.Verdict, res.Diagnosis)
+	}
+}
+
+func TestDiophantineQuadraticStructure(t *testing.T) {
+	// x0·x1 = 0 + 1: the generated specification must be recursive
+	// (the α/α′ ladder) and carry relative constraints — the shape the
+	// undecidability proof needs.
+	e := &QuadEquation{
+		Vars:  2,
+		LHS:   []Monomial{{Coef: 1, Vars: []int{0, 1}}},
+		Const: 1,
+	}
+	d, set := FromQuadEquation(e)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("DTD invalid: %v\n%s", err, d)
+	}
+	if err := set.Validate(d); err != nil {
+		t.Fatalf("constraints invalid: %v", err)
+	}
+	if !d.IsRecursive() {
+		t.Error("quadratic ladder must be recursive")
+	}
+	if !constraint.Classify(set).Relative {
+		t.Error("quadratic ladder must use relative constraints")
+	}
+}
+
+func TestReferenceSolvers(t *testing.T) {
+	// CNF evaluator and solver sanity.
+	f := &CNF{Vars: 2, Clauses: []Clause{{1, -2}}}
+	if !f.Eval([]bool{false, true, false}) {
+		t.Error("Eval wrong (x1=t)")
+	}
+	if f.Eval([]bool{false, false, true}) {
+		t.Error("Eval wrong (x1=f,x2=t)")
+	}
+	if ok, _ := SolveCNF(f); !ok {
+		t.Error("SolveCNF wrong")
+	}
+	// Subset-sum.
+	if !SolveSubsetSum(SubsetSum{Target: 5, Set: []uint64{2, 3, 9}}) {
+		t.Error("subset-sum solvable missed")
+	}
+	if SolveSubsetSum(SubsetSum{Target: 6, Set: []uint64{4, 9}}) {
+		t.Error("subset-sum unsolvable accepted")
+	}
+	// QBF.
+	if !SolveQBF(&QBF{Forall: []bool{false}, Matrix: &CNF{Vars: 1, Clauses: []Clause{{1}}}}) {
+		t.Error("∃x (x) must be valid")
+	}
+	if SolveQBF(&QBF{Forall: []bool{true}, Matrix: &CNF{Vars: 1, Clauses: []Clause{{1}}}}) {
+		t.Error("∀x (x) must be invalid")
+	}
+	// Quadratic equations.
+	e := &QuadEquation{Vars: 2, LHS: []Monomial{{Coef: 1, Vars: []int{0, 1}}}, RHS: []Monomial{{Coef: 1, Vars: []int{0}}}, Const: 0}
+	if ok, _ := SolveQuadEquation(e, 3); !ok {
+		t.Errorf("%s must be solvable (x1=1 or x0=0)", e)
+	}
+}
+
+func TestDiophantineSystem(t *testing.T) {
+	// x0 = 2 and 2·x0 = 0 + 4 are jointly solvable; the first equation
+	// pins x0 via "x0 = 0 + 2".
+	sys := &QuadSystem{
+		Vars: 1,
+		Equations: []*QuadEquation{
+			{Vars: 1, LHS: []Monomial{{Coef: 1, Vars: []int{0}}}, Const: 2},
+			{Vars: 1, LHS: []Monomial{{Coef: 2, Vars: []int{0}}}, Const: 4},
+		},
+	}
+	ok, x := SolveQuadSystem(sys, 5)
+	if !ok || x[0] != 2 {
+		t.Fatalf("reference: %v %v", ok, x)
+	}
+	d, set := FromQuadSystem(sys)
+	res := decide(t, d, set, consistency.Options{SkipWitness: true})
+	if res.Verdict != consistency.Consistent {
+		t.Fatalf("verdict = %v (%s)", res.Verdict, res.Diagnosis)
+	}
+	// Conflicting system: x0 = 1 and x0 = 2 — linear, decided exactly.
+	bad := &QuadSystem{
+		Vars: 1,
+		Equations: []*QuadEquation{
+			{Vars: 1, LHS: []Monomial{{Coef: 1, Vars: []int{0}}}, Const: 1},
+			{Vars: 1, LHS: []Monomial{{Coef: 1, Vars: []int{0}}}, Const: 2},
+		},
+	}
+	if ok, _ := SolveQuadSystem(bad, 5); ok {
+		t.Fatal("reference: conflicting system solvable?")
+	}
+	d2, set2 := FromQuadSystem(bad)
+	res2 := decide(t, d2, set2, consistency.Options{SkipWitness: true})
+	if res2.Verdict != consistency.Inconsistent {
+		t.Fatalf("verdict = %v (%s), want inconsistent", res2.Verdict, res2.Diagnosis)
+	}
+}
+
+func TestDiophantineLinearRandomAgainstReference(t *testing.T) {
+	// Linear-only systems land in the decidable absolute class: the
+	// checker must agree with the reference solver exactly.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		sys := &QuadSystem{Vars: 1 + rng.Intn(2)}
+		for k := 1 + rng.Intn(2); k > 0; k-- {
+			e := &QuadEquation{Vars: sys.Vars, Const: int64(rng.Intn(4))}
+			for i := 1 + rng.Intn(2); i > 0; i-- {
+				e.LHS = append(e.LHS, Monomial{Coef: 1 + int64(rng.Intn(2)), Vars: []int{rng.Intn(sys.Vars)}})
+			}
+			for i := rng.Intn(2); i > 0; i-- {
+				e.RHS = append(e.RHS, Monomial{Coef: 1 + int64(rng.Intn(2)), Vars: []int{rng.Intn(sys.Vars)}})
+			}
+			sys.Equations = append(sys.Equations, e)
+		}
+		want, _ := SolveQuadSystem(sys, 30)
+		d, set := FromQuadSystem(sys)
+		res := decide(t, d, set, consistency.Options{SkipWitness: true})
+		if want && res.Verdict != consistency.Consistent {
+			t.Fatalf("solvable system → %v (%s)\n%v", res.Verdict, res.Diagnosis, sys.Equations)
+		}
+		if !want && res.Verdict != consistency.Inconsistent {
+			t.Fatalf("unsolvable system → %v (%s)\n%v", res.Verdict, res.Diagnosis, sys.Equations)
+		}
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	f := &CNF{Vars: 2, Clauses: []Clause{{1, -2}}}
+	if got := f.String(); got != "(x1 ∨ ¬x2)" {
+		t.Errorf("CNF.String = %q", got)
+	}
+	q := &QBF{Forall: []bool{true, false}, Matrix: f}
+	if got := q.String(); got != "∀x1 ∃x2 (x1 ∨ ¬x2)" {
+		t.Errorf("QBF.String = %q", got)
+	}
+	e := &QuadEquation{
+		Vars:  2,
+		LHS:   []Monomial{{Coef: 2, Vars: []int{0}}},
+		RHS:   []Monomial{{Coef: 1, Vars: []int{0, 1}}},
+		Const: 3,
+	}
+	if got := e.String(); got != "2·x0 = 1·x0·x1 + 3" {
+		t.Errorf("QuadEquation.String = %q", got)
+	}
+	empty := &QuadEquation{Vars: 1, Const: 1}
+	if got := empty.String(); got != "0 = 0 + 1" {
+		t.Errorf("empty sides = %q", got)
+	}
+}
+
+func TestRandomQuadEquationWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		e := RandomQuadEquation(rng, 2)
+		if len(e.LHS) == 0 {
+			t.Fatal("random equation with empty LHS")
+		}
+		for _, m := range append(append([]Monomial(nil), e.LHS...), e.RHS...) {
+			if m.Coef < 1 || len(m.Vars) < 1 || len(m.Vars) > 2 {
+				t.Fatalf("malformed monomial %+v", m)
+			}
+		}
+		d, set := FromQuadEquation(e)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("invalid DTD: %v\n%s", err, e)
+		}
+		if err := set.Validate(d); err != nil {
+			t.Fatalf("invalid constraints: %v", err)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/constraint"
+	"repro/internal/contentmodel"
+	"repro/internal/dtd"
+)
+
+// FromCNF is the Theorem 3.5(a) reduction: it builds a depth-2
+// non-recursive no-star DTD D_φ and a set Σ_φ of unary absolute keys
+// and foreign keys such that φ is satisfiable iff (D_φ, Σ_φ) is
+// consistent. The root's children pick one witness literal per clause
+// and one polarity per variable; the foreign keys force each witness
+// to match its variable's polarity.
+func FromCNF(f *CNF) (*dtd.DTD, *constraint.Set) {
+	d := dtd.New("r")
+	pos := func(v int) string { return fmt.Sprintf("x%d", v) }
+	neg := func(v int) string { return fmt.Sprintf("nx%d", v) }
+	cpos := func(i, v int) string { return fmt.Sprintf("C%d_%d", i, v) }
+	cneg := func(i, v int) string { return fmt.Sprintf("nC%d_%d", i, v) }
+
+	var rootParts []*contentmodel.Expr
+	set := &constraint.Set{}
+	leaf := func(name string) {
+		if d.Element(name) == nil {
+			d.Define(name, contentmodel.Eps(), "l")
+		}
+	}
+	for i, c := range f.Clauses {
+		var alts []*contentmodel.Expr
+		for _, l := range c {
+			var witness, target string
+			if l.Positive() {
+				witness, target = cpos(i, l.Var()), pos(l.Var())
+			} else {
+				witness, target = cneg(i, l.Var()), neg(l.Var())
+			}
+			leaf(witness)
+			leaf(target)
+			alts = append(alts, contentmodel.Ref(witness))
+			set.AddForeignKey(constraint.Inclusion{
+				From: constraint.Target{Type: witness, Attrs: []string{"l"}},
+				To:   constraint.Target{Type: target, Attrs: []string{"l"}},
+			})
+		}
+		rootParts = append(rootParts, contentmodel.NewChoice(alts...))
+	}
+	for v := 1; v <= f.Vars; v++ {
+		leaf(pos(v))
+		leaf(neg(v))
+		rootParts = append(rootParts, contentmodel.NewChoice(
+			contentmodel.Ref(pos(v)), contentmodel.Ref(neg(v)),
+		))
+	}
+	d.Define("r", contentmodel.NewSeq(rootParts...))
+	return d, dedup(set)
+}
+
+// dedup removes duplicate constraints introduced when a literal occurs
+// in several clauses.
+func dedup(s *constraint.Set) *constraint.Set {
+	out := &constraint.Set{}
+	seen := map[string]bool{}
+	for _, k := range s.Keys {
+		if !seen[k.String()] {
+			seen[k.String()] = true
+			out.AddKey(k)
+		}
+	}
+	for _, c := range s.Incls {
+		if !seen[c.String()] {
+			seen[c.String()] = true
+			out.AddInclusion(c)
+		}
+	}
+	return out
+}

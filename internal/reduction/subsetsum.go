@@ -1,0 +1,137 @@
+package reduction
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/constraint"
+	"repro/internal/contentmodel"
+	"repro/internal/dtd"
+)
+
+// SubsetSum is an instance of SUBSET-SUM: is there S' ⊆ Set with
+// Σ S' = Target?
+type SubsetSum struct {
+	Target uint64
+	Set    []uint64
+}
+
+// SolveSubsetSum is the reference solver (meet-in-the-middle-free
+// dynamic programming over reachable sums, exact).
+func SolveSubsetSum(in SubsetSum) bool {
+	reach := map[uint64]bool{0: true}
+	for _, v := range in.Set {
+		next := map[uint64]bool{}
+		for s := range reach {
+			next[s] = true
+			if s+v <= in.Target {
+				next[s+v] = true
+			}
+		}
+		reach = next
+	}
+	return reach[in.Target]
+}
+
+// RandomSubsetSum generates an instance; roughly half are solvable.
+func RandomSubsetSum(rng *rand.Rand, n int, maxVal uint64) SubsetSum {
+	in := SubsetSum{Set: make([]uint64, n)}
+	for i := range in.Set {
+		in.Set[i] = 1 + uint64(rng.Intn(int(maxVal)))
+	}
+	if rng.Intn(2) == 0 {
+		// Plant a solution.
+		for i, v := range in.Set {
+			if rng.Intn(2) == 0 {
+				in.Target += v
+			} else if i == len(in.Set)-1 && in.Target == 0 {
+				in.Target = v
+			}
+		}
+	} else {
+		in.Target = 1 + uint64(rng.Intn(int(maxVal)*n))
+	}
+	return in
+}
+
+// FromSubsetSum is the Theorem 3.5(a) reduction to the 2-constraint
+// restriction of SAT(AC_{K,FK}): binary counters built from X/Y
+// doubling trees encode the target and the chosen subset; the two
+// mutual foreign keys equate |ext(tau.l)| with |ext(tau2.l)|, which
+// with both keys equates the counts of tau and tau2 leaves — i.e. the
+// subset sum with the target. The DTD is non-recursive, no-star, and
+// polynomial in the binary encoding of the numbers.
+func FromSubsetSum(in SubsetSum) (*dtd.DTD, *constraint.Set) {
+	d := dtd.New("r")
+	d.Define("tau", contentmodel.Eps(), "l")
+	d.Define("tau2", contentmodel.Eps(), "l")
+
+	// Doubling towers: X_0 → tau, X_i → X_{i-1}, X_{i-1}.
+	defineTower := func(prefix, leaf string, bits int) {
+		for i := 0; i <= bits; i++ {
+			name := fmt.Sprintf("%s%d", prefix, i)
+			if i == 0 {
+				d.Define(name, contentmodel.Ref(leaf))
+				continue
+			}
+			prev := fmt.Sprintf("%s%d", prefix, i-1)
+			d.Define(name, contentmodel.NewSeq(contentmodel.Ref(prev), contentmodel.Ref(prev)))
+		}
+	}
+	maxBits := func(v uint64) int {
+		b := 0
+		for v > 1 {
+			v >>= 1
+			b++
+		}
+		return b
+	}
+	// number → concatenation of tower levels for its set bits.
+	numExpr := func(prefix string, v uint64) *contentmodel.Expr {
+		var parts []*contentmodel.Expr
+		for bit := 0; bit <= maxBits(v); bit++ {
+			if v&(1<<uint(bit)) != 0 {
+				parts = append(parts, contentmodel.Ref(fmt.Sprintf("%s%d", prefix, bit)))
+			}
+		}
+		if len(parts) == 0 {
+			return contentmodel.Eps()
+		}
+		return contentmodel.NewSeq(parts...)
+	}
+
+	tbits := maxBits(in.Target)
+	if in.Target == 0 {
+		tbits = 0
+	}
+	defineTower("X", "tau", tbits)
+	var maxSetBits int
+	for _, v := range in.Set {
+		if b := maxBits(v); b > maxSetBits {
+			maxSetBits = b
+		}
+	}
+	defineTower("Y", "tau2", maxSetBits)
+
+	d.Define("V", numExpr("X", in.Target))
+	var rootParts []*contentmodel.Expr
+	rootParts = append(rootParts, contentmodel.Ref("V"))
+	for j, v := range in.Set {
+		name := fmt.Sprintf("V%d", j+1)
+		d.Define(name, numExpr("Y", v))
+		rootParts = append(rootParts, contentmodel.Opt(contentmodel.Ref(name)))
+	}
+	d.Define("r", contentmodel.NewSeq(rootParts...))
+
+	// Exactly two foreign keys (each counted as one constraint).
+	set := &constraint.Set{}
+	set.AddForeignKey(constraint.Inclusion{
+		From: constraint.Target{Type: "tau", Attrs: []string{"l"}},
+		To:   constraint.Target{Type: "tau2", Attrs: []string{"l"}},
+	})
+	set.AddForeignKey(constraint.Inclusion{
+		From: constraint.Target{Type: "tau2", Attrs: []string{"l"}},
+		To:   constraint.Target{Type: "tau", Attrs: []string{"l"}},
+	})
+	return d, set
+}

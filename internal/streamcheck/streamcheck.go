@@ -1,0 +1,496 @@
+// Package streamcheck validates XML documents against a specification
+// in a single streaming pass over the token stream, without
+// materializing the tree: conformance to the DTD is checked with one
+// content-model automaton state per open element, and the key /
+// foreign-key constraints with incremental value indexes. Memory is
+// O(document depth + distinct constrained values), which makes the
+// validator suitable for documents far larger than the tree-based
+// checker comfortably holds — and it doubles as an independent second
+// implementation of the constraint semantics, differentially tested
+// against package constraint.
+package streamcheck
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/constraint"
+	"repro/internal/contentmodel"
+	"repro/internal/dtd"
+	"repro/internal/pathre"
+)
+
+// Violation is one streaming validation finding.
+type Violation struct {
+	// Path is the element path where the violation surfaced.
+	Path string
+	// Constraint is empty for conformance violations.
+	Constraint string
+	Msg        string
+}
+
+func (v Violation) String() string {
+	if v.Constraint == "" {
+		return fmt.Sprintf("%s: %s", v.Path, v.Msg)
+	}
+	return fmt.Sprintf("%s: %s: %s", v.Path, v.Constraint, v.Msg)
+}
+
+// Validator is a one-pass checker for one specification. It is not
+// safe for concurrent use; construct one per stream.
+type Validator struct {
+	d   *dtd.DTD
+	set *constraint.Set
+
+	// Compiled per-type content model and the regular-constraint
+	// machinery (shared across runs of the same Validator).
+	product *pathre.Product
+	regions []*streamRegion
+
+	// Per-run state.
+	stack      []frame
+	violations []Violation
+	seenRoot   bool
+
+	// keyed[i] -> value -> first path (absolute keys).
+	absKeys []*absKeyState
+	absIncl []*absInclState
+	relKeys []*relKeyState
+	relIncl []*relInclState
+}
+
+type frame struct {
+	typ string
+	// deriv is the remaining content model (Brzozowski residual).
+	deriv *contentmodel.Expr
+	// state is the product-automaton state after this element's label.
+	state int
+}
+
+// streamRegion mirrors a regular constraint target.
+type streamRegion struct {
+	target constraint.Target
+	comp   int // product component index
+}
+
+type absKeyState struct {
+	c    constraint.Key
+	comp int // -1 for type-based
+	seen map[string]string
+}
+
+type absInclState struct {
+	c                constraint.Inclusion
+	fromComp, toComp int
+	have             map[string]bool
+	pendingVal       []string
+	pendingPath      []string
+}
+
+type relKeyState struct {
+	c constraint.Key
+	// seen[contextDepthIdx] stacks one map per open context node.
+	seen []map[string]string
+}
+
+type relInclState struct {
+	c       constraint.Inclusion
+	have    []map[string]bool
+	pending []map[string]string // value -> path
+}
+
+// New compiles a validator for the specification. The constraint set
+// must validate against the DTD.
+func New(d *dtd.DTD, set *constraint.Set) (*Validator, error) {
+	if err := set.Validate(d); err != nil {
+		return nil, err
+	}
+	v := &Validator{d: d, set: set}
+
+	// Collect regular targets and build one product automaton.
+	var exprs []*pathre.Expr
+	addRegion := func(t constraint.Target) int {
+		if t.Path == nil {
+			return -1
+		}
+		full := pathre.Concat(t.Path, pathre.Symbol(t.Type))
+		for i, r := range v.regions {
+			if r.target.Path != nil && pathre.Concat(r.target.Path, pathre.Symbol(r.target.Type)).Equal(full) && r.target.Attrs[0] == t.Attrs[0] {
+				return i
+			}
+		}
+		v.regions = append(v.regions, &streamRegion{target: t, comp: len(exprs)})
+		exprs = append(exprs, full)
+		return len(v.regions) - 1
+	}
+	regionComp := func(idx int) int {
+		if idx < 0 {
+			return -1
+		}
+		return v.regions[idx].comp
+	}
+	for _, k := range set.Keys {
+		switch {
+		case k.Context != "":
+			v.relKeys = append(v.relKeys, &relKeyState{c: k})
+		default:
+			v.absKeys = append(v.absKeys, &absKeyState{
+				c:    k,
+				comp: regionComp(addRegion(k.Target)),
+				seen: map[string]string{},
+			})
+		}
+	}
+	for _, c := range set.Incls {
+		switch {
+		case c.Context != "":
+			v.relIncl = append(v.relIncl, &relInclState{c: c})
+		default:
+			v.absIncl = append(v.absIncl, &absInclState{
+				c:        c,
+				fromComp: regionComp(addRegion(c.From)),
+				toComp:   regionComp(addRegion(c.To)),
+				have:     map[string]bool{},
+			})
+		}
+	}
+	if len(exprs) > 0 {
+		alphabet := append([]string(nil), d.Names...)
+		sort.Strings(alphabet)
+		dfas := make([]*pathre.DFA, len(exprs))
+		for i, e := range exprs {
+			dfas[i] = pathre.CompileDFA(e, alphabet).Minimize()
+		}
+		v.product = pathre.NewProduct(dfas)
+	}
+	return v, nil
+}
+
+// Validate consumes the stream and returns all violations found (nil
+// means valid). IO and well-formedness errors are returned as errors.
+func (v *Validator) Validate(r io.Reader) ([]Violation, error) {
+	v.reset()
+	dec := xml.NewDecoder(r)
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("streamcheck: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			v.startElement(t)
+		case xml.EndElement:
+			v.endElement()
+		case xml.CharData:
+			if strings.TrimSpace(string(t)) != "" {
+				v.text()
+			}
+		}
+	}
+	if len(v.stack) != 0 {
+		return nil, fmt.Errorf("streamcheck: unclosed element %s", v.stack[len(v.stack)-1].typ)
+	}
+	if !v.seenRoot {
+		return nil, fmt.Errorf("streamcheck: empty document")
+	}
+	// Resolve absolute inclusions: every pending source value must
+	// have found a target value by end of document.
+	for _, st := range v.absIncl {
+		for i, val := range st.pendingVal {
+			if !st.have[val] {
+				v.violations = append(v.violations, Violation{
+					Path:       st.pendingPath[i],
+					Constraint: st.c.String(),
+					Msg:        fmt.Sprintf("value %q has no matching %s", val, st.c.To),
+				})
+			}
+		}
+	}
+	return v.violations, nil
+}
+
+// ValidateString is Validate over a string.
+func (v *Validator) ValidateString(doc string) ([]Violation, error) {
+	return v.Validate(strings.NewReader(doc))
+}
+
+func (v *Validator) reset() {
+	v.stack = v.stack[:0]
+	v.violations = nil
+	v.seenRoot = false
+	for _, st := range v.absKeys {
+		st.seen = map[string]string{}
+	}
+	for _, st := range v.absIncl {
+		st.have = map[string]bool{}
+		st.pendingVal, st.pendingPath = nil, nil
+	}
+	for _, st := range v.relKeys {
+		st.seen = nil
+	}
+	for _, st := range v.relIncl {
+		st.have, st.pending = nil, nil
+	}
+}
+
+func (v *Validator) path() string {
+	var parts []string
+	for _, f := range v.stack {
+		parts = append(parts, f.typ)
+	}
+	return strings.Join(parts, ".")
+}
+
+func (v *Validator) violatef(constraintStr, format string, args ...any) {
+	v.violations = append(v.violations, Violation{
+		Path:       v.path(),
+		Constraint: constraintStr,
+		Msg:        fmt.Sprintf(format, args...),
+	})
+}
+
+func (v *Validator) startElement(t xml.StartElement) {
+	name := t.Name.Local
+	if len(v.stack) == 0 {
+		if v.seenRoot {
+			v.stack = append(v.stack, frame{typ: name})
+			v.violatef("", "multiple root elements")
+			return
+		}
+		v.seenRoot = true
+		if name != v.d.Root {
+			v.stack = append(v.stack, frame{typ: name})
+			v.violatef("", "root has type %q, want %q", name, v.d.Root)
+			return
+		}
+	}
+
+	// Feed the parent's content model.
+	state := 0
+	if len(v.stack) > 0 {
+		parent := &v.stack[len(v.stack)-1]
+		if parent.deriv != nil {
+			next := contentmodel.Derive(parent.deriv, name)
+			if next == nil {
+				v.violatef("", "element %q not allowed by content model of %q", name, parent.typ)
+			}
+			parent.deriv = next
+		}
+		state = parent.state
+	}
+
+	el := v.d.Element(name)
+	f := frame{typ: name}
+	if el != nil {
+		f.deriv = el.Content
+	}
+	if v.product != nil && el != nil {
+		f.state = v.product.Step(state, name)
+	}
+	v.stack = append(v.stack, f)
+	if el == nil {
+		v.violatef("", "element type %q not declared", name)
+		return
+	}
+
+	// Attribute conformance: exactly R(τ).
+	attrs := map[string]string{}
+	for _, a := range t.Attr {
+		if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+			continue
+		}
+		attrs[a.Name.Local] = a.Value
+	}
+	for _, l := range el.Attrs {
+		if _, ok := attrs[l]; !ok {
+			v.violatef("", "missing attribute %q", l)
+		}
+	}
+	for l := range attrs {
+		if !el.HasAttr(l) {
+			v.violatef("", "undeclared attribute %q", l)
+		}
+	}
+
+	v.checkConstraints(name, f, attrs)
+}
+
+// checkConstraints updates the constraint indexes with one element.
+func (v *Validator) checkConstraints(name string, f frame, attrs map[string]string) {
+	// Open relative contexts.
+	for _, st := range v.relKeys {
+		if normCtx(st.c.Context, v.d.Root) == name {
+			st.seen = append(st.seen, map[string]string{})
+		}
+	}
+	for _, st := range v.relIncl {
+		if normCtx(st.c.Context, v.d.Root) == name {
+			st.have = append(st.have, map[string]bool{})
+			st.pending = append(st.pending, map[string]string{})
+		}
+	}
+
+	inRegion := func(comp int, typ string) bool {
+		if comp < 0 {
+			return true // type-based target: membership is the type test
+		}
+		return v.product.AcceptsComponent(f.state, comp)
+	}
+
+	// Absolute keys.
+	for _, st := range v.absKeys {
+		if st.c.Target.Type != name || !inRegion(st.comp, name) {
+			continue
+		}
+		vals, ok := tupleOf(attrs, st.c.Target.Attrs)
+		if !ok {
+			continue // the missing attribute was already reported
+		}
+		if prev, dup := st.seen[vals]; dup {
+			v.violatef(st.c.String(), "duplicate key value %s (first at %s)", vals, prev)
+		} else {
+			st.seen[vals] = v.path()
+		}
+	}
+	// Absolute inclusions.
+	for _, st := range v.absIncl {
+		if st.c.To.Type == name && inRegion(st.toComp, name) {
+			if vals, ok := tupleOf(attrs, st.c.To.Attrs); ok {
+				st.have[vals] = true
+			}
+		}
+		if st.c.From.Type == name && inRegion(st.fromComp, name) {
+			if vals, ok := tupleOf(attrs, st.c.From.Attrs); ok && !st.have[vals] {
+				st.pendingVal = append(st.pendingVal, vals)
+				st.pendingPath = append(st.pendingPath, v.path())
+			}
+		}
+	}
+	// Relative keys: the element counts for every open context of the
+	// key's context type (proper descendants only, so skip a context
+	// node just opened for itself).
+	for _, st := range v.relKeys {
+		for i, scope := range st.seen {
+			if v.isFreshContext(st.c.Context, name, i, len(st.seen)) {
+				continue
+			}
+			if st.c.Target.Type != name {
+				continue
+			}
+			if vals, ok := tupleOf(attrs, st.c.Target.Attrs); ok {
+				if prev, dup := scope[vals]; dup {
+					v.violatef(st.c.String(), "duplicate key value %s within context (first at %s)", vals, prev)
+				} else {
+					scope[vals] = v.path()
+				}
+			}
+		}
+	}
+	for _, st := range v.relIncl {
+		for i := range st.have {
+			if v.isFreshContext(st.c.Context, name, i, len(st.have)) {
+				continue
+			}
+			if st.c.To.Type == name {
+				if vals, ok := tupleOf(attrs, st.c.To.Attrs); ok {
+					st.have[i][vals] = true
+					delete(st.pending[i], vals)
+				}
+			}
+			if st.c.From.Type == name {
+				if vals, ok := tupleOf(attrs, st.c.From.Attrs); ok && !st.have[i][vals] {
+					if _, exists := st.pending[i][vals]; !exists {
+						st.pending[i][vals] = v.path()
+					}
+				}
+			}
+		}
+	}
+}
+
+// isFreshContext reports whether the current element IS the context
+// node that opened scope index i (relative semantics range over proper
+// descendants).
+func (v *Validator) isFreshContext(ctx, name string, i, total int) bool {
+	return normCtx(ctx, v.d.Root) == name && i == total-1
+}
+
+func (v *Validator) endElement() {
+	if len(v.stack) == 0 {
+		return
+	}
+	f := v.stack[len(v.stack)-1]
+	// The residual content model must accept ε.
+	if f.deriv != nil && !f.deriv.Nullable() {
+		v.violatef("", "element %q closed before its content model was satisfied (remaining: %s)", f.typ, f.deriv)
+	}
+	// Close relative scopes whose context node this is.
+	for _, st := range v.relKeys {
+		if normCtx(st.c.Context, v.d.Root) == f.typ && len(st.seen) > 0 {
+			st.seen = st.seen[:len(st.seen)-1]
+		}
+	}
+	for _, st := range v.relIncl {
+		if normCtx(st.c.Context, v.d.Root) == f.typ && len(st.pending) > 0 {
+			top := st.pending[len(st.pending)-1]
+			var vals []string
+			for val := range top {
+				vals = append(vals, val)
+			}
+			sort.Strings(vals)
+			for _, val := range vals {
+				v.violations = append(v.violations, Violation{
+					Path:       top[val],
+					Constraint: st.c.String(),
+					Msg:        fmt.Sprintf("value %q has no matching %s within context", val, st.c.To),
+				})
+			}
+			st.pending = st.pending[:len(st.pending)-1]
+			st.have = st.have[:len(st.have)-1]
+		}
+	}
+	v.stack = v.stack[:len(v.stack)-1]
+}
+
+// text feeds a PCDATA child into the enclosing content model.
+func (v *Validator) text() {
+	if len(v.stack) == 0 {
+		return
+	}
+	parent := &v.stack[len(v.stack)-1]
+	if parent.deriv == nil {
+		return
+	}
+	next := contentmodel.Derive(parent.deriv, contentmodel.TextSymbol)
+	if next == nil {
+		v.violatef("", "text not allowed by content model of %q", parent.typ)
+	}
+	parent.deriv = next
+}
+
+// tupleOf encodes the attribute tuple unambiguously; false when any
+// attribute is missing.
+func tupleOf(attrs map[string]string, names []string) (string, bool) {
+	var b strings.Builder
+	for _, l := range names {
+		val, ok := attrs[l]
+		if !ok {
+			return "", false
+		}
+		fmt.Fprintf(&b, "%d:%s;", len(val), val)
+	}
+	return b.String(), true
+}
+
+func normCtx(ctx, root string) string {
+	if ctx == "" {
+		return root
+	}
+	return ctx
+}

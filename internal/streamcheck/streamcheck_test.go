@@ -1,0 +1,325 @@
+package streamcheck
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/dtd"
+	"repro/internal/xmltree"
+)
+
+func newValidator(t *testing.T, dtdSrc, consSrc string) *Validator {
+	t.Helper()
+	d := dtd.MustParse(dtdSrc)
+	set := constraint.MustParseSet(consSrc)
+	v, err := New(d, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+const geoDTD = `
+<!ELEMENT db (country+)>
+<!ELEMENT country (province+, capital+)>
+<!ELEMENT province (capital, city*)>
+<!ELEMENT capital EMPTY>
+<!ELEMENT city EMPTY>
+<!ATTLIST country name CDATA #REQUIRED>
+<!ATTLIST province name CDATA #REQUIRED>
+<!ATTLIST capital inProvince CDATA #REQUIRED>
+`
+
+const geoConstraints = `
+country.name -> country
+country(province.name -> province)
+country(capital.inProvince ⊆ province.name)
+country(province.name -> province)
+`
+
+func TestStreamValidGeography(t *testing.T) {
+	v := newValidator(t, geoDTD, geoConstraints)
+	vs, err := v.ValidateString(`
+<db>
+  <country name="Belgium">
+    <province name="Limburg"><capital inProvince="Limburg"/></province>
+    <capital inProvince="Limburg"/>
+  </country>
+  <country name="Netherlands">
+    <province name="Limburg"><capital inProvince="Limburg"/></province>
+    <capital inProvince="Limburg"/>
+  </country>
+</db>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+}
+
+func TestStreamRelativeViolations(t *testing.T) {
+	v := newValidator(t, geoDTD, geoConstraints)
+	// Duplicate province names within one country, dangling
+	// inProvince in the second.
+	vs, err := v.ValidateString(`
+<db>
+  <country name="A">
+    <province name="p"><capital inProvince="p"/></province>
+    <province name="p"><capital inProvince="p"/></province>
+    <capital inProvince="p"/>
+  </country>
+  <country name="B">
+    <province name="q"><capital inProvince="zz"/></province>
+    <capital inProvince="q"/>
+  </country>
+</db>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dup, dangling bool
+	for _, x := range vs {
+		if strings.Contains(x.Msg, "duplicate key") && strings.Contains(x.Constraint, "province.name") {
+			dup = true
+		}
+		if strings.Contains(x.Msg, "no matching") {
+			dangling = true
+		}
+	}
+	if !dup || !dangling {
+		t.Fatalf("expected duplicate + dangling, got %v", vs)
+	}
+	// Cross-country duplicates are fine (relative semantics): checked
+	// by TestStreamValidGeography above.
+}
+
+func TestStreamForwardReference(t *testing.T) {
+	// The inclusion target may appear after the source: the streaming
+	// checker must resolve pending values at end of document.
+	v := newValidator(t, `
+<!ELEMENT db (o*, b*)>
+<!ELEMENT o EMPTY>
+<!ELEMENT b EMPTY>
+<!ATTLIST o ref CDATA #REQUIRED>
+<!ATTLIST b id CDATA #REQUIRED>
+`, "b.id -> b\no.ref ⊆ b.id")
+	vs, err := v.ValidateString(`<db><o ref="x"/><b id="x"/></db>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("forward reference rejected: %v", vs)
+	}
+	vs, err = v.ValidateString(`<db><o ref="y"/><b id="x"/></db>`)
+	if err != nil || len(vs) != 1 {
+		t.Fatalf("dangling forward reference: %v %v", vs, err)
+	}
+}
+
+func TestStreamConformanceViolations(t *testing.T) {
+	v := newValidator(t, geoDTD, "")
+	cases := []struct {
+		doc  string
+		frag string
+	}{
+		{`<country name="x"/>`, "root has type"},
+		{`<db><country name="x"><capital inProvince="p"/></country></db>`, "not allowed by content model"},
+		{`<db><country name="x"><province name="p"><capital inProvince="p"/></province></country></db>`, "closed before its content model"},
+		{`<db><country><province name="p"><capital inProvince="p"/></province><capital inProvince="p"/></country></db>`, "missing attribute"},
+		{`<db><country name="x" zz="1"><province name="p"><capital inProvince="p"/></province><capital inProvince="p"/></country></db>`, "undeclared attribute"},
+		{`<db><mystery/></db>`, "not declared"},
+	}
+	for _, c := range cases {
+		vs, err := v.ValidateString(c.doc)
+		if err != nil {
+			t.Fatalf("%q: %v", c.doc, err)
+		}
+		found := false
+		for _, x := range vs {
+			if strings.Contains(x.Msg, c.frag) {
+				found = true
+			}
+			if x.String() == "" {
+				t.Error("empty rendering")
+			}
+		}
+		if !found {
+			t.Errorf("%q: no violation mentioning %q in %v", c.doc, c.frag, vs)
+		}
+	}
+}
+
+func TestStreamRegularConstraints(t *testing.T) {
+	v := newValidator(t, `
+<!ELEMENT r (x, y)>
+<!ELEMENT x (b, b)>
+<!ELEMENT y (b, b)>
+<!ELEMENT b EMPTY>
+<!ATTLIST b v CDATA #REQUIRED>
+`, `
+r.y.b.v -> r.y.b
+r.x.b.v ⊆ r.y.b.v
+`)
+	// y-side keys; x-values must appear among y-values.
+	vs, err := v.ValidateString(`<r><x><b v="1"/><b v="1"/></x><y><b v="1"/><b v="2"/></y></r>`)
+	if err != nil || len(vs) != 0 {
+		t.Fatalf("valid doc: %v %v", vs, err)
+	}
+	// Duplicate within the keyed y region.
+	vs, err = v.ValidateString(`<r><x><b v="1"/><b v="1"/></x><y><b v="1"/><b v="1"/></y></r>`)
+	if err != nil || len(vs) != 1 {
+		t.Fatalf("y-key violation: %v %v", vs, err)
+	}
+	// x-value outside the y pool.
+	vs, err = v.ValidateString(`<r><x><b v="9"/><b v="1"/></x><y><b v="1"/><b v="2"/></y></r>`)
+	if err != nil || len(vs) != 1 {
+		t.Fatalf("inclusion violation: %v %v", vs, err)
+	}
+}
+
+func TestStreamErrors(t *testing.T) {
+	v := newValidator(t, `<!ELEMENT a EMPTY>`, "")
+	if _, err := v.ValidateString("<a>"); err == nil {
+		t.Error("unclosed element must error")
+	}
+	if _, err := v.ValidateString(""); err == nil {
+		t.Error("empty document must error")
+	}
+	if _, err := v.ValidateString("<a></b>"); err == nil {
+		t.Error("mismatched tags must error")
+	}
+	vs, err := v.ValidateString("<a/><a/>")
+	if err != nil {
+		// encoding/xml may reject trailing content itself; both
+		// behaviours are acceptable.
+		return
+	}
+	if len(vs) == 0 {
+		t.Error("multiple roots must violate")
+	}
+}
+
+func TestStreamValidatorReuse(t *testing.T) {
+	v := newValidator(t, `
+<!ELEMENT db (p*)>
+<!ELEMENT p EMPTY>
+<!ATTLIST p id CDATA #REQUIRED>
+`, "p.id -> p")
+	bad := `<db><p id="1"/><p id="1"/></db>`
+	good := `<db><p id="1"/><p id="2"/></db>`
+	if vs, _ := v.ValidateString(bad); len(vs) != 1 {
+		t.Fatalf("first run: %v", vs)
+	}
+	// State must fully reset between runs.
+	if vs, _ := v.ValidateString(good); len(vs) != 0 {
+		t.Fatalf("second run leaked state: %v", vs)
+	}
+	if vs, _ := v.ValidateString(bad); len(vs) != 1 {
+		t.Fatalf("third run: %v", vs)
+	}
+}
+
+// TestStreamDifferential cross-checks the streaming checker against
+// the tree-based checker (Conforms + constraint.Check) on random
+// specifications and documents — valid generated documents plus random
+// attribute perturbations. The two implementations must agree on
+// validity.
+func TestStreamDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	trials := 0
+	for trials < 250 {
+		d := dtd.Random(rng, dtd.RandomOptions{
+			Types: 2 + rng.Intn(4), MaxAttrs: 2, MaxExprSize: 6,
+			AllowStar: true, AllowText: rng.Intn(2) == 0,
+		})
+		set := randomMixedSet(rng, d)
+		if set.Validate(d) != nil {
+			continue
+		}
+		v, err := New(d, set)
+		if err != nil {
+			continue
+		}
+		trials++
+		for docTrial := 0; docTrial < 6; docTrial++ {
+			tree, err := xmltree.Generate(d, rng, xmltree.GenerateOptions{MaxNodes: 30, AttrValues: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Perturb: occasionally set a random attribute to a fresh
+			// value or duplicate another node's value.
+			if docTrial%2 == 1 {
+				perturb(rng, d, tree)
+			}
+			doc := tree.XML()
+			streamVs, err := v.ValidateString(doc)
+			if err != nil {
+				t.Fatalf("stream error on generated doc: %v\n%s", err, doc)
+			}
+			// Compare against the tree checker on the same serialized
+			// input (adjacent text nodes merge under serialization, so
+			// the re-parsed tree is the common ground truth).
+			reparsed, err := xmltree.ParseDocumentString(doc)
+			if err != nil {
+				t.Fatalf("re-parse: %v\n%s", err, doc)
+			}
+			treeValid := reparsed.Conforms(d) == nil && constraint.Satisfies(reparsed, set)
+			streamValid := len(streamVs) == 0
+			if treeValid != streamValid {
+				t.Fatalf("disagreement (tree=%v stream=%v)\nDTD:\n%s\nΣ:\n%s\nDoc:\n%s\nstream: %v\ntreeCheck: %v",
+					treeValid, streamValid, d, set, doc, streamVs, constraint.Check(reparsed, set))
+			}
+		}
+	}
+}
+
+func perturb(rng *rand.Rand, d *dtd.DTD, tree *xmltree.Tree) {
+	var nodes []*xmltree.Node
+	tree.Walk(func(n *xmltree.Node) {
+		if len(d.Attrs(n.Label)) > 0 {
+			nodes = append(nodes, n)
+		}
+	})
+	if len(nodes) == 0 {
+		return
+	}
+	n := nodes[rng.Intn(len(nodes))]
+	attrs := d.Attrs(n.Label)
+	l := attrs[rng.Intn(len(attrs))]
+	n.SetAttr(l, fmt.Sprintf("v%d", rng.Intn(3)))
+}
+
+// randomMixedSet mixes absolute, relative and regular unary targets.
+func randomMixedSet(rng *rand.Rand, d *dtd.DTD) *constraint.Set {
+	type ta struct{ typ, attr string }
+	var tas []ta
+	for _, name := range d.Names {
+		for _, a := range d.Attrs(name) {
+			tas = append(tas, ta{name, a})
+		}
+	}
+	set := &constraint.Set{}
+	if len(tas) == 0 {
+		return set
+	}
+	target := func() constraint.Target {
+		x := tas[rng.Intn(len(tas))]
+		return constraint.Target{Type: x.typ, Attrs: []string{x.attr}}
+	}
+	ctx := func() string {
+		if rng.Intn(2) == 0 {
+			return ""
+		}
+		return d.Names[rng.Intn(len(d.Names))]
+	}
+	for i := 1 + rng.Intn(3); i > 0; i-- {
+		set.AddKey(constraint.Key{Context: ctx(), Target: target()})
+	}
+	for i := rng.Intn(3); i > 0; i-- {
+		set.AddForeignKey(constraint.Inclusion{Context: ctx(), From: target(), To: target()})
+	}
+	return set
+}

@@ -1,0 +1,73 @@
+package xmltree
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/contentmodel"
+	"repro/internal/dtd"
+)
+
+// GenerateOptions controls random conforming-tree generation.
+type GenerateOptions struct {
+	// StarMax bounds iterations per Kleene star while the node budget
+	// lasts (zero means 2).
+	StarMax int
+	// MaxNodes softly bounds the number of element nodes; once
+	// exceeded, generation switches to minimal expansions. Zero means
+	// 500.
+	MaxNodes int
+	// AttrValues is the pool size for attribute values (zero means 3);
+	// values are drawn as v0, v1, ....
+	AttrValues int
+}
+
+// Generate samples a random tree conforming to the DTD, or an error if
+// the DTD is unsatisfiable. Recursive DTDs are handled by switching to
+// minimal (productive-guided) expansion once the node budget is spent.
+func Generate(d *dtd.DTD, rng *rand.Rand, opts GenerateOptions) (*Tree, error) {
+	if opts.StarMax == 0 {
+		opts.StarMax = 2
+	}
+	if opts.MaxNodes == 0 {
+		opts.MaxNodes = 500
+	}
+	if opts.AttrValues == 0 {
+		opts.AttrValues = 3
+	}
+	rank := d.ProductiveRank()
+	if rank[d.Root] == 0 {
+		return nil, fmt.Errorf("xmltree: DTD with root %q is unsatisfiable", d.Root)
+	}
+	budget := opts.MaxNodes
+	var build func(typ string) *Node
+	build = func(typ string) *Node {
+		budget--
+		n := NewElement(typ)
+		el := d.Element(typ)
+		for _, l := range el.Attrs {
+			n.SetAttr(l, fmt.Sprintf("v%d", rng.Intn(opts.AttrValues)))
+		}
+		var word []string
+		if budget > 0 {
+			// Sample within the productive sublanguage so recursive
+			// choices never pick a dead branch.
+			sub := el.Content.Restrict(func(ref string) bool { return rank[ref] > 0 })
+			word = sub.Sample(rng, contentmodel.SampleOptions{StarMax: opts.StarMax})
+		} else {
+			// Budget exhausted: expand rank-decreasingly, which always
+			// terminates (see dtd.ProductiveRank).
+			sub := el.Content.Restrict(func(ref string) bool { return rank[ref] > 0 && rank[ref] < rank[typ] })
+			word = sub.MinWord()
+		}
+		for _, sym := range word {
+			if sym == contentmodel.TextSymbol {
+				n.Append(NewText(fmt.Sprintf("t%d", rng.Intn(opts.AttrValues))))
+			} else {
+				n.Append(build(sym))
+			}
+		}
+		return n
+	}
+	return &Tree{Root: build(d.Root)}, nil
+}

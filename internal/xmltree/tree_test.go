@@ -1,0 +1,271 @@
+package xmltree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dtd"
+	"repro/internal/pathre"
+)
+
+const geoDTD = `
+<!ELEMENT db (country+)>
+<!ELEMENT country (province+, capital+)>
+<!ELEMENT province (capital, city*)>
+<!ELEMENT capital EMPTY>
+<!ELEMENT city EMPTY>
+<!ATTLIST country name CDATA #REQUIRED>
+<!ATTLIST province name CDATA #REQUIRED>
+<!ATTLIST capital inProvince CDATA #REQUIRED>
+`
+
+// geoDoc is (a fragment of) the document of Figure 1(b).
+const geoDoc = `
+<db>
+  <country name="Belgium">
+    <province name="Limburg">
+      <capital inProvince="Limburg"/>
+      <city/>
+    </province>
+    <capital inProvince="Limburg"/>
+  </country>
+  <country name="Netherlands">
+    <province name="Limburg">
+      <capital inProvince="Limburg"/>
+    </province>
+    <capital inProvince="Limburg"/>
+  </country>
+</db>
+`
+
+func TestParseAndConform(t *testing.T) {
+	d := dtd.MustParse(geoDTD)
+	tree, err := ParseDocumentString(geoDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Conforms(d); err != nil {
+		t.Fatalf("Conforms: %v", err)
+	}
+	if got := tree.Size(); got != 10 {
+		t.Errorf("Size = %d, want 10", got)
+	}
+	if got := len(tree.Ext("country")); got != 2 {
+		t.Errorf("ext(country) = %d, want 2", got)
+	}
+	if got := len(tree.Ext("capital")); got != 4 {
+		t.Errorf("ext(capital) = %d, want 4", got)
+	}
+	names := tree.ExtAttr("province", "name")
+	if len(names) != 1 || !names["Limburg"] {
+		t.Errorf("ext(province.name) = %v, want {Limburg}", names)
+	}
+}
+
+func TestConformanceViolations(t *testing.T) {
+	d := dtd.MustParse(geoDTD)
+	cases := []struct {
+		doc  string
+		frag string // substring expected in the error
+	}{
+		{`<country name="x"><province name="p"><capital inProvince="p"/></province><capital inProvince="p"/></country>`, "root"},
+		{`<db/>`, "content model"},
+		{`<db><country name="x"><capital inProvince="p"/></country></db>`, "content model"},
+		{`<db><country><province name="p"><capital inProvince="p"/></province><capital inProvince="p"/></country></db>`, "missing attribute"},
+		{`<db><country name="x" extra="y"><province name="p"><capital inProvince="p"/></province><capital inProvince="p"/></country></db>`, "undeclared attribute"},
+		{`<db><mystery/></db>`, ""},
+	}
+	for _, c := range cases {
+		tree, err := ParseDocumentString(c.doc)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.doc, err)
+		}
+		err = tree.Conforms(d)
+		if err == nil {
+			t.Errorf("Conforms(%q) = nil, want violation", c.doc)
+			continue
+		}
+		if c.frag != "" && !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Conforms(%q) error %q does not mention %q", c.doc, err, c.frag)
+		}
+	}
+}
+
+func TestParseDocumentErrors(t *testing.T) {
+	for _, doc := range []string{
+		"", "<a>", "<a></b>", "<a/><b/>", "text only", "<a></a>text",
+	} {
+		if _, err := ParseDocumentString(doc); err == nil {
+			t.Errorf("ParseDocumentString(%q): expected error", doc)
+		}
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	tree := MustParseDocument(geoDoc)
+	out := tree.XML()
+	tree2, err := ParseDocumentString(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, out)
+	}
+	if tree2.Size() != tree.Size() {
+		t.Errorf("round trip changed size: %d vs %d", tree2.Size(), tree.Size())
+	}
+	if len(tree2.Ext("province")) != len(tree.Ext("province")) {
+		t.Error("round trip changed province count")
+	}
+	if err := tree2.Conforms(dtd.MustParse(geoDTD)); err != nil {
+		t.Errorf("round-tripped tree no longer conforms: %v", err)
+	}
+}
+
+func TestTextNodes(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT a (#PCDATA)>`)
+	tree := MustParseDocument(`<a>hello</a>`)
+	if err := tree.Conforms(d); err != nil {
+		t.Fatalf("Conforms: %v", err)
+	}
+	if len(tree.Root.Children) != 1 || !tree.Root.Children[0].IsText || tree.Root.Children[0].Text != "hello" {
+		t.Fatalf("text child wrong: %+v", tree.Root.Children)
+	}
+	empty := MustParseDocument(`<a></a>`)
+	if err := empty.Conforms(d); err == nil {
+		t.Error("empty <a> must not match (#PCDATA)")
+	}
+	// Text round-trips (with whitespace normalization).
+	again := MustParseDocument(tree.XML())
+	if again.Root.Children[0].Text != "hello" {
+		t.Errorf("text round trip got %q", again.Root.Children[0].Text)
+	}
+}
+
+func TestPathAndDescendant(t *testing.T) {
+	tree := MustParseDocument(geoDoc)
+	prov := tree.Ext("province")[0]
+	got := strings.Join(prov.Path(), ".")
+	if got != "db.country.province" {
+		t.Errorf("Path = %q, want db.country.province", got)
+	}
+	country := tree.Ext("country")[0]
+	if !country.Descendant(prov) {
+		t.Error("province must be a descendant of its country")
+	}
+	if prov.Descendant(country) {
+		t.Error("country is not a descendant of province")
+	}
+	if country.Descendant(country) {
+		t.Error("a node is not its own proper descendant")
+	}
+	other := tree.Ext("country")[1]
+	if other.Descendant(prov) {
+		t.Error("province of first country is not a descendant of the second")
+	}
+}
+
+func TestNodesMatching(t *testing.T) {
+	tree := MustParseDocument(geoDoc)
+	cases := []struct {
+		beta string
+		want int
+	}{
+		{"db._*.capital", 4},
+		{"db.country.capital", 2},
+		{"db.country.province.capital", 2},
+		{"db._*.province", 2},
+		{"db", 1},
+		{"db._*.city", 1},
+		{"country", 0}, // paths start at the root
+		{"db._*.(province ∪ country)", 4},
+	}
+	for _, c := range cases {
+		got := tree.NodesMatching(pathre.MustParse(c.beta))
+		if len(got) != c.want {
+			t.Errorf("nodes(%s) = %d nodes, want %d", c.beta, len(got), c.want)
+		}
+	}
+	// Cross-check against direct path matching.
+	for _, c := range cases {
+		e := pathre.MustParse(c.beta)
+		n := 0
+		tree.Walk(func(nd *Node) {
+			if e.Match(nd.Path()) {
+				n++
+			}
+		})
+		if n != c.want {
+			t.Errorf("naive nodes(%s) = %d, want %d", c.beta, n, c.want)
+		}
+	}
+}
+
+func TestAttrHelpers(t *testing.T) {
+	n := NewElement("x").SetAttr("b", "2").SetAttr("a", "1")
+	if v, ok := n.Attr("a"); !ok || v != "1" {
+		t.Error("Attr(a) wrong")
+	}
+	if _, ok := n.Attr("z"); ok {
+		t.Error("Attr(z) must be absent")
+	}
+	vals, ok := n.AttrList([]string{"a", "b"})
+	if !ok || vals[0] != "1" || vals[1] != "2" {
+		t.Errorf("AttrList = %v, %v", vals, ok)
+	}
+	if _, ok := n.AttrList([]string{"a", "z"}); ok {
+		t.Error("AttrList with missing attr must report false")
+	}
+}
+
+func TestGenerateConforms(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	// Paper DTDs plus random ones, including recursive.
+	dtds := []*dtd.DTD{
+		dtd.MustParse(geoDTD),
+		dtd.MustParse(`<!ELEMENT doc (part)><!ELEMENT part (leaf | (part, part))><!ELEMENT leaf EMPTY>`),
+		dtd.MustParse(`<!ELEMENT doc (a)><!ELEMENT a (a | #PCDATA)>`),
+	}
+	for i := 0; i < 40; i++ {
+		dtds = append(dtds, dtd.Random(rng, dtd.RandomOptions{
+			Types: 1 + rng.Intn(5), MaxAttrs: 2, MaxExprSize: 8,
+			AllowStar: true, AllowRecursion: i%2 == 0, AllowText: true,
+		}))
+	}
+	for _, d := range dtds {
+		if !d.Satisfiable() {
+			continue
+		}
+		for trial := 0; trial < 10; trial++ {
+			tree, err := Generate(d, rng, GenerateOptions{MaxNodes: 60})
+			if err != nil {
+				t.Fatalf("Generate: %v\n%s", err, d)
+			}
+			if err := tree.Conforms(d); err != nil {
+				t.Fatalf("generated tree does not conform: %v\nDTD:\n%s\nDoc:\n%s", err, d, tree.XML())
+			}
+		}
+	}
+	// Unsatisfiable DTD must error.
+	bad := dtd.MustParse(`<!ELEMENT a (b)><!ELEMENT b (b)>`)
+	if _, err := Generate(bad, rng, GenerateOptions{}); err == nil {
+		t.Error("Generate on unsatisfiable DTD must fail")
+	}
+}
+
+func TestGenerateTerminatesOnDeepRecursion(t *testing.T) {
+	// part always has two recursive children unless it bottoms out:
+	// the budget forces rank-decreasing expansion to terminate.
+	d := dtd.MustParse(`<!ELEMENT doc (part)><!ELEMENT part ((part, part) | leaf)><!ELEMENT leaf EMPTY>`)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		tree, err := Generate(d, rng, GenerateOptions{MaxNodes: 30, StarMax: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.Conforms(d); err != nil {
+			t.Fatal(err)
+		}
+		if tree.Size() > 4000 {
+			t.Fatalf("tree much larger than budget: %d", tree.Size())
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ParseDocument parses an XML document into a Tree using the stdlib
+// tokenizer (encoding/xml has no DTD processing; validation against a
+// DTD is a separate Conforms call, which is the paper's model anyway).
+// Whitespace-only character data between elements is dropped; other
+// character data becomes text nodes.
+func ParseDocument(r io.Reader) (*Tree, error) {
+	dec := xml.NewDecoder(r)
+	var (
+		root  *Node
+		stack []*Node
+	)
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := NewElement(t.Name.Local)
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				n.SetAttr(a.Name.Local, a.Value)
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xmltree: multiple root elements")
+				}
+				root = n
+			} else {
+				stack[len(stack)-1].Append(n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: unbalanced end element %s", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			// Surrounding whitespace is layout, not data, in this
+			// model; values compare symbolically.
+			text := strings.TrimSpace(string(t))
+			if text == "" {
+				continue
+			}
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: character data outside the root element")
+			}
+			stack[len(stack)-1].Append(NewText(text))
+		case xml.Comment, xml.ProcInst, xml.Directive:
+			// The paper's model has no comments, PIs or references.
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmltree: no root element")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: unclosed element %s", stack[len(stack)-1].Label)
+	}
+	return &Tree{Root: root}, nil
+}
+
+// ParseDocumentString is ParseDocument over a string.
+func ParseDocumentString(s string) (*Tree, error) {
+	return ParseDocument(strings.NewReader(s))
+}
+
+// MustParseDocument parses a known-good document literal, panicking on
+// error.
+func MustParseDocument(s string) *Tree {
+	t, err := ParseDocumentString(s)
+	if err != nil {
+		panic(fmt.Sprintf("xmltree.MustParseDocument: %v", err))
+	}
+	return t
+}
+
+// WriteXML serializes the tree as an XML document with two-space
+// indentation. Attributes are written in sorted name order so output
+// is deterministic.
+func (t *Tree) WriteXML(w io.Writer) error {
+	if t.Root == nil {
+		return fmt.Errorf("xmltree: empty tree")
+	}
+	return writeNode(w, t.Root, 0)
+}
+
+// XML returns the serialized document as a string.
+func (t *Tree) XML() string {
+	var b strings.Builder
+	_ = t.WriteXML(&b)
+	return b.String()
+}
+
+func writeNode(w io.Writer, n *Node, depth int) error {
+	indent := strings.Repeat("  ", depth)
+	if n.IsText {
+		_, err := fmt.Fprintf(w, "%s%s\n", indent, escapeText(n.Text))
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s<%s", indent, n.Label); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(n.Attrs))
+	for name := range n.Attrs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, " %s=%q", name, escapeText(n.Attrs[name])); err != nil {
+			return err
+		}
+	}
+	if len(n.Children) == 0 {
+		_, err := fmt.Fprintf(w, "/>\n")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, ">\n"); err != nil {
+		return err
+	}
+	prevText := false
+	for _, k := range n.Children {
+		// Adjacent text nodes would merge into one on re-parsing; a
+		// separator comment keeps the node structure faithful (parsers
+		// drop the comment but split the character data around it).
+		if prevText && k.IsText {
+			if _, err := fmt.Fprintf(w, "%s  <!-- -->\n", indent); err != nil {
+				return err
+			}
+		}
+		prevText = k.IsText
+		if err := writeNode(w, k, depth+1); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s</%s>\n", indent, n.Label)
+	return err
+}
+
+func escapeText(s string) string {
+	var b strings.Builder
+	_ = xml.EscapeText(&b, []byte(s))
+	return b.String()
+}

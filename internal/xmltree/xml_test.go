@@ -1,0 +1,104 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSerializeEscaping(t *testing.T) {
+	n := NewElement("a").
+		SetAttr("q", `he said "hi" & left`).
+		SetAttr("lt", "1<2")
+	n.Append(NewText("a & b < c"))
+	tree := &Tree{Root: n}
+	out := tree.XML()
+	for _, frag := range []string{"&amp;", "&lt;", "&#34;"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("serialization missing escape %q:\n%s", frag, out)
+		}
+	}
+	// Round trip restores the raw values.
+	again, err := ParseDocumentString(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, out)
+	}
+	if v, _ := again.Root.Attr("q"); v != `he said "hi" & left` {
+		t.Errorf("attr q = %q", v)
+	}
+	if v, _ := again.Root.Attr("lt"); v != "1<2" {
+		t.Errorf("attr lt = %q", v)
+	}
+	if len(again.Root.Children) != 1 || again.Root.Children[0].Text != "a & b < c" {
+		t.Errorf("text = %+v", again.Root.Children)
+	}
+}
+
+func TestAttrOrderDeterministic(t *testing.T) {
+	n := NewElement("a").SetAttr("zz", "1").SetAttr("aa", "2").SetAttr("mm", "3")
+	out := (&Tree{Root: n}).XML()
+	if strings.Index(out, "aa=") > strings.Index(out, "mm=") ||
+		strings.Index(out, "mm=") > strings.Index(out, "zz=") {
+		t.Errorf("attributes not sorted:\n%s", out)
+	}
+	// Serialization is byte-for-byte deterministic.
+	if out != (&Tree{Root: n}).XML() {
+		t.Error("serialization nondeterministic")
+	}
+}
+
+func TestWriteXMLEmptyTree(t *testing.T) {
+	if err := (&Tree{}).WriteXML(&strings.Builder{}); err == nil {
+		t.Error("empty tree must error")
+	}
+}
+
+func TestParseNamespaceishAttrsDropped(t *testing.T) {
+	tree, err := ParseDocumentString(`<a xmlns="urn:x" xmlns:b="urn:y" k="v"/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Root.Attrs) != 1 {
+		t.Errorf("attrs = %v, want only k", tree.Root.Attrs)
+	}
+}
+
+func TestCommentsAndPIsIgnored(t *testing.T) {
+	tree, err := ParseDocumentString(`<?xml version="1.0"?><!-- c --><a><!-- inner --><b/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Size() != 2 {
+		t.Errorf("size = %d, want 2", tree.Size())
+	}
+}
+
+func TestCDATAText(t *testing.T) {
+	tree, err := ParseDocumentString(`<a><![CDATA[x < y]]></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Root.Children) != 1 || tree.Root.Children[0].Text != "x < y" {
+		t.Errorf("children = %+v", tree.Root.Children)
+	}
+}
+
+func TestAdjacentTextNodesRoundTrip(t *testing.T) {
+	// Two adjacent text children must survive serialization as two
+	// nodes (a separator comment keeps them apart).
+	n := NewElement("a")
+	n.Append(NewText("t1"), NewText("t2"))
+	tree := &Tree{Root: n}
+	again, err := ParseDocumentString(tree.XML())
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, tree.XML())
+	}
+	var texts []string
+	for _, k := range again.Root.Children {
+		if k.IsText {
+			texts = append(texts, k.Text)
+		}
+	}
+	if len(texts) != 2 || texts[0] != "t1" || texts[1] != "t2" {
+		t.Fatalf("texts = %v, want [t1 t2]\n%s", texts, tree.XML())
+	}
+}

@@ -1,0 +1,119 @@
+package xmlspec
+
+// Heavy randomized cross-validation across the whole stack, beyond the
+// per-package property tests: random specifications are decided by the
+// encodings, checked against the bounded exhaustive oracle, their
+// witnesses re-validated by both the tree checker and the streaming
+// checker, and normalization is verified to preserve verdicts.
+// Skipped under -short.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/consistency"
+	"repro/internal/constraint"
+	"repro/internal/dtd"
+	"repro/internal/streamcheck"
+)
+
+func TestSoakCrossValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(20020601)) // the PODS 2002 conference date
+	trials := 0
+	for trials < 250 {
+		d := dtd.Random(rng, dtd.RandomOptions{
+			Types: 2 + rng.Intn(4), MaxAttrs: 2, MaxExprSize: 6,
+			AllowStar: rng.Intn(2) == 0, AllowText: rng.Intn(4) == 0,
+		})
+		set := randomSoakSet(rng, d)
+		if set.Validate(d) != nil {
+			continue
+		}
+		trials++
+		res, err := consistency.Check(d, set, consistency.Options{
+			BruteForce: bruteforce.Options{MaxNodes: 4},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Normalization must not change the verdict.
+		nres, err := consistency.Check(d, set.Normalize(), consistency.Options{
+			SkipWitness: true,
+			BruteForce:  bruteforce.Options{MaxNodes: 4},
+		})
+		if err != nil {
+			t.Fatalf("normalized check: %v\nΣ:\n%s", err, set)
+		}
+		if nres.Verdict != res.Verdict {
+			t.Fatalf("normalization changed verdict %v -> %v\nDTD:\n%s\nΣ:\n%s",
+				res.Verdict, nres.Verdict, d, set)
+		}
+		bf := bruteforce.Decide(d, set, bruteforce.Options{MaxNodes: 4, MaxShapes: 3000, MaxPartitions: 3000})
+		switch res.Verdict {
+		case consistency.Inconsistent:
+			if bf.Sat() {
+				t.Fatalf("checker inconsistent, oracle found witness\nDTD:\n%s\nΣ:\n%s\n%s",
+					d, set, bf.Witness.XML())
+			}
+		case consistency.Consistent:
+			// Witness (when present) must pass every checker we have.
+			if res.Witness == nil {
+				break
+			}
+			if err := res.Witness.Conforms(d); err != nil {
+				t.Fatalf("witness conformance: %v", err)
+			}
+			if !constraint.Satisfies(res.Witness, set) {
+				t.Fatalf("witness fails tree checker\nDTD:\n%s\nΣ:\n%s\n%s", d, set, res.Witness.XML())
+			}
+			sv, err := streamcheck.New(d, set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if vs, err := sv.ValidateString(res.Witness.XML()); err != nil || len(vs) != 0 {
+				t.Fatalf("witness fails streaming checker: %v %v\nDTD:\n%s\nΣ:\n%s\n%s",
+					vs, err, d, set, res.Witness.XML())
+			}
+		}
+		if bf.Sat() && res.Verdict == consistency.Inconsistent {
+			t.Fatal("oracle/checker disagreement")
+		}
+	}
+}
+
+// randomSoakSet draws across all dialects.
+func randomSoakSet(rng *rand.Rand, d *dtd.DTD) *constraint.Set {
+	type ta struct{ typ, attr string }
+	var tas []ta
+	for _, name := range d.Names {
+		for _, a := range d.Attrs(name) {
+			tas = append(tas, ta{name, a})
+		}
+	}
+	set := &constraint.Set{}
+	if len(tas) == 0 {
+		return set
+	}
+	target := func() constraint.Target {
+		x := tas[rng.Intn(len(tas))]
+		return constraint.Target{Type: x.typ, Attrs: []string{x.attr}}
+	}
+	ctx := func() string {
+		if rng.Intn(3) > 0 {
+			return ""
+		}
+		return d.Names[rng.Intn(len(d.Names))]
+	}
+	for i := 1 + rng.Intn(3); i > 0; i-- {
+		set.AddKey(constraint.Key{Context: ctx(), Target: target()})
+	}
+	for i := rng.Intn(3); i > 0; i-- {
+		c := ctx()
+		set.AddForeignKey(constraint.Inclusion{Context: c, From: target(), To: target()})
+	}
+	return set
+}

@@ -1,0 +1,421 @@
+package xmlspec
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"repro/internal/bruteforce"
+	"repro/internal/consistency"
+	"repro/internal/constraint"
+	"repro/internal/docgen"
+	"repro/internal/dtd"
+	"repro/internal/ilp"
+	"repro/internal/implication"
+	"repro/internal/streamcheck"
+	"repro/internal/xmltree"
+)
+
+// Verdict is the three-valued outcome of a static check.
+type Verdict int
+
+// The verdicts of consistency checks.
+const (
+	// Unknown means the procedure could not decide within its
+	// configured limits, or the dialect is undecidable and neither a
+	// witness nor a refutation was found.
+	Unknown Verdict = iota
+	// Consistent means some document conforms to the DTD and satisfies
+	// every constraint.
+	Consistent
+	// Inconsistent means no such document exists.
+	Inconsistent
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Consistent:
+		return "consistent"
+	case Inconsistent:
+		return "inconsistent"
+	default:
+		return "unknown"
+	}
+}
+
+// Spec is a parsed XML specification: a DTD and a constraint set.
+type Spec struct {
+	dtd *dtd.DTD
+	set *constraint.Set
+}
+
+// Parse parses a DTD (<!ELEMENT ...>/<!ATTLIST ...> declarations; the
+// first declared element is the root) and a constraint set (one
+// constraint per line in the paper's notation, e.g.
+// "country.name -> country", "country(capital.inProvince ⊆
+// province.name)", "r._*.student.record.id -> r._*.student.record").
+// The constraints are validated against the DTD.
+func Parse(dtdSource, constraintSource string) (*Spec, error) {
+	d, err := dtd.Parse(dtdSource)
+	if err != nil {
+		return nil, err
+	}
+	set, err := constraint.ParseSet(constraintSource)
+	if err != nil {
+		return nil, err
+	}
+	if err := set.Validate(d); err != nil {
+		return nil, err
+	}
+	return &Spec{dtd: d, set: set}, nil
+}
+
+// MustParse is Parse for known-good literals; it panics on error.
+func MustParse(dtdSource, constraintSource string) *Spec {
+	s, err := Parse(dtdSource, constraintSource)
+	if err != nil {
+		panic(fmt.Sprintf("xmlspec.MustParse: %v", err))
+	}
+	return s
+}
+
+// DTD returns the DTD in surface syntax.
+func (s *Spec) DTD() string { return s.dtd.String() }
+
+// Constraints returns the constraint set, one per line.
+func (s *Spec) Constraints() string { return s.set.String() }
+
+// Class returns the paper's name for the smallest dialect containing
+// the constraint set (e.g. "AC_{K,FK}", "AC^{reg}_{K,FK}", "RC_{K,FK}").
+func (s *Spec) Class() string { return constraint.Classify(s.set).ClassName() }
+
+// Hierarchical reports whether the specification is in HRC: the DTD is
+// non-recursive and no two scopes are related by a foreign key
+// (Section 4.2), which is what makes relative constraints decidable.
+func (s *Spec) Hierarchical() bool { return consistency.Hierarchical(s.dtd, s.set) }
+
+// ConflictingPairs renders the conflicting scope pairs (empty for
+// hierarchical specifications).
+func (s *Spec) ConflictingPairs() []string {
+	var out []string
+	for _, p := range consistency.ConflictingPairs(s.dtd, s.set) {
+		out = append(out, fmt.Sprintf("(%s, %s) via %s", p.Outer, p.Inner, p.Via))
+	}
+	return out
+}
+
+// Options tunes the checker; the zero value is a sensible default.
+type Options struct {
+	// MaxSolverNodes bounds the integer-programming search (0: 2^18).
+	MaxSolverNodes int
+	// MaxValue caps element counts during the search (0: 2^20).
+	MaxValue int64
+	// SkipWitness disables example-document construction.
+	SkipWitness bool
+	// MinimizeWitness shrinks the witness document to the fewest
+	// elements (slower; verdicts unchanged).
+	MinimizeWitness bool
+	// SearchNodes bounds the fallback exhaustive search used on
+	// undecidable dialects (0: 6 element nodes).
+	SearchNodes int
+	// DisableLP turns off simplex relaxation pruning (diagnostics and
+	// ablation benchmarks only).
+	DisableLP bool
+}
+
+func (o *Options) internal() consistency.Options {
+	if o == nil {
+		o = &Options{}
+	}
+	return consistency.Options{
+		ILP: ilp.Options{
+			MaxNodes:  o.MaxSolverNodes,
+			MaxValue:  o.MaxValue,
+			DisableLP: o.DisableLP,
+		},
+		SkipWitness:     o.SkipWitness,
+		MinimizeWitness: o.MinimizeWitness,
+		BruteForce:      bruteforce.Options{MaxNodes: o.SearchNodes},
+	}
+}
+
+// Stats summarizes the work a check performed.
+type Stats struct {
+	// SolverNodes counts integer-search nodes, Cuts the connectivity
+	// cutting planes, Scopes the hierarchical sub-problems.
+	SolverNodes, Cuts, Scopes int
+}
+
+// Result reports the outcome of a consistency check.
+type Result struct {
+	Verdict Verdict
+	// Class is the detected constraint dialect, Method the procedure
+	// that decided it.
+	Class, Method string
+	// Witness is a sample document (serialized XML) conforming to the
+	// DTD and satisfying all constraints; only for Consistent verdicts
+	// and only when construction succeeded within limits, in which
+	// case it was verified with the dynamic checker.
+	Witness string
+	// Diagnosis explains Unknown verdicts and missing witnesses.
+	Diagnosis string
+	// Stats reports solver effort.
+	Stats Stats
+}
+
+// Consistent statically checks the specification. opts may be nil.
+func (s *Spec) Consistent(opts *Options) (Result, error) {
+	res, err := consistency.Check(s.dtd, s.set, opts.internal())
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{
+		Verdict:   Verdict(res.Verdict),
+		Class:     res.Class,
+		Method:    res.Method,
+		Diagnosis: res.Diagnosis,
+		Stats: Stats{
+			SolverNodes: res.Stats.ILPNodes,
+			Cuts:        res.Stats.Cuts,
+			Scopes:      res.Stats.Scopes,
+		},
+	}
+	if res.Witness != nil && res.WitnessVerified {
+		out.Witness = res.Witness.XML()
+	}
+	return out, nil
+}
+
+// Violation describes one failure of a document against the
+// specification.
+type Violation struct {
+	// Constraint is empty for DTD conformance failures.
+	Constraint string
+	Message    string
+}
+
+func (v Violation) String() string {
+	if v.Constraint == "" {
+		return v.Message
+	}
+	return v.Constraint + ": " + v.Message
+}
+
+// ValidateDocument dynamically checks a document (XML text) against
+// the specification: conformance to the DTD and satisfaction of every
+// constraint. It returns nil when the document is valid.
+func (s *Spec) ValidateDocument(document string) ([]Violation, error) {
+	tree, err := xmltree.ParseDocumentString(document)
+	if err != nil {
+		return nil, err
+	}
+	var out []Violation
+	if err := tree.Conforms(s.dtd); err != nil {
+		out = append(out, Violation{Message: err.Error()})
+		return out, nil
+	}
+	for _, v := range constraint.Check(tree, s.set) {
+		out = append(out, Violation{Constraint: v.Constraint, Message: v.String()})
+	}
+	return out, nil
+}
+
+// ValidateStream validates a document in one streaming pass without
+// materializing the tree: memory stays proportional to document depth
+// plus the number of distinct constrained values, so arbitrarily large
+// documents can be validated. Violations are equivalent to
+// ValidateDocument's (the two implementations are differentially
+// tested against each other).
+func (s *Spec) ValidateStream(r io.Reader) ([]Violation, error) {
+	v, err := streamcheck.New(s.dtd, s.set)
+	if err != nil {
+		return nil, err
+	}
+	found, err := v.Validate(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []Violation
+	for _, f := range found {
+		out = append(out, Violation{Constraint: f.Constraint, Message: f.String()})
+	}
+	return out, nil
+}
+
+// ImplicationVerdict is the three-valued outcome of Implies.
+type ImplicationVerdict int
+
+// The implication verdicts.
+const (
+	// ImplUnknown means the procedure could not decide within limits.
+	ImplUnknown ImplicationVerdict = iota
+	// Implied means every valid document satisfies the constraint.
+	Implied
+	// NotImplied means a counterexample document exists.
+	NotImplied
+)
+
+func (v ImplicationVerdict) String() string {
+	switch v {
+	case Implied:
+		return "implied"
+	case NotImplied:
+		return "not-implied"
+	default:
+		return "unknown"
+	}
+}
+
+// ImplicationResult reports the outcome of Implies.
+type ImplicationResult struct {
+	Verdict ImplicationVerdict
+	// Counterexample is a serialized document satisfying the
+	// specification but violating the constraint (NotImplied only).
+	Counterexample string
+	Diagnosis      string
+}
+
+// Implies decides whether the specification implies one more
+// constraint (Impl(C), Section 3.4): does every document that conforms
+// to the DTD and satisfies the constraint set also satisfy it? The
+// constraint must be a unary absolute key or inclusion (type-based or
+// regular); an inclusion is checked alone — pair it with its key to
+// check a full foreign key.
+func (s *Spec) Implies(constraintLine string) (ImplicationResult, error) {
+	phi, err := constraint.Parse(constraintLine)
+	if err != nil {
+		return ImplicationResult{}, err
+	}
+	res, err := implication.Implies(s.dtd, s.set, phi, implication.Options{})
+	if err != nil {
+		return ImplicationResult{}, err
+	}
+	out := ImplicationResult{Verdict: ImplicationVerdict(res.Verdict), Diagnosis: res.Diagnosis}
+	if res.Counterexample != nil {
+		out.Counterexample = res.Counterexample.XML()
+	}
+	return out, nil
+}
+
+// EquivalenceResult reports the outcome of EquivalentTo.
+type EquivalenceResult struct {
+	// Verdict: Implied means the two specifications admit exactly the
+	// same documents; NotImplied means a separating document exists.
+	Verdict ImplicationVerdict
+	// Separating is a serialized document admitted by one
+	// specification and rejected by the other (NotImplied only), and
+	// Direction explains which way.
+	Separating, Direction string
+	Diagnosis             string
+}
+
+// EquivalentTo decides whether two specifications over the same DTD
+// admit exactly the same documents, by checking constraint implication
+// in both directions. Exact for unary absolute/regular constraints;
+// relative and multi-attribute members degrade the verdict to unknown
+// unless a separating document is found.
+func (s *Spec) EquivalentTo(other *Spec) (EquivalenceResult, error) {
+	if s.dtd.String() != other.dtd.String() {
+		return EquivalenceResult{}, fmt.Errorf("xmlspec: EquivalentTo requires identical DTDs")
+	}
+	res, err := implication.EquivalentSets(s.dtd, s.set, other.set, implication.Options{})
+	if err != nil {
+		return EquivalenceResult{}, err
+	}
+	out := EquivalenceResult{
+		Verdict:   ImplicationVerdict(res.Verdict),
+		Direction: res.Direction,
+		Diagnosis: res.Diagnosis,
+	}
+	if res.Separating != nil {
+		out.Separating = res.Separating.XML()
+	}
+	return out, nil
+}
+
+// ExplainInconsistency diagnoses an inconsistent specification: it
+// returns a minimal subset of the constraints that is already
+// inconsistent with the DTD (the lines to look at when repairing the
+// specification), or a note that the DTD alone is unsatisfiable. It
+// errors when the specification is not inconsistent.
+func (s *Spec) ExplainInconsistency() ([]string, error) {
+	core, err := consistency.MinimalCore(s.dtd, s.set, consistency.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if core.DTDUnsatisfiable {
+		return []string{"the DTD alone admits no finite document"}, nil
+	}
+	var out []string
+	for _, k := range core.Constraints.Keys {
+		out = append(out, k.String())
+	}
+	for _, c := range core.Constraints.Incls {
+		out = append(out, c.String())
+	}
+	return out, nil
+}
+
+// SampleOptions tunes Sample.
+type SampleOptions struct {
+	// MaxNodes softly bounds each document's element count (zero: 30).
+	MaxNodes int
+	// Seed makes generation reproducible (zero: seed 1).
+	Seed int64
+}
+
+// Sample generates count random documents that satisfy the
+// specification — varied fixture data for systems consuming the
+// schema. Every returned document is verified by the dynamic checker;
+// Sample errors when no valid document can be found (e.g. on an
+// inconsistent specification).
+func (s *Spec) Sample(count int, opts *SampleOptions) ([]string, error) {
+	if opts == nil {
+		opts = &SampleOptions{}
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, 0, count)
+	for i := 0; i < count; i++ {
+		tree, err := docgen.Generate(s.dtd, s.set, rng, docgen.Options{MaxNodes: opts.MaxNodes})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tree.XML())
+	}
+	return out, nil
+}
+
+// Normalized returns a copy of the specification with the constraint
+// set simplified: duplicate constraints removed, key attribute lists
+// canonicalized, and trivially true self-inclusions dropped. The
+// normalized specification admits exactly the same documents.
+func (s *Spec) Normalized() *Spec {
+	return &Spec{dtd: s.dtd, set: s.set.Normalize()}
+}
+
+// AddConstraint parses and adds one more constraint, revalidating the
+// set — the "specifications are written in stages" workflow of the
+// paper's introduction.
+func (s *Spec) AddConstraint(line string) error {
+	c, err := constraint.Parse(strings.TrimSpace(line))
+	if err != nil {
+		return err
+	}
+	next := s.set.Clone()
+	switch v := c.(type) {
+	case constraint.Key:
+		next.AddKey(v)
+	case constraint.Inclusion:
+		next.AddInclusion(v)
+	}
+	if err := next.Validate(s.dtd); err != nil {
+		return err
+	}
+	s.set = next
+	return nil
+}
