@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check build vet test race fmt bench
+
+# The full pre-commit gate: formatting, vet, build, and the race-enabled
+# test suite. -short keeps the long soak tests out; run `make test` for
+# the unabridged suite.
+check: fmt vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench=. -benchmem .

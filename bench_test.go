@@ -20,6 +20,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/ilp"
 	"repro/internal/implication"
+	"repro/internal/obs"
 	"repro/internal/streamcheck"
 	"repro/internal/xmltree"
 )
@@ -111,6 +112,37 @@ chapter(section.title -> section)
 
 func BenchmarkFig2LibraryHierarchical(b *testing.B) {
 	benchSpec(b, benchLibraryDTD, benchLibraryConstraints, Consistent)
+}
+
+// BenchmarkCheck is the observability-overhead reference point on the
+// Figure 2 library spec: the obs-disabled variant must allocate exactly
+// what it did before the tracing hooks existed (every hook is a
+// nil-receiver check), and the obs-enabled variant shows the price of a
+// full trace. Compare with `go test -bench BenchmarkCheck -benchmem`.
+func BenchmarkCheck(b *testing.B) {
+	b.Run("obs-disabled", func(b *testing.B) {
+		spec := MustParse(benchLibraryDTD, benchLibraryConstraints)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := spec.Consistent(&Options{SkipWitness: true})
+			if err != nil || res.Verdict != Consistent {
+				b.Fatalf("%v %v", res.Verdict, err)
+			}
+		}
+	})
+	b.Run("obs-enabled", func(b *testing.B) {
+		spec := MustParse(benchLibraryDTD, benchLibraryConstraints)
+		spec.SetObserver(obs.New())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := spec.Consistent(&Options{SkipWitness: true})
+			if err != nil || res.Verdict != Consistent {
+				b.Fatalf("%v %v", res.Verdict, err)
+			}
+		}
+	})
 }
 
 // ---- Figure 3: absolute constraint classes ----

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,19 +29,55 @@ import (
 	"repro/internal/dtd"
 	"repro/internal/experiments"
 	"repro/internal/implication"
+	"repro/internal/obs"
 )
 
 var (
-	quickFlag = flag.Bool("quick", false, "smaller sweeps")
-	seedFlag  = flag.Int64("seed", 2002, "random seed for the instance families")
+	quickFlag   = flag.Bool("quick", false, "smaller sweeps")
+	seedFlag    = flag.Int64("seed", 2002, "random seed for the instance families")
+	metricsFlag = flag.String("metrics", "", "write per-instance metrics as JSON lines to this file (- for stdout)")
 )
 
-// out and quick are the run-scoped sinks; main wires them from the
-// flags, tests set them directly.
+// out, quick, and metricsOut are the run-scoped sinks; main wires them
+// from the flags, tests set them directly.
 var (
-	out   io.Writer = os.Stdout
-	quick bool
+	out        io.Writer = os.Stdout
+	quick      bool
+	metricsOut io.Writer
 )
+
+// instanceMetrics is the JSON-lines record emitted per instance when
+// -metrics is set; solver counters come from the consistency layer,
+// encoding sizes from the obs recorder attached to the run.
+type instanceMetrics struct {
+	Section      string `json:"section"`
+	Name         string `json:"name"`
+	Verdict      string `json:"verdict"`
+	OK           bool   `json:"ok"`
+	DurationUS   int64  `json:"us"`
+	ILPNodes     int    `json:"ilpNodes"`
+	LPCalls      int    `json:"lpCalls"`
+	Cuts         int    `json:"cuts"`
+	Scopes       int    `json:"scopes"`
+	Propagations int    `json:"propagations"`
+	Branches     int    `json:"branches"`
+	Pivots       int    `json:"pivots"`
+	MaxDepth     int    `json:"maxDepth"`
+	Variables    int64  `json:"variables"`
+	Constraints  int64  `json:"constraints"`
+	Error        string `json:"error,omitempty"`
+}
+
+func emitMetrics(m instanceMetrics) {
+	if metricsOut == nil {
+		return
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(metricsOut, "%s\n", b)
+}
 
 type row struct {
 	name    string
@@ -56,19 +93,45 @@ type section struct {
 }
 
 func (s *section) run(in experiments.Instance) {
+	var rec *obs.Recorder
+	if metricsOut != nil {
+		rec = obs.New()
+		in.Opts.Obs = rec
+	}
 	start := time.Now()
 	res, err := in.Check()
 	dur := time.Since(start)
 	if err != nil {
 		s.rows = append(s.rows, row{name: in.Name, ok: false, dur: dur, extra: err.Error()})
+		emitMetrics(instanceMetrics{
+			Section: s.id, Name: in.Name, DurationUS: dur.Microseconds(), Error: err.Error(),
+		})
 		return
 	}
+	ok := res.Verdict == in.Expect
 	s.rows = append(s.rows, row{
 		name:    in.Name,
 		verdict: res.Verdict,
-		ok:      res.Verdict == in.Expect,
+		ok:      ok,
 		dur:     dur,
 		extra:   res.Method,
+	})
+	emitMetrics(instanceMetrics{
+		Section:      s.id,
+		Name:         in.Name,
+		Verdict:      res.Verdict.String(),
+		OK:           ok,
+		DurationUS:   dur.Microseconds(),
+		ILPNodes:     res.Stats.ILPNodes,
+		LPCalls:      res.Stats.LPCalls,
+		Cuts:         res.Stats.Cuts,
+		Scopes:       res.Stats.Scopes,
+		Propagations: res.Stats.Propagations,
+		Branches:     res.Stats.Branches,
+		Pivots:       res.Stats.Pivots,
+		MaxDepth:     res.Stats.MaxDepth,
+		Variables:    rec.Counter("encode.variables"),
+		Constraints:  rec.Counter("encode.constraints"),
 	})
 }
 
@@ -96,6 +159,22 @@ var exitCode = 0
 func main() {
 	flag.Parse()
 	quick = *quickFlag
+	if *metricsFlag == "-" {
+		metricsOut = os.Stdout
+	} else if *metricsFlag != "" {
+		f, err := os.Create(*metricsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		metricsOut = f
+		code := runAll(*seedFlag)
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			code = 1
+		}
+		os.Exit(code)
+	}
 	os.Exit(runAll(*seedFlag))
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -35,5 +36,45 @@ func TestRunAllQuick(t *testing.T) {
 	// Every decidable section declares full agreement.
 	if got := strings.Count(o, "all verdicts match the reference solvers"); got < 9 {
 		t.Errorf("agreement lines = %d, want ≥ 9\n%s", got, o)
+	}
+}
+
+// TestMetricsJSONLines runs the worked-example section with the
+// -metrics sink attached and checks that each instance produces one
+// valid JSON line carrying the solver-effort counters.
+func TestMetricsJSONLines(t *testing.T) {
+	var buf, mbuf strings.Builder
+	out = &buf
+	metricsOut = &mbuf
+	defer func() { metricsOut = nil }()
+	figure1and2()
+	lines := strings.Split(strings.TrimSpace(mbuf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("metrics lines = %d, want 5 (one per worked example)\n%s", len(lines), mbuf.String())
+	}
+	var sawLibrary bool
+	for _, line := range lines {
+		var m instanceMetrics
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("invalid JSON line: %v\n%s", err, line)
+		}
+		if m.Section == "" || m.Name == "" || m.Verdict == "" {
+			t.Errorf("incomplete record: %s", line)
+		}
+		if !m.OK {
+			t.Errorf("verdict mismatch recorded for %s", m.Name)
+		}
+		if m.Name == "fig2a library" {
+			sawLibrary = true
+			if m.ILPNodes == 0 || m.Propagations == 0 || m.Variables == 0 || m.Constraints == 0 {
+				t.Errorf("fig2a library counters all expected nonzero: %+v", m)
+			}
+			if m.Scopes != 3 {
+				t.Errorf("fig2a library scopes = %d, want 3", m.Scopes)
+			}
+		}
+	}
+	if !sawLibrary {
+		t.Error("fig2a library record missing")
 	}
 }

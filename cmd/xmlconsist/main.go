@@ -19,8 +19,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	xmlspec "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -42,9 +45,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut     = fs.Bool("json", false, "emit a single JSON object instead of text")
 		sample      = fs.Int("sample", 0, "additionally generate N random valid documents (text mode only)")
 		sampleNodes = fs.Int("sample-nodes", 30, "soft element bound per sampled document")
+		trace       = fs.Bool("trace", false, "print a span trace of the check to stderr")
+		metrics     = fs.Bool("metrics", false, "emit metrics as JSON lines on stdout after the report")
+		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = fs.String("memprofile", "", "write a heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 3
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "xmlconsist:", err)
+			return 3
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, "xmlconsist:", err)
+			return 3
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(stderr, "xmlconsist:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "xmlconsist:", err)
+			}
+		}()
 	}
 	if *dtdPath == "" {
 		fmt.Fprintln(stderr, "xmlconsist: -dtd is required")
@@ -68,6 +105,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "xmlconsist:", err)
 		return 3
+	}
+	var rec *obs.Recorder
+	if *trace || *metrics || *explain {
+		rec = obs.New()
+		spec.SetObserver(rec)
 	}
 
 	if !*jsonOut {
@@ -158,6 +200,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stdout, "  ", line)
 			}
 		}
+		if *explain {
+			fmt.Fprintf(stdout, "deciding phase: %s\n", res.Method)
+			fmt.Fprintln(stdout, "trace:")
+			if err := rec.WriteTree(stdout); err != nil {
+				fmt.Fprintln(stderr, "xmlconsist:", err)
+				return 3
+			}
+		}
 		if impliesRes != nil {
 			fmt.Fprintf(stdout, "implies %q: %s\n", *implies, impliesRes.Verdict)
 			if impliesRes.Counterexample != "" {
@@ -176,6 +226,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for i, doc := range docs {
 			fmt.Fprintf(stdout, "sample document %d:\n", i+1)
 			fmt.Fprint(stdout, doc)
+		}
+	}
+
+	if *trace {
+		if err := rec.WriteTree(stderr); err != nil {
+			fmt.Fprintln(stderr, "xmlconsist:", err)
+			return 3
+		}
+	}
+	if *metrics {
+		if err := rec.WriteJSON(stdout); err != nil {
+			fmt.Fprintln(stderr, "xmlconsist:", err)
+			return 3
 		}
 	}
 

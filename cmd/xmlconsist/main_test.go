@@ -35,7 +35,10 @@ func TestRunInconsistentWithExplain(t *testing.T) {
 		t.Fatalf("exit = %d, want 1 (inconsistent); stderr: %s", code, errb.String())
 	}
 	o := out.String()
-	for _, frag := range []string{"verdict: inconsistent", "minimal conflicting subset:", "a.x ⊆ b.y"} {
+	for _, frag := range []string{
+		"verdict: inconsistent", "minimal conflicting subset:", "a.x ⊆ b.y",
+		"deciding phase:", "trace:", "xmlspec.check",
+	} {
 		if !strings.Contains(o, frag) {
 			t.Errorf("output missing %q:\n%s", frag, o)
 		}
@@ -141,6 +144,73 @@ func TestRunJSONOutput(t *testing.T) {
 	}
 	if rep["class"] != "AC_{PK,FK}" {
 		t.Errorf("class = %v", rep["class"])
+	}
+}
+
+// TestRunMetricsJSONLines pins the -metrics contract on the paper's
+// Figure 2 library specification: every line is a standalone JSON
+// object, per-phase wall times are present, and the headline solver
+// counters (encoding sizes, propagation passes, branch count) appear.
+func TestRunMetricsJSONLines(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{
+		"-dtd", "../../testdata/library.dtd",
+		"-constraints", "../../testdata/library.keys",
+		"-metrics",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d; stderr: %s", code, errb.String())
+	}
+	var sawSpan bool
+	counters := map[string]bool{}
+	for _, line := range strings.Split(out.String(), "\n") {
+		if !strings.HasPrefix(line, "{") {
+			continue // human report lines precede the metrics block
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("metrics line is not valid JSON: %v\n%s", err, line)
+		}
+		switch rec["type"] {
+		case "span":
+			if _, ok := rec["us"].(float64); !ok {
+				t.Errorf("span line lacks wall time: %s", line)
+			}
+			sawSpan = true
+		case "counter":
+			counters[rec["name"].(string)] = true
+		}
+	}
+	if !sawSpan {
+		t.Error("no span lines in -metrics output")
+	}
+	for _, want := range []string{
+		"encode.variables", "encode.constraints",
+		"ilp.propagation_passes", "ilp.branches", "ilp.nodes",
+	} {
+		if !counters[want] {
+			t.Errorf("missing counter %q; got %v", want, counters)
+		}
+	}
+}
+
+func TestRunProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := write(t, dir, "s.dtd", testDTD)
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errb strings.Builder
+	code := run([]string{"-dtd", dtdPath, "-cpuprofile", cpu, "-memprofile", mem}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d; stderr: %s", code, errb.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile not written: %v", err)
+		} else if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	xmlspec "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -34,6 +35,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		count    = fs.Int("n", 1, "number of documents to generate")
 		nodes    = fs.Int("nodes", 30, "soft element bound per document")
 		seed     = fs.Int64("seed", 1, "random seed (fixed seed ⇒ reproducible output)")
+		trace    = fs.Bool("trace", false, "print a span trace of the generation to stderr")
+		metrics  = fs.Bool("metrics", false, "emit metrics as JSON lines on stderr (stdout carries the documents)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 3
@@ -61,6 +64,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "xmlgen:", err)
 		return 3
 	}
+	var rec *obs.Recorder
+	if *trace || *metrics {
+		rec = obs.New()
+		spec.SetObserver(rec)
+	}
 	docs, err := spec.Sample(*count, &xmlspec.SampleOptions{MaxNodes: *nodes, Seed: *seed})
 	if err != nil {
 		fmt.Fprintln(stderr, "xmlgen:", err)
@@ -71,6 +79,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout)
 		}
 		fmt.Fprint(stdout, doc)
+	}
+	if *trace {
+		if err := rec.WriteTree(stderr); err != nil {
+			fmt.Fprintln(stderr, "xmlgen:", err)
+			return 3
+		}
+	}
+	if *metrics {
+		if err := rec.WriteJSON(stderr); err != nil {
+			fmt.Fprintln(stderr, "xmlgen:", err)
+			return 3
+		}
 	}
 	return 0
 }

@@ -77,3 +77,27 @@ func TestGenerateFailures(t *testing.T) {
 		t.Errorf("inconsistent spec: exit = %d, want 1", code)
 	}
 }
+
+func TestGenerateMetricsOutput(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := write(t, dir, "s.dtd", `
+<!ELEMENT db (p*)>
+<!ELEMENT p EMPTY>
+<!ATTLIST p id CDATA #REQUIRED>
+`)
+	var out, errb strings.Builder
+	code := run([]string{"-dtd", dtdPath, "-n", "2", "-metrics"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d; %s", code, errb.String())
+	}
+	// Metrics land on stderr so stdout stays a clean document stream.
+	if strings.Contains(out.String(), `"type":"span"`) {
+		t.Errorf("metrics leaked into stdout:\n%s", out.String())
+	}
+	e := errb.String()
+	for _, frag := range []string{`"name":"xmlspec.sample"`, `"name":"sample.document_nodes"`} {
+		if !strings.Contains(e, frag) {
+			t.Errorf("metrics output missing %q:\n%s", frag, e)
+		}
+	}
+}

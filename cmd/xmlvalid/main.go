@@ -18,6 +18,7 @@ import (
 	"os"
 
 	xmlspec "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -31,6 +32,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		dtdPath  = fs.String("dtd", "", "path to the DTD file (required)")
 		consPath = fs.String("constraints", "", "path to the constraints file (optional)")
 		stream   = fs.Bool("stream", false, "validate in one streaming pass (constant memory in document size)")
+		trace    = fs.Bool("trace", false, "print a span trace of the validation to stderr")
+		metrics  = fs.Bool("metrics", false, "emit metrics as JSON lines on stdout after the report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 3
@@ -57,6 +60,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "xmlvalid:", err)
 		return 3
+	}
+	var rec *obs.Recorder
+	if *trace || *metrics {
+		rec = obs.New()
+		spec.SetObserver(rec)
 	}
 
 	status := 0
@@ -95,6 +103,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		status = 1
 		for _, v := range violations {
 			fmt.Fprintf(stdout, "%s: %s\n", path, v)
+		}
+	}
+	if *trace {
+		if err := rec.WriteTree(stderr); err != nil {
+			fmt.Fprintln(stderr, "xmlvalid:", err)
+			return 3
+		}
+	}
+	if *metrics {
+		if err := rec.WriteJSON(stdout); err != nil {
+			fmt.Fprintln(stderr, "xmlvalid:", err)
+			return 3
 		}
 	}
 	return status

@@ -93,3 +93,25 @@ func TestStreamMode(t *testing.T) {
 		t.Errorf("malformed stream: exit = %d, want 1", code)
 	}
 }
+
+func TestStreamMetricsOutput(t *testing.T) {
+	dtdPath, consPath, dir := setup(t)
+	doc := write(t, dir, "good.xml", `<db><p id="1"/><p id="2"/></db>`)
+	var out, errb strings.Builder
+	code := run([]string{"-dtd", dtdPath, "-constraints", consPath, "-stream", "-metrics", "-trace", doc}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d; %s%s", code, out.String(), errb.String())
+	}
+	o := out.String()
+	for _, frag := range []string{
+		`"type":"span"`, `"name":"streamcheck.validate"`,
+		`"name":"streamcheck.elements"`, `"name":"streamcheck.document_depth"`,
+	} {
+		if !strings.Contains(o, frag) {
+			t.Errorf("metrics output missing %q:\n%s", frag, o)
+		}
+	}
+	if !strings.Contains(errb.String(), "streamcheck.validate") {
+		t.Errorf("trace output missing span tree:\n%s", errb.String())
+	}
+}

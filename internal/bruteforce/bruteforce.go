@@ -15,6 +15,7 @@ import (
 	"repro/internal/constraint"
 	"repro/internal/contentmodel"
 	"repro/internal/dtd"
+	"repro/internal/obs"
 	"repro/internal/xmltree"
 )
 
@@ -36,6 +37,8 @@ type Options struct {
 	// search for counterexamples: trees satisfying Σ but violating a
 	// further constraint).
 	Extra func(*xmltree.Tree) bool
+	// Obs receives the search span and counters; nil disables.
+	Obs *obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -71,9 +74,30 @@ func (r Result) Sat() bool { return r.Witness != nil }
 // Decide searches for a tree T with T ⊨ D and T ⊨ Σ within the bounds.
 func Decide(d *dtd.DTD, set *constraint.Set, opts Options) Result {
 	opts = opts.withDefaults()
+	sp := opts.Obs.Start("bruteforce.decide")
 	e := &enumerator{d: d, set: set, opts: opts, res: Result{Exhausted: true}}
 	e.run()
+	if sp != nil {
+		sp.SetInt("shapes", int64(e.res.Shapes))
+		sp.SetInt("assignments", int64(e.res.Assignments))
+		sp.SetString("outcome", bfOutcome(e.res))
+		opts.Obs.Add("bruteforce.shapes", int64(e.res.Shapes))
+		opts.Obs.Add("bruteforce.assignments", int64(e.res.Assignments))
+	}
+	sp.End()
 	return e.res
+}
+
+// bfOutcome names the search result for the trace.
+func bfOutcome(r Result) string {
+	switch {
+	case r.Sat():
+		return "witness"
+	case r.Exhausted:
+		return "exhausted"
+	default:
+		return "budget"
+	}
 }
 
 type enumerator struct {

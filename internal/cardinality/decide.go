@@ -17,20 +17,31 @@ const MaxCuts = 256
 // The second return value counts the cuts added. If the cut budget is
 // exhausted the verdict degrades to Unknown.
 func DecideFlow(f *Flow, opts ilp.Options) (ilp.Result, int) {
+	sp := opts.Obs.Start("cardinality.decide_flow")
+	f.RecordSizes(opts.Obs)
 	cuts := 0
+	finish := func(res ilp.Result) (ilp.Result, int) {
+		if sp != nil {
+			sp.SetInt("cuts", int64(cuts))
+			sp.SetString("verdict", res.Verdict.String())
+			opts.Obs.Add("cardinality.cuts", int64(cuts))
+		}
+		sp.End()
+		return res, cuts
+	}
 	for {
 		res := ilp.Solve(f.Sys, opts)
 		if res.Verdict != ilp.Sat {
-			return res, cuts
+			return finish(res)
 		}
 		comp := f.UnreachedSupport(res.Values)
 		if len(comp) == 0 {
-			return res, cuts
+			return finish(res)
 		}
 		if cuts >= MaxCuts {
 			res.Verdict = ilp.Unknown
 			res.Values = nil
-			return res, cuts
+			return finish(res)
 		}
 		f.AddCut(comp)
 		cuts++
@@ -49,11 +60,16 @@ func DecideFlowMinimal(f *Flow, opts ilp.Options) (ilp.Result, int) {
 	if res.Verdict != ilp.Sat {
 		return res, cuts
 	}
+	sp := opts.Obs.Start("cardinality.minimize")
+	defer sp.End()
+	rounds := 0
+	defer func() { sp.SetInt("rounds", int64(rounds)) }()
 	var terms []ilp.Term
 	for _, fn := range f.ElementNodes() {
 		terms = append(terms, ilp.T(1, f.Vars[fn]))
 	}
 	for {
+		rounds++
 		var total int64
 		for _, t := range terms {
 			total += res.Values[t.Var]

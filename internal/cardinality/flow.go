@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/dtd"
 	"repro/internal/ilp"
+	"repro/internal/obs"
 	"repro/internal/pathre"
 )
 
@@ -171,6 +172,24 @@ func BuildFlow(sys *ilp.System, n *dtd.Narrowed, product *pathre.Product) *Flow 
 		f.Sys.AddSumEQ(f.Vars[i], feeders)
 	}
 	return f
+}
+
+// RecordSizes publishes the encoding's size dimensions as obs
+// counters (high-water marks, so the largest encoding of a multi-scope
+// check wins). A nil recorder no-ops.
+func (f *Flow) RecordSizes(rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	rec.Set("encode.flow_nodes", int64(len(f.Nodes)))
+	rec.Set("encode.variables", int64(f.Sys.NumVars()))
+	rec.Set("encode.linear", int64(len(f.Sys.Lins)))
+	rec.Set("encode.conditional", int64(len(f.Sys.Conds)))
+	rec.Set("encode.prequadratic", int64(len(f.Sys.Quads)))
+	rec.Set("encode.constraints", int64(len(f.Sys.Lins)+len(f.Sys.Conds)+len(f.Sys.Quads)))
+	if f.Product != nil {
+		rec.Set("encode.automaton_states", int64(f.Product.NumStates()))
+	}
 }
 
 // ElementNodes returns the indices of flow nodes that are original

@@ -34,6 +34,7 @@ import (
 	"repro/internal/constraint"
 	"repro/internal/dtd"
 	"repro/internal/ilp"
+	"repro/internal/obs"
 	"repro/internal/xmltree"
 )
 
@@ -75,16 +76,31 @@ type Options struct {
 	MinimizeWitness bool
 	// BruteForce bounds the fallback searches on undecidable classes.
 	BruteForce bruteforce.Options
+	// Obs receives pipeline spans and solver counters for the whole
+	// check (it is propagated into the ILP and brute-force layers
+	// unless those carry their own recorder). nil disables
+	// observability at the cost of one nil check per instrumentation
+	// point.
+	Obs *obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
 	if o.WitnessMaxNodes == 0 {
 		o.WitnessMaxNodes = 2000
 	}
+	if o.Obs != nil {
+		if o.ILP.Obs == nil {
+			o.ILP.Obs = o.Obs
+		}
+		if o.BruteForce.Obs == nil {
+			o.BruteForce.Obs = o.Obs
+		}
+	}
 	return o
 }
 
-// Stats reports the work a check did.
+// Stats reports the work a check did, aggregated over every solver
+// invocation the check performed.
 type Stats struct {
 	// ILPNodes and LPCalls aggregate solver effort.
 	ILPNodes, LPCalls int
@@ -92,6 +108,44 @@ type Stats struct {
 	Cuts int
 	// Scopes counts hierarchical sub-checks.
 	Scopes int
+	// Propagations counts interval-propagation fixpoint rounds.
+	Propagations int
+	// Branches counts branching decisions across all solves.
+	Branches int
+	// Pivots counts simplex tableau pivots across all LP calls.
+	Pivots int
+	// MaxDepth is the deepest search level of any solve.
+	MaxDepth int
+	// Saturations counts saturated interval-arithmetic bounds.
+	Saturations int
+}
+
+// addILP merges one solver invocation's effort into the check stats.
+func (s *Stats) addILP(st ilp.Stats) {
+	s.ILPNodes += st.Nodes
+	s.LPCalls += st.LPCalls
+	s.Propagations += st.PropPasses
+	s.Branches += st.Branches
+	s.Pivots += st.Pivots
+	if st.MaxDepth > s.MaxDepth {
+		s.MaxDepth = st.MaxDepth
+	}
+	s.Saturations += st.Saturations
+}
+
+// merge accumulates another check's stats (hierarchical sub-checks).
+func (s *Stats) merge(other Stats) {
+	s.ILPNodes += other.ILPNodes
+	s.LPCalls += other.LPCalls
+	s.Cuts += other.Cuts
+	s.Scopes += other.Scopes
+	s.Propagations += other.Propagations
+	s.Branches += other.Branches
+	s.Pivots += other.Pivots
+	if other.MaxDepth > s.MaxDepth {
+		s.MaxDepth = other.MaxDepth
+	}
+	s.Saturations += other.Saturations
 }
 
 // Result is the outcome of a consistency check.
@@ -120,47 +174,91 @@ func Check(d *dtd.DTD, set *constraint.Set, opts Options) (Result, error) {
 		return Result{}, err
 	}
 	opts = opts.withDefaults()
+	sp := opts.Obs.Start("consistency.check")
+	defer sp.End()
 	prof := constraint.Classify(set)
 	res := Result{Class: prof.ClassName()}
 
 	switch {
 	case prof.Relative:
+		route(opts.Obs, "relative")
 		checkRelative(d, set, opts, &res)
 	case len(set.Incls) == 0 && !prof.Regular:
 		// SAT(AC_K): keys alone never conflict; only the DTD matters.
+		route(opts.Obs, "keys-only")
+		kp := opts.Obs.Start("route.keys_only")
 		res.Method = "keys-only (PTIME, Section 3.3)"
 		if d.Satisfiable() {
 			res.Verdict = Consistent
 			if !opts.SkipWitness {
+				wsp := opts.Obs.Start("witness")
 				attachKeysOnlyWitness(d, set, opts, &res)
+				wsp.End()
 			}
 		} else {
 			res.Verdict = Inconsistent
+			kp.SetString("early_exit", "DTD unsatisfiable")
 		}
+		kp.End()
 	case prof.Regular:
+		route(opts.Obs, "regular")
 		checkRegular(d, set, opts, &res)
 	default:
+		route(opts.Obs, "absolute")
 		checkAbsolute(d, set, prof, opts, &res)
+	}
+	if sp != nil {
+		sp.SetString("class", res.Class)
+		sp.SetString("method", res.Method)
+		sp.SetString("verdict", res.Verdict.String())
+		if res.Diagnosis != "" {
+			sp.SetString("diagnosis", res.Diagnosis)
+		}
+		res.Stats.record(opts.Obs)
 	}
 	return res, nil
 }
 
+// route marks which decision procedure fired, both as a counter (for
+// metrics diffing) and for the span tree. The nil check precedes the
+// concatenation so a disabled recorder costs no allocation.
+func route(rec *obs.Recorder, name string) {
+	if !rec.Enabled() {
+		return
+	}
+	rec.Add("consistency.route."+name, 1)
+}
+
+// record publishes the aggregated stats as obs counters.
+func (s Stats) record(rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	rec.Add("consistency.cuts", int64(s.Cuts))
+	rec.Add("consistency.scopes", int64(s.Scopes))
+}
+
 // checkAbsolute decides type-based absolute constraint sets.
 func checkAbsolute(d *dtd.DTD, set *constraint.Set, prof constraint.Profile, opts Options, res *Result) {
+	sp := opts.Obs.Start("route.absolute")
+	defer sp.End()
+	esp := opts.Obs.Start("encode.absolute")
 	enc, err := cardinality.EncodeAbsolute(d, set)
+	esp.End()
 	if err != nil {
 		res.Verdict = Unknown
 		res.Diagnosis = err.Error()
+		sp.SetString("early_exit", "encoding refused: "+err.Error())
 		return
 	}
 	if enc.Exact {
 		res.Method = "cardinality encoding (Lemma 1 / Theorem 3.1)"
 	} else {
 		res.Method = "cardinality relaxation (refutation-sound) + bounded search"
+		sp.SetString("exactness", "refutation-sound relaxation")
 	}
 	ilpRes, cuts := decideFlow(enc.Flow, opts)
-	res.Stats.ILPNodes += ilpRes.Stats.Nodes
-	res.Stats.LPCalls += ilpRes.Stats.LPCalls
+	res.Stats.addILP(ilpRes.Stats)
 	res.Stats.Cuts += cuts
 	switch ilpRes.Verdict {
 	case ilp.Unsat:
@@ -168,11 +266,14 @@ func checkAbsolute(d *dtd.DTD, set *constraint.Set, prof constraint.Profile, opt
 	case ilp.Unknown:
 		res.Verdict = Unknown
 		res.Diagnosis = "integer search exhausted its budget"
+		sp.SetString("early_exit", "solver budget exhausted")
 	case ilp.Sat:
 		if enc.Exact {
 			res.Verdict = Consistent
 			if !opts.SkipWitness {
+				wsp := opts.Obs.Start("witness")
 				attachAbsoluteWitness(enc, ilpRes.Values, set, opts, res)
+				wsp.End()
 			}
 			return
 		}
@@ -180,14 +281,17 @@ func checkAbsolute(d *dtd.DTD, set *constraint.Set, prof constraint.Profile, opt
 		// keys): the solution may not correspond to a tree. Try the
 		// witness; then bounded search; else Unknown.
 		if !opts.SkipWitness {
+			wsp := opts.Obs.Start("witness")
 			if w, err := enc.Witness(ilpRes.Values, opts.WitnessMaxNodes); err == nil {
 				if w.Conforms(d) == nil && constraint.Satisfies(w, set) {
 					res.Verdict = Consistent
 					res.Witness = w
 					res.WitnessVerified = true
+					wsp.End()
 					return
 				}
 			}
+			wsp.End()
 		}
 		bf := bruteforce.Decide(d, set, opts.BruteForce)
 		if bf.Sat() {
@@ -204,16 +308,24 @@ func checkAbsolute(d *dtd.DTD, set *constraint.Set, prof constraint.Profile, opt
 
 // checkRegular decides unary regular-path constraint sets.
 func checkRegular(d *dtd.DTD, set *constraint.Set, opts Options, res *Result) {
+	sp := opts.Obs.Start("route.regular")
+	defer sp.End()
+	esp := opts.Obs.Start("encode.regular")
 	enc, err := cardinality.EncodeRegular(d, set)
+	esp.End()
 	if err != nil {
 		res.Verdict = Unknown
 		res.Diagnosis = err.Error()
+		sp.SetString("early_exit", "encoding refused: "+err.Error())
 		return
+	}
+	if sp != nil {
+		sp.SetInt("regions", int64(len(enc.Regions)))
+		sp.SetInt("cells", int64(len(enc.CellVars)))
 	}
 	res.Method = "state-tagged cell encoding (Theorem 3.4)"
 	ilpRes, cuts := decideFlow(enc.Flow, opts)
-	res.Stats.ILPNodes += ilpRes.Stats.Nodes
-	res.Stats.LPCalls += ilpRes.Stats.LPCalls
+	res.Stats.addILP(ilpRes.Stats)
 	res.Stats.Cuts += cuts
 	switch ilpRes.Verdict {
 	case ilp.Unsat:
@@ -221,11 +333,14 @@ func checkRegular(d *dtd.DTD, set *constraint.Set, opts Options, res *Result) {
 	case ilp.Unknown:
 		res.Verdict = Unknown
 		res.Diagnosis = "integer search exhausted its budget"
+		sp.SetString("early_exit", "solver budget exhausted")
 	case ilp.Sat:
 		res.Verdict = Consistent
 		if opts.SkipWitness {
 			return
 		}
+		wsp := opts.Obs.Start("witness")
+		defer wsp.End()
 		w, err := enc.Witness(ilpRes.Values, opts.WitnessMaxNodes)
 		if err != nil {
 			res.Diagnosis = "witness construction failed: " + err.Error()

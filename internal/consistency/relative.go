@@ -192,8 +192,11 @@ func scopeRoots(d *dtd.DTD, contexts map[string]bool) map[string]bool {
 // general case, Theorem 4.1) gets a bounded witness search and an
 // honest Unknown.
 func checkRelative(d *dtd.DTD, set *constraint.Set, opts Options, res *Result) {
+	sp := opts.Obs.Start("route.relative")
+	defer sp.End()
 	if d.IsRecursive() || len(ConflictingPairs(d, set)) > 0 {
 		res.Method = "bounded search (SAT(RC) is undecidable, Theorem 4.1)"
+		sp.SetString("reason", "recursive DTD or conflicting scope pairs")
 		bf := bruteforce.Decide(d, set, opts.BruteForce)
 		if bf.Sat() {
 			res.Verdict = Consistent
@@ -207,26 +210,29 @@ func checkRelative(d *dtd.DTD, set *constraint.Set, opts Options, res *Result) {
 		} else {
 			res.Diagnosis = "bounded search inconclusive (budget exhausted)"
 		}
+		sp.SetString("early_exit", res.Diagnosis)
 		return
 	}
 	res.Method = "hierarchical scope decomposition (Theorem 4.3)"
 	h := &hierChecker{d: d, set: set, opts: opts, contexts: contextTypes(d, set), memo: map[string]hierScope{}}
 	root := h.scope(map[string]bool{d.Root: true}, d.Root)
 	res.Stats.Scopes = len(h.memo)
-	res.Stats.ILPNodes += h.stats.ILPNodes
-	res.Stats.LPCalls += h.stats.LPCalls
-	res.Stats.Cuts += h.stats.Cuts
+	res.Stats.merge(h.stats)
+	sp.SetInt("scopes", int64(len(h.memo)))
 	switch {
 	case root.verdict == ilp.Sat:
 		res.Verdict = Consistent
 		if !opts.SkipWitness {
+			wsp := opts.Obs.Start("witness")
 			h.attachWitness(res)
+			wsp.End()
 		}
 	case root.verdict == ilp.Unsat:
 		res.Verdict = Inconsistent
 	default:
 		res.Verdict = Unknown
 		res.Diagnosis = "a scope sub-problem exhausted the solver budget"
+		sp.SetString("early_exit", res.Diagnosis)
 	}
 }
 
@@ -268,6 +274,9 @@ func (h *hierChecker) scope(chain map[string]bool, tau string) hierScope {
 	if s, ok := h.memo[key]; ok {
 		return s
 	}
+	sp := h.opts.Obs.Start("scope")
+	sp.SetString("type", tau)
+	defer sp.End()
 	// Mark in-progress defensively (non-recursive DTDs cannot loop).
 	h.memo[key] = hierScope{verdict: ilp.Unknown}
 
@@ -303,8 +312,7 @@ func (h *hierChecker) scope(chain map[string]bool, tau string) hierScope {
 		}
 	}
 	ilpRes, cuts := decideFlow(enc.Flow, h.opts)
-	h.stats.ILPNodes += ilpRes.Stats.Nodes
-	h.stats.LPCalls += ilpRes.Stats.LPCalls
+	h.stats.addILP(ilpRes.Stats)
 	h.stats.Cuts += cuts
 	out := hierScope{
 		verdict: ilpRes.Verdict,
@@ -327,7 +335,7 @@ func (h *hierChecker) scope(chain map[string]bool, tau string) hierScope {
 			}
 		}
 		retry, cuts2 := cardinality.DecideFlow(enc.Flow, h.opts.ILP)
-		h.stats.ILPNodes += retry.Stats.Nodes
+		h.stats.addILP(retry.Stats)
 		h.stats.Cuts += cuts2
 		if retry.Verdict == ilp.Sat {
 			out.vals = retry.Values

@@ -31,6 +31,7 @@ func (sv *solver) propagate(lo, hi []int64) propResult {
 		}
 	}
 	for round := 0; round < maxPropRounds; round++ {
+		sv.stats.PropPasses++
 		changed := false
 		tighten := func(v Var, newLo, newHi int64, hasLo, hasHi bool) bool {
 			if hasLo && newLo > lo[v] {
@@ -101,6 +102,9 @@ func (sv *solver) propagate(lo, hi []int64) propResult {
 			// x ≤ y·z. Upper bound on x from the factor uppers.
 			if hi[q.Y] != noBound && hi[q.Z] != noBound {
 				prod := mulSat(hi[q.Y], hi[q.Z])
+				if prod >= satCap {
+					sv.stats.Saturations++
+				}
 				if !tighten(q.X, 0, prod, false, prod < satCap) {
 					return propConflict
 				}
@@ -152,6 +156,9 @@ func (sv *solver) propagateLE(terms []Term, k int64, lo, hi []int64,
 			}
 			minSum = addSat(minSum, -mulSat(-t.Coef, hi[t.Var]))
 		}
+	}
+	if minSum >= satCap || minSum <= -satCap {
+		sv.stats.Saturations++
 	}
 	if !minInf && minSum > k {
 		return false

@@ -20,7 +20,7 @@ type lpRow struct {
 // when one exists. The implementation is a dense phase-1 primal
 // simplex on exact rationals with Bland's rule, which cannot cycle, so
 // the procedure always terminates.
-func lpFeasible(n int, rows []lpRow, lo, hi []int64) (bool, []*big.Rat) {
+func lpFeasible(n int, rows []lpRow, lo, hi []int64, stats *Stats) (bool, []*big.Rat) {
 	// Assemble the standard-form tableau. Variables: n originals, then
 	// one slack per inequality row, then one artificial per row that
 	// needs one. Bounds become extra rows.
@@ -181,6 +181,9 @@ func lpFeasible(n int, rows []lpRow, lo, hi []int64) (bool, []*big.Rat) {
 			// Unbounded improving direction in phase 1 cannot happen
 			// (objective is bounded below by 0); defensive stop.
 			return false, nil
+		}
+		if stats != nil {
+			stats.Pivots++
 		}
 		pivot(a, b, basis, leave, enter)
 		// Update the objective row: z -= z[enter] · (pivot row), which

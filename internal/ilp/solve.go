@@ -3,6 +3,8 @@ package ilp
 import (
 	"math"
 	"math/big"
+
+	"repro/internal/obs"
 )
 
 // noBound is the sentinel for "no finite upper bound yet".
@@ -63,6 +65,9 @@ type Options struct {
 	// DisableLP is shorthand for LP = LPNever (kept for the ablation
 	// benchmarks and simple call sites).
 	DisableLP bool
+	// Obs receives solver spans and counters; nil disables
+	// observability (the hot path then pays one nil check).
+	Obs *obs.Recorder
 }
 
 // lpActivationNodes is the LPAuto threshold: below it the search runs
@@ -88,6 +93,48 @@ type Stats struct {
 	Nodes int
 	// LPCalls is the number of simplex relaxations solved.
 	LPCalls int
+	// PropPasses counts interval-propagation fixpoint rounds.
+	PropPasses int
+	// Branches counts branching decisions: domain splits plus
+	// conditional case splits. Zero means propagation alone (with at
+	// most the root evaluation) decided the system.
+	Branches int
+	// MaxDepth is the deepest search-tree level reached.
+	MaxDepth int
+	// Pivots counts simplex tableau pivots across all LP calls.
+	Pivots int
+	// Saturations counts interval-arithmetic bound computations that
+	// hit the saturation cap (a sign the instance strains the 2^56
+	// arithmetic window).
+	Saturations int
+}
+
+// Merge accumulates other into s (MaxDepth by maximum, the rest by
+// sum) — the aggregation the multi-solve deciders need.
+func (s *Stats) Merge(other Stats) {
+	s.Nodes += other.Nodes
+	s.LPCalls += other.LPCalls
+	s.PropPasses += other.PropPasses
+	s.Branches += other.Branches
+	if other.MaxDepth > s.MaxDepth {
+		s.MaxDepth = other.MaxDepth
+	}
+	s.Pivots += other.Pivots
+	s.Saturations += other.Saturations
+}
+
+// record publishes the stats as obs counters under the ilp.* namespace.
+func (s Stats) record(rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	rec.Add("ilp.nodes", int64(s.Nodes))
+	rec.Add("ilp.lp_calls", int64(s.LPCalls))
+	rec.Add("ilp.propagation_passes", int64(s.PropPasses))
+	rec.Add("ilp.branches", int64(s.Branches))
+	rec.Set("ilp.max_depth", int64(s.MaxDepth))
+	rec.Add("ilp.pivots", int64(s.Pivots))
+	rec.Add("ilp.saturations", int64(s.Saturations))
 }
 
 // Result is the solver output.
@@ -105,6 +152,13 @@ func Solve(s *System, opts Options) Result {
 	opts = opts.withDefaults()
 	n := s.NumVars()
 	sv := &solver{sys: s, opts: opts}
+	sp := opts.Obs.Start("ilp.solve")
+	if sp != nil {
+		sp.SetInt("vars", int64(n))
+		sp.SetInt("linear", int64(len(s.Lins)))
+		sp.SetInt("conditional", int64(len(s.Conds)))
+		sp.SetInt("prequadratic", int64(len(s.Quads)))
+	}
 	// When the theoretical solution-size bound (Papadimitriou) fits
 	// under the configured cap, searching up to the cap is complete
 	// and Unsat verdicts need no taint.
@@ -124,6 +178,13 @@ func Solve(s *System, opts Options) Result {
 	if verdict == Sat {
 		res.Values = vals
 	}
+	if sp != nil {
+		sp.SetString("verdict", verdict.String())
+		sv.stats.record(opts.Obs)
+		opts.Obs.Observe("ilp.nodes_per_solve", int64(sv.stats.Nodes))
+		opts.Obs.Observe("ilp.depth_per_solve", int64(sv.stats.MaxDepth))
+	}
+	sp.End()
 	return res
 }
 
@@ -139,6 +200,9 @@ type solver struct {
 // with values, Unsat, or Unknown (budget exhausted on this path).
 func (sv *solver) search(lo, hi []int64, depth int) (Verdict, []int64) {
 	sv.stats.Nodes++
+	if depth > sv.stats.MaxDepth {
+		sv.stats.MaxDepth = depth
+	}
 	if sv.stats.Nodes > sv.opts.MaxNodes {
 		sv.tainted = true
 		return Unsat, nil // tainted Unsat becomes Unknown at the top
@@ -179,6 +243,7 @@ func (sv *solver) search(lo, hi []int64, depth int) (Verdict, []int64) {
 	// 1. Branch on an undecided conditional: either the premise is
 	// identically zero or the conclusion is ≥ 1.
 	if ci := sv.undecidedCond(lo, hi); ci >= 0 {
+		sv.stats.Branches++
 		c := sv.sys.Conds[ci]
 		// Branch A: premise = 0, i.e. every If variable is 0.
 		aLo, aHi := cloneBounds(lo, hi)
@@ -246,6 +311,7 @@ func (sv *solver) search(lo, hi []int64, depth int) (Verdict, []int64) {
 // its value; otherwise enumerate from below (lo vs ≥ lo+1), which
 // biases toward the small solutions the encodings have.
 func (sv *solver) branchValue(lo, hi []int64, v Var, point []*big.Rat, depth int) (Verdict, []int64) {
+	sv.stats.Branches++
 	var split int64
 	if point != nil && point[v] != nil {
 		f := ratFloor(point[v])
@@ -403,7 +469,7 @@ func (sv *solver) lpCheck(lo, hi []int64) (bool, []*big.Rat) {
 			rows = append(rows, lpRow{terms: []Term{T(1, q.X)}, rel: LE, k: ratInt(lo[q.Y] * lo[q.Z])})
 		}
 	}
-	return lpFeasible(len(lo), rows, lo, hi)
+	return lpFeasible(len(lo), rows, lo, hi, &sv.stats)
 }
 
 func allFixed(lo, hi []int64) bool {

@@ -1,0 +1,116 @@
+package ilp
+
+import "testing"
+
+// TestStatsAccuracy pins the meaning of the solver-effort counters: an
+// instance decided purely by interval propagation must report zero
+// branching decisions, while one that forces the search to enumerate
+// values must report both branches and propagation rounds. Without
+// this, refactors of search()/propagate() could silently stop
+// maintaining the counters and every downstream metric would read 0.
+func TestStatsAccuracy(t *testing.T) {
+	cases := []struct {
+		name         string
+		build        func() *System
+		want         Verdict
+		wantBranches bool
+	}{
+		{
+			// x + y ≤ 3 with x,y ≥ 2: the LE propagator empties the
+			// intervals before any branching decision is needed.
+			name: "pure propagation refutation",
+			build: func() *System {
+				s := NewSystem()
+				x, y := s.Var("x"), s.Var("y")
+				s.AddLE([]Term{T(1, x), T(1, y)}, 3)
+				s.AddGE([]Term{T(1, x)}, 2)
+				s.AddGE([]Term{T(1, y)}, 2)
+				return s
+			},
+			want:         Unsat,
+			wantBranches: false,
+		},
+		{
+			// Fixed values: propagation collapses every interval to a
+			// singleton and the search reads off the solution.
+			name: "pure propagation witness",
+			build: func() *System {
+				s := NewSystem()
+				x, y := s.Var("x"), s.Var("y")
+				s.AddConst(x, 2)
+				s.AddConst(y, 3)
+				s.AddEQ([]Term{T(1, x), T(1, y)}, 5)
+				return s
+			},
+			want:         Sat,
+			wantBranches: false,
+		},
+		{
+			// 2x = 2y + 1 is LP-feasible yet integer-infeasible:
+			// propagation cannot refute it, so the search must branch
+			// on values all the way to the theoretical bound.
+			name: "branching refutation",
+			build: func() *System {
+				s := NewSystem()
+				x, y := s.Var("x"), s.Var("y")
+				s.AddEQ([]Term{T(2, x), T(-2, y)}, 1)
+				return s
+			},
+			want:         Unsat,
+			wantBranches: true,
+		},
+		{
+			// x + y = 5 with x,y ∈ [2,3]: propagation narrows but does
+			// not decide; one branching step completes the witness.
+			name: "branching witness",
+			build: func() *System {
+				s := NewSystem()
+				x, y := s.Var("x"), s.Var("y")
+				s.AddEQ([]Term{T(1, x), T(1, y)}, 5)
+				s.AddGE([]Term{T(1, x)}, 2)
+				s.AddLE([]Term{T(1, x)}, 3)
+				s.AddGE([]Term{T(1, y)}, 2)
+				s.AddLE([]Term{T(1, y)}, 3)
+				return s
+			},
+			want:         Sat,
+			wantBranches: true,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res := Solve(c.build(), Options{})
+			if res.Verdict != c.want {
+				t.Fatalf("verdict = %v, want %v", res.Verdict, c.want)
+			}
+			st := res.Stats
+			if st.PropPasses == 0 {
+				t.Errorf("PropPasses = 0, want > 0 (stats: %+v)", st)
+			}
+			if st.Nodes == 0 {
+				t.Errorf("Nodes = 0, want > 0 (stats: %+v)", st)
+			}
+			if c.wantBranches {
+				if st.Branches == 0 {
+					t.Errorf("Branches = 0, want > 0 on a branching instance (stats: %+v)", st)
+				}
+				if st.MaxDepth == 0 {
+					t.Errorf("MaxDepth = 0, want > 0 on a branching instance (stats: %+v)", st)
+				}
+			} else if st.Branches != 0 {
+				t.Errorf("Branches = %d, want 0 on a propagation-only instance (stats: %+v)", st.Branches, st)
+			}
+		})
+	}
+}
+
+// TestStatsMerge pins the aggregation used by the consistency layer.
+func TestStatsMerge(t *testing.T) {
+	a := Stats{Nodes: 1, LPCalls: 2, PropPasses: 3, Branches: 4, MaxDepth: 5, Pivots: 6, Saturations: 7}
+	b := Stats{Nodes: 10, LPCalls: 20, PropPasses: 30, Branches: 40, MaxDepth: 2, Pivots: 60, Saturations: 70}
+	a.Merge(b)
+	want := Stats{Nodes: 11, LPCalls: 22, PropPasses: 33, Branches: 44, MaxDepth: 5, Pivots: 66, Saturations: 77}
+	if a != want {
+		t.Errorf("Merge = %+v, want %+v", a, want)
+	}
+}

@@ -1,0 +1,334 @@
+// Package obs is the checker's observability layer: hierarchical
+// wall-time spans, monotonic counters, and power-of-two bucketed
+// histograms, collected by a Recorder and rendered either as a
+// human-readable tree or as JSON lines for machine diffing.
+//
+// The package has no dependencies beyond the standard library and is
+// built so that disabled observability is free on the hot paths: a nil
+// *Recorder is a valid recorder whose every method is a no-op, so
+// instrumented code pays exactly one nil check (and zero allocations)
+// per call site when tracing is off. All methods are safe for
+// concurrent use on a non-nil Recorder.
+//
+// Typical use:
+//
+//	rec := obs.New()
+//	sp := rec.Start("consistency.check")
+//	sp.SetString("class", "AC_{K,FK}")
+//	... work ...
+//	rec.Add("ilp.nodes", 42)
+//	rec.Observe("ilp.branch_depth", 7)
+//	sp.End()
+//	rec.WriteTree(os.Stderr)
+//	rec.WriteJSON(os.Stdout)
+package obs
+
+import (
+	"context"
+	"math/bits"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder collects spans, counters, and histograms for one pipeline
+// run. The zero value is NOT ready for use; call New. A nil *Recorder
+// is the canonical disabled recorder: every method no-ops.
+type Recorder struct {
+	mu sync.Mutex
+	// roots are the top-level spans in start order.
+	roots []*Span
+	// stack tracks the currently open span chain (Start nests under
+	// the innermost open span of this recorder).
+	stack    []*Span
+	counters map[string]int64
+	hists    map[string]*Histogram
+	// now is the clock, swappable in tests.
+	now func() time.Time
+}
+
+// New returns an enabled Recorder.
+func New() *Recorder {
+	return &Recorder{
+		counters: map[string]int64{},
+		hists:    map[string]*Histogram{},
+		now:      time.Now,
+	}
+}
+
+// SetClock replaces the recorder's time source (tests only).
+func (r *Recorder) SetClock(now func() time.Time) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.now = now
+	r.mu.Unlock()
+}
+
+// Enabled reports whether the recorder actually records. It lets
+// instrumented code skip argument construction that would itself
+// allocate.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Span is one timed phase of the pipeline. Spans nest: a span started
+// while another is open becomes its child. A nil *Span no-ops.
+type Span struct {
+	Name  string
+	Attrs []Attr
+
+	start    time.Time
+	duration time.Duration
+	ended    bool
+	children []*Span
+
+	rec *Recorder
+}
+
+// Attr is one key/value annotation on a span. Exactly one of Int and
+// Str is meaningful, selected by IsInt.
+type Attr struct {
+	Key   string
+	Int   int64
+	Str   string
+	IsInt bool
+}
+
+// Start opens a span nested under the innermost open span (or at the
+// top level). The returned span must be closed with End; spans left
+// open are finalized by the sinks with their elapsed-so-far duration.
+func (r *Recorder) Start(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sp := &Span{Name: name, start: r.now(), rec: r}
+	if n := len(r.stack); n > 0 {
+		parent := r.stack[n-1]
+		parent.children = append(parent.children, sp)
+	} else {
+		r.roots = append(r.roots, sp)
+	}
+	r.stack = append(r.stack, sp)
+	return sp
+}
+
+// End closes the span, fixing its wall-time duration. Ending a span
+// also ends any still-open descendants (so early returns cannot
+// corrupt the stack). End is idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	r := s.rec
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.ended {
+		return
+	}
+	end := r.now()
+	// Pop the stack down to and including s, closing abandoned
+	// descendants on the way.
+	for i := len(r.stack) - 1; i >= 0; i-- {
+		sp := r.stack[i]
+		r.stack = r.stack[:i]
+		if !sp.ended {
+			sp.ended = true
+			sp.duration = end.Sub(sp.start)
+		}
+		if sp == s {
+			return
+		}
+	}
+	// s was not on the stack (already popped by an ancestor's End):
+	// just fix its duration.
+	s.ended = true
+	s.duration = end.Sub(s.start)
+}
+
+// SetInt annotates the span with an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.rec.mu.Lock()
+	s.Attrs = append(s.Attrs, Attr{Key: key, Int: v, IsInt: true})
+	s.rec.mu.Unlock()
+}
+
+// SetString annotates the span with a string attribute.
+func (s *Span) SetString(key, v string) {
+	if s == nil {
+		return
+	}
+	s.rec.mu.Lock()
+	s.Attrs = append(s.Attrs, Attr{Key: key, Str: v})
+	s.rec.mu.Unlock()
+}
+
+// Add bumps a monotonic counter by delta (negative deltas are ignored
+// so counters stay monotonic).
+func (r *Recorder) Add(name string, delta int64) {
+	if r == nil || delta <= 0 {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Set raises a counter to at least v (a monotonic high-water mark).
+func (r *Recorder) Set(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if v > r.counters[name] {
+		r.counters[name] = v
+	}
+	r.mu.Unlock()
+}
+
+// Counter reads a counter (0 when never touched).
+func (r *Recorder) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// histBuckets is the number of power-of-two histogram buckets: bucket
+// i counts observations v with bits.Len64(v) == i, i.e. bucket 0 is
+// v=0, bucket 1 is v=1, bucket 2 is 2..3, bucket 3 is 4..7, and so on
+// up to full int64 range.
+const histBuckets = 64
+
+// Histogram is a power-of-two bucketed distribution of nonnegative
+// observations.
+type Histogram struct {
+	Count   int64
+	Sum     int64
+	Max     int64
+	Buckets [histBuckets]int64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketLo returns the smallest value of bucket i.
+func BucketLo(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return int64(1) << (i - 1)
+}
+
+// Observe records one value into the named histogram.
+func (r *Recorder) Observe(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Buckets[bucketOf(v)]++
+	r.mu.Unlock()
+}
+
+// snapshot is the sink-facing copy of the recorder's state, taken
+// under the lock so sinks can format without holding it.
+type snapshot struct {
+	roots    []*spanCopy
+	counters []kv
+	hists    []histCopy
+}
+
+type spanCopy struct {
+	name     string
+	attrs    []Attr
+	duration time.Duration
+	children []*spanCopy
+}
+
+type kv struct {
+	name string
+	val  int64
+}
+
+type histCopy struct {
+	name string
+	h    Histogram
+}
+
+func (r *Recorder) snapshot() snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	var cp func(s *Span) *spanCopy
+	cp = func(s *Span) *spanCopy {
+		d := s.duration
+		if !s.ended {
+			d = now.Sub(s.start)
+		}
+		out := &spanCopy{
+			name:     s.Name,
+			attrs:    append([]Attr(nil), s.Attrs...),
+			duration: d,
+		}
+		for _, c := range s.children {
+			out.children = append(out.children, cp(c))
+		}
+		return out
+	}
+	var snap snapshot
+	for _, s := range r.roots {
+		snap.roots = append(snap.roots, cp(s))
+	}
+	for k, v := range r.counters {
+		snap.counters = append(snap.counters, kv{k, v})
+	}
+	sort.Slice(snap.counters, func(i, j int) bool { return snap.counters[i].name < snap.counters[j].name })
+	for k, h := range r.hists {
+		snap.hists = append(snap.hists, histCopy{k, *h})
+	}
+	sort.Slice(snap.hists, func(i, j int) bool { return snap.hists[i].name < snap.hists[j].name })
+	return snap
+}
+
+// ---- context threading ----
+
+type ctxKey struct{}
+
+// WithRecorder attaches a recorder to a context.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// FromContext returns the context's recorder, or nil (the no-op
+// recorder) when none is attached.
+func FromContext(ctx context.Context) *Recorder {
+	if ctx == nil {
+		return nil
+	}
+	r, _ := ctx.Value(ctxKey{}).(*Recorder)
+	return r
+}

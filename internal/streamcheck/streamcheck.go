@@ -20,6 +20,7 @@ import (
 	"repro/internal/constraint"
 	"repro/internal/contentmodel"
 	"repro/internal/dtd"
+	"repro/internal/obs"
 	"repro/internal/pathre"
 )
 
@@ -54,6 +55,9 @@ type Validator struct {
 	stack      []frame
 	violations []Violation
 	seenRoot   bool
+
+	// obs receives the per-run validation span; nil disables.
+	obs *obs.Recorder
 
 	// keyed[i] -> value -> first path (absolute keys).
 	absKeys []*absKeyState
@@ -173,6 +177,9 @@ func New(d *dtd.DTD, set *constraint.Set) (*Validator, error) {
 // means valid). IO and well-formedness errors are returned as errors.
 func (v *Validator) Validate(r io.Reader) ([]Violation, error) {
 	v.reset()
+	sp := v.obs.Start("streamcheck.validate")
+	defer sp.End()
+	var elements, maxDepth int64
 	dec := xml.NewDecoder(r)
 	for {
 		tok, err := dec.Token()
@@ -184,7 +191,11 @@ func (v *Validator) Validate(r io.Reader) ([]Violation, error) {
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
+			elements++
 			v.startElement(t)
+			if d := int64(len(v.stack)); d > maxDepth {
+				maxDepth = d
+			}
 		case xml.EndElement:
 			v.endElement()
 		case xml.CharData:
@@ -192,6 +203,16 @@ func (v *Validator) Validate(r io.Reader) ([]Violation, error) {
 				v.text()
 			}
 		}
+	}
+	if sp != nil {
+		defer func() {
+			sp.SetInt("elements", elements)
+			sp.SetInt("max_depth", maxDepth)
+			sp.SetInt("violations", int64(len(v.violations)))
+			v.obs.Add("streamcheck.elements", elements)
+			v.obs.Add("streamcheck.violations", int64(len(v.violations)))
+			v.obs.Observe("streamcheck.document_depth", maxDepth)
+		}()
 	}
 	if len(v.stack) != 0 {
 		return nil, fmt.Errorf("streamcheck: unclosed element %s", v.stack[len(v.stack)-1].typ)
@@ -219,6 +240,10 @@ func (v *Validator) Validate(r io.Reader) ([]Violation, error) {
 func (v *Validator) ValidateString(doc string) ([]Violation, error) {
 	return v.Validate(strings.NewReader(doc))
 }
+
+// SetObs attaches an observability recorder to subsequent runs (nil
+// detaches it).
+func (v *Validator) SetObs(rec *obs.Recorder) { v.obs = rec }
 
 func (v *Validator) reset() {
 	v.stack = v.stack[:0]

@@ -1,0 +1,95 @@
+package xmlspec
+
+// The three-valued verdict enums live in several packages: the public
+// Verdict here, consistency.Verdict (which the public one is converted
+// from), ilp.Verdict (sat/unsat at the solver layer), and
+// implication.Verdict. The conversions between them are plain integer
+// casts scattered across the pipeline, so these tests pin the value
+// alignment and the shared stringers — any drift in one enum breaks
+// loudly here instead of silently corrupting verdicts.
+
+import (
+	"testing"
+
+	"repro/internal/consistency"
+	"repro/internal/ilp"
+	"repro/internal/implication"
+)
+
+func TestVerdictEnumsAligned(t *testing.T) {
+	// xmlspec ↔ consistency: identical meaning, identical values
+	// (Result conversion is Verdict(res.Verdict)).
+	pairs := []struct {
+		pub Verdict
+		con consistency.Verdict
+	}{
+		{Unknown, consistency.Unknown},
+		{Consistent, consistency.Consistent},
+		{Inconsistent, consistency.Inconsistent},
+	}
+	for _, p := range pairs {
+		if int(p.pub) != int(p.con) {
+			t.Errorf("xmlspec %v = %d but consistency %v = %d", p.pub, int(p.pub), p.con, int(p.con))
+		}
+		if p.pub.String() != p.con.String() {
+			t.Errorf("stringers diverge: xmlspec %q vs consistency %q", p.pub, p.con)
+		}
+	}
+
+	// consistency ↔ ilp: Sat plays the role of Consistent and Unsat of
+	// Inconsistent; the deciders rely on nothing but the switch
+	// statements, yet keeping the values aligned documents the
+	// correspondence.
+	ilpPairs := []struct {
+		con consistency.Verdict
+		sol ilp.Verdict
+	}{
+		{consistency.Unknown, ilp.Unknown},
+		{consistency.Consistent, ilp.Sat},
+		{consistency.Inconsistent, ilp.Unsat},
+	}
+	for _, p := range ilpPairs {
+		if int(p.con) != int(p.sol) {
+			t.Errorf("consistency %v = %d but ilp %v = %d", p.con, int(p.con), p.sol, int(p.sol))
+		}
+	}
+
+	// xmlspec ↔ implication: ImplicationResult conversion is
+	// ImplicationVerdict(res.Verdict).
+	implPairs := []struct {
+		pub ImplicationVerdict
+		imp implication.Verdict
+	}{
+		{ImplUnknown, implication.Unknown},
+		{Implied, implication.Implied},
+		{NotImplied, implication.NotImplied},
+	}
+	for _, p := range implPairs {
+		if int(p.pub) != int(p.imp) {
+			t.Errorf("xmlspec %v = %d but implication %v = %d", p.pub, int(p.pub), p.imp, int(p.imp))
+		}
+		if p.pub.String() != p.imp.String() {
+			t.Errorf("stringers diverge: xmlspec %q vs implication %q", p.pub, p.imp)
+		}
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	cases := []struct {
+		v    Verdict
+		want string
+	}{
+		{Unknown, "unknown"},
+		{Consistent, "consistent"},
+		{Inconsistent, "inconsistent"},
+		{Verdict(99), "unknown"}, // out-of-range values degrade safely
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("Verdict(%d).String() = %q, want %q", int(c.v), got, c.want)
+		}
+	}
+	if ilp.Sat.String() != "sat" || ilp.Unsat.String() != "unsat" || ilp.Unknown.String() != "unknown" {
+		t.Error("ilp verdict stringers changed")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/dtd"
 	"repro/internal/ilp"
 	"repro/internal/implication"
+	"repro/internal/obs"
 	"repro/internal/streamcheck"
 	"repro/internal/xmltree"
 )
@@ -33,22 +34,27 @@ const (
 	Inconsistent
 )
 
-func (v Verdict) String() string {
-	switch v {
-	case Consistent:
-		return "consistent"
-	case Inconsistent:
-		return "inconsistent"
-	default:
-		return "unknown"
-	}
-}
+// String delegates to the consistency package's stringer: the two
+// enums are value-aligned by construction (see verdict_test.go), so
+// one rendering serves both.
+func (v Verdict) String() string { return consistency.Verdict(v).String() }
 
 // Spec is a parsed XML specification: a DTD and a constraint set.
 type Spec struct {
 	dtd *dtd.DTD
 	set *constraint.Set
+	// obs, when set, receives pipeline spans and solver metrics for
+	// every operation on the Spec.
+	obs *obs.Recorder
 }
+
+// SetObserver attaches an observability recorder (internal/obs) to the
+// specification: subsequent Consistent, ValidateDocument,
+// ValidateStream, Implies, and Sample calls record their pipeline
+// spans, solver counters, and histograms into it. nil detaches the
+// recorder; with no recorder attached the instrumented paths cost one
+// nil check and allocate nothing.
+func (s *Spec) SetObserver(rec *obs.Recorder) { s.obs = rec }
 
 // Parse parses a DTD (<!ELEMENT ...>/<!ATTLIST ...> declarations; the
 // first declared element is the root) and a constraint set (one
@@ -124,7 +130,7 @@ type Options struct {
 	DisableLP bool
 }
 
-func (o *Options) internal() consistency.Options {
+func (o *Options) internal(rec *obs.Recorder) consistency.Options {
 	if o == nil {
 		o = &Options{}
 	}
@@ -137,6 +143,7 @@ func (o *Options) internal() consistency.Options {
 		SkipWitness:     o.SkipWitness,
 		MinimizeWitness: o.MinimizeWitness,
 		BruteForce:      bruteforce.Options{MaxNodes: o.SearchNodes},
+		Obs:             rec,
 	}
 }
 
@@ -145,6 +152,10 @@ type Stats struct {
 	// SolverNodes counts integer-search nodes, Cuts the connectivity
 	// cutting planes, Scopes the hierarchical sub-problems.
 	SolverNodes, Cuts, Scopes int
+	// LPCalls counts simplex relaxations and Pivots their tableau
+	// pivots; Propagations counts interval-propagation rounds and
+	// Branches the search's branching decisions.
+	LPCalls, Pivots, Propagations, Branches int
 }
 
 // Result reports the outcome of a consistency check.
@@ -166,7 +177,9 @@ type Result struct {
 
 // Consistent statically checks the specification. opts may be nil.
 func (s *Spec) Consistent(opts *Options) (Result, error) {
-	res, err := consistency.Check(s.dtd, s.set, opts.internal())
+	sp := s.obs.Start("xmlspec.check")
+	defer sp.End()
+	res, err := consistency.Check(s.dtd, s.set, opts.internal(s.obs))
 	if err != nil {
 		return Result{}, err
 	}
@@ -176,9 +189,13 @@ func (s *Spec) Consistent(opts *Options) (Result, error) {
 		Method:    res.Method,
 		Diagnosis: res.Diagnosis,
 		Stats: Stats{
-			SolverNodes: res.Stats.ILPNodes,
-			Cuts:        res.Stats.Cuts,
-			Scopes:      res.Stats.Scopes,
+			SolverNodes:  res.Stats.ILPNodes,
+			Cuts:         res.Stats.Cuts,
+			Scopes:       res.Stats.Scopes,
+			LPCalls:      res.Stats.LPCalls,
+			Pivots:       res.Stats.Pivots,
+			Propagations: res.Stats.Propagations,
+			Branches:     res.Stats.Branches,
 		},
 	}
 	if res.Witness != nil && res.WitnessVerified {
@@ -206,6 +223,8 @@ func (v Violation) String() string {
 // the specification: conformance to the DTD and satisfaction of every
 // constraint. It returns nil when the document is valid.
 func (s *Spec) ValidateDocument(document string) ([]Violation, error) {
+	sp := s.obs.Start("xmlspec.validate_document")
+	defer sp.End()
 	tree, err := xmltree.ParseDocumentString(document)
 	if err != nil {
 		return nil, err
@@ -232,6 +251,7 @@ func (s *Spec) ValidateStream(r io.Reader) ([]Violation, error) {
 	if err != nil {
 		return nil, err
 	}
+	v.SetObs(s.obs)
 	found, err := v.Validate(r)
 	if err != nil {
 		return nil, err
@@ -256,16 +276,9 @@ const (
 	NotImplied
 )
 
-func (v ImplicationVerdict) String() string {
-	switch v {
-	case Implied:
-		return "implied"
-	case NotImplied:
-		return "not-implied"
-	default:
-		return "unknown"
-	}
-}
+// String delegates to the implication package's stringer (the enums
+// are value-aligned; see verdict_test.go).
+func (v ImplicationVerdict) String() string { return implication.Verdict(v).String() }
 
 // ImplicationResult reports the outcome of Implies.
 type ImplicationResult struct {
@@ -283,6 +296,8 @@ type ImplicationResult struct {
 // regular); an inclusion is checked alone — pair it with its key to
 // check a full foreign key.
 func (s *Spec) Implies(constraintLine string) (ImplicationResult, error) {
+	sp := s.obs.Start("xmlspec.implies")
+	defer sp.End()
 	phi, err := constraint.Parse(constraintLine)
 	if err != nil {
 		return ImplicationResult{}, err
@@ -340,7 +355,7 @@ func (s *Spec) EquivalentTo(other *Spec) (EquivalenceResult, error) {
 // specification), or a note that the DTD alone is unsatisfiable. It
 // errors when the specification is not inconsistent.
 func (s *Spec) ExplainInconsistency() ([]string, error) {
-	core, err := consistency.MinimalCore(s.dtd, s.set, consistency.Options{})
+	core, err := consistency.MinimalCore(s.dtd, s.set, consistency.Options{Obs: s.obs})
 	if err != nil {
 		return nil, err
 	}
@@ -381,10 +396,17 @@ func (s *Spec) Sample(count int, opts *SampleOptions) ([]string, error) {
 	rng := rand.New(rand.NewSource(seed))
 	out := make([]string, 0, count)
 	for i := 0; i < count; i++ {
+		sp := s.obs.Start("xmlspec.sample")
 		tree, err := docgen.Generate(s.dtd, s.set, rng, docgen.Options{MaxNodes: opts.MaxNodes})
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
+		if sp != nil {
+			sp.SetInt("nodes", int64(tree.Size()))
+			s.obs.Observe("sample.document_nodes", int64(tree.Size()))
+		}
+		sp.End()
 		out = append(out, tree.XML())
 	}
 	return out, nil
