@@ -1,17 +1,36 @@
 GO ?= go
 
-.PHONY: check build vet test race fmt bench
+ANALYZERS := bin/analyzers
 
-# The full pre-commit gate: formatting, vet, build, and the race-enabled
-# test suite. -short keeps the long soak tests out; run `make test` for
-# the unabridged suite.
-check: fmt vet build race
+.PHONY: check build vet test race fmt bench lint
+
+# The full pre-commit gate: formatting, vet (including the custom
+# analyzers and the spec linter), build, and the race-enabled test
+# suite. -short keeps the long soak tests out; run `make test` for the
+# unabridged suite.
+check: fmt vet lint build race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repository's own static analysis: the vettool passes
+# from tools/analyzers (exhaustive Verdict switches, nil-safe obs use)
+# over every package, then cmd/speclint over the shipped example specs.
+# The geography spec is the known-inconsistent fixture, so exit 1 is
+# its expected verdict there.
+lint: $(ANALYZERS)
+	$(GO) vet -vettool=$(abspath $(ANALYZERS)) ./...
+	cd tools/analyzers && $(GO) test ./...
+	$(GO) run ./cmd/speclint -dtd testdata/library.dtd -constraints testdata/library.keys
+	$(GO) run ./cmd/speclint -dtd testdata/school.dtd -constraints testdata/school.keys
+	$(GO) run ./cmd/speclint -dtd testdata/geography.dtd -constraints testdata/geography.keys; \
+		status=$$?; [ $$status -eq 1 ] || { echo "geography: expected exit 1, got $$status"; exit 1; }
+
+$(ANALYZERS): tools/analyzers/go.mod $(wildcard tools/analyzers/*.go)
+	cd tools/analyzers && $(GO) build -o $(abspath $(ANALYZERS)) .
 
 test:
 	$(GO) test ./...

@@ -145,6 +145,47 @@ func BenchmarkCheck(b *testing.B) {
 	})
 }
 
+// BenchmarkLintPrepassShortCircuit measures what the speclint prepass
+// buys on a spec it can refute structurally: the geography example of
+// Figure 1, whose cardinality clash SL201 proves without any encoding.
+// "prepass" is the default Check; "full-path" disables the linter and
+// pays for the hierarchical decomposition plus solver. The gap is
+// orders of magnitude, which is why the prepass is on by default.
+func BenchmarkLintPrepassShortCircuit(b *testing.B) {
+	const geoDTD = `
+<!ELEMENT db (country+)>
+<!ELEMENT country (province+, capital+)>
+<!ELEMENT province (capital, city*)>
+<!ELEMENT capital EMPTY>
+<!ELEMENT city EMPTY>
+<!ATTLIST country name CDATA #REQUIRED>
+<!ATTLIST province name CDATA #REQUIRED>
+<!ATTLIST capital inProvince CDATA #REQUIRED>
+`
+	const geoKeys = `
+country.name -> country
+country(province.name -> province)
+country(capital.inProvince -> capital)
+country(capital.inProvince ⊆ province.name)
+`
+	for _, variant := range []struct {
+		name     string
+		skipLint bool
+	}{{"prepass", false}, {"full-path", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			spec := MustParse(geoDTD, geoKeys)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := spec.Consistent(&Options{SkipWitness: true, SkipLint: variant.skipLint})
+				if err != nil || res.Verdict != Inconsistent {
+					b.Fatalf("%v %v", res.Verdict, err)
+				}
+			}
+		})
+	}
+}
+
 // ---- Figure 3: absolute constraint classes ----
 
 func BenchmarkFig3ACKFK(b *testing.B) {

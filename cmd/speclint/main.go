@@ -1,0 +1,174 @@
+// Command speclint statically analyzes an XML specification — a DTD
+// plus a key/foreign-key constraint set — and reports diagnostics
+// without running any decision procedure: well-formedness problems,
+// vacuous (dead) constraints and element types, and sound structural
+// proofs of inconsistency.
+//
+// Usage:
+//
+//	speclint -dtd schema.dtd [-constraints keys.txt] [-json]
+//	speclint -rules
+//
+// Unlike xmlconsist, speclint does not reject a constraint set that
+// fails validation against the DTD: those problems are exactly what the
+// tier-1 rules report.
+//
+// Exit status: 0 no error-severity findings, 1 error findings, 3 usage
+// or parse errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/constraint"
+	"repro/internal/dtd"
+	"repro/internal/obs"
+	"repro/internal/speclint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("speclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dtdPath  = fs.String("dtd", "", "path to the DTD file (required unless -rules)")
+		consPath = fs.String("constraints", "", "path to the constraints file (one per line; optional)")
+		jsonOut  = fs.Bool("json", false, "emit a single JSON object instead of text")
+		rules    = fs.Bool("rules", false, "print the rule table and exit")
+		minSev   = fs.String("min-severity", "info", "lowest severity to report: info, warning or error")
+		trace    = fs.Bool("trace", false, "print a span trace of the analysis to stderr")
+		metrics  = fs.Bool("metrics", false, "emit metrics as JSON lines on stdout after the report")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 3
+	}
+	if *rules {
+		printRules(stdout)
+		return 0
+	}
+	floor, ok := parseSeverity(*minSev)
+	if !ok {
+		fmt.Fprintf(stderr, "speclint: invalid -min-severity %q (want info, warning or error)\n", *minSev)
+		return 3
+	}
+	if *dtdPath == "" {
+		fmt.Fprintln(stderr, "speclint: -dtd is required")
+		fs.Usage()
+		return 3
+	}
+	dtdSrc, err := os.ReadFile(*dtdPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "speclint:", err)
+		return 3
+	}
+	d, err := dtd.Parse(string(dtdSrc))
+	if err != nil {
+		fmt.Fprintln(stderr, "speclint:", err)
+		return 3
+	}
+	var consSrc []byte
+	if *consPath != "" {
+		consSrc, err = os.ReadFile(*consPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "speclint:", err)
+			return 3
+		}
+	}
+	// Deliberately no set.Validate here: well-formedness failures are
+	// findings, not input errors.
+	set, err := constraint.ParseSet(string(consSrc))
+	if err != nil {
+		fmt.Fprintln(stderr, "speclint:", err)
+		return 3
+	}
+
+	var rec *obs.Recorder
+	if *trace || *metrics {
+		rec = obs.New()
+	}
+	rep := speclint.Run(d, set, rec)
+
+	var shown []speclint.Diagnostic
+	for _, diag := range rep.Diags {
+		if diag.Severity >= floor {
+			shown = append(shown, diag)
+		}
+	}
+	errs, warns, infos := rep.Counts()
+
+	if *jsonOut {
+		type report struct {
+			Diagnostics []speclint.Diagnostic `json:"diagnostics"`
+			Errors      int                   `json:"errors"`
+			Warnings    int                   `json:"warnings"`
+			Infos       int                   `json:"infos"`
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report{Diagnostics: shown, Errors: errs, Warnings: warns, Infos: infos}); err != nil {
+			fmt.Fprintln(stderr, "speclint:", err)
+			return 3
+		}
+	} else {
+		for _, diag := range shown {
+			if diag.Subject != "" {
+				fmt.Fprintf(stdout, "%s: %s\n", diag.Subject, diag)
+			} else {
+				fmt.Fprintln(stdout, diag)
+			}
+		}
+		if errs+warns+infos == 0 {
+			fmt.Fprintln(stdout, "clean: no findings")
+		} else {
+			fmt.Fprintf(stdout, "%d error(s), %d warning(s), %d info(s)\n", errs, warns, infos)
+		}
+	}
+
+	if *trace {
+		if err := rec.WriteTree(stderr); err != nil {
+			fmt.Fprintln(stderr, "speclint:", err)
+			return 3
+		}
+	}
+	if *metrics {
+		if err := rec.WriteJSON(stdout); err != nil {
+			fmt.Fprintln(stderr, "speclint:", err)
+			return 3
+		}
+	}
+
+	if errs > 0 {
+		return 1
+	}
+	return 0
+}
+
+func parseSeverity(s string) (speclint.Severity, bool) {
+	switch s {
+	case "info":
+		return speclint.Info, true
+	case "warning":
+		return speclint.Warning, true
+	case "error":
+		return speclint.Error, true
+	}
+	return 0, false
+}
+
+func printRules(w io.Writer) {
+	fmt.Fprintf(w, "%-6s  %-4s  %-8s  %-5s  %s\n", "ID", "TIER", "SEVERITY", "SOUND", "DESCRIPTION")
+	for _, r := range speclint.Rules() {
+		sound := ""
+		if r.Sound {
+			sound = "yes"
+		}
+		fmt.Fprintf(w, "%-6s  %-4d  %-8s  %-5s  %s\n", r.ID, r.Tier, r.Severity, sound, r.Doc)
+	}
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden runs the CLI and compares stdout against a golden file,
+// rewriting it under -update.
+func golden(t *testing.T, name string, wantExit int, args ...string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if exit := run(args, &stdout, &stderr); exit != wantExit {
+		t.Fatalf("exit = %d, want %d\nstderr: %s", exit, wantExit, stderr.String())
+	}
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("output mismatch for %s\n--- got ---\n%s--- want ---\n%s", name, stdout.String(), want)
+	}
+}
+
+func TestGolden(t *testing.T) {
+	messyDTD := filepath.Join("testdata", "messy.dtd")
+	messyKeys := filepath.Join("testdata", "messy.keys")
+	shared := func(f string) string { return filepath.Join("..", "..", "testdata", f) }
+
+	t.Run("messy-text", func(t *testing.T) {
+		golden(t, "messy-text", 1, "-dtd", messyDTD, "-constraints", messyKeys)
+	})
+	t.Run("messy-json", func(t *testing.T) {
+		golden(t, "messy-json", 1, "-dtd", messyDTD, "-constraints", messyKeys, "-json")
+	})
+	t.Run("messy-errors-only", func(t *testing.T) {
+		golden(t, "messy-errors-only", 1,
+			"-dtd", messyDTD, "-constraints", messyKeys, "-min-severity", "error")
+	})
+	t.Run("geography-text", func(t *testing.T) {
+		golden(t, "geography-text", 1,
+			"-dtd", shared("geography.dtd"), "-constraints", shared("geography.keys"))
+	})
+	t.Run("geography-json", func(t *testing.T) {
+		golden(t, "geography-json", 1,
+			"-dtd", shared("geography.dtd"), "-constraints", shared("geography.keys"), "-json")
+	})
+	t.Run("library-clean", func(t *testing.T) {
+		golden(t, "library-clean", 0,
+			"-dtd", shared("library.dtd"), "-constraints", shared("library.keys"))
+	})
+	t.Run("rules-table", func(t *testing.T) {
+		golden(t, "rules-table", 0, "-rules")
+	})
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                     // missing -dtd
+		{"-dtd", "no/such/file.dtd"},           // unreadable DTD
+		{"-badflag"},                           // unknown flag
+		{"-dtd", "x", "-min-severity", "loud"}, // bad severity
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if exit := run(args, &stdout, &stderr); exit != 3 {
+			t.Errorf("run(%q) exit = %d, want 3", args, exit)
+		}
+	}
+}
+
+func TestMetricsAndTrace(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	exit := run([]string{
+		"-dtd", filepath.Join("..", "..", "testdata", "library.dtd"),
+		"-constraints", filepath.Join("..", "..", "testdata", "library.keys"),
+		"-trace", "-metrics",
+	}, &stdout, &stderr)
+	if exit != 0 {
+		t.Fatalf("exit = %d, stderr: %s", exit, stderr.String())
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("speclint.run")) {
+		t.Errorf("trace output missing speclint.run span:\n%s", stderr.String())
+	}
+	if !bytes.Contains(stdout.Bytes(), []byte(`"name"`)) {
+		t.Errorf("metrics JSON missing from stdout:\n%s", stdout.String())
+	}
+}

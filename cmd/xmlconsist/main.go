@@ -139,6 +139,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 3
 		}
 	}
+	var lint []string
+	if *explain {
+		for _, f := range spec.Lint() {
+			lint = append(lint, f.String())
+		}
+	}
 	var impliesRes *xmlspec.ImplicationResult
 	if *implies != "" {
 		ir, err := spec.Implies(*implies)
@@ -158,6 +164,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Witness          string   `json:"witness,omitempty"`
 			ConflictingPairs []string `json:"conflictingPairs,omitempty"`
 			MinimalCore      []string `json:"minimalCore,omitempty"`
+			Lint             []string `json:"lint,omitempty"`
 			Implies          string   `json:"implies,omitempty"`
 			ImpliesVerdict   string   `json:"impliesVerdict,omitempty"`
 			Counterexample   string   `json:"counterexample,omitempty"`
@@ -171,6 +178,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Witness:          res.Witness,
 			ConflictingPairs: spec.ConflictingPairs(),
 			MinimalCore:      core,
+			Lint:             lint,
 			SolverNodes:      res.Stats.SolverNodes,
 		}
 		if impliesRes != nil {
@@ -197,6 +205,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *explain && res.Verdict == xmlspec.Inconsistent {
 			fmt.Fprintln(stdout, "minimal conflicting subset:")
 			for _, line := range core {
+				fmt.Fprintln(stdout, "  ", line)
+			}
+		}
+		if *explain && len(lint) > 0 {
+			fmt.Fprintln(stdout, "lint findings:")
+			for _, line := range lint {
 				fmt.Fprintln(stdout, "  ", line)
 			}
 		}

@@ -10,10 +10,13 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/consistency"
 	"repro/internal/constraint"
 	"repro/internal/contentmodel"
 	"repro/internal/dtd"
+	"repro/internal/ilp"
 	"repro/internal/pathre"
+	"repro/internal/speclint"
 	"repro/internal/xmltree"
 )
 
@@ -148,5 +151,46 @@ func FuzzSpecParse(f *testing.F) {
 		// Whatever parses must be checkable without panicking; budget
 		// tightly so adversarial inputs cannot stall the fuzzer.
 		_, _ = spec.Consistent(&Options{SkipWitness: true, MaxSolverNodes: 2000, SearchNodes: 3})
+	})
+}
+
+func FuzzSpecLint(f *testing.F) {
+	f.Add("<!ELEMENT a EMPTY>", "")
+	f.Add("<!ELEMENT r (s, s, t?)><!ELEMENT s EMPTY><!ELEMENT t EMPTY>"+
+		"<!ATTLIST s k CDATA #REQUIRED><!ATTLIST t k CDATA #REQUIRED>",
+		"s.k -> s\nt.k -> t\ns.k <= t.k")
+	f.Add("<!ELEMENT a (b)><!ELEMENT b (b)>", "zz.q -> zz\nb.x -> b")
+	f.Add("<!ELEMENT a (b|c)><!ELEMENT b EMPTY><!ELEMENT c (c)>", "a(b.x -> b)")
+	f.Fuzz(func(t *testing.T, dtdSrc, consSrc string) {
+		// The linter must accept anything the parsers accept — even
+		// constraint sets that fail validation — and never panic.
+		d, err := dtd.Parse(dtdSrc)
+		if err != nil {
+			return
+		}
+		set, err := constraint.ParseSet(consSrc)
+		if err != nil {
+			return
+		}
+		rep := speclint.Run(d, set, nil)
+		for _, diag := range rep.Diags {
+			_ = diag.String()
+		}
+		// Soundness: a sound error must never contradict the decision
+		// procedures. Check may abstain (Unknown) but not disagree.
+		if rep.SoundError() == nil {
+			return
+		}
+		res, err := consistency.Check(d, set, consistency.Options{
+			SkipLint:    true,
+			SkipWitness: true,
+			ILP:         ilp.Options{MaxNodes: 2000},
+		})
+		if err != nil || res.Verdict == consistency.Unknown {
+			return
+		}
+		if res.Verdict == consistency.Consistent {
+			t.Fatalf("sound lint error on a consistent spec\nDTD:\n%s\nΣ:\n%s", dtdSrc, consSrc)
+		}
 	})
 }

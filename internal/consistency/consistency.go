@@ -35,6 +35,7 @@ import (
 	"repro/internal/dtd"
 	"repro/internal/ilp"
 	"repro/internal/obs"
+	"repro/internal/speclint"
 	"repro/internal/xmltree"
 )
 
@@ -82,6 +83,10 @@ type Options struct {
 	// observability at the cost of one nil check per instrumentation
 	// point.
 	Obs *obs.Recorder
+	// SkipLint disables the speclint prepass that runs the sound
+	// static rules (SL101/SL201/SL202) before any encoding and
+	// short-circuits to Inconsistent when one fires.
+	SkipLint bool
 }
 
 func (o Options) withDefaults() Options {
@@ -118,6 +123,9 @@ type Stats struct {
 	MaxDepth int
 	// Saturations counts saturated interval-arithmetic bounds.
 	Saturations int
+	// LintFindings counts the diagnostics the speclint prepass
+	// reported (zero when the prepass is skipped or clean).
+	LintFindings int
 }
 
 // addILP merges one solver invocation's effort into the check stats.
@@ -178,6 +186,24 @@ func Check(d *dtd.DTD, set *constraint.Set, opts Options) (Result, error) {
 	defer sp.End()
 	prof := constraint.Classify(set)
 	res := Result{Class: prof.ClassName()}
+
+	if !opts.SkipLint {
+		rep := speclint.PrepassValidated(d, set, opts.Obs)
+		res.Stats.LintFindings = len(rep.Diags)
+		if diag := rep.SoundError(); diag != nil {
+			route(opts.Obs, "lint_short_circuit")
+			res.Verdict = Inconsistent
+			res.Method = fmt.Sprintf("speclint prepass (%s)", diag.RuleID)
+			res.Diagnosis = diag.Message
+			if sp != nil {
+				sp.SetString("class", res.Class)
+				sp.SetString("method", res.Method)
+				sp.SetString("verdict", res.Verdict.String())
+				sp.SetString("early_exit", "speclint "+diag.RuleID)
+			}
+			return res, nil
+		}
+	}
 
 	switch {
 	case prof.Relative:

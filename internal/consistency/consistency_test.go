@@ -57,15 +57,27 @@ country(capital.inProvince ⊆ province.name)
 `
 
 func TestGeographyInconsistent(t *testing.T) {
+	// The default path short-circuits in the speclint prepass: the
+	// cardinality clash of Figure 1(b) is exactly rule SL201.
 	res := check(t, geoDTD, geoConstraints, Options{})
 	if res.Verdict != Inconsistent {
 		t.Fatalf("geography verdict = %v (%s), want inconsistent", res.Verdict, res.Diagnosis)
 	}
-	if !strings.Contains(res.Method, "hierarchical") {
-		t.Errorf("method = %q, want hierarchical decomposition", res.Method)
+	if !strings.Contains(res.Method, "speclint prepass (SL201)") {
+		t.Errorf("method = %q, want speclint prepass (SL201)", res.Method)
 	}
 	if res.Class != "RC_{K,FK}" {
 		t.Errorf("class = %q", res.Class)
+	}
+
+	// With the prepass disabled the hierarchical decomposition must
+	// reach the same verdict on its own.
+	res = check(t, geoDTD, geoConstraints, Options{SkipLint: true})
+	if res.Verdict != Inconsistent {
+		t.Fatalf("SkipLint verdict = %v (%s), want inconsistent", res.Verdict, res.Diagnosis)
+	}
+	if !strings.Contains(res.Method, "hierarchical") {
+		t.Errorf("SkipLint method = %q, want hierarchical decomposition", res.Method)
 	}
 }
 

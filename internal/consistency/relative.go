@@ -294,6 +294,8 @@ func (h *hierChecker) scope(chain map[string]bool, tau string) hierScope {
 			banned[e] = true
 		case ilp.Unknown:
 			undecidedExit = true
+		case ilp.Sat:
+			// Consistent exits stay allowed.
 		}
 	}
 

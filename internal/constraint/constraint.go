@@ -290,72 +290,11 @@ func intersects(a, b []string) bool {
 // exist, attribute lists are nonempty and of matching lengths across
 // inclusions, contexts are declared types, and every inclusion has the
 // key on its right-hand side that the paper's foreign-key definition
-// requires.
+// requires. It returns the first violation found by WFViolations; callers
+// that want all of them should call WFViolations directly.
 func (s *Set) Validate(d *dtd.DTD) error {
-	checkTarget := func(t Target, what string) error {
-		el := d.Element(t.Type)
-		if el == nil {
-			return fmt.Errorf("constraint: %s refers to undeclared element type %q", what, t.Type)
-		}
-		if len(t.Attrs) == 0 {
-			return fmt.Errorf("constraint: %s has an empty attribute list", what)
-		}
-		seen := map[string]bool{}
-		for _, l := range t.Attrs {
-			if !el.HasAttr(l) {
-				return fmt.Errorf("constraint: %s uses attribute %q not in R(%s)", what, l, t.Type)
-			}
-			if seen[l] {
-				return fmt.Errorf("constraint: %s repeats attribute %q", what, l)
-			}
-			seen[l] = true
-		}
-		if t.Path != nil {
-			for _, sym := range t.Path.Symbols() {
-				if d.Element(sym) == nil {
-					return fmt.Errorf("constraint: %s path mentions undeclared type %q", what, sym)
-				}
-			}
-		}
-		return nil
-	}
-	for _, k := range s.Keys {
-		if err := checkTarget(k.Target, k.String()); err != nil {
-			return err
-		}
-		if k.Context != "" && d.Element(k.Context) == nil {
-			return fmt.Errorf("constraint: context type %q of %s not declared", k.Context, k)
-		}
-		if k.Context != "" && k.Target.Path != nil {
-			return fmt.Errorf("constraint: %s mixes relative and regular addressing", k)
-		}
-		if (k.Context != "" || k.Target.Path != nil) && !k.Target.Unary() {
-			return fmt.Errorf("constraint: %s: relative and regular constraints must be unary", k)
-		}
-	}
-	for _, c := range s.Incls {
-		if err := checkTarget(c.From, c.String()); err != nil {
-			return err
-		}
-		if err := checkTarget(c.To, c.String()); err != nil {
-			return err
-		}
-		if len(c.From.Attrs) != len(c.To.Attrs) {
-			return fmt.Errorf("constraint: %s: attribute lists differ in length", c)
-		}
-		if c.Context != "" && d.Element(c.Context) == nil {
-			return fmt.Errorf("constraint: context type %q of %s not declared", c.Context, c)
-		}
-		if c.Context != "" && (c.From.Path != nil || c.To.Path != nil) {
-			return fmt.Errorf("constraint: %s mixes relative and regular addressing", c)
-		}
-		if (c.Context != "" || c.From.Path != nil || c.To.Path != nil) && !c.From.Unary() {
-			return fmt.Errorf("constraint: %s: relative and regular constraints must be unary", c)
-		}
-		if !s.hasKeyFor(c) {
-			return fmt.Errorf("constraint: inclusion %s lacks the key %s -> %s that makes it a foreign key",
-				c, c.To, c.To.NodeString())
-		}
+	if vs := s.WFViolations(d); len(vs) > 0 {
+		return vs[0]
 	}
 	return nil
 }

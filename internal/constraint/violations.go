@@ -1,0 +1,134 @@
+package constraint
+
+import (
+	"fmt"
+
+	"repro/internal/dtd"
+)
+
+// Violation codes: stable identifiers for each way a constraint set can
+// fail well-formedness against a DTD. speclint maps them to rule IDs.
+const (
+	// VioUndeclaredType: a target, context, or path mentions an element
+	// type the DTD does not declare.
+	VioUndeclaredType = "undeclared-type"
+	// VioUndeclaredAttr: a target uses an attribute outside R(τ).
+	VioUndeclaredAttr = "undeclared-attr"
+	// VioEmptyAttrs: a target has an empty attribute list.
+	VioEmptyAttrs = "empty-attrs"
+	// VioDuplicateAttr: a target repeats an attribute.
+	VioDuplicateAttr = "duplicate-attr"
+	// VioArityMismatch: an inclusion's attribute lists differ in length.
+	VioArityMismatch = "arity-mismatch"
+	// VioMissingKey: an inclusion lacks the key on its right-hand side
+	// that the paper's foreign-key definition requires.
+	VioMissingKey = "missing-key"
+	// VioMixedAddressing: a constraint combines relative and regular
+	// addressing.
+	VioMixedAddressing = "mixed-addressing"
+	// VioNonUnary: a relative or regular constraint is not unary.
+	VioNonUnary = "non-unary"
+)
+
+// WFViolation is one well-formedness failure of a constraint set against
+// a DTD.
+type WFViolation struct {
+	// Code is one of the Vio* identifiers.
+	Code string
+	// Kind is "key" or "inclusion"; Index is the position within the
+	// corresponding slice of the Set.
+	Kind  string
+	Index int
+	// Constraint is the offending constraint, rendered.
+	Constraint string
+	// Message describes the failure (without the "constraint: " prefix
+	// the error form adds).
+	Message string
+}
+
+// Error renders the violation in the format Set.Validate has always
+// used.
+func (v WFViolation) Error() string { return "constraint: " + v.Message }
+
+// WFViolations checks the set against a DTD and returns every
+// well-formedness failure, in deterministic order (keys before
+// inclusions, each in declaration order): element types and attributes
+// must exist, attribute lists must be nonempty, duplicate-free and of
+// matching lengths across inclusions, contexts must be declared types,
+// relative/regular constraints must be unary and unmixed, and every
+// inclusion needs the key on its right-hand side that makes it a
+// foreign key. Validate returns the first entry as an error.
+func (s *Set) WFViolations(d *dtd.DTD) []WFViolation {
+	var out []WFViolation
+	checkTarget := func(add func(code, format string, args ...any), t Target, what string) {
+		el := d.Element(t.Type)
+		if el == nil {
+			add(VioUndeclaredType, "%s refers to undeclared element type %q", what, t.Type)
+		}
+		if len(t.Attrs) == 0 {
+			add(VioEmptyAttrs, "%s has an empty attribute list", what)
+		}
+		seen := map[string]bool{}
+		for _, l := range t.Attrs {
+			if el != nil && !el.HasAttr(l) {
+				add(VioUndeclaredAttr, "%s uses attribute %q not in R(%s)", what, l, t.Type)
+			}
+			if seen[l] {
+				add(VioDuplicateAttr, "%s repeats attribute %q", what, l)
+			}
+			seen[l] = true
+		}
+		if t.Path != nil {
+			for _, sym := range t.Path.Symbols() {
+				if d.Element(sym) == nil {
+					add(VioUndeclaredType, "%s path mentions undeclared type %q", what, sym)
+				}
+			}
+		}
+	}
+	for i, k := range s.Keys {
+		add := func(code, format string, args ...any) {
+			out = append(out, WFViolation{
+				Code: code, Kind: "key", Index: i, Constraint: k.String(),
+				Message: fmt.Sprintf(format, args...),
+			})
+		}
+		checkTarget(add, k.Target, k.String())
+		if k.Context != "" && d.Element(k.Context) == nil {
+			add(VioUndeclaredType, "context type %q of %s not declared", k.Context, k)
+		}
+		if k.Context != "" && k.Target.Path != nil {
+			add(VioMixedAddressing, "%s mixes relative and regular addressing", k)
+		}
+		if (k.Context != "" || k.Target.Path != nil) && !k.Target.Unary() {
+			add(VioNonUnary, "%s: relative and regular constraints must be unary", k)
+		}
+	}
+	for i, c := range s.Incls {
+		add := func(code, format string, args ...any) {
+			out = append(out, WFViolation{
+				Code: code, Kind: "inclusion", Index: i, Constraint: c.String(),
+				Message: fmt.Sprintf(format, args...),
+			})
+		}
+		checkTarget(add, c.From, c.String())
+		checkTarget(add, c.To, c.String())
+		if len(c.From.Attrs) != len(c.To.Attrs) {
+			add(VioArityMismatch, "%s: attribute lists differ in length", c)
+		}
+		if c.Context != "" && d.Element(c.Context) == nil {
+			add(VioUndeclaredType, "context type %q of %s not declared", c.Context, c)
+		}
+		if c.Context != "" && (c.From.Path != nil || c.To.Path != nil) {
+			add(VioMixedAddressing, "%s mixes relative and regular addressing", c)
+		}
+		if (c.Context != "" || c.From.Path != nil || c.To.Path != nil) && !c.From.Unary() {
+			add(VioNonUnary, "%s: relative and regular constraints must be unary", c)
+		}
+		if !s.hasKeyFor(c) {
+			add(VioMissingKey, "inclusion %s lacks the key %s -> %s that makes it a foreign key",
+				c, c.To, c.To.NodeString())
+		}
+	}
+	return out
+}

@@ -171,32 +171,53 @@ func (d *DTD) children(name string) []string {
 }
 
 // IsRecursive reports whether Paths(D) is infinite, i.e. whether the
-// type reference graph restricted to reachable types has a cycle.
+// type reference graph restricted to reachable types has a cycle. The
+// DFS walks content-model expressions directly rather than through
+// Alphabet so the test allocates nothing beyond the color map; it runs
+// in front of every consistency check via the speclint prepass.
 func (d *DTD) IsRecursive() bool {
+	c := cycleFinder{d: d, color: map[string]int{}}
+	return c.visit(d.Root)
+}
+
+// cycleFinder is the IsRecursive DFS state; methods instead of mutually
+// recursive closures keep the walk allocation-free beyond the map.
+type cycleFinder struct {
+	d     *DTD
+	color map[string]int
+}
+
+func (c *cycleFinder) visit(name string) bool {
 	const (
-		white = 0
 		gray  = 1
 		black = 2
 	)
-	color := map[string]int{}
-	var visit func(string) bool
-	visit = func(name string) bool {
-		switch color[name] {
-		case gray:
-			return true
-		case black:
-			return false
-		}
-		color[name] = gray
-		for _, ref := range d.children(name) {
-			if visit(ref) {
-				return true
-			}
-		}
-		color[name] = black
+	switch c.color[name] {
+	case gray:
+		return true
+	case black:
 		return false
 	}
-	return visit(d.Root)
+	c.color[name] = gray
+	if e := c.d.Elements[name]; e != nil && e.Content != nil {
+		if c.visitExpr(e.Content) {
+			return true
+		}
+	}
+	c.color[name] = black
+	return false
+}
+
+func (c *cycleFinder) visitExpr(e *contentmodel.Expr) bool {
+	if e.Kind == contentmodel.Name {
+		return c.visit(e.Ref)
+	}
+	for _, k := range e.Kids {
+		if c.visitExpr(k) {
+			return true
+		}
+	}
+	return false
 }
 
 // NoStar reports whether no Kleene star occurs in any content model

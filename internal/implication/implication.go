@@ -298,6 +298,9 @@ func finish(enc *cardinality.RegularEncoding, d *dtd.DTD, set *constraint.Set, e
 		return Result{Verdict: Implied}, nil
 	case ilp.Unknown:
 		return Result{Verdict: Unknown, Diagnosis: "solver budget exhausted"}, nil
+	case ilp.Sat:
+		// A satisfiable negation is only a candidate counterexample;
+		// fall through to witness verification below.
 	}
 	w, err := enc.Witness(res.Values, opts.WitnessMaxNodes)
 	if err == nil && w.Conforms(d) == nil && constraint.Satisfies(w, set) {

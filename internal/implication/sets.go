@@ -100,6 +100,8 @@ func ImpliesSet(d *dtd.DTD, sigma1, sigma2 *constraint.Set, opts Options) (SetRe
 			if diag == "" {
 				diag = fmt.Sprintf("%s: %s", phi, res.Diagnosis)
 			}
+		case Implied:
+			// Keep scanning the remaining constraints.
 		}
 		return SetResult{}, false, nil
 	}

@@ -1,0 +1,319 @@
+package speclint
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/constraint"
+	"repro/internal/contentmodel"
+	"repro/internal/dtd"
+)
+
+// negInf is the -∞ sentinel of the cardinality-difference analysis:
+// "the difference can be made arbitrarily negative". Small enough that
+// saturated additions cannot overflow.
+const negInf = math.MinInt / 4
+
+// facts lazily computes and memoizes the structural analyses shared by
+// the rules, so that e.g. Productive runs at most once per lint pass
+// regardless of how many rules consult it.
+type facts struct {
+	d   *dtd.DTD
+	set *constraint.Set
+
+	dtdErrDone bool
+	dtdErr     error
+
+	wfDone bool
+	wf     []constraint.WFViolation
+
+	productive map[string]bool
+	occurrable map[string]bool
+
+	recursiveDone bool
+	recursive     bool
+
+	satisfiableDone bool
+	satisfiable     bool
+
+	// avoidMemo[σ] is the set of types that can derive a finite tree
+	// containing no σ node (σ itself never qualifies).
+	avoidMemo map[string]map[string]bool
+
+	// diffMemo[{σ,τ}][x] is minDiff: the minimum of count(σ)-count(τ)
+	// over finite trees rooted at an x node (negInf when unbounded
+	// below). Only computed on non-recursive DTDs.
+	diffMemo map[[2]string]map[string]int
+}
+
+// DTDErr returns the DTD's own well-formedness error (nil DTDs count as
+// invalid), memoized.
+func (f *facts) DTDErr() error {
+	if !f.dtdErrDone {
+		f.dtdErrDone = true
+		if f.d == nil {
+			f.dtdErr = errors.New("dtd: no DTD")
+		} else {
+			f.dtdErr = f.d.Validate()
+		}
+	}
+	return f.dtdErr
+}
+
+// WF returns the constraint set's well-formedness violations, memoized.
+// It is empty (vacuously clean) when the DTD itself is invalid, since
+// the checks presuppose a valid DTD.
+func (f *facts) WF() []constraint.WFViolation {
+	if !f.wfDone {
+		f.wfDone = true
+		if f.DTDErr() == nil {
+			f.wf = f.set.WFViolations(f.d)
+		}
+	}
+	return f.wf
+}
+
+// Clean reports whether the spec passed tier 1: valid DTD, no
+// constraint well-formedness violations. Tier-2/3 rules only run on
+// clean specs — their analyses assume declared types and paired keys.
+func (f *facts) Clean() bool {
+	return f.DTDErr() == nil && len(f.WF()) == 0
+}
+
+// Productive memoizes dtd.Productive.
+func (f *facts) Productive() map[string]bool {
+	if f.productive == nil {
+		f.productive = f.d.Productive()
+	}
+	return f.productive
+}
+
+// Satisfiable memoizes "some document conforms to the DTD". A valid
+// non-recursive DTD is always satisfiable (every type derives its
+// minimal word by induction over the topological order), which keeps
+// the prepass off the Productive fixpoint on the common case.
+func (f *facts) Satisfiable() bool {
+	if !f.satisfiableDone {
+		f.satisfiableDone = true
+		if f.DTDErr() == nil && !f.Recursive() {
+			f.satisfiable = true
+		} else {
+			f.satisfiable = f.Productive()[f.d.Root]
+		}
+	}
+	return f.satisfiable
+}
+
+// Recursive memoizes dtd.IsRecursive.
+func (f *facts) Recursive() bool {
+	if !f.recursiveDone {
+		f.recursiveDone = true
+		f.recursive = f.d.IsRecursive()
+	}
+	return f.recursive
+}
+
+// Occurrable returns the set of element types that occur in at least
+// one conforming document. A type occurs iff it is the root of a
+// satisfiable DTD, or some occurrable parent's content model can match
+// a word that contains it and whose other symbols are all productive.
+// Computed as a least fixpoint seeded at the root.
+func (f *facts) Occurrable() map[string]bool {
+	if f.occurrable != nil {
+		return f.occurrable
+	}
+	occ := map[string]bool{}
+	prod := f.Productive()
+	ok := func(y string) bool { return prod[y] }
+	if prod[f.d.Root] {
+		occ[f.d.Root] = true
+		queue := []string{f.d.Root}
+		for len(queue) > 0 {
+			p := queue[0]
+			queue = queue[1:]
+			content := f.d.Element(p).Content
+			for _, y := range content.Alphabet() {
+				if !occ[y] && occursIn(content, y, ok) {
+					occ[y] = true
+					queue = append(queue, y)
+				}
+			}
+		}
+	}
+	f.occurrable = occ
+	return occ
+}
+
+// occursIn reports whether e can match a word that contains the symbol
+// y and whose element symbols all satisfy ok (i.e. a word realizable by
+// productive subtrees).
+func occursIn(e *contentmodel.Expr, y string, ok func(string) bool) bool {
+	switch e.Kind {
+	case contentmodel.Empty, contentmodel.Text:
+		return false
+	case contentmodel.Name:
+		return e.Ref == y && ok(y)
+	case contentmodel.Seq:
+		// Every factor must match something; at least one factor's word
+		// must contain y.
+		any := false
+		for _, k := range e.Kids {
+			if !k.MatchSubset(ok) {
+				return false
+			}
+			if occursIn(k, y, ok) {
+				any = true
+			}
+		}
+		return any
+	case contentmodel.Choice:
+		for _, k := range e.Kids {
+			if occursIn(k, y, ok) {
+				return true
+			}
+		}
+		return false
+	case contentmodel.Star:
+		// One repetition containing y suffices.
+		return occursIn(e.Kids[0], y, ok)
+	}
+	return false
+}
+
+// Avoid returns the set of element types that can derive a finite tree
+// containing no σ node anywhere (σ itself excluded by definition).
+// Computed as a Productive-style least fixpoint that never admits σ.
+func (f *facts) Avoid(sigma string) map[string]bool {
+	if f.avoidMemo == nil {
+		f.avoidMemo = map[string]map[string]bool{}
+	}
+	if a, done := f.avoidMemo[sigma]; done {
+		return a
+	}
+	avoid := map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, name := range f.d.Names {
+			if avoid[name] || name == sigma {
+				continue
+			}
+			e := f.d.Element(name)
+			if e.Content.MatchSubset(func(ref string) bool { return avoid[ref] }) {
+				avoid[name] = true
+				changed = true
+			}
+		}
+	}
+	f.avoidMemo[sigma] = avoid
+	return avoid
+}
+
+// MustOccur reports whether every conforming document contains a σ
+// node: the root cannot derive a tree that avoids σ.
+func (f *facts) MustOccur(sigma string) bool {
+	return f.d.Root == sigma || !f.Avoid(sigma)[f.d.Root]
+}
+
+// MustOccurUnder reports whether every c node's proper descendants
+// include a σ node: no word of P(c) consists solely of types that can
+// avoid σ.
+func (f *facts) MustOccurUnder(c, sigma string) bool {
+	avoid := f.Avoid(sigma)
+	return !f.d.Element(c).Content.MatchSubset(func(y string) bool { return avoid[y] })
+}
+
+// MinDiff returns, for every type x, the minimum of
+// count(σ) − count(τ) over all finite trees rooted at an x node, where
+// count(t) is the number of t nodes in the tree (x included). negInf
+// means the difference is unbounded below. Only meaningful on
+// non-recursive, satisfiable DTDs; callers must check f.Recursive().
+func (f *facts) MinDiff(sigma, tau string) map[string]int {
+	key := [2]string{sigma, tau}
+	if f.diffMemo == nil {
+		f.diffMemo = map[[2]string]map[string]int{}
+	}
+	if m, done := f.diffMemo[key]; done {
+		return m
+	}
+	memo := map[string]int{}
+	var nodeDiff func(x string) int
+	nodeDiff = func(x string) int {
+		if v, done := memo[x]; done {
+			return v
+		}
+		v := wordDiff(f.d.Element(x).Content, nodeDiff)
+		if x == sigma {
+			v = satAdd(v, 1)
+		}
+		if x == tau {
+			v = satAdd(v, -1)
+		}
+		memo[x] = v
+		return v
+	}
+	for _, name := range f.d.Names {
+		nodeDiff(name)
+	}
+	f.diffMemo[key] = memo
+	return memo
+}
+
+// WordDiff returns the minimum of count(σ) − count(τ) over the forests
+// derivable from a word of the content model e (the per-symbol values
+// come from MinDiff).
+func (f *facts) WordDiff(e *contentmodel.Expr, sigma, tau string) int {
+	diff := f.MinDiff(sigma, tau)
+	return wordDiff(e, func(x string) int { return diff[x] })
+}
+
+// wordDiff folds per-symbol minimum differences over a content model:
+// sequences add, choices take the minimum, a star is 0 repetitions
+// unless its body can go negative (then the minimum is unbounded).
+func wordDiff(e *contentmodel.Expr, diff func(string) int) int {
+	switch e.Kind {
+	case contentmodel.Empty, contentmodel.Text:
+		return 0
+	case contentmodel.Name:
+		return diff(e.Ref)
+	case contentmodel.Seq:
+		sum := 0
+		for _, k := range e.Kids {
+			sum = satAdd(sum, wordDiff(k, diff))
+			if sum == negInf {
+				return negInf
+			}
+		}
+		return sum
+	case contentmodel.Choice:
+		best := math.MaxInt
+		for _, k := range e.Kids {
+			if v := wordDiff(k, diff); v < best {
+				best = v
+			}
+		}
+		return best
+	case contentmodel.Star:
+		if wordDiff(e.Kids[0], diff) < 0 {
+			return negInf
+		}
+		return 0
+	}
+	return 0
+}
+
+// satAdd adds with saturation: negInf absorbs, and finite sums are
+// clamped to [negInf, MaxInt/4] so repeated folds cannot overflow.
+// Clamping keeps the result a valid lower bound on the true difference.
+func satAdd(a, b int) int {
+	if a == negInf || b == negInf {
+		return negInf
+	}
+	s := a + b
+	if s > math.MaxInt/4 {
+		return math.MaxInt / 4
+	}
+	if s < negInf {
+		return negInf
+	}
+	return s
+}

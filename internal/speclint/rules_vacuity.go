@@ -1,0 +1,125 @@
+package speclint
+
+import "fmt"
+
+// Tier-2 rules: vacuity and dead-spec analysis on top of
+// dtd.Productive and the occurrability fixpoint. They only run on
+// tier-1-clean specs — the analyses presuppose declared types.
+
+// ruleDTDUnsatisfiable (SL101) fires when no finite document conforms
+// to the DTD at all. It is sound: with an empty set of conforming
+// documents the spec is inconsistent by definition.
+func ruleDTDUnsatisfiable(f *facts, emit func(Diagnostic)) {
+	if !f.Clean() || f.Satisfiable() {
+		return
+	}
+	emit(Diagnostic{
+		Severity: Error,
+		Message: fmt.Sprintf("root type %q is not productive: no finite document conforms to the DTD",
+			f.d.Root),
+		Subject: f.d.Root,
+		Fix:     "break every mandatory recursion with an optional or empty branch",
+	})
+}
+
+// ruleNonProductiveType (SL102) warns about non-root types that can
+// never derive a finite subtree; content-model branches mentioning them
+// are dead.
+func ruleNonProductiveType(f *facts, emit func(Diagnostic)) {
+	if !f.Clean() {
+		return
+	}
+	prod := f.Productive()
+	for _, name := range sortedTypes(f.d) {
+		if name == f.d.Root || prod[name] {
+			continue
+		}
+		emit(Diagnostic{
+			Severity: Warning,
+			Message:  fmt.Sprintf("element type %q can never derive a finite subtree; branches requiring it are dead", name),
+			Subject:  name,
+			Fix:      "give the type a finite expansion or remove it from content models",
+		})
+	}
+}
+
+// ruleUnoccurrableType (SL103) notes productive types that still never
+// occur in any conforming document (e.g. they are only mentioned in
+// dead branches).
+func ruleUnoccurrableType(f *facts, emit func(Diagnostic)) {
+	if !f.Clean() || !f.Satisfiable() {
+		return
+	}
+	prod, occ := f.Productive(), f.Occurrable()
+	for _, name := range sortedTypes(f.d) {
+		if !prod[name] || occ[name] {
+			continue
+		}
+		emit(Diagnostic{
+			Severity: Info,
+			Message:  fmt.Sprintf("element type %q never occurs in any conforming document", name),
+			Subject:  name,
+			Fix:      "reference the type from a live content-model branch or drop it",
+		})
+	}
+}
+
+// ruleVacuousConstraint (SL104) warns about constraints whose extent is
+// empty in every conforming document: a key on a type that never
+// occurs, or an inclusion whose source type never occurs.
+func ruleVacuousConstraint(f *facts, emit func(Diagnostic)) {
+	if !f.Clean() || !f.Satisfiable() {
+		return
+	}
+	occ := f.Occurrable()
+	for _, k := range f.set.Keys {
+		if occ[k.Target.Type] {
+			continue
+		}
+		emit(Diagnostic{
+			Severity: Warning,
+			Message:  fmt.Sprintf("key %s is vacuous: type %q never occurs in any conforming document", k, k.Target.Type),
+			Subject:  k.String(),
+			Fix:      "constrain an occurrable type or remove the key",
+		})
+	}
+	for _, c := range f.set.Incls {
+		if occ[c.From.Type] {
+			continue
+		}
+		emit(Diagnostic{
+			Severity: Warning,
+			Message:  fmt.Sprintf("inclusion %s is vacuous: source type %q never occurs in any conforming document", c, c.From.Type),
+			Subject:  c.String(),
+			Fix:      "constrain an occurrable type or remove the inclusion",
+		})
+	}
+}
+
+// ruleVacuousContext (SL105) warns about relative constraints whose
+// context type never occurs: their scopes never materialize, so they
+// never apply.
+func ruleVacuousContext(f *facts, emit func(Diagnostic)) {
+	if !f.Clean() || !f.Satisfiable() {
+		return
+	}
+	occ := f.Occurrable()
+	warn := func(ctx, rendered string) {
+		emit(Diagnostic{
+			Severity: Warning,
+			Message:  fmt.Sprintf("context type %q never occurs in any conforming document; %s never applies", ctx, rendered),
+			Subject:  rendered,
+			Fix:      "scope the constraint to an occurrable context or make it absolute",
+		})
+	}
+	for _, k := range f.set.Keys {
+		if k.Context != "" && !occ[k.Context] {
+			warn(k.Context, k.String())
+		}
+	}
+	for _, c := range f.set.Incls {
+		if c.Context != "" && !occ[c.Context] {
+			warn(c.Context, c.String())
+		}
+	}
+}

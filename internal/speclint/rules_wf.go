@@ -1,0 +1,109 @@
+package speclint
+
+import (
+	"fmt"
+
+	"repro/internal/constraint"
+)
+
+// Tier-1 rules: well-formedness of the constraint set against the DTD.
+// They delegate to constraint.WFViolations and partition its findings
+// by violation code, so Set.Validate and speclint can never disagree.
+
+// ruleDTDInvalid (SL001) fires when the DTD itself violates
+// Definition 2.1; every other rule assumes a valid DTD.
+func ruleDTDInvalid(f *facts, emit func(Diagnostic)) {
+	if err := f.DTDErr(); err != nil {
+		subject := ""
+		if f.d != nil {
+			subject = f.d.Root
+		}
+		emit(Diagnostic{
+			Severity: Error,
+			Message:  err.Error(),
+			Subject:  subject,
+			Fix:      "repair the DTD before linting the constraints",
+		})
+	}
+}
+
+// wfRule builds a tier-1 rule body that reports the violations carrying
+// any of the given codes.
+func wfRule(fix string, codes ...string) func(*facts, func(Diagnostic)) {
+	want := map[string]bool{}
+	for _, c := range codes {
+		want[c] = true
+	}
+	return func(f *facts, emit func(Diagnostic)) {
+		for _, v := range f.WF() {
+			if want[v.Code] {
+				emit(Diagnostic{
+					Severity: Error,
+					Message:  v.Message,
+					Subject:  v.Constraint,
+					Fix:      fix,
+				})
+			}
+		}
+	}
+}
+
+var (
+	ruleUndeclaredType = wfRule(
+		"declare the element type in the DTD or correct the constraint",
+		constraint.VioUndeclaredType)
+	ruleUndeclaredAttr = wfRule(
+		"add the attribute to the type's ATTLIST or correct the constraint",
+		constraint.VioUndeclaredAttr)
+	ruleEmptyAttrs = wfRule(
+		"give the constraint at least one attribute",
+		constraint.VioEmptyAttrs)
+	ruleDuplicateAttr = wfRule(
+		"remove the repeated attribute",
+		constraint.VioDuplicateAttr)
+	ruleArityMismatch = wfRule(
+		"give both sides of the inclusion attribute lists of the same length",
+		constraint.VioArityMismatch)
+	ruleMissingKey = wfRule(
+		"add the key on the right-hand side (Set.AddForeignKey does this automatically)",
+		constraint.VioMissingKey)
+	ruleMalformedAddressing = wfRule(
+		"use either a context or a path (not both) and a single attribute for relative and regular constraints",
+		constraint.VioMixedAddressing, constraint.VioNonUnary)
+)
+
+// ruleDuplicateConstraint (SL009) warns about constraints that appear
+// more than once; duplicates are harmless but usually indicate a
+// spec-authoring mistake.
+func ruleDuplicateConstraint(f *facts, emit func(Diagnostic)) {
+	for i, k := range f.set.Keys {
+		for _, prior := range f.set.Keys[:i] {
+			if k.Equal(prior) {
+				emit(Diagnostic{
+					Severity: Warning,
+					Message:  fmt.Sprintf("key %s is declared more than once", k),
+					Subject:  k.String(),
+					Fix:      "remove the duplicate (Normalize also drops it)",
+				})
+				break
+			}
+		}
+	}
+	for i, c := range f.set.Incls {
+		for _, prior := range f.set.Incls[:i] {
+			if inclusionEqual(c, prior) {
+				emit(Diagnostic{
+					Severity: Warning,
+					Message:  fmt.Sprintf("inclusion %s is declared more than once", c),
+					Subject:  c.String(),
+					Fix:      "remove the duplicate (Normalize also drops it)",
+				})
+				break
+			}
+		}
+	}
+}
+
+func inclusionEqual(a, b constraint.Inclusion) bool {
+	return a.Context == b.Context && a.From.Equal(b.From) && a.To.Equal(b.To)
+}

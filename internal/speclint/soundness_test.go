@@ -1,0 +1,207 @@
+// Soundness of the tier-3 rules: an error-severity finding from a
+// sound rule must imply that consistency.Check also rejects the
+// specification. This file is an external test package because
+// internal/consistency imports speclint (the prepass), so an in-package
+// import would be cyclic.
+package speclint_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/consistency"
+	"repro/internal/constraint"
+	"repro/internal/dtd"
+	"repro/internal/speclint"
+)
+
+// checkOpts keeps the reference decision cheap and — crucially — free
+// of the prepass under test.
+var checkOpts = consistency.Options{SkipLint: true, SkipWitness: true}
+
+func assertSound(t *testing.T, label string, d *dtd.DTD, set *constraint.Set) {
+	t.Helper()
+	rep := speclint.Run(d, set, nil)
+	diag := rep.SoundError()
+	if diag == nil {
+		return
+	}
+	res, err := consistency.Check(d, set, checkOpts)
+	if err != nil {
+		t.Fatalf("%s: Check error: %v (sound finding %v)", label, err, diag)
+	}
+	if res.Verdict == consistency.Consistent {
+		t.Fatalf("%s: sound rule %s fired (%s) but Check says consistent via %s",
+			label, diag.RuleID, diag.Message, res.Method)
+	}
+}
+
+// TestSoundnessTestdata runs every shipped spec pair through the
+// soundness property, and additionally pins that speclint reports no
+// errors on the consistent examples (lint must stay usable as a gate).
+func TestSoundnessTestdata(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata")
+	dtds, err := filepath.Glob(filepath.Join(dir, "*.dtd"))
+	if err != nil || len(dtds) == 0 {
+		t.Fatalf("no testdata DTDs found: %v", err)
+	}
+	consistent := map[string]bool{"library": true, "school": true}
+	for _, dtdPath := range dtds {
+		base := strings.TrimSuffix(filepath.Base(dtdPath), ".dtd")
+		dtdSrc, err := os.ReadFile(dtdPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := dtd.Parse(string(dtdSrc))
+		if err != nil {
+			t.Fatalf("%s: %v", dtdPath, err)
+		}
+		keys, err := filepath.Glob(filepath.Join(dir, base+"*.keys"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets := map[string]*constraint.Set{base + " (no constraints)": {}}
+		for _, keyPath := range keys {
+			src, err := os.ReadFile(keyPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set, err := constraint.ParseSet(string(src))
+			if err != nil {
+				t.Fatalf("%s: %v", keyPath, err)
+			}
+			sets[filepath.Base(keyPath)] = set
+		}
+		for label, set := range sets {
+			assertSound(t, label, d, set)
+			if consistent[base] {
+				if errs, _, _ := speclint.Run(d, set, nil).Counts(); errs > 0 {
+					t.Errorf("%s: error findings on a consistent example", label)
+				}
+			}
+		}
+	}
+}
+
+// randomSet builds a random well-formed constraint set over the
+// attributes the random DTD actually declares.
+func randomSet(rng *rand.Rand, d *dtd.DTD) *constraint.Set {
+	// Types usable as unary targets (≥1 attr) and their first attr.
+	var typed []string
+	for _, name := range d.Names {
+		if len(d.Attrs(name)) > 0 {
+			typed = append(typed, name)
+		}
+	}
+	set := &constraint.Set{}
+	if len(typed) == 0 {
+		return set
+	}
+	target := func() constraint.Target {
+		typ := typed[rng.Intn(len(typed))]
+		attrs := d.Attrs(typ)
+		return constraint.Target{Type: typ, Attrs: []string{attrs[rng.Intn(len(attrs))]}}
+	}
+	context := func() string {
+		if rng.Intn(2) == 0 {
+			return "" // absolute
+		}
+		return d.Names[rng.Intn(len(d.Names))]
+	}
+	for i, n := 0, rng.Intn(4); i < n; i++ {
+		set.AddKey(constraint.Key{Context: context(), Target: target()})
+	}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		ctx := context()
+		set.AddForeignKey(constraint.Inclusion{Context: ctx, From: target(), To: target()})
+		if rng.Intn(3) == 0 {
+			// Occasionally key the source too, enabling SL201.
+			last := set.Incls[len(set.Incls)-1]
+			set.AddKey(constraint.Key{Context: ctx, Target: last.From})
+		}
+	}
+	return set
+}
+
+// TestSoundnessRandom fuzzes the soundness property over ≥500 random
+// specifications, mixing recursive and starred shapes.
+func TestSoundnessRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	fired := 0
+	const n = 600
+	for i := 0; i < n; i++ {
+		opts := dtd.RandomOptions{
+			Types:          2 + rng.Intn(5),
+			MaxAttrs:       2,
+			MaxExprSize:    5,
+			AllowStar:      rng.Intn(2) == 0,
+			AllowRecursion: rng.Intn(4) == 0,
+			AllowText:      rng.Intn(3) == 0,
+		}
+		d := dtd.Random(rng, opts)
+		set := randomSet(rng, d)
+		if set.Validate(d) != nil {
+			// Tier-1-dirty sets are covered by the table tests; the
+			// soundness property is about semantic rules.
+			continue
+		}
+		if speclint.Run(d, set, nil).SoundError() != nil {
+			fired++
+		}
+		assertSound(t, "random spec", d, set)
+	}
+	t.Logf("sound rules fired on %d/%d random specs", fired, n)
+}
+
+// TestSoundnessDirectedRandom biases generation toward tight (star-free,
+// non-recursive) DTDs with keyed inclusions so the cardinality rule
+// actually exercises its firing path, not just its gates.
+func TestSoundnessDirectedRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	fired := 0
+	for i := 0; i < 200; i++ {
+		d := dtd.Random(rng, dtd.RandomOptions{
+			Types:       3 + rng.Intn(3),
+			MaxAttrs:    1,
+			MaxExprSize: 6,
+		})
+		var typed []string
+		for _, name := range d.Names {
+			if len(d.Attrs(name)) > 0 {
+				typed = append(typed, name)
+			}
+		}
+		if len(typed) < 2 {
+			continue
+		}
+		set := &constraint.Set{}
+		// Key every attributed type and add one inclusion between two
+		// distinct ones: the exact SL201 shape.
+		for _, typ := range typed {
+			set.AddKey(constraint.Key{Target: constraint.Target{Type: typ, Attrs: d.Attrs(typ)[:1]}})
+		}
+		from := typed[rng.Intn(len(typed))]
+		to := typed[rng.Intn(len(typed))]
+		if from == to {
+			continue
+		}
+		set.AddInclusion(constraint.Inclusion{
+			From: constraint.Target{Type: from, Attrs: d.Attrs(from)[:1]},
+			To:   constraint.Target{Type: to, Attrs: d.Attrs(to)[:1]},
+		})
+		if set.Validate(d) != nil {
+			continue
+		}
+		if speclint.Run(d, set, nil).SoundError() != nil {
+			fired++
+		}
+		assertSound(t, "directed random spec", d, set)
+	}
+	if fired == 0 {
+		t.Error("directed generator never triggered a sound rule; firing path untested")
+	}
+	t.Logf("sound rules fired on %d/200 directed specs", fired)
+}

@@ -1,0 +1,223 @@
+// Package main implements the repository's custom vet passes. The two
+// analyses encode invariants the compiler cannot see:
+//
+// verdictswitch: a switch over any named type called "Verdict" must
+// either carry a default clause or cover every declared constant of
+// that type. The three-valued verdicts (Unknown/Consistent/
+// Inconsistent) are the repository's central domain; a switch that
+// silently drops one of them is almost always a bug, and the pattern
+// has already produced one (a Verdict printed as its integer).
+//
+// obsnil: the observability recorder is designed around "nil means
+// disabled": every exported pointer-receiver method on obs.Recorder
+// and obs.Span must begin with a nil-receiver guard, and code outside
+// internal/obs must never read a struct field off a Recorder or Span
+// value (methods are nil-safe, field selections are not).
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// diagnostic is one finding, positioned for file:line:col rendering.
+type diagnostic struct {
+	Pos token.Pos
+	Msg string
+}
+
+// analyze runs both passes over one type-checked package.
+func analyze(pkgPath string, files []*ast.File, info *types.Info) []diagnostic {
+	var out []diagnostic
+	out = append(out, checkVerdictSwitches(files, info)...)
+	out = append(out, checkObsNil(pkgPath, files, info)...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// namedType unwraps aliases and pointers down to a *types.Named, or
+// nil.
+func namedType(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		case *types.Alias:
+			t = types.Unalias(u)
+		default:
+			return nil
+		}
+	}
+}
+
+// ---------------------------------------------------------------- //
+// verdictswitch
+
+func checkVerdictSwitches(files []*ast.File, info *types.Info) []diagnostic {
+	var out []diagnostic
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			named := namedType(info.TypeOf(sw.Tag))
+			if named == nil || named.Obj().Name() != "Verdict" || named.Obj().Pkg() == nil {
+				return true
+			}
+			// Every constant of the Verdict type declared in its
+			// defining package is a case the switch must handle.
+			missing := map[string]string{} // constant value -> name
+			scope := named.Obj().Pkg().Scope()
+			for _, name := range scope.Names() {
+				c, ok := scope.Lookup(name).(*types.Const)
+				if ok && types.Identical(c.Type(), named) {
+					missing[c.Val().ExactString()] = c.Name()
+				}
+			}
+			hasDefault := false
+			for _, stmt := range sw.Body.List {
+				clause := stmt.(*ast.CaseClause)
+				if clause.List == nil {
+					hasDefault = true
+					continue
+				}
+				for _, e := range clause.List {
+					if tv, ok := info.Types[e]; ok && tv.Value != nil {
+						delete(missing, tv.Value.ExactString())
+					}
+				}
+			}
+			if hasDefault || len(missing) == 0 {
+				return true
+			}
+			names := make([]string, 0, len(missing))
+			for _, name := range missing {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			out = append(out, diagnostic{
+				Pos: sw.Switch,
+				Msg: fmt.Sprintf("switch over %s.Verdict has no default and misses %s",
+					named.Obj().Pkg().Name(), strings.Join(names, ", ")),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- //
+// obsnil
+
+const obsPath = "repro/internal/obs"
+
+// obsType reports whether t is (a pointer to) obs.Recorder or
+// obs.Span.
+func obsType(t types.Type) (string, bool) {
+	named := namedType(t)
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != obsPath {
+		return "", false
+	}
+	switch name := named.Obj().Name(); name {
+	case "Recorder", "Span":
+		return name, true
+	}
+	return "", false
+}
+
+func checkObsNil(pkgPath string, files []*ast.File, info *types.Info) []diagnostic {
+	if strings.HasPrefix(pkgPath, obsPath) {
+		return checkObsMethodsGuarded(files, info)
+	}
+	return checkObsFieldUse(files, info)
+}
+
+// checkObsMethodsGuarded enforces, inside internal/obs itself, that
+// every exported pointer-receiver method on Recorder/Span starts with
+// a statement comparing the receiver against nil.
+func checkObsMethodsGuarded(files []*ast.File, info *types.Info) []diagnostic {
+	var out []diagnostic
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || !fn.Name.IsExported() || fn.Body == nil {
+				continue
+			}
+			recv := fn.Recv.List[0]
+			if _, ok := recv.Type.(*ast.StarExpr); !ok {
+				continue // value receivers copy; nil cannot reach them
+			}
+			typ, ok := obsType(info.TypeOf(recv.Type))
+			if !ok || len(recv.Names) == 0 {
+				continue
+			}
+			if len(fn.Body.List) == 0 || !mentionsNilCheck(fn.Body.List[0], recv.Names[0].Name) {
+				out = append(out, diagnostic{
+					Pos: fn.Pos(),
+					Msg: fmt.Sprintf("exported method (*%s).%s must start with a nil-receiver guard", typ, fn.Name.Name),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// mentionsNilCheck reports whether the statement syntactically contains
+// `recv == nil` or `recv != nil`.
+func mentionsNilCheck(stmt ast.Stmt, recv string) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		isRecv := func(e ast.Expr) bool {
+			id, ok := e.(*ast.Ident)
+			return ok && id.Name == recv
+		}
+		isNil := func(e ast.Expr) bool {
+			id, ok := e.(*ast.Ident)
+			return ok && id.Name == "nil"
+		}
+		if (isRecv(be.X) && isNil(be.Y)) || (isNil(be.X) && isRecv(be.Y)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkObsFieldUse flags struct-field selections on Recorder/Span
+// values outside internal/obs: fields bypass the nil guards that make
+// the methods safe on disabled recorders.
+func checkObsFieldUse(files []*ast.File, info *types.Info) []diagnostic {
+	var out []diagnostic
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := info.Selections[sel]
+			if s == nil || s.Kind() != types.FieldVal {
+				return true
+			}
+			if typ, ok := obsType(s.Recv()); ok {
+				out = append(out, diagnostic{
+					Pos: sel.Sel.Pos(),
+					Msg: fmt.Sprintf("field %s.%s read outside internal/obs; use a nil-safe method instead", typ, sel.Sel.Name),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}

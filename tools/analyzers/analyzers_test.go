@@ -1,0 +1,275 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// fakeObs is a miniature internal/obs: enough surface for the client
+// tests to select fields and call methods.
+const fakeObs = `package obs
+
+type Recorder struct {
+	Hits int
+}
+
+type Span struct {
+	Name string
+}
+
+func (r *Recorder) Add(n string, d int64) {
+	if r == nil {
+		return
+	}
+	r.Hits++
+}
+
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+}
+`
+
+// checkPkg type-checks src as package path, with deps resolvable by
+// import path, and returns the analyzer diagnostics.
+func checkPkg(t *testing.T, path, src string, deps map[string]*types.Package) []diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := types.Config{Importer: mapImporter(deps)}
+	info := newInfo()
+	if _, err := conf.Check(path, fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("type-checking %s: %v", path, err)
+	}
+	return analyze(path, []*ast.File{f}, info)
+}
+
+// buildPkg type-checks src into a reusable dependency package.
+func buildPkg(t *testing.T, path, src string) *types.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "dep.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := (&types.Config{}).Check(path, fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m[path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("no test package %q", path)
+}
+
+func msgs(ds []diagnostic) []string {
+	var out []string
+	for _, d := range ds {
+		out = append(out, d.Msg)
+	}
+	return out
+}
+
+func TestVerdictSwitch(t *testing.T) {
+	const prologue = `package p
+
+type Verdict int
+
+const (
+	Unknown Verdict = iota
+	Consistent
+	Inconsistent
+)
+`
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"exhaustive", `
+func f(v Verdict) int {
+	switch v {
+	case Unknown:
+		return 0
+	case Consistent:
+		return 1
+	case Inconsistent:
+		return 2
+	}
+	return -1
+}`, 0},
+		{"default-clause", `
+func f(v Verdict) int {
+	switch v {
+	case Consistent:
+		return 1
+	default:
+		return 0
+	}
+}`, 0},
+		{"missing-one", `
+func f(v Verdict) int {
+	switch v {
+	case Unknown:
+		return 0
+	case Consistent:
+		return 1
+	}
+	return -1
+}`, 1},
+		{"multi-expr-case", `
+func f(v Verdict) int {
+	switch v {
+	case Unknown, Inconsistent:
+		return 0
+	case Consistent:
+		return 1
+	}
+	return -1
+}`, 0},
+		{"tagless-ignored", `
+func f(v Verdict) int {
+	switch {
+	case v == Consistent:
+		return 1
+	}
+	return 0
+}`, 0},
+		{"other-type-ignored", `
+type Mode int
+const A Mode = 0
+func f(m Mode) int {
+	switch m {
+	case A:
+		return 1
+	}
+	return 0
+}`, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ds := checkPkg(t, "example.com/p", prologue+tc.body, nil)
+			if len(ds) != tc.want {
+				t.Errorf("got %d diagnostics, want %d: %v", len(ds), tc.want, msgs(ds))
+			}
+			if tc.want == 1 && !strings.Contains(ds[0].Msg, "Inconsistent") {
+				t.Errorf("diagnostic should name the missing constant: %s", ds[0].Msg)
+			}
+		})
+	}
+}
+
+func TestVerdictSwitchAcrossPackages(t *testing.T) {
+	dep := buildPkg(t, "repro/internal/consistency", `package consistency
+
+type Verdict int
+
+const (
+	Unknown Verdict = iota
+	Consistent
+	Inconsistent
+)
+`)
+	ds := checkPkg(t, "example.com/client", `package client
+
+import "repro/internal/consistency"
+
+func f(v consistency.Verdict) int {
+	switch v {
+	case consistency.Consistent:
+		return 1
+	}
+	return 0
+}
+`, map[string]*types.Package{"repro/internal/consistency": dep})
+	if len(ds) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(ds), msgs(ds))
+	}
+	for _, name := range []string{"Unknown", "Inconsistent"} {
+		if !strings.Contains(ds[0].Msg, name) {
+			t.Errorf("diagnostic should name missing %s: %s", name, ds[0].Msg)
+		}
+	}
+}
+
+func TestObsMethodsGuarded(t *testing.T) {
+	ds := checkPkg(t, "repro/internal/obs", fakeObs, nil)
+	if len(ds) != 0 {
+		t.Fatalf("guarded methods flagged: %v", msgs(ds))
+	}
+
+	unguarded := fakeObs + `
+func (r *Recorder) Flush() { r.Hits = 0 }
+`
+	ds = checkPkg(t, "repro/internal/obs", unguarded, nil)
+	if len(ds) != 1 || !strings.Contains(ds[0].Msg, "Flush") {
+		t.Fatalf("unguarded Flush not flagged: %v", msgs(ds))
+	}
+
+	// Unexported and value-receiver methods are exempt.
+	exempt := fakeObs + `
+func (r *Recorder) reset() { r.Hits = 0 }
+func (r Recorder) Count() int { return r.Hits }
+`
+	if ds = checkPkg(t, "repro/internal/obs", exempt, nil); len(ds) != 0 {
+		t.Fatalf("exempt methods flagged: %v", msgs(ds))
+	}
+}
+
+func TestObsFieldUseOutside(t *testing.T) {
+	dep := buildPkg(t, "repro/internal/obs", fakeObs)
+	deps := map[string]*types.Package{"repro/internal/obs": dep}
+
+	// Method calls are fine.
+	ds := checkPkg(t, "example.com/client", `package client
+
+import "repro/internal/obs"
+
+func f(r *obs.Recorder, s *obs.Span) {
+	r.Add("x", 1)
+	s.End()
+}
+`, deps)
+	if len(ds) != 0 {
+		t.Fatalf("method calls flagged: %v", msgs(ds))
+	}
+
+	// Field reads are not.
+	ds = checkPkg(t, "example.com/client", `package client
+
+import "repro/internal/obs"
+
+func f(r *obs.Recorder, s *obs.Span) (int, string) {
+	return r.Hits, s.Name
+}
+`, deps)
+	if len(ds) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(ds), msgs(ds))
+	}
+
+	// Inside obs (including its test variants) field access is the
+	// package's own business.
+	if ds := checkPkg(t, "repro/internal/obs_test", `package obs_test
+
+import "repro/internal/obs"
+
+func f(r *obs.Recorder) int { return r.Hits }
+`, deps); len(ds) != 0 {
+		t.Fatalf("obs test variant flagged: %v", msgs(ds))
+	}
+}

@@ -1,0 +1,167 @@
+// The vettool driver: speaks the protocol `go vet -vettool=...`
+// expects, without depending on golang.org/x/tools (the build
+// environment is offline; everything here is standard library).
+//
+// The protocol, as driven by cmd/go:
+//
+//  1. `analyzers -V=full` must print "name version buildID=<hex>"; the
+//     hex participates in vet's result caching, so it is derived from
+//     the tool binary itself.
+//  2. `analyzers -flags` must print a JSON array of the tool's flags
+//     (none here, so "[]").
+//  3. `analyzers <cfg.json>` runs the analyses. The cfg file describes
+//     one package: its Go files, its import map, and the compiler
+//     export data of its dependencies. Facts support is declined by
+//     writing an empty .vetx file.
+//
+// Diagnostics go to stderr as "file:line:col: message" and make the
+// tool exit nonzero, which cmd/go surfaces as a vet failure.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// vetConfig is the subset of cmd/go's vet configuration the driver
+// needs; unknown fields are ignored by encoding/json.
+type vetConfig struct {
+	ImportPath  string
+	GoFiles     []string
+	NonGoFiles  []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	GoVersion   string
+	VetxOnly    bool
+	VetxOutput  string
+}
+
+func main() {
+	os.Exit(realMain(os.Args[1:]))
+}
+
+func realMain(args []string) int {
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return 0
+	}
+	for _, a := range args {
+		if a == "-V=full" || a == "--V=full" || a == "-V" {
+			fmt.Printf("analyzers version v1 buildID=%s\n", selfID())
+			return 0
+		}
+	}
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: analyzers <vet-config.json>")
+		return 2
+	}
+	diags, err := runConfig(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyzers:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selfID hashes the tool binary so vet's cache invalidates when the
+// analyzers change.
+func selfID() string {
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err := os.Open(exe); err == nil {
+			defer f.Close()
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				return fmt.Sprintf("%x", h.Sum(nil)[:16])
+			}
+		}
+	}
+	return "0000000000000000"
+}
+
+// runConfig analyzes the single package described by the cfg file and
+// returns rendered diagnostics.
+func runConfig(cfgPath string) ([]string, error) {
+	raw, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+	// Decline the facts protocol but create the file vet expects.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports through the export data cmd/go handed us: the
+	// ImportMap canonicalizes (vendoring, test variants), PackageFile
+	// locates each dependency's compiled export file.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tconf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(error) {}, // collect nothing; first error returned below
+	}
+	if v := strings.TrimPrefix(cfg.GoVersion, "go"); v != cfg.GoVersion {
+		tconf.GoVersion = cfg.GoVersion
+	}
+	info := newInfo()
+	if _, err := tconf.Check(cfg.ImportPath, fset, files, info); err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
+	}
+
+	var out []string
+	for _, d := range analyze(cfg.ImportPath, files, info) {
+		out = append(out, fmt.Sprintf("%s: %s", fset.Position(d.Pos), d.Msg))
+	}
+	return out, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+}

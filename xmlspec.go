@@ -14,6 +14,7 @@ import (
 	"repro/internal/ilp"
 	"repro/internal/implication"
 	"repro/internal/obs"
+	"repro/internal/speclint"
 	"repro/internal/streamcheck"
 	"repro/internal/xmltree"
 )
@@ -128,6 +129,9 @@ type Options struct {
 	// DisableLP turns off simplex relaxation pruning (diagnostics and
 	// ablation benchmarks only).
 	DisableLP bool
+	// SkipLint disables the static-analysis prepass that short-circuits
+	// to Inconsistent when a sound speclint rule fires.
+	SkipLint bool
 }
 
 func (o *Options) internal(rec *obs.Recorder) consistency.Options {
@@ -144,6 +148,7 @@ func (o *Options) internal(rec *obs.Recorder) consistency.Options {
 		MinimizeWitness: o.MinimizeWitness,
 		BruteForce:      bruteforce.Options{MaxNodes: o.SearchNodes},
 		Obs:             rec,
+		SkipLint:        o.SkipLint,
 	}
 }
 
@@ -156,6 +161,10 @@ type Stats struct {
 	// pivots; Propagations counts interval-propagation rounds and
 	// Branches the search's branching decisions.
 	LPCalls, Pivots, Propagations, Branches int
+	// LintFindings counts the diagnostics the static-analysis prepass
+	// reported (zero when SkipLint is set or the prepass found
+	// nothing).
+	LintFindings int
 }
 
 // Result reports the outcome of a consistency check.
@@ -196,12 +205,56 @@ func (s *Spec) Consistent(opts *Options) (Result, error) {
 			Pivots:       res.Stats.Pivots,
 			Propagations: res.Stats.Propagations,
 			Branches:     res.Stats.Branches,
+			LintFindings: res.Stats.LintFindings,
 		},
 	}
 	if res.Witness != nil && res.WitnessVerified {
 		out.Witness = res.Witness.XML()
 	}
 	return out, nil
+}
+
+// Finding is one static-analysis diagnostic about the specification
+// itself (not about a document).
+type Finding struct {
+	// Rule is the rule identifier (e.g. "SL201"); Severity is "error",
+	// "warning" or "info".
+	Rule, Severity string
+	// Message describes the finding; Subject names the element type,
+	// attribute or constraint it is about; Fix hints at a repair.
+	Message, Subject, Fix string
+	// Sound marks findings that prove the specification inconsistent:
+	// Consistent is never returned for a spec with a sound finding.
+	Sound bool
+}
+
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s %s: %s", f.Rule, f.Severity, f.Message)
+	if f.Fix != "" {
+		s += " (fix: " + f.Fix + ")"
+	}
+	return s
+}
+
+// Lint statically analyzes the specification with the full speclint
+// rule registry — well-formedness, vacuity/dead-spec analysis, and
+// sound necessary conditions for inconsistency — and returns every
+// finding (nil when the spec is clean). Lint never fails: diagnostics
+// are data, not errors.
+func (s *Spec) Lint() []Finding {
+	rep := speclint.Run(s.dtd, s.set, s.obs)
+	var out []Finding
+	for _, d := range rep.Diags {
+		out = append(out, Finding{
+			Rule:     d.RuleID,
+			Severity: d.Severity.String(),
+			Message:  d.Message,
+			Subject:  d.Subject,
+			Fix:      d.Fix,
+			Sound:    d.Sound,
+		})
+	}
+	return out
 }
 
 // Violation describes one failure of a document against the
