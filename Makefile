@@ -2,7 +2,7 @@ GO ?= go
 
 ANALYZERS := bin/analyzers
 
-.PHONY: check build vet test race fmt bench lint
+.PHONY: check build vet test race fmt bench lint bench-journal
 
 # The full pre-commit gate: formatting, vet (including the custom
 # analyzers and the spec linter), build, and the race-enabled test
@@ -46,3 +46,10 @@ fmt:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-journal appends one timed run of the core benchmark families
+# to the day's BENCH_<date>.json (schema repro-bench/v1), recording
+# ns/op, allocs/op, certificate sizes, and per-phase span durations
+# alongside the toolchain and VCS revision.
+bench-journal:
+	$(GO) run ./cmd/benchjournal

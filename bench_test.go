@@ -117,17 +117,30 @@ func BenchmarkFig2LibraryHierarchical(b *testing.B) {
 // BenchmarkCheck is the observability-overhead reference point on the
 // Figure 2 library spec: the obs-disabled variant must allocate exactly
 // what it did before the tracing hooks existed (every hook is a
-// nil-receiver check), and the obs-enabled variant shows the price of a
-// full trace. Compare with `go test -bench BenchmarkCheck -benchmem`.
+// nil-receiver check, and SkipCertificate turns off all provenance
+// construction), the with-certificate variant prices the default
+// certificate capture, and the obs-enabled variant shows the price of
+// a full trace. Compare with `go test -bench BenchmarkCheck -benchmem`.
 func BenchmarkCheck(b *testing.B) {
 	b.Run("obs-disabled", func(b *testing.B) {
 		spec := MustParse(benchLibraryDTD, benchLibraryConstraints)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			res, err := spec.Consistent(&Options{SkipWitness: true})
+			res, err := spec.Consistent(&Options{SkipWitness: true, SkipCertificate: true})
 			if err != nil || res.Verdict != Consistent {
 				b.Fatalf("%v %v", res.Verdict, err)
+			}
+		}
+	})
+	b.Run("with-certificate", func(b *testing.B) {
+		spec := MustParse(benchLibraryDTD, benchLibraryConstraints)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := spec.Consistent(&Options{SkipWitness: true})
+			if err != nil || res.Verdict != Consistent || res.Certificate == nil {
+				b.Fatalf("%v %v %v", res.Verdict, res.Certificate, err)
 			}
 		}
 	})
@@ -137,7 +150,7 @@ func BenchmarkCheck(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			res, err := spec.Consistent(&Options{SkipWitness: true})
+			res, err := spec.Consistent(&Options{SkipWitness: true, SkipCertificate: true})
 			if err != nil || res.Verdict != Consistent {
 				b.Fatalf("%v %v", res.Verdict, err)
 			}

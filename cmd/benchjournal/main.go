@@ -1,0 +1,231 @@
+// Command benchjournal appends one timed run of the core benchmark
+// families to a schema-versioned journal file (BENCH_<date>.json by
+// default), so the repository's performance trajectory is recorded in
+// a machine-readable form: ns/op, allocs/op, certificate kind and
+// size, per-phase span durations, and the toolchain plus VCS revision
+// that produced the numbers.
+//
+// Usage:
+//
+//	benchjournal [-out BENCH_2026-08-06.json] [-quick] [-seed N]
+//
+// Exit status: 0 on success, 1 when a benchmark case fails or returns
+// a wrong verdict, 3 on usage or journal-file errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/benchjournal"
+	"repro/internal/buildinfo"
+	"repro/internal/cliutil"
+	"repro/internal/consistency"
+	"repro/internal/constraint"
+	"repro/internal/dtd"
+	"repro/internal/experiments"
+	"repro/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// benchCase is one journaled benchmark: a prepared spec and the
+// verdict the checker must report for the timing to count.
+type benchCase struct {
+	name   string
+	d      *dtd.DTD
+	set    *constraint.Set
+	opts   consistency.Options
+	expect consistency.Verdict
+}
+
+const libraryDTD = `
+<!ELEMENT library (book+)>
+<!ELEMENT book (author+, chapter+)>
+<!ELEMENT author EMPTY>
+<!ELEMENT chapter (section*)>
+<!ELEMENT section EMPTY>
+<!ATTLIST book isbn CDATA #REQUIRED>
+<!ATTLIST author name CDATA #REQUIRED>
+<!ATTLIST chapter number CDATA #REQUIRED>
+<!ATTLIST section title CDATA #REQUIRED>
+`
+
+const libraryKeys = `
+library(book.isbn -> book)
+book(author.name -> author)
+book(chapter.number -> chapter)
+chapter(section.title -> section)
+`
+
+const geographyDTD = `
+<!ELEMENT db (country+)>
+<!ELEMENT country (province+, capital+)>
+<!ELEMENT province (capital, city*)>
+<!ELEMENT capital EMPTY>
+<!ELEMENT city EMPTY>
+<!ATTLIST country name CDATA #REQUIRED>
+<!ATTLIST province name CDATA #REQUIRED>
+<!ATTLIST capital inProvince CDATA #REQUIRED>
+`
+
+const geographyKeys = `
+country.name -> country
+country(province.name -> province)
+country(capital.inProvince -> capital)
+country(capital.inProvince ⊆ province.name)
+`
+
+// cases mirrors the benchmark families of bench_test.go: the worked
+// examples of Figures 1 and 2, one point from each complexity-table
+// sweep, and the Theorem 3.5 tractable fragment.
+func cases(seed int64) ([]benchCase, error) {
+	spec := func(name, dtdSrc, keySrc string, expect consistency.Verdict) (benchCase, error) {
+		d, err := dtd.Parse(dtdSrc)
+		if err != nil {
+			return benchCase{}, fmt.Errorf("%s: %v", name, err)
+		}
+		set, err := constraint.ParseSet(keySrc)
+		if err != nil {
+			return benchCase{}, fmt.Errorf("%s: %v", name, err)
+		}
+		return benchCase{name: name, d: d, set: set, expect: expect}, nil
+	}
+	library, err := spec("fig2/library", libraryDTD, libraryKeys, consistency.Consistent)
+	if err != nil {
+		return nil, err
+	}
+	geography, err := spec("fig1/geography", geographyDTD, geographyKeys, consistency.Inconsistent)
+	if err != nil {
+		return nil, err
+	}
+	fromInstance := func(name string, in experiments.Instance) benchCase {
+		return benchCase{name: name, d: in.D, set: in.Set, opts: in.Opts, expect: in.Expect}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return []benchCase{
+		library,
+		geography,
+		fromInstance("fig3/unary-n=4", experiments.Fig3Unary(rng, 4)),
+		fromInstance("fig4/hierarchical-levels=4", experiments.Fig4Hierarchical(4, true)),
+		fromInstance("thm35/tractable-width=16", experiments.Thm35Tractable(16, true)),
+	}, nil
+}
+
+// journalEntry measures one case and then runs it once more under a
+// recorder to capture provenance: the certificate shape and the
+// per-phase span durations.
+func journalEntry(c benchCase, target time.Duration) (benchjournal.Entry, error) {
+	timedOpts := c.opts
+	timedOpts.SkipWitness = true
+	timedOpts.SkipCertificate = true
+	m, err := benchjournal.Measure(target, func() error {
+		res, err := consistency.Check(c.d, c.set, timedOpts)
+		if err != nil {
+			return err
+		}
+		if res.Verdict != c.expect {
+			return fmt.Errorf("%s: verdict %v, want %v", c.name, res.Verdict, c.expect)
+		}
+		return nil
+	})
+	if err != nil {
+		return benchjournal.Entry{}, err
+	}
+
+	rec := obs.New()
+	instrOpts := c.opts
+	instrOpts.SkipWitness = true
+	instrOpts.Obs = rec
+	res, err := consistency.Check(c.d, c.set, instrOpts)
+	if err != nil {
+		return benchjournal.Entry{}, err
+	}
+	entry := benchjournal.Entry{
+		Name:        c.name,
+		Iterations:  m.Iterations,
+		NsPerOp:     m.NsPerOp,
+		AllocsPerOp: m.AllocsPerOp,
+		BytesPerOp:  m.BytesPerOp,
+		Verdict:     res.Verdict.String(),
+	}
+	if res.Certificate != nil {
+		entry.CertificateKind = res.Certificate.Kind()
+		entry.CertificateSize = res.Certificate.Size()
+	}
+	for _, sp := range rec.Spans() {
+		entry.Phases = append(entry.Phases, benchjournal.Phase{
+			Path: sp.Path, DurationUS: sp.DurationUS,
+		})
+	}
+	return entry, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjournal", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		outPath = fs.String("out", "", "journal file to append to (default BENCH_<date>.json)")
+		quick   = fs.Bool("quick", false, "shorter timing target per case")
+		seed    = fs.Int64("seed", 2002, "random seed for the generated instance families")
+		version = fs.Bool("version", false, "print version information and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 3
+	}
+	if *version {
+		fmt.Fprintln(stdout, cliutil.VersionString("benchjournal"))
+		return 0
+	}
+	path := *outPath
+	if path == "" {
+		path = benchjournal.FileName(time.Now())
+	}
+	target := 200 * time.Millisecond
+	if *quick {
+		target = 10 * time.Millisecond
+	}
+
+	cs, err := cases(*seed)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjournal:", err)
+		return 3
+	}
+	info := buildinfo.Get()
+	runRec := benchjournal.Run{
+		Date:      time.Now().Format(time.RFC3339),
+		Module:    info.Module,
+		Version:   info.Version,
+		GoVersion: info.GoVersion,
+		Revision:  info.Revision,
+		Dirty:     info.Dirty,
+		Quick:     *quick,
+		Seed:      *seed,
+	}
+	for _, c := range cs {
+		entry, err := journalEntry(c, target)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchjournal:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%-30s %12.0f ns/op %10.0f allocs/op  %s", entry.Name,
+			entry.NsPerOp, entry.AllocsPerOp, entry.Verdict)
+		if entry.CertificateKind != "" {
+			fmt.Fprintf(stdout, " (%s certificate, size %d)", entry.CertificateKind, entry.CertificateSize)
+		}
+		fmt.Fprintln(stdout)
+		runRec.Entries = append(runRec.Entries, entry)
+	}
+	if err := benchjournal.Append(path, runRec); err != nil {
+		fmt.Fprintln(stderr, "benchjournal:", err)
+		return 3
+	}
+	fmt.Fprintf(stdout, "appended %d entries to %s (%s)\n", len(runRec.Entries), path, info.String())
+	return 0
+}

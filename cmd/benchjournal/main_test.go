@@ -1,0 +1,70 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/benchjournal"
+)
+
+// TestRunProducesValidJournal runs the tool end to end in quick mode
+// and checks the journal validates against its published schema, every
+// case carries a certificate, and per-phase spans are present.
+func TestRunProducesValidJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var out, errb strings.Builder
+	if code := run([]string{"-quick", "-out", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d; stderr: %s", code, errb.String())
+	}
+	j, err := benchjournal.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(j.Runs))
+	}
+	run0 := j.Runs[0]
+	if !run0.Quick || run0.Seed != 2002 {
+		t.Errorf("run metadata = quick:%t seed:%d", run0.Quick, run0.Seed)
+	}
+	if len(run0.Entries) < 5 {
+		t.Fatalf("entries = %d, want >= 5", len(run0.Entries))
+	}
+	for _, e := range run0.Entries {
+		if e.CertificateKind == "" || e.CertificateSize <= 0 {
+			t.Errorf("%s: no certificate recorded (%q, %d)", e.Name, e.CertificateKind, e.CertificateSize)
+		}
+		if len(e.Phases) == 0 {
+			t.Errorf("%s: no phase spans recorded", e.Name)
+		}
+		if e.Verdict != "consistent" && e.Verdict != "inconsistent" {
+			t.Errorf("%s: verdict %q", e.Name, e.Verdict)
+		}
+	}
+
+	// A second run appends rather than overwrites.
+	if code := run([]string{"-quick", "-out", path}, &out, &errb); code != 0 {
+		t.Fatalf("second run: exit = %d; %s", code, errb.String())
+	}
+	if j, err = benchjournal.Load(path); err != nil || len(j.Runs) != 2 {
+		t.Fatalf("after append: runs=%d err=%v", len(j.Runs), err)
+	}
+}
+
+func TestRunVersion(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-version"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.HasPrefix(out.String(), "benchjournal: ") {
+		t.Errorf("-version output = %q", out.String())
+	}
+}
+
+func TestRunBadOutPath(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-quick", "-out", filepath.Join(t.TempDir(), "no", "dir", "b.json")}, &out, &errb); code != 3 {
+		t.Errorf("unwritable -out: exit = %d, want 3", code)
+	}
+}

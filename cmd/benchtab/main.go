@@ -24,6 +24,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/consistency"
 	"repro/internal/constraint"
 	"repro/internal/dtd"
@@ -36,6 +37,7 @@ var (
 	quickFlag   = flag.Bool("quick", false, "smaller sweeps")
 	seedFlag    = flag.Int64("seed", 2002, "random seed for the instance families")
 	metricsFlag = flag.String("metrics", "", "write per-instance metrics as JSON lines to this file (- for stdout)")
+	versionFlag = flag.Bool("version", false, "print version information and exit")
 )
 
 // out, quick, and metricsOut are the run-scoped sinks; main wires them
@@ -158,6 +160,10 @@ var exitCode = 0
 
 func main() {
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println(cliutil.VersionString("benchtab"))
+		os.Exit(0)
+	}
 	quick = *quickFlag
 	if *metricsFlag == "-" {
 		metricsOut = os.Stdout

@@ -24,6 +24,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/constraint"
 	"repro/internal/dtd"
 	"repro/internal/obs"
@@ -44,10 +45,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rules    = fs.Bool("rules", false, "print the rule table and exit")
 		minSev   = fs.String("min-severity", "info", "lowest severity to report: info, warning or error")
 		trace    = fs.Bool("trace", false, "print a span trace of the analysis to stderr")
-		metrics  = fs.Bool("metrics", false, "emit metrics as JSON lines on stdout after the report")
+		traceOut = fs.String("trace-out", "", "write a Chrome trace-event JSON file (JSONL if the path ends in .jsonl)")
+		metrics  = fs.Bool("metrics", false, "emit metrics as JSON lines on stderr after the report")
+		version  = fs.Bool("version", false, "print version information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 3
+	}
+	if *version {
+		fmt.Fprintln(stdout, cliutil.VersionString("speclint"))
+		return 0
+	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		var err error
+		traceFile, err = cliutil.OpenTraceFile(*traceOut)
+		if err != nil {
+			fmt.Fprintln(stderr, "speclint:", err)
+			return 3
+		}
 	}
 	if *rules {
 		printRules(stdout)
@@ -90,8 +106,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var rec *obs.Recorder
-	if *trace || *metrics {
+	if *trace || *metrics || traceFile != nil {
 		rec = obs.New()
+		if traceFile != nil {
+			rec.EnableEvents(0)
+		}
 	}
 	rep := speclint.Run(d, set, rec)
 
@@ -138,7 +157,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if *metrics {
-		if err := rec.WriteJSON(stdout); err != nil {
+		if err := rec.WriteJSON(stderr); err != nil {
+			fmt.Fprintln(stderr, "speclint:", err)
+			return 3
+		}
+	}
+	if traceFile != nil {
+		if err := cliutil.WriteTrace(traceFile, rec); err != nil {
 			fmt.Fprintln(stderr, "speclint:", err)
 			return 3
 		}

@@ -94,7 +94,12 @@ func TestMetricsAndTrace(t *testing.T) {
 	if !bytes.Contains(stderr.Bytes(), []byte("speclint.run")) {
 		t.Errorf("trace output missing speclint.run span:\n%s", stderr.String())
 	}
-	if !bytes.Contains(stdout.Bytes(), []byte(`"name"`)) {
-		t.Errorf("metrics JSON missing from stdout:\n%s", stdout.String())
+	// Metrics JSON shares stderr with the trace; stdout carries only
+	// the human report.
+	if !bytes.Contains(stderr.Bytes(), []byte(`"name"`)) {
+		t.Errorf("metrics JSON missing from stderr:\n%s", stderr.String())
+	}
+	if bytes.Contains(stdout.Bytes(), []byte(`"type":"span"`)) {
+		t.Errorf("metrics JSON leaked onto stdout:\n%s", stdout.String())
 	}
 }

@@ -7,7 +7,12 @@
 // Usage:
 //
 //	xmlconsist -dtd schema.dtd -constraints keys.txt [-witness] [-min-witness]
-//	           [-explain] [-implies "c.z ⊆ a.x"]
+//	           [-explain] [-implies "c.z ⊆ a.x"] [-trace-out trace.json]
+//
+// Machine-readable side channels never share stdout with the human
+// report: -metrics writes JSON lines to stderr and -trace-out writes a
+// Perfetto-loadable Chrome trace (or JSONL for .jsonl paths) to its
+// file.
 //
 // Exit status: 0 consistent, 1 inconsistent, 2 unknown, 3 usage or
 // specification errors.
@@ -23,6 +28,7 @@ import (
 	"runtime/pprof"
 
 	xmlspec "repro"
+	"repro/internal/cliutil"
 	"repro/internal/obs"
 )
 
@@ -46,12 +52,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sample      = fs.Int("sample", 0, "additionally generate N random valid documents (text mode only)")
 		sampleNodes = fs.Int("sample-nodes", 30, "soft element bound per sampled document")
 		trace       = fs.Bool("trace", false, "print a span trace of the check to stderr")
-		metrics     = fs.Bool("metrics", false, "emit metrics as JSON lines on stdout after the report")
+		traceOut    = fs.String("trace-out", "", "write a Chrome trace-event JSON file (JSONL if the path ends in .jsonl)")
+		metrics     = fs.Bool("metrics", false, "emit metrics as JSON lines on stderr after the report")
 		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = fs.String("memprofile", "", "write a heap profile to this file")
+		version     = fs.Bool("version", false, "print version information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 3
+	}
+	if *version {
+		fmt.Fprintln(stdout, cliutil.VersionString("xmlconsist"))
+		return 0
+	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		var err error
+		traceFile, err = cliutil.OpenTraceFile(*traceOut)
+		if err != nil {
+			fmt.Fprintln(stderr, "xmlconsist:", err)
+			return 3
+		}
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -107,8 +128,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 3
 	}
 	var rec *obs.Recorder
-	if *trace || *metrics || *explain {
+	if *trace || *metrics || *explain || traceFile != nil {
 		rec = obs.New()
+		if traceFile != nil {
+			rec.EnableEvents(0)
+		}
 		spec.SetObserver(rec)
 	}
 
@@ -250,7 +274,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if *metrics {
-		if err := rec.WriteJSON(stdout); err != nil {
+		if err := rec.WriteJSON(stderr); err != nil {
+			fmt.Fprintln(stderr, "xmlconsist:", err)
+			return 3
+		}
+	}
+	if traceFile != nil {
+		if err := cliutil.WriteTrace(traceFile, rec); err != nil {
 			fmt.Fprintln(stderr, "xmlconsist:", err)
 			return 3
 		}

@@ -149,8 +149,9 @@ func TestRunJSONOutput(t *testing.T) {
 
 // TestRunMetricsJSONLines pins the -metrics contract on the paper's
 // Figure 2 library specification: every line is a standalone JSON
-// object, per-phase wall times are present, and the headline solver
-// counters (encoding sizes, propagation passes, branch count) appear.
+// object on stderr (stdout stays a clean human report), per-phase
+// wall times are present, and the headline solver counters (encoding
+// sizes, propagation passes, branch count) appear.
 func TestRunMetricsJSONLines(t *testing.T) {
 	var out, errb strings.Builder
 	code := run([]string{
@@ -161,11 +162,14 @@ func TestRunMetricsJSONLines(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit = %d; stderr: %s", code, errb.String())
 	}
+	if strings.Contains(out.String(), `"type":"span"`) {
+		t.Errorf("metrics JSON leaked onto stdout:\n%s", out.String())
+	}
 	var sawSpan bool
 	counters := map[string]bool{}
-	for _, line := range strings.Split(out.String(), "\n") {
+	for _, line := range strings.Split(errb.String(), "\n") {
 		if !strings.HasPrefix(line, "{") {
-			continue // human report lines precede the metrics block
+			continue
 		}
 		var rec map[string]any
 		if err := json.Unmarshal([]byte(line), &rec); err != nil {
@@ -230,5 +234,73 @@ func TestRunSample(t *testing.T) {
 	o := out.String()
 	if !strings.Contains(o, "sample document 1:") || !strings.Contains(o, "sample document 2:") {
 		t.Errorf("output:\n%s", o)
+	}
+}
+
+// TestRunTraceOut pins the -trace-out contract: the file parses as
+// Chrome trace-event JSON with B/E span pairs and a build stamp, and
+// an unwritable path aborts with exit 3 before any checking runs.
+func TestRunTraceOut(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := write(t, dir, "s.dtd", testDTD)
+	consPath := write(t, dir, "s.keys", "a.x -> a\nb.y -> b\n")
+	tracePath := filepath.Join(dir, "trace.json")
+	var out, errb strings.Builder
+	code := run([]string{"-dtd", dtdPath, "-constraints", consPath, "-trace-out", tracePath}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d; stderr: %s", code, errb.String())
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+			TS    int64  `json:"ts"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		OtherData       map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("-trace-out file is not Chrome trace JSON: %v", err)
+	}
+	var begins, ends int
+	for _, e := range trace.TraceEvents {
+		switch e.Phase {
+		case "B":
+			begins++
+		case "E":
+			ends++
+		}
+	}
+	if begins == 0 || begins != ends {
+		t.Errorf("unbalanced span events: %d B vs %d E", begins, ends)
+	}
+	if trace.OtherData["go_version"] == "" || trace.OtherData["revision"] == "" {
+		t.Errorf("trace header missing build stamp: %v", trace.OtherData)
+	}
+	if strings.Contains(out.String(), "traceEvents") {
+		t.Errorf("trace JSON leaked onto stdout:\n%s", out.String())
+	}
+
+	// An uncreatable destination must fail fast with exit 3.
+	out.Reset()
+	errb.Reset()
+	bad := filepath.Join(dir, "missing", "sub", "trace.json")
+	if code := run([]string{"-dtd", dtdPath, "-constraints", consPath, "-trace-out", bad}, &out, &errb); code != 3 {
+		t.Errorf("unwritable -trace-out: exit = %d, want 3", code)
+	}
+}
+
+func TestRunVersion(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-version"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d; stderr: %s", code, errb.String())
+	}
+	o := out.String()
+	if !strings.HasPrefix(o, "xmlconsist: ") || !strings.Contains(o, "go1") {
+		t.Errorf("-version output = %q", o)
 	}
 }

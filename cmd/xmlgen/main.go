@@ -19,6 +19,7 @@ import (
 	"os"
 
 	xmlspec "repro"
+	"repro/internal/cliutil"
 	"repro/internal/obs"
 )
 
@@ -36,10 +37,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		nodes    = fs.Int("nodes", 30, "soft element bound per document")
 		seed     = fs.Int64("seed", 1, "random seed (fixed seed ⇒ reproducible output)")
 		trace    = fs.Bool("trace", false, "print a span trace of the generation to stderr")
+		traceOut = fs.String("trace-out", "", "write a Chrome trace-event JSON file (JSONL if the path ends in .jsonl)")
 		metrics  = fs.Bool("metrics", false, "emit metrics as JSON lines on stderr (stdout carries the documents)")
+		version  = fs.Bool("version", false, "print version information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 3
+	}
+	if *version {
+		fmt.Fprintln(stdout, cliutil.VersionString("xmlgen"))
+		return 0
+	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		var err error
+		traceFile, err = cliutil.OpenTraceFile(*traceOut)
+		if err != nil {
+			fmt.Fprintln(stderr, "xmlgen:", err)
+			return 3
+		}
 	}
 	if *dtdPath == "" || *count < 1 {
 		fmt.Fprintln(stderr, "xmlgen: -dtd is required and -n must be ≥ 1")
@@ -65,8 +81,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 3
 	}
 	var rec *obs.Recorder
-	if *trace || *metrics {
+	if *trace || *metrics || traceFile != nil {
 		rec = obs.New()
+		if traceFile != nil {
+			rec.EnableEvents(0)
+		}
 		spec.SetObserver(rec)
 	}
 	docs, err := spec.Sample(*count, &xmlspec.SampleOptions{MaxNodes: *nodes, Seed: *seed})
@@ -88,6 +107,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *metrics {
 		if err := rec.WriteJSON(stderr); err != nil {
+			fmt.Fprintln(stderr, "xmlgen:", err)
+			return 3
+		}
+	}
+	if traceFile != nil {
+		if err := cliutil.WriteTrace(traceFile, rec); err != nil {
 			fmt.Fprintln(stderr, "xmlgen:", err)
 			return 3
 		}

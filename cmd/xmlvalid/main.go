@@ -18,6 +18,7 @@ import (
 	"os"
 
 	xmlspec "repro"
+	"repro/internal/cliutil"
 	"repro/internal/obs"
 )
 
@@ -33,10 +34,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		consPath = fs.String("constraints", "", "path to the constraints file (optional)")
 		stream   = fs.Bool("stream", false, "validate in one streaming pass (constant memory in document size)")
 		trace    = fs.Bool("trace", false, "print a span trace of the validation to stderr")
-		metrics  = fs.Bool("metrics", false, "emit metrics as JSON lines on stdout after the report")
+		traceOut = fs.String("trace-out", "", "write a Chrome trace-event JSON file (JSONL if the path ends in .jsonl)")
+		metrics  = fs.Bool("metrics", false, "emit metrics as JSON lines on stderr after the report")
+		version  = fs.Bool("version", false, "print version information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 3
+	}
+	if *version {
+		fmt.Fprintln(stdout, cliutil.VersionString("xmlvalid"))
+		return 0
+	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		var err error
+		traceFile, err = cliutil.OpenTraceFile(*traceOut)
+		if err != nil {
+			fmt.Fprintln(stderr, "xmlvalid:", err)
+			return 3
+		}
 	}
 	if *dtdPath == "" || fs.NArg() == 0 {
 		fmt.Fprintln(stderr, "xmlvalid: -dtd and at least one document are required")
@@ -62,8 +78,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 3
 	}
 	var rec *obs.Recorder
-	if *trace || *metrics {
+	if *trace || *metrics || traceFile != nil {
 		rec = obs.New()
+		if traceFile != nil {
+			rec.EnableEvents(0)
+		}
 		spec.SetObserver(rec)
 	}
 
@@ -112,7 +131,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if *metrics {
-		if err := rec.WriteJSON(stdout); err != nil {
+		if err := rec.WriteJSON(stderr); err != nil {
+			fmt.Fprintln(stderr, "xmlvalid:", err)
+			return 3
+		}
+	}
+	if traceFile != nil {
+		if err := cliutil.WriteTrace(traceFile, rec); err != nil {
 			fmt.Fprintln(stderr, "xmlvalid:", err)
 			return 3
 		}

@@ -102,14 +102,19 @@ func TestStreamMetricsOutput(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit = %d; %s%s", code, out.String(), errb.String())
 	}
-	o := out.String()
+	// Machine-readable metrics go to stderr; stdout stays a clean
+	// human report.
+	e := errb.String()
 	for _, frag := range []string{
 		`"type":"span"`, `"name":"streamcheck.validate"`,
 		`"name":"streamcheck.elements"`, `"name":"streamcheck.document_depth"`,
 	} {
-		if !strings.Contains(o, frag) {
-			t.Errorf("metrics output missing %q:\n%s", frag, o)
+		if !strings.Contains(e, frag) {
+			t.Errorf("metrics output missing %q on stderr:\n%s", frag, e)
 		}
+	}
+	if strings.Contains(out.String(), `"type":"span"`) {
+		t.Errorf("metrics JSON leaked onto stdout:\n%s", out.String())
 	}
 	if !strings.Contains(errb.String(), "streamcheck.validate") {
 		t.Errorf("trace output missing span tree:\n%s", errb.String())

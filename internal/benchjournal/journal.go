@@ -1,0 +1,142 @@
+// Package benchjournal defines the continuous benchmark journal: a
+// schema-versioned JSON file (BENCH_<date>.json) that accumulates one
+// Run per invocation of cmd/benchjournal, so the performance
+// trajectory across PRs is machine-readable — ns/op, allocs/op,
+// certificate sizes, and per-phase span durations, stamped with the
+// toolchain and VCS revision that produced them.
+package benchjournal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Schema identifies the journal file format. Bump the suffix on any
+// incompatible change to the structs below; Load rejects files whose
+// schema does not match, so old journals fail loudly instead of being
+// silently misread.
+const Schema = "repro-bench/v1"
+
+// Journal is the on-disk document: the schema tag plus every run ever
+// appended, oldest first.
+type Journal struct {
+	Schema string `json:"schema"`
+	Runs   []Run  `json:"runs"`
+}
+
+// Run is one invocation of the journaling tool: the build stamp it
+// ran under and one Entry per benchmark case.
+type Run struct {
+	// Date is the RFC 3339 wall-clock time of the run.
+	Date      string  `json:"date"`
+	Module    string  `json:"module"`
+	Version   string  `json:"version"`
+	GoVersion string  `json:"go_version"`
+	Revision  string  `json:"revision"`
+	Dirty     bool    `json:"dirty,omitempty"`
+	Quick     bool    `json:"quick,omitempty"`
+	Seed      int64   `json:"seed"`
+	Entries   []Entry `json:"entries"`
+}
+
+// Entry is one benchmark case: the timing/allocation measurement plus
+// the provenance of a single instrumented run (verdict, certificate
+// shape, per-phase durations).
+type Entry struct {
+	Name            string  `json:"name"`
+	Iterations      int     `json:"iterations"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	BytesPerOp      float64 `json:"bytes_per_op"`
+	Verdict         string  `json:"verdict,omitempty"`
+	CertificateKind string  `json:"certificate_kind,omitempty"`
+	CertificateSize int     `json:"certificate_size,omitempty"`
+	Phases          []Phase `json:"phases,omitempty"`
+}
+
+// Phase is one span from the instrumented run, identified by its
+// slash-joined path in the trace tree.
+type Phase struct {
+	Path       string `json:"path"`
+	DurationUS int64  `json:"duration_us"`
+}
+
+// FileName is the canonical journal name for a given day.
+func FileName(t time.Time) string {
+	return "BENCH_" + t.Format("2006-01-02") + ".json"
+}
+
+// Validate checks the structural invariants Load and Append rely on.
+func (j *Journal) Validate() error {
+	if j.Schema != Schema {
+		return fmt.Errorf("benchjournal: schema %q, want %q", j.Schema, Schema)
+	}
+	for i, run := range j.Runs {
+		if run.Date == "" {
+			return fmt.Errorf("benchjournal: run %d has no date", i)
+		}
+		if _, err := time.Parse(time.RFC3339, run.Date); err != nil {
+			return fmt.Errorf("benchjournal: run %d date: %v", i, err)
+		}
+		if run.GoVersion == "" || run.Revision == "" {
+			return fmt.Errorf("benchjournal: run %d lacks a build stamp", i)
+		}
+		if len(run.Entries) == 0 {
+			return fmt.Errorf("benchjournal: run %d has no entries", i)
+		}
+		for _, e := range run.Entries {
+			if e.Name == "" {
+				return fmt.Errorf("benchjournal: run %d has an unnamed entry", i)
+			}
+			if e.Iterations <= 0 || e.NsPerOp <= 0 {
+				return fmt.Errorf("benchjournal: run %d entry %q has no measurement", i, e.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Load reads and validates a journal file.
+func Load(path string) (*Journal, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var j Journal
+	if err := json.Unmarshal(raw, &j); err != nil {
+		return nil, fmt.Errorf("benchjournal: %s: %v", path, err)
+	}
+	if err := j.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &j, nil
+}
+
+// Append adds a run to the journal at path, creating the file when it
+// does not exist. The run and the resulting journal are validated
+// before anything is written, so a bad run can never corrupt an
+// existing journal.
+func Append(path string, run Run) error {
+	j := &Journal{Schema: Schema}
+	if _, err := os.Stat(path); err == nil {
+		loaded, err := Load(path)
+		if err != nil {
+			return err
+		}
+		j = loaded
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	j.Runs = append(j.Runs, run)
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(j, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

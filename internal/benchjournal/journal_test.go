@@ -1,0 +1,142 @@
+package benchjournal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleRun(date string) Run {
+	return Run{
+		Date:      date,
+		Module:    "repro",
+		Version:   "(devel)",
+		GoVersion: "go1.24.0",
+		Revision:  "0123456789abcdef",
+		Seed:      2002,
+		Entries: []Entry{{
+			Name:            "fig2/library",
+			Iterations:      100,
+			NsPerOp:         75000.5,
+			AllocsPerOp:     689,
+			BytesPerOp:      36618,
+			Verdict:         "consistent",
+			CertificateKind: "witness",
+			CertificateSize: 23,
+			Phases:          []Phase{{Path: "consistency.check", DurationUS: 114}},
+		}},
+	}
+}
+
+// TestSchemaRoundTrip is the published-schema test: a journal written
+// through the Go structs must load back byte-for-byte equal, so any
+// struct change that silently breaks old files fails here.
+func TestSchemaRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_2026-08-06.json")
+	want := sampleRun("2026-08-06T12:00:00Z")
+	if err := Append(path, want); err != nil {
+		t.Fatal(err)
+	}
+	j, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Schema != Schema {
+		t.Errorf("schema = %q, want %q", j.Schema, Schema)
+	}
+	if len(j.Runs) != 1 || !reflect.DeepEqual(j.Runs[0], want) {
+		t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", j.Runs[0], want)
+	}
+	// Appending accumulates runs.
+	if err := Append(path, sampleRun("2026-08-07T12:00:00Z")); err != nil {
+		t.Fatal(err)
+	}
+	if j, err = Load(path); err != nil || len(j.Runs) != 2 {
+		t.Fatalf("after second append: runs=%d err=%v", len(j.Runs), err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		j    Journal
+	}{
+		{"wrong schema", Journal{Schema: "repro-bench/v0"}},
+		{"no date", Journal{Schema: Schema, Runs: []Run{{GoVersion: "go1", Revision: "r", Entries: []Entry{{Name: "x", Iterations: 1, NsPerOp: 1}}}}}},
+		{"bad date", Journal{Schema: Schema, Runs: []Run{{Date: "yesterday", GoVersion: "go1", Revision: "r", Entries: []Entry{{Name: "x", Iterations: 1, NsPerOp: 1}}}}}},
+		{"no stamp", Journal{Schema: Schema, Runs: []Run{{Date: "2026-08-06T12:00:00Z", Entries: []Entry{{Name: "x", Iterations: 1, NsPerOp: 1}}}}}},
+		{"no entries", Journal{Schema: Schema, Runs: []Run{{Date: "2026-08-06T12:00:00Z", GoVersion: "go1", Revision: "r"}}}},
+		{"unmeasured entry", Journal{Schema: Schema, Runs: []Run{{Date: "2026-08-06T12:00:00Z", GoVersion: "go1", Revision: "r", Entries: []Entry{{Name: "x"}}}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.j.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid journal", tc.name)
+		}
+	}
+}
+
+// TestAppendNeverCorrupts checks that appending to a malformed file
+// fails without touching it.
+func TestAppendNeverCorrupts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"other/v9","runs":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(path, sampleRun("2026-08-06T12:00:00Z")); err == nil {
+		t.Fatal("Append accepted a foreign-schema file")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil || !strings.Contains(string(raw), "other/v9") {
+		t.Fatalf("original file was modified: %s (%v)", raw, err)
+	}
+}
+
+func TestFileName(t *testing.T) {
+	ts := time.Date(2026, 8, 6, 15, 4, 5, 0, time.UTC)
+	if got := FileName(ts); got != "BENCH_2026-08-06.json" {
+		t.Errorf("FileName = %q", got)
+	}
+}
+
+// TestJSONFieldNames pins the published wire names, which external
+// tooling reads.
+func TestJSONFieldNames(t *testing.T) {
+	b, err := json.Marshal(Journal{Schema: Schema, Runs: []Run{sampleRun("2026-08-06T12:00:00Z")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		`"schema"`, `"runs"`, `"date"`, `"go_version"`, `"revision"`,
+		`"ns_per_op"`, `"allocs_per_op"`, `"bytes_per_op"`,
+		`"certificate_kind"`, `"certificate_size"`, `"phases"`, `"duration_us"`,
+	} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("wire format missing %s:\n%s", key, b)
+		}
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	n := 0
+	m, err := Measure(5*time.Millisecond, func() error {
+		n++
+		time.Sleep(50 * time.Microsecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Iterations < 1 || m.NsPerOp <= 0 {
+		t.Errorf("measurement = %+v", m)
+	}
+	if n <= m.Iterations {
+		t.Errorf("warmup/growth rounds missing: fn ran %d times for %d counted iterations", n, m.Iterations)
+	}
+	if _, err := Measure(time.Millisecond, func() error { return os.ErrInvalid }); err == nil {
+		t.Error("Measure swallowed the case error")
+	}
+}

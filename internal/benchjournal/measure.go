@@ -1,0 +1,65 @@
+package benchjournal
+
+import (
+	"runtime"
+	"time"
+)
+
+// Measurement is the raw timing/allocation reading Measure produces;
+// cmd/benchjournal copies it into an Entry.
+type Measurement struct {
+	Iterations  int
+	NsPerOp     float64
+	AllocsPerOp float64
+	BytesPerOp  float64
+}
+
+// Measure times fn with its own adaptive harness (testing.Benchmark
+// re-runs to a fixed precision target that is far slower than a
+// journal run needs): it warms fn up once, then grows the iteration
+// count geometrically until one timed batch lasts at least target,
+// reading allocation deltas from runtime.MemStats around the final
+// batch. An error from fn aborts the measurement.
+func Measure(target time.Duration, fn func() error) (Measurement, error) {
+	if err := fn(); err != nil {
+		return Measurement{}, err
+	}
+	iters := 1
+	for {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := fn(); err != nil {
+				return Measurement{}, err
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if elapsed >= target || iters >= 1<<24 {
+			if elapsed <= 0 {
+				elapsed = time.Nanosecond
+			}
+			return Measurement{
+				Iterations:  iters,
+				NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+				AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
+				BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+			}, nil
+		}
+		// Aim past the target from the observed per-op cost, growing
+		// at least 2x and at most 100x per round.
+		grow := 2 * iters
+		if elapsed > 0 {
+			est := int(float64(iters) * 1.2 * float64(target) / float64(elapsed))
+			if est > grow {
+				grow = est
+			}
+		}
+		if grow > 100*iters {
+			grow = 100 * iters
+		}
+		iters = grow
+	}
+}

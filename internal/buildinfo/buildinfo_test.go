@@ -1,0 +1,30 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGetNeverEmpty(t *testing.T) {
+	info := Get()
+	if info.Module == "" || info.Version == "" || info.GoVersion == "" || info.Revision == "" {
+		t.Fatalf("Get() left fields empty: %+v", info)
+	}
+	if !strings.HasPrefix(info.GoVersion, "go") {
+		t.Errorf("GoVersion = %q, want a go toolchain version", info.GoVersion)
+	}
+}
+
+func TestStringStamp(t *testing.T) {
+	i := Info{Module: "repro", Version: "v1.2.3", GoVersion: "go1.22.0",
+		Revision: "0123456789abcdef0123", Dirty: true}
+	got := i.String()
+	want := "repro v1.2.3 go1.22.0 rev 0123456789ab (dirty)"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	clean := Info{Module: "repro", Version: "(devel)", GoVersion: "go1.22.0", Revision: "unknown"}
+	if s := clean.String(); strings.Contains(s, "dirty") {
+		t.Errorf("clean stamp mentions dirty: %q", s)
+	}
+}

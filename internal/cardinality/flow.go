@@ -269,6 +269,31 @@ func (f *Flow) UnreachedSupport(vals []int64) []int {
 	return comp
 }
 
+// VerifyAssignment checks a name-keyed assignment against the flow's
+// full constraint system and the support-connectivity condition — the
+// two facts that together make a cardinality vector realizable as a
+// tree. It never invokes a solver, which is the point: certificates
+// are checked by evaluation, not by search.
+func (f *Flow) VerifyAssignment(vec map[string]int64) error {
+	if err := f.Sys.EvalNamed(vec); err != nil {
+		return err
+	}
+	vals := make([]int64, f.Sys.NumVars())
+	for name, v := range vec {
+		if id, ok := f.Sys.Lookup(name); ok {
+			vals[id] = v
+		}
+	}
+	if comp := f.UnreachedSupport(vals); len(comp) > 0 {
+		names := make([]string, len(comp))
+		for i, c := range comp {
+			names[i] = f.Sys.Name(f.Vars[c])
+		}
+		return fmt.Errorf("cardinality: solution support is disconnected from the root at %v", names)
+	}
+	return nil
+}
+
 // AddCut installs the connectivity cut for an unreached component C:
 // if any count in C is positive, some edge crossing into C from
 // outside must be active. Each such cut excludes the current spurious

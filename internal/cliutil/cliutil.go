@@ -1,0 +1,40 @@
+// Package cliutil holds the flag behaviours every command shares:
+// the -version stamp and the -trace-out export sink.
+package cliutil
+
+import (
+	"os"
+	"strings"
+
+	"repro/internal/buildinfo"
+	"repro/internal/obs"
+)
+
+// VersionString is the one-line stamp -version prints: tool name plus
+// module version, go toolchain, and VCS revision.
+func VersionString(tool string) string {
+	return tool + ": " + buildinfo.Get().String()
+}
+
+// OpenTraceFile creates the -trace-out destination. It is called
+// before any checking work so a bad path aborts the run up front
+// instead of discarding a finished trace.
+func OpenTraceFile(path string) (*os.File, error) {
+	return os.Create(path)
+}
+
+// WriteTrace renders the recorder into the -trace-out file and closes
+// it: Chrome trace-event JSON by default, JSON lines when the path
+// ends in .jsonl.
+func WriteTrace(f *os.File, rec *obs.Recorder) error {
+	var err error
+	if strings.HasSuffix(f.Name(), ".jsonl") {
+		err = rec.WriteEventsJSONL(f)
+	} else {
+		err = rec.WriteChromeTrace(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

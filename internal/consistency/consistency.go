@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/bruteforce"
 	"repro/internal/cardinality"
+	"repro/internal/certificate"
 	"repro/internal/constraint"
 	"repro/internal/dtd"
 	"repro/internal/ilp"
@@ -87,6 +88,12 @@ type Options struct {
 	// static rules (SL101/SL201/SL202) before any encoding and
 	// short-circuits to Inconsistent when one fires.
 	SkipLint bool
+	// SkipCertificate disables certificate construction entirely:
+	// definitive verdicts come back with a nil Certificate and the
+	// decision path does none of the associated work (no named-vector
+	// maps, no system digests). Benchmarks isolating raw decision cost
+	// set this.
+	SkipCertificate bool
 }
 
 func (o Options) withDefaults() Options {
@@ -170,7 +177,23 @@ type Result struct {
 	WitnessVerified bool
 	// Diagnosis explains Unknown verdicts and witness gaps.
 	Diagnosis string
-	Stats     Stats
+	// Certificate is the checkable provenance of a definitive verdict:
+	// a witness for Consistent, a refutation for Inconsistent, nil for
+	// Unknown (or under SkipCertificate, or when no checkable evidence
+	// exists, e.g. inexact scope encodings). It verifies with
+	// certificate.Verify without re-running any solver.
+	Certificate *certificate.Certificate
+	Stats       Stats
+}
+
+// conclude sets a definitive verdict together with its provenance.
+// Every Consistent/Inconsistent verdict must flow through conclude —
+// the certattach analyzer in tools/analyzers enforces it — so no
+// definitive verdict can ship without its caller deciding, explicitly,
+// what the certificate is.
+func (r *Result) conclude(v Verdict, cert *certificate.Certificate) {
+	r.Verdict = v
+	r.Certificate = cert
 }
 
 // Check validates and decides a specification.
@@ -192,7 +215,7 @@ func Check(d *dtd.DTD, set *constraint.Set, opts Options) (Result, error) {
 		res.Stats.LintFindings = len(rep.Diags)
 		if diag := rep.SoundError(); diag != nil {
 			route(opts.Obs, "lint_short_circuit")
-			res.Verdict = Inconsistent
+			res.conclude(Inconsistent, lintCert(diag, opts))
 			res.Method = fmt.Sprintf("speclint prepass (%s)", diag.RuleID)
 			res.Diagnosis = diag.Message
 			if sp != nil {
@@ -215,14 +238,14 @@ func Check(d *dtd.DTD, set *constraint.Set, opts Options) (Result, error) {
 		kp := opts.Obs.Start("route.keys_only")
 		res.Method = "keys-only (PTIME, Section 3.3)"
 		if d.Satisfiable() {
-			res.Verdict = Consistent
+			res.conclude(Consistent, dtdSatCert(opts))
 			if !opts.SkipWitness {
 				wsp := opts.Obs.Start("witness")
 				attachKeysOnlyWitness(d, set, opts, &res)
 				wsp.End()
 			}
 		} else {
-			res.Verdict = Inconsistent
+			res.conclude(Inconsistent, dtdUnsatCert(opts))
 			kp.SetString("early_exit", "DTD unsatisfiable")
 		}
 		kp.End()
@@ -288,14 +311,14 @@ func checkAbsolute(d *dtd.DTD, set *constraint.Set, prof constraint.Profile, opt
 	res.Stats.Cuts += cuts
 	switch ilpRes.Verdict {
 	case ilp.Unsat:
-		res.Verdict = Inconsistent
+		res.conclude(Inconsistent, infeasibleCert(d, set, certificate.EncodingAbsolute, opts))
 	case ilp.Unknown:
 		res.Verdict = Unknown
 		res.Diagnosis = "integer search exhausted its budget"
 		sp.SetString("early_exit", "solver budget exhausted")
 	case ilp.Sat:
 		if enc.Exact {
-			res.Verdict = Consistent
+			res.conclude(Consistent, vectorCert(certificate.EncodingAbsolute, enc.Flow.Sys, ilpRes.Values, opts))
 			if !opts.SkipWitness {
 				wsp := opts.Obs.Start("witness")
 				attachAbsoluteWitness(enc, ilpRes.Values, set, opts, res)
@@ -310,9 +333,9 @@ func checkAbsolute(d *dtd.DTD, set *constraint.Set, prof constraint.Profile, opt
 			wsp := opts.Obs.Start("witness")
 			if w, err := enc.Witness(ilpRes.Values, opts.WitnessMaxNodes); err == nil {
 				if w.Conforms(d) == nil && constraint.Satisfies(w, set) {
-					res.Verdict = Consistent
 					res.Witness = w
 					res.WitnessVerified = true
+					res.conclude(Consistent, documentCert(w, opts))
 					wsp.End()
 					return
 				}
@@ -321,9 +344,9 @@ func checkAbsolute(d *dtd.DTD, set *constraint.Set, prof constraint.Profile, opt
 		}
 		bf := bruteforce.Decide(d, set, opts.BruteForce)
 		if bf.Sat() {
-			res.Verdict = Consistent
 			res.Witness = bf.Witness
 			res.WitnessVerified = true
+			res.conclude(Consistent, documentCert(bf.Witness, opts))
 			return
 		}
 		res.Verdict = Unknown
@@ -355,13 +378,13 @@ func checkRegular(d *dtd.DTD, set *constraint.Set, opts Options, res *Result) {
 	res.Stats.Cuts += cuts
 	switch ilpRes.Verdict {
 	case ilp.Unsat:
-		res.Verdict = Inconsistent
+		res.conclude(Inconsistent, infeasibleCert(d, set, certificate.EncodingRegular, opts))
 	case ilp.Unknown:
 		res.Verdict = Unknown
 		res.Diagnosis = "integer search exhausted its budget"
 		sp.SetString("early_exit", "solver budget exhausted")
 	case ilp.Sat:
-		res.Verdict = Consistent
+		res.conclude(Consistent, vectorCert(certificate.EncodingRegular, enc.Flow.Sys, ilpRes.Values, opts))
 		if opts.SkipWitness {
 			return
 		}
@@ -387,6 +410,72 @@ func decideFlow(f *cardinality.Flow, opts Options) (ilp.Result, int) {
 		return cardinality.DecideFlowMinimal(f, opts.ILP)
 	}
 	return cardinality.DecideFlow(f, opts.ILP)
+}
+
+// Certificate construction helpers. Each one respects
+// Options.SkipCertificate by returning nil before doing any work, so
+// the skip path stays free of the associated allocations.
+
+func lintCert(diag *speclint.Diagnostic, opts Options) *certificate.Certificate {
+	if opts.SkipCertificate {
+		return nil
+	}
+	return certificate.FromLint(diag.RuleID, diag.Message)
+}
+
+func dtdSatCert(opts Options) *certificate.Certificate {
+	if opts.SkipCertificate {
+		return nil
+	}
+	return certificate.FromDTDSatisfiable()
+}
+
+func dtdUnsatCert(opts Options) *certificate.Certificate {
+	if opts.SkipCertificate {
+		return nil
+	}
+	return certificate.FromDTDUnsat()
+}
+
+func vectorCert(enc certificate.Encoding, sys *ilp.System, vals []int64, opts Options) *certificate.Certificate {
+	if opts.SkipCertificate || vals == nil {
+		return nil
+	}
+	return certificate.FromVector(enc, sys.NamedValues(vals))
+}
+
+func documentCert(w *xmltree.Tree, opts Options) *certificate.Certificate {
+	if opts.SkipCertificate || w == nil {
+		return nil
+	}
+	return certificate.FromDocument(w.XML())
+}
+
+// infeasibleCert fingerprints the refuted base system by re-encoding
+// the spec (the decide loop has already mutated the solved system with
+// connectivity cuts, so its digest would not match a verifier's fresh
+// compilation). Re-encoding is solver-free and only happens on
+// Inconsistent conclusions.
+func infeasibleCert(d *dtd.DTD, set *constraint.Set, encName certificate.Encoding, opts Options) *certificate.Certificate {
+	if opts.SkipCertificate {
+		return nil
+	}
+	var digest string
+	switch encName {
+	case certificate.EncodingRegular:
+		enc, err := cardinality.EncodeRegular(d, set)
+		if err != nil {
+			return nil
+		}
+		digest = enc.Flow.Sys.Digest()
+	default:
+		enc, err := cardinality.EncodeAbsolute(d, set)
+		if err != nil {
+			return nil
+		}
+		digest = enc.Flow.Sys.Digest()
+	}
+	return certificate.FromInfeasible(encName, digest, "the "+string(encName)+" encoding admits no solution")
 }
 
 // attachAbsoluteWitness builds and verifies the Lemma 1 witness.

@@ -4,186 +4,49 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"strings"
 
 	"repro/internal/bruteforce"
 	"repro/internal/cardinality"
+	"repro/internal/certificate"
 	"repro/internal/constraint"
-	"repro/internal/contentmodel"
 	"repro/internal/dtd"
 	"repro/internal/ilp"
+	"repro/internal/scope"
 	"repro/internal/xmltree"
 )
 
-// scopeRootPrefix names the fresh root type of a scope DTD. It uses a
-// character the parsers reject in names, so it can never collide with
-// a user element type.
-const scopeRootPrefix = "scope#"
-
-// normalizeContext maps the empty (absolute) context to the root type.
-func normalizeContext(ctx, root string) string {
-	if ctx == "" {
-		return root
-	}
-	return ctx
-}
-
-// RestrictedTypes returns the restricted types of (D, Σ): the root
-// plus every context type (Section 4.2).
-func RestrictedTypes(d *dtd.DTD, set *constraint.Set) map[string]bool {
-	out := map[string]bool{d.Root: true}
-	for _, k := range set.Keys {
-		out[normalizeContext(k.Context, d.Root)] = true
-	}
-	for _, c := range set.Incls {
-		out[normalizeContext(c.Context, d.Root)] = true
-	}
-	return out
-}
+// The scope-decomposition machinery lives in internal/scope so the
+// certificate verifier can re-derive the same scope problems without
+// importing the checker; these aliases keep the package's public
+// surface stable.
 
 // ConflictingPair is a pair of restricted types whose scopes are
 // related by a foreign key (Section 4.2), the obstruction to the
 // hierarchical decomposition.
-type ConflictingPair struct {
-	Outer, Inner string
-	// Via is a constraint witnessing the conflict.
-	Via string
+type ConflictingPair = scope.ConflictingPair
+
+// RestrictedTypes returns the restricted types of (D, Σ): the root
+// plus every context type (Section 4.2).
+func RestrictedTypes(d *dtd.DTD, set *constraint.Set) map[string]bool {
+	return scope.RestrictedTypes(d, set)
 }
 
 // ConflictingPairs returns all conflicting pairs of the specification.
-// (τ1, τ2) is conflicting iff τ1 ≠ τ2, there is a path in D from τ1 to
-// τ2, τ2 is the context type of some constraint, and some inclusion
-// with context τ1 mentions a type strictly below τ2.
 func ConflictingPairs(d *dtd.DTD, set *constraint.Set) []ConflictingPair {
-	restricted := RestrictedTypes(d, set)
-	contexts := map[string]bool{}
-	for _, k := range set.Keys {
-		contexts[normalizeContext(k.Context, d.Root)] = true
-	}
-	for _, c := range set.Incls {
-		contexts[normalizeContext(c.Context, d.Root)] = true
-	}
-	var out []ConflictingPair
-	for t1 := range restricted {
-		for t2 := range contexts {
-			if t1 == t2 || !d.HasPath(t1, t2) {
-				continue
-			}
-			for _, c := range set.Incls {
-				if normalizeContext(c.Context, d.Root) != t1 {
-					continue
-				}
-				for _, t3 := range []string{c.From.Type, c.To.Type} {
-					if t3 != t2 && d.HasPath(t2, t3) {
-						out = append(out, ConflictingPair{Outer: t1, Inner: t2, Via: c.String()})
-					}
-				}
-			}
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Outer != out[j].Outer {
-			return out[i].Outer < out[j].Outer
-		}
-		if out[i].Inner != out[j].Inner {
-			return out[i].Inner < out[j].Inner
-		}
-		return out[i].Via < out[j].Via
-	})
-	return out
+	return scope.ConflictingPairs(d, set)
 }
 
 // Hierarchical reports whether (D, Σ) ∈ HRC: the DTD is non-recursive
 // and no conflicting pair exists.
 func Hierarchical(d *dtd.DTD, set *constraint.Set) bool {
-	return !d.IsRecursive() && len(ConflictingPairs(d, set)) == 0
-}
-
-// scopeDTD builds the restricted DTD D_τ of Section 4.2. For non-root
-// scopes a fresh root type stands in for τ: τ's own attributes and any
-// τ-typed nodes belong to enclosing scopes. The document-root scope
-// keeps its own type and attributes — the root node itself
-// participates in absolute constraints that mention the root type.
-// It returns the DTD and its exit types: context types that occur
-// inside the scope as leaves.
-func scopeDTD(d *dtd.DTD, contexts map[string]bool, tau string) (*dtd.DTD, []string) {
-	rootName := scopeRootPrefix + tau
-	var rootAttrs []string
-	if tau == d.Root {
-		// The root type never occurs in content models (Definition
-		// 2.1), so no collision is possible.
-		rootName = tau
-		rootAttrs = d.Element(tau).Attrs
-	}
-	sd := dtd.New(rootName)
-	content := d.Element(tau).Content.Clone()
-	sd.Define(rootName, content, rootAttrs...)
-	var exits []string
-	seen := map[string]bool{rootName: true}
-	queue := content.Alphabet()
-	for len(queue) > 0 {
-		t := queue[0]
-		queue = queue[1:]
-		if seen[t] {
-			continue
-		}
-		seen[t] = true
-		el := d.Element(t)
-		if contexts[t] {
-			// Context types are scope boundaries: leaves here, roots
-			// of their own scope problems.
-			sd.Define(t, contentmodel.Eps(), el.Attrs...)
-			exits = append(exits, t)
-			continue
-		}
-		sd.Define(t, el.Content.Clone(), el.Attrs...)
-		queue = append(queue, el.Content.Alphabet()...)
-	}
-	sort.Strings(exits)
-	return sd, exits
+	return scope.Hierarchical(d, set)
 }
 
 // DLocality returns the largest Depth(D_τ) over the root and every
 // context type (the d of d-HRC, Theorem 4.4). The DTD must be
 // non-recursive.
 func DLocality(d *dtd.DTD, set *constraint.Set) int {
-	contexts := contextTypes(d, set)
-	best := 0
-	for tau := range scopeRoots(d, contexts) {
-		sd, _ := scopeDTD(d, contexts, tau)
-		if v := sd.Depth(); v > best {
-			best = v
-		}
-	}
-	return best
-}
-
-// contextTypes returns the context types of Σ (normalized).
-func contextTypes(d *dtd.DTD, set *constraint.Set) map[string]bool {
-	out := map[string]bool{}
-	for _, k := range set.Keys {
-		if k.Context != "" {
-			out[normalizeContext(k.Context, d.Root)] = true
-		}
-	}
-	for _, c := range set.Incls {
-		if c.Context != "" {
-			out[normalizeContext(c.Context, d.Root)] = true
-		}
-	}
-	return out
-}
-
-// scopeRoots is the root plus every context type reachable in D.
-func scopeRoots(d *dtd.DTD, contexts map[string]bool) map[string]bool {
-	out := map[string]bool{d.Root: true}
-	reach := d.Reachable()
-	for c := range contexts {
-		if reach[c] {
-			out[c] = true
-		}
-	}
-	return out
+	return scope.DLocality(d, set)
 }
 
 // checkRelative decides relative constraint sets: hierarchical
@@ -199,9 +62,9 @@ func checkRelative(d *dtd.DTD, set *constraint.Set, opts Options, res *Result) {
 		sp.SetString("reason", "recursive DTD or conflicting scope pairs")
 		bf := bruteforce.Decide(d, set, opts.BruteForce)
 		if bf.Sat() {
-			res.Verdict = Consistent
 			res.Witness = bf.Witness
 			res.WitnessVerified = true
+			res.conclude(Consistent, documentCert(bf.Witness, opts))
 			return
 		}
 		res.Verdict = Unknown
@@ -214,21 +77,26 @@ func checkRelative(d *dtd.DTD, set *constraint.Set, opts Options, res *Result) {
 		return
 	}
 	res.Method = "hierarchical scope decomposition (Theorem 4.3)"
-	h := &hierChecker{d: d, set: set, opts: opts, contexts: contextTypes(d, set), memo: map[string]hierScope{}}
+	h := &hierChecker{d: d, set: set, opts: opts, contexts: scope.ContextTypes(d, set), memo: map[string]hierScope{}}
 	root := h.scope(map[string]bool{d.Root: true}, d.Root)
 	res.Stats.Scopes = len(h.memo)
 	res.Stats.merge(h.stats)
 	sp.SetInt("scopes", int64(len(h.memo)))
 	switch {
 	case root.verdict == ilp.Sat:
-		res.Verdict = Consistent
+		res.conclude(Consistent, h.scopeCertificate())
 		if !opts.SkipWitness {
 			wsp := opts.Obs.Start("witness")
 			h.attachWitness(res)
 			wsp.End()
+			// Inexact scope encodings yield no vector certificate; a
+			// dynamically verified composed witness still certifies.
+			if res.Certificate == nil {
+				res.Certificate = documentCert(res.Witness, opts)
+			}
 		}
 	case root.verdict == ilp.Unsat:
-		res.Verdict = Inconsistent
+		res.conclude(Inconsistent, scopeRefutationCert(d, root.digest, opts))
 	default:
 		res.Verdict = Unknown
 		res.Diagnosis = "a scope sub-problem exhausted the solver budget"
@@ -247,6 +115,9 @@ type hierScope struct {
 	exits  []string
 	banned map[string]bool
 	chain  map[string]bool
+	// digest fingerprints the scope's base system (before forced-zero
+	// constants and connectivity cuts), for refutation certificates.
+	digest string
 }
 
 type hierChecker struct {
@@ -258,19 +129,10 @@ type hierChecker struct {
 	stats    Stats
 }
 
-func chainKey(chain map[string]bool, tau string) string {
-	var names []string
-	for c := range chain {
-		names = append(names, c)
-	}
-	sort.Strings(names)
-	return strings.Join(names, ",") + "|" + tau
-}
-
 // scope decides the consistency of the sub-documents rooted at τ nodes
 // reached along a chain of restricted types.
 func (h *hierChecker) scope(chain map[string]bool, tau string) hierScope {
-	key := chainKey(chain, tau)
+	key := scope.ChainKey(chain, tau)
 	if s, ok := h.memo[key]; ok {
 		return s
 	}
@@ -280,7 +142,7 @@ func (h *hierChecker) scope(chain map[string]bool, tau string) hierScope {
 	// Mark in-progress defensively (non-recursive DTDs cannot loop).
 	h.memo[key] = hierScope{verdict: ilp.Unknown}
 
-	sd, exits := scopeDTD(h.d, h.contexts, tau)
+	sd, exits := scope.DTD(h.d, h.contexts, tau)
 	// Recurse into exits first: inconsistent exits must not occur.
 	banned := map[string]bool{}
 	undecidedExit := false
@@ -299,11 +161,18 @@ func (h *hierChecker) scope(chain map[string]bool, tau string) hierScope {
 		}
 	}
 
-	local, forceZero := h.localSet(sd, chain, tau)
+	local, forceZero := scope.LocalSet(h.d, sd, h.set, chain, tau)
 	enc, err := cardinality.EncodeAbsolute(sd, local)
 	if err != nil {
 		h.memo[key] = hierScope{verdict: ilp.Unknown}
 		return h.memo[key]
+	}
+	var digest string
+	if !h.opts.SkipCertificate {
+		// Fingerprint the base system before the forced-zero constants
+		// and connectivity cuts mutate it: the certificate verifier
+		// compares against a fresh compilation of exactly this system.
+		digest = enc.Flow.Sys.Digest()
 	}
 	for e := range banned {
 		forceZero = append(forceZero, e)
@@ -323,6 +192,7 @@ func (h *hierChecker) scope(chain map[string]bool, tau string) hierScope {
 		exits:   exits,
 		banned:  banned,
 		chain:   chain,
+		digest:  digest,
 	}
 	// Unsat is exact (only provably inconsistent exits were banned).
 	// A Sat that places an exit whose own problem is Unknown is
@@ -356,7 +226,7 @@ func (h *hierChecker) exitVerdict(chain map[string]bool, e string) ilp.Verdict {
 	for c := range chain {
 		sub[c] = true
 	}
-	return h.memo[chainKey(sub, e)].verdict
+	return h.memo[scope.ChainKey(sub, e)].verdict
 }
 
 // usesUndecidedExit reports whether the satisfying assignment places
@@ -373,85 +243,60 @@ func (h *hierChecker) usesUndecidedExit(s hierScope) bool {
 	return false
 }
 
-// localSet projects Σ onto a scope: keys of any chain context whose
-// target type lives in the scope become absolute keys; inclusions with
-// context τ become absolute inclusions. It also returns types whose
-// extent must be forced to zero (inclusion sources whose target type
-// cannot occur in the scope).
-//
-// Absolute constraints (empty context) and root-relative constraints
-// differ exactly on the root type: the absolute extent of the root
-// type contains the root node, the relative one (proper descendants)
-// does not. In the root scope the root type is a scope member, so
-// absolute constraints apply to it directly, while root-relative
-// constraints targeting the root type are vacuous (keys) or
-// unsatisfiable-with-sources (inclusions).
-func (h *hierChecker) localSet(sd *dtd.DTD, chain map[string]bool, tau string) (*constraint.Set, []string) {
-	isRootScope := tau == h.d.Root
-	// inScope: does the target type have instances inside this scope?
-	// The scope-root type itself counts only in the root scope and
-	// only for absolute constraints.
-	inScope := func(t string, absolute bool) bool {
-		if sd.Element(t) == nil || strings.HasPrefix(t, scopeRootPrefix) {
-			return false
-		}
-		if t == tau {
-			return isRootScope && absolute
-		}
-		return true
+// scopeCertificate packages every satisfiable memoized scope solution
+// into a scope-vector witness certificate (the evidence behind a
+// Theorem 4.3 Consistent verdict). Only exact scope encodings can
+// certify; if any satisfiable scope's encoding is inexact the
+// certificate is omitted rather than overclaimed.
+func (h *hierChecker) scopeCertificate() *certificate.Certificate {
+	if h.opts.SkipCertificate {
+		return nil
 	}
-	local := &constraint.Set{}
-	var forceZero []string
-	for _, k := range h.set.Keys {
-		ctx := normalizeContext(k.Context, h.d.Root)
-		if !chain[ctx] || !inScope(k.Target.Type, k.Context == "") {
+	var scopes []certificate.ScopeWitness
+	for key, s := range h.memo {
+		if s.verdict != ilp.Sat || s.vals == nil || s.enc == nil {
 			continue
 		}
-		local.AddKey(constraint.Key{Target: constraint.Target{Type: k.Target.Type, Attrs: k.Target.Attrs}})
-	}
-	for _, c := range h.set.Incls {
-		ctx := normalizeContext(c.Context, h.d.Root)
-		if ctx != tau {
-			continue
+		if !s.enc.Exact {
+			return nil
 		}
-		absolute := c.Context == ""
-		fromIn, toIn := inScope(c.From.Type, absolute), inScope(c.To.Type, absolute)
-		switch {
-		case !fromIn:
-			// No sources in this scope: vacuous.
-		case fromIn && !toIn:
-			// Sources can never find a target: they must be absent.
-			forceZero = append(forceZero, c.From.Type)
-		default:
-			local.AddInclusion(constraint.Inclusion{
-				From: constraint.Target{Type: c.From.Type, Attrs: c.From.Attrs},
-				To:   constraint.Target{Type: c.To.Type, Attrs: c.To.Attrs},
-			})
-			// The paired key must exist locally too.
-			local.AddKey(constraint.Key{Target: constraint.Target{Type: c.To.Type, Attrs: c.To.Attrs}})
-		}
+		scopes = append(scopes, certificate.ScopeWitness{
+			Key:    key,
+			Type:   keyTau(key),
+			Chain:  chainNames(s.chain),
+			Vector: s.enc.Flow.Sys.NamedValues(s.vals),
+		})
 	}
-	return dedupSet(local), forceZero
+	sort.Slice(scopes, func(i, j int) bool { return scopes[i].Key < scopes[j].Key })
+	return certificate.FromScopeVectors(scopes)
 }
 
-// dedupSet removes duplicate constraints (projection can repeat them).
-func dedupSet(s *constraint.Set) *constraint.Set {
-	out := &constraint.Set{}
-	seenK := map[string]bool{}
-	for _, k := range s.Keys {
-		if !seenK[k.String()] {
-			seenK[k.String()] = true
-			out.AddKey(k)
+// scopeRefutationCert pins the infeasible root scope problem.
+func scopeRefutationCert(d *dtd.DTD, digest string, opts Options) *certificate.Certificate {
+	if opts.SkipCertificate || digest == "" {
+		return nil
+	}
+	return certificate.FromScopeRefutation(
+		scope.ChainKey(map[string]bool{d.Root: true}, d.Root), digest)
+}
+
+func chainNames(chain map[string]bool) []string {
+	names := make([]string, 0, len(chain))
+	for c := range chain {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// keyTau extracts the τ component of a ChainKey.
+func keyTau(key string) string {
+	for i := len(key) - 1; i >= 0; i-- {
+		if key[i] == '|' {
+			return key[i+1:]
 		}
 	}
-	seenI := map[string]bool{}
-	for _, c := range s.Incls {
-		if !seenI[c.String()] {
-			seenI[c.String()] = true
-			out.AddInclusion(c)
-		}
-	}
-	return out
+	return key
 }
 
 // attachWitness composes the per-scope witnesses into one document
@@ -464,7 +309,7 @@ func (h *hierChecker) attachWitness(res *Result) {
 	instance := 0
 	var build func(chain map[string]bool, tau string) (*xmltree.Node, bool)
 	build = func(chain map[string]bool, tau string) (*xmltree.Node, bool) {
-		s := h.memo[chainKey(chain, tau)]
+		s := h.memo[scope.ChainKey(chain, tau)]
 		if s.verdict != ilp.Sat || s.vals == nil {
 			return nil, false
 		}

@@ -19,6 +19,8 @@ package ilp
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 	"sort"
 	"strings"
 )
@@ -249,6 +251,60 @@ func (s *System) formatTerms(terms []Term) string {
 		}
 	}
 	return b.String()
+}
+
+// NamedValues renders a solver assignment as a name → value map, the
+// portable form a certificate carries: it survives re-encoding because
+// variable names (not indices) are the stable coordinates of a
+// deterministically rebuilt system.
+func (s *System) NamedValues(vals []int64) map[string]int64 {
+	out := make(map[string]int64, len(vals))
+	for i, v := range vals {
+		if i < len(s.names) {
+			out[s.names[i]] = v
+		}
+	}
+	return out
+}
+
+// EvalNamed checks a name-keyed assignment against every constraint.
+// Every variable of the system must be present in the map; extra names
+// are rejected so a certificate cannot smuggle values for variables
+// the system never constrained.
+func (s *System) EvalNamed(vec map[string]int64) error {
+	if len(vec) != len(s.names) {
+		return fmt.Errorf("ilp: assignment names %d variables, system has %d", len(vec), len(s.names))
+	}
+	vals := make([]int64, len(s.names))
+	for name, v := range vec {
+		id, ok := s.byName[name]
+		if !ok {
+			return fmt.Errorf("ilp: assignment names unknown variable %q", name)
+		}
+		vals[id] = v
+	}
+	return s.Eval(vals)
+}
+
+// Digest fingerprints the system: variable count plus an FNV-1a hash
+// of its canonical rendering (which includes variable names, so two
+// systems agree only when they constrain the same named variables the
+// same way). The rendering is canonicalized by sorting constraint
+// lines: term order within a constraint is already normalized, but
+// encoders may emit whole constraints in map-iteration order, and the
+// digest must identify the constraint *set*, not one insertion order.
+// Refutation certificates carry the digest of the system the solver
+// found infeasible; the verifier recompiles the encoding and checks
+// the fingerprints match.
+func (s *System) Digest() string {
+	lines := strings.Split(strings.TrimRight(s.String(), "\n"), "\n")
+	sort.Strings(lines)
+	h := fnv.New64a()
+	for _, l := range lines {
+		io.WriteString(h, l)
+		io.WriteString(h, "\n")
+	}
+	return fmt.Sprintf("v%d-%016x", len(s.names), h.Sum64())
 }
 
 // Eval checks a full assignment against every constraint and returns

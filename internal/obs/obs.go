@@ -45,15 +45,22 @@ type Recorder struct {
 	hists    map[string]*Histogram
 	// now is the clock, swappable in tests.
 	now func() time.Time
+	// epoch anchors event timestamps (µs offsets); EnableEvents resets
+	// it so a fake clock installed after New still yields sane offsets.
+	epoch time.Time
+	// events is the bounded ring sink, nil until EnableEvents.
+	events *eventRing
 }
 
 // New returns an enabled Recorder.
 func New() *Recorder {
-	return &Recorder{
+	r := &Recorder{
 		counters: map[string]int64{},
 		hists:    map[string]*Histogram{},
 		now:      time.Now,
 	}
+	r.epoch = r.now()
+	return r
 }
 
 // SetClock replaces the recorder's time source (tests only).
@@ -111,6 +118,9 @@ func (r *Recorder) Start(name string) *Span {
 		r.roots = append(r.roots, sp)
 	}
 	r.stack = append(r.stack, sp)
+	if r.events != nil {
+		r.events.append(Event{Phase: 'B', Name: name, Cat: category(name), TS: sp.start.Sub(r.epoch).Microseconds()})
+	}
 	return sp
 }
 
@@ -136,6 +146,7 @@ func (s *Span) End() {
 		if !sp.ended {
 			sp.ended = true
 			sp.duration = end.Sub(sp.start)
+			r.emitEnd(sp, end)
 		}
 		if sp == s {
 			return
@@ -145,6 +156,21 @@ func (s *Span) End() {
 	// just fix its duration.
 	s.ended = true
 	s.duration = end.Sub(s.start)
+	r.emitEnd(s, end)
+}
+
+// emitEnd appends a span-close event to the ring (caller holds mu).
+func (r *Recorder) emitEnd(s *Span, end time.Time) {
+	if r.events == nil {
+		return
+	}
+	r.events.append(Event{
+		Phase: 'E',
+		Name:  s.Name,
+		Cat:   category(s.Name),
+		TS:    end.Sub(r.epoch).Microseconds(),
+		Args:  append([]Attr(nil), s.Attrs...),
+	})
 }
 
 // SetInt annotates the span with an integer attribute.
@@ -265,6 +291,7 @@ type snapshot struct {
 type spanCopy struct {
 	name     string
 	attrs    []Attr
+	startUS  int64
 	duration time.Duration
 	children []*spanCopy
 }
@@ -292,6 +319,7 @@ func (r *Recorder) snapshot() snapshot {
 		out := &spanCopy{
 			name:     s.Name,
 			attrs:    append([]Attr(nil), s.Attrs...),
+			startUS:  s.start.Sub(r.epoch).Microseconds(),
 			duration: d,
 		}
 		for _, c := range s.children {

@@ -1,4 +1,4 @@
-// Package main implements the repository's custom vet passes. The two
+// Package main implements the repository's custom vet passes. The
 // analyses encode invariants the compiler cannot see:
 //
 // verdictswitch: a switch over any named type called "Verdict" must
@@ -13,6 +13,13 @@
 // and obs.Span must begin with a nil-receiver guard, and code outside
 // internal/obs must never read a struct field off a Recorder or Span
 // value (methods are nil-safe, field selections are not).
+//
+// certattach: inside repro/internal/consistency, every definitive
+// verdict must carry its provenance. Writing Consistent or
+// Inconsistent into Result.Verdict outside the conclude method — or
+// building a keyed Result literal with a definitive Verdict and no
+// Certificate — bypasses the certificate plumbing and ships a verdict
+// a caller cannot independently re-check.
 package main
 
 import (
@@ -35,6 +42,7 @@ func analyze(pkgPath string, files []*ast.File, info *types.Info) []diagnostic {
 	var out []diagnostic
 	out = append(out, checkVerdictSwitches(files, info)...)
 	out = append(out, checkObsNil(pkgPath, files, info)...)
+	out = append(out, checkCertAttach(pkgPath, files, info)...)
 	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
 	return out
 }
@@ -218,6 +226,127 @@ func checkObsFieldUse(files []*ast.File, info *types.Info) []diagnostic {
 			}
 			return true
 		})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- //
+// certattach
+
+// consistencyPath matches only the real package, not its test
+// variants ("repro/internal/consistency [....test]"): test files may
+// build Result values directly.
+const consistencyPath = "repro/internal/consistency"
+
+// definitiveVerdict reports whether e names the Consistent or
+// Inconsistent constant of the consistency package.
+func definitiveVerdict(e ast.Expr, info *types.Info) bool {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	var obj types.Object
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj = info.Uses[x]
+	case *ast.SelectorExpr:
+		obj = info.Uses[x.Sel]
+	default:
+		return false
+	}
+	c, ok := obj.(*types.Const)
+	if !ok || c.Pkg() == nil || c.Pkg().Path() != consistencyPath {
+		return false
+	}
+	return c.Name() == "Consistent" || c.Name() == "Inconsistent"
+}
+
+// isConsistencyResult reports whether t is (a pointer to) the
+// consistency package's Result type.
+func isConsistencyResult(t types.Type) bool {
+	named := namedType(t)
+	return named != nil && named.Obj().Name() == "Result" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == consistencyPath
+}
+
+// checkCertAttach flags definitive-verdict writes that bypass the
+// conclude gateway inside the consistency package itself.
+func checkCertAttach(pkgPath string, files []*ast.File, info *types.Info) []diagnostic {
+	if pkgPath != consistencyPath {
+		return nil
+	}
+	var out []diagnostic
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			inConclude := fn.Recv != nil && fn.Name.Name == "conclude"
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.AssignStmt:
+					if inConclude {
+						return true
+					}
+					for i, lhs := range x.Lhs {
+						if i >= len(x.Rhs) {
+							break
+						}
+						sel, ok := lhs.(*ast.SelectorExpr)
+						if !ok || sel.Sel.Name != "Verdict" {
+							continue
+						}
+						s := info.Selections[sel]
+						if s == nil || s.Kind() != types.FieldVal || !isConsistencyResult(s.Recv()) {
+							continue
+						}
+						if definitiveVerdict(x.Rhs[i], info) {
+							out = append(out, diagnostic{
+								Pos: sel.Sel.Pos(),
+								Msg: "definitive verdict assigned to Result.Verdict without a certificate; use (*Result).conclude",
+							})
+						}
+					}
+				case *ast.CompositeLit:
+					if !isConsistencyResult(info.TypeOf(x)) {
+						return true
+					}
+					var definitive bool
+					var hasCert bool
+					var pos token.Pos
+					for _, elt := range x.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						key, ok := kv.Key.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						switch key.Name {
+						case "Verdict":
+							if definitiveVerdict(kv.Value, info) {
+								definitive = true
+								pos = key.Pos()
+							}
+						case "Certificate":
+							hasCert = true
+						}
+					}
+					if definitive && !hasCert {
+						out = append(out, diagnostic{
+							Pos: pos,
+							Msg: "Result literal carries a definitive verdict but no Certificate; use (*Result).conclude",
+						})
+					}
+				}
+				return true
+			})
+		}
 	}
 	return out
 }

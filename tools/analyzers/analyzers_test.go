@@ -273,3 +273,90 @@ func f(r *obs.Recorder) int { return r.Hits }
 		t.Fatalf("obs test variant flagged: %v", msgs(ds))
 	}
 }
+
+func TestCertAttach(t *testing.T) {
+	const prologue = `package consistency
+
+type Verdict int
+
+const (
+	Unknown Verdict = iota
+	Consistent
+	Inconsistent
+)
+
+type Certificate struct{}
+
+type Result struct {
+	Verdict     Verdict
+	Certificate *Certificate
+}
+
+func (r *Result) conclude(v Verdict, c *Certificate) {
+	r.Verdict = v
+	r.Certificate = c
+}
+`
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"conclude-is-exempt", ``, 0},
+		{"direct-assignment", `
+func f(r *Result) {
+	r.Verdict = Consistent
+}`, 1},
+		{"assignment-via-value", `
+func f() Result {
+	var r Result
+	r.Verdict = Inconsistent
+	return r
+}`, 1},
+		{"unknown-assignment-ok", `
+func f(r *Result) {
+	r.Verdict = Unknown
+}`, 0},
+		{"variable-rhs-not-flagged", `
+func f(r *Result, v Verdict) {
+	r.Verdict = v
+}`, 0},
+		{"literal-without-cert", `
+func f() Result {
+	return Result{Verdict: Consistent}
+}`, 1},
+		{"literal-with-cert", `
+func f(c *Certificate) Result {
+	return Result{Verdict: Inconsistent, Certificate: c}
+}`, 0},
+		{"literal-unknown-ok", `
+func f() Result {
+	return Result{Verdict: Unknown}
+}`, 0},
+		{"other-struct-ignored", `
+type Other struct{ Verdict Verdict }
+
+func f() Other {
+	return Other{Verdict: Consistent}
+}`, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ds := checkPkg(t, "repro/internal/consistency", prologue+tc.body, nil)
+			if len(ds) != tc.want {
+				t.Errorf("got %d diagnostics, want %d: %v", len(ds), tc.want, msgs(ds))
+			}
+		})
+	}
+	// The same source outside the consistency package (or in its test
+	// variant) is not the analyzer's business.
+	for _, path := range []string{"repro/internal/other", "repro/internal/consistency [repro/internal/consistency.test]"} {
+		src := prologue + `
+func f(r *Result) {
+	r.Verdict = Consistent
+}`
+		if ds := checkPkg(t, path, src, nil); len(ds) != 0 {
+			t.Errorf("%s: got %v, want none", path, msgs(ds))
+		}
+	}
+}

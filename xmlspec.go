@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/bruteforce"
+	"repro/internal/certificate"
 	"repro/internal/consistency"
 	"repro/internal/constraint"
 	"repro/internal/docgen"
@@ -132,6 +133,9 @@ type Options struct {
 	// SkipLint disables the static-analysis prepass that short-circuits
 	// to Inconsistent when a sound speclint rule fires.
 	SkipLint bool
+	// SkipCertificate disables verdict-provenance construction:
+	// definitive verdicts come back without a checkable certificate.
+	SkipCertificate bool
 }
 
 func (o *Options) internal(rec *obs.Recorder) consistency.Options {
@@ -149,6 +153,7 @@ func (o *Options) internal(rec *obs.Recorder) consistency.Options {
 		BruteForce:      bruteforce.Options{MaxNodes: o.SearchNodes},
 		Obs:             rec,
 		SkipLint:        o.SkipLint,
+		SkipCertificate: o.SkipCertificate,
 	}
 }
 
@@ -180,9 +185,18 @@ type Result struct {
 	Witness string
 	// Diagnosis explains Unknown verdicts and missing witnesses.
 	Diagnosis string
+	// Certificate is the verdict's checkable provenance: a witness for
+	// Consistent, a refutation for Inconsistent, nil for Unknown or
+	// under SkipCertificate. VerifyCertificate re-checks it against the
+	// specification without re-running any solver.
+	Certificate *Certificate
 	// Stats reports solver effort.
 	Stats Stats
 }
+
+// Certificate is the provenance record attached to definitive
+// verdicts (see internal/certificate).
+type Certificate = certificate.Certificate
 
 // Consistent statically checks the specification. opts may be nil.
 func (s *Spec) Consistent(opts *Options) (Result, error) {
@@ -192,11 +206,16 @@ func (s *Spec) Consistent(opts *Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	return convertResult(res), nil
+}
+
+func convertResult(res consistency.Result) Result {
 	out := Result{
-		Verdict:   Verdict(res.Verdict),
-		Class:     res.Class,
-		Method:    res.Method,
-		Diagnosis: res.Diagnosis,
+		Verdict:     Verdict(res.Verdict),
+		Class:       res.Class,
+		Method:      res.Method,
+		Diagnosis:   res.Diagnosis,
+		Certificate: res.Certificate,
 		Stats: Stats{
 			SolverNodes:  res.Stats.ILPNodes,
 			Cuts:         res.Stats.Cuts,
@@ -211,7 +230,45 @@ func (s *Spec) Consistent(opts *Options) (Result, error) {
 	if res.Witness != nil && res.WitnessVerified {
 		out.Witness = res.Witness.XML()
 	}
-	return out, nil
+	return out
+}
+
+// VerifyCertificate independently re-checks a certificate against the
+// specification: witness vectors are re-evaluated against the freshly
+// compiled (in)equalities, witness documents re-validated, and lint
+// refutations re-fired — with no solver invocation anywhere. A nil
+// error means the certificate establishes its verdict on its own.
+func (s *Spec) VerifyCertificate(cert *Certificate) error {
+	return certificate.Verify(s.dtd, s.set, cert)
+}
+
+// Report is a Result together with the span timeline of the check
+// that produced it — the programmatic equivalent of running a CLI
+// with -trace-out.
+type Report struct {
+	Result
+	// Spans is the flat pre-order span timeline (slash-joined paths,
+	// microsecond offsets) recorded during this check.
+	Spans []obs.SpanInfo
+}
+
+// CheckWithReport is Consistent plus provenance: it records the check
+// into the attached observer (or a private recorder when none is
+// attached) and returns the verdict, certificate, stats, and span
+// timeline together. With an attached observer the report's spans
+// include everything that observer has recorded so far.
+func (s *Spec) CheckWithReport(opts *Options) (Report, error) {
+	rec := s.obs
+	if rec == nil {
+		rec = obs.New()
+	}
+	sp := rec.Start("xmlspec.check")
+	res, err := consistency.Check(s.dtd, s.set, opts.internal(rec))
+	sp.End()
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{Result: convertResult(res), Spans: rec.Spans()}, nil
 }
 
 // Finding is one static-analysis diagnostic about the specification
