@@ -2,13 +2,13 @@ GO ?= go
 
 ANALYZERS := bin/analyzers
 
-.PHONY: check build vet test race fmt bench lint bench-journal
+.PHONY: check build vet test race fmt bench lint bench-journal serve-smoke
 
 # The full pre-commit gate: formatting, vet (including the custom
-# analyzers and the spec linter), build, and the race-enabled test
-# suite. -short keeps the long soak tests out; run `make test` for the
-# unabridged suite.
-check: fmt vet lint build race
+# analyzers and the spec linter), build, the race-enabled test suite,
+# and the end-to-end daemon smoke test. -short keeps the long soak
+# tests out; run `make test` for the unabridged suite.
+check: fmt vet lint build race serve-smoke
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,16 @@ fmt:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# serve-smoke builds xmlconsistd, starts it on a random port, and
+# drives the whole serving surface end to end: /healthz, /check with a
+# consistent and an inconsistent spec, a 1ms-deadline check that must
+# abort with a deadline error, and a line-by-line validation of the
+# /metrics Prometheus exposition — then SIGTERMs the daemon and
+# requires a clean exit.
+serve-smoke:
+	$(GO) build -o bin/xmlconsistd ./cmd/xmlconsistd
+	$(GO) run ./tools/servesmoke -bin bin/xmlconsistd
 
 # bench-journal appends one timed run of the core benchmark families
 # to the day's BENCH_<date>.json (schema repro-bench/v1), recording

@@ -1,0 +1,73 @@
+package xmlspec_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	xmlspec "repro"
+	"repro/internal/experiments"
+)
+
+// slowSpec returns a CNF-reduction spec whose consistency check takes
+// well over a millisecond (the n=4 variant already runs ~2ms; search
+// cost grows exponentially in n).
+func slowSpec(t *testing.T) *xmlspec.Spec {
+	t.Helper()
+	in := experiments.Fig3Unary(rand.New(rand.NewSource(7)), 16)
+	s, err := xmlspec.Parse(in.D.String(), in.Set.String())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return s
+}
+
+func TestSpecCheckContextDeadline(t *testing.T) {
+	s := slowSpec(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := s.CheckContext(ctx, nil)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatalf("CheckContext returned a verdict despite a 1ms deadline")
+	}
+	if !xmlspec.Aborted(err) {
+		t.Fatalf("Aborted(%v) = false", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("errors.Is(%v, context.DeadlineExceeded) = false", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("check took %v after a 1ms deadline, want prompt abort", elapsed)
+	}
+}
+
+func TestSpecCheckContextCanceled(t *testing.T) {
+	s := xmlspec.MustParse(
+		`<!ELEMENT db (a*)> <!ELEMENT a EMPTY> <!ATTLIST a k CDATA #REQUIRED>`,
+		`a.k -> a`,
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.CheckContext(ctx, nil)
+	if err == nil || !xmlspec.Aborted(err) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled CheckContext: err = %v, want abort wrapping context.Canceled", err)
+	}
+}
+
+func TestSpecCheckContextBackground(t *testing.T) {
+	s := xmlspec.MustParse(
+		`<!ELEMENT db (a*)> <!ELEMENT a EMPTY> <!ATTLIST a k CDATA #REQUIRED>`,
+		`a.k -> a`,
+	)
+	res, err := s.CheckContext(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("CheckContext: %v", err)
+	}
+	if res.Verdict != xmlspec.Consistent {
+		t.Fatalf("verdict = %v, want Consistent", res.Verdict)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/benchjournal"
@@ -222,6 +223,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout)
 		runRec.Entries = append(runRec.Entries, entry)
 	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	runRec.Goroutines = runtime.NumGoroutine()
+	runRec.GCCycles = ms.NumGC
 	if err := benchjournal.Append(path, runRec); err != nil {
 		fmt.Fprintln(stderr, "benchjournal:", err)
 		return 3

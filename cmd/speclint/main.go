@@ -27,7 +27,6 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/constraint"
 	"repro/internal/dtd"
-	"repro/internal/obs"
 	"repro/internal/speclint"
 )
 
@@ -44,26 +43,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut  = fs.Bool("json", false, "emit a single JSON object instead of text")
 		rules    = fs.Bool("rules", false, "print the rule table and exit")
 		minSev   = fs.String("min-severity", "info", "lowest severity to report: info, warning or error")
-		trace    = fs.Bool("trace", false, "print a span trace of the analysis to stderr")
-		traceOut = fs.String("trace-out", "", "write a Chrome trace-event JSON file (JSONL if the path ends in .jsonl)")
-		metrics  = fs.Bool("metrics", false, "emit metrics as JSON lines on stderr after the report")
-		version  = fs.Bool("version", false, "print version information and exit")
 	)
+	ob := cliutil.RegisterObs(fs, "speclint", "the analysis")
 	if err := fs.Parse(args); err != nil {
 		return 3
 	}
-	if *version {
-		fmt.Fprintln(stdout, cliutil.VersionString("speclint"))
+	if ob.HandleVersion(stdout) {
 		return 0
 	}
-	var traceFile *os.File
-	if *traceOut != "" {
-		var err error
-		traceFile, err = cliutil.OpenTraceFile(*traceOut)
-		if err != nil {
-			fmt.Fprintln(stderr, "speclint:", err)
-			return 3
-		}
+	if err := ob.Init(false); err != nil {
+		fmt.Fprintln(stderr, "speclint:", err)
+		return 3
 	}
 	if *rules {
 		printRules(stdout)
@@ -105,14 +95,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 3
 	}
 
-	var rec *obs.Recorder
-	if *trace || *metrics || traceFile != nil {
-		rec = obs.New()
-		if traceFile != nil {
-			rec.EnableEvents(0)
-		}
-	}
-	rep := speclint.Run(d, set, rec)
+	rep := speclint.Run(d, set, ob.Recorder)
 
 	var shown []speclint.Diagnostic
 	for _, diag := range rep.Diags {
@@ -150,23 +133,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	if *trace {
-		if err := rec.WriteTree(stderr); err != nil {
-			fmt.Fprintln(stderr, "speclint:", err)
-			return 3
-		}
-	}
-	if *metrics {
-		if err := rec.WriteJSON(stderr); err != nil {
-			fmt.Fprintln(stderr, "speclint:", err)
-			return 3
-		}
-	}
-	if traceFile != nil {
-		if err := cliutil.WriteTrace(traceFile, rec); err != nil {
-			fmt.Fprintln(stderr, "speclint:", err)
-			return 3
-		}
+	if err := ob.Finish(stderr); err != nil {
+		fmt.Fprintln(stderr, "speclint:", err)
+		return 3
 	}
 
 	if errs > 0 {

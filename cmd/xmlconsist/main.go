@@ -29,7 +29,6 @@ import (
 
 	xmlspec "repro"
 	"repro/internal/cliutil"
-	"repro/internal/obs"
 )
 
 func main() {
@@ -51,28 +50,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut     = fs.Bool("json", false, "emit a single JSON object instead of text")
 		sample      = fs.Int("sample", 0, "additionally generate N random valid documents (text mode only)")
 		sampleNodes = fs.Int("sample-nodes", 30, "soft element bound per sampled document")
-		trace       = fs.Bool("trace", false, "print a span trace of the check to stderr")
-		traceOut    = fs.String("trace-out", "", "write a Chrome trace-event JSON file (JSONL if the path ends in .jsonl)")
-		metrics     = fs.Bool("metrics", false, "emit metrics as JSON lines on stderr after the report")
 		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = fs.String("memprofile", "", "write a heap profile to this file")
-		version     = fs.Bool("version", false, "print version information and exit")
 	)
+	ob := cliutil.RegisterObs(fs, "xmlconsist", "the check")
 	if err := fs.Parse(args); err != nil {
 		return 3
 	}
-	if *version {
-		fmt.Fprintln(stdout, cliutil.VersionString("xmlconsist"))
+	if ob.HandleVersion(stdout) {
 		return 0
 	}
-	var traceFile *os.File
-	if *traceOut != "" {
-		var err error
-		traceFile, err = cliutil.OpenTraceFile(*traceOut)
-		if err != nil {
-			fmt.Fprintln(stderr, "xmlconsist:", err)
-			return 3
-		}
+	if err := ob.Init(*explain); err != nil {
+		fmt.Fprintln(stderr, "xmlconsist:", err)
+		return 3
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -127,12 +117,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "xmlconsist:", err)
 		return 3
 	}
-	var rec *obs.Recorder
-	if *trace || *metrics || *explain || traceFile != nil {
-		rec = obs.New()
-		if traceFile != nil {
-			rec.EnableEvents(0)
-		}
+	rec := ob.Recorder
+	if rec != nil {
 		spec.SetObserver(rec)
 	}
 
@@ -267,23 +253,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	if *trace {
-		if err := rec.WriteTree(stderr); err != nil {
-			fmt.Fprintln(stderr, "xmlconsist:", err)
-			return 3
-		}
-	}
-	if *metrics {
-		if err := rec.WriteJSON(stderr); err != nil {
-			fmt.Fprintln(stderr, "xmlconsist:", err)
-			return 3
-		}
-	}
-	if traceFile != nil {
-		if err := cliutil.WriteTrace(traceFile, rec); err != nil {
-			fmt.Fprintln(stderr, "xmlconsist:", err)
-			return 3
-		}
+	if err := ob.Finish(stderr); err != nil {
+		fmt.Fprintln(stderr, "xmlconsist:", err)
+		return 3
 	}
 
 	switch res.Verdict {

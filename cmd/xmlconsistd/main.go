@@ -1,0 +1,124 @@
+// Command xmlconsistd serves the consistency checker over HTTP with
+// live telemetry:
+//
+//	xmlconsistd -addr :8080 -deadline 30s -max-inflight 8 -trace-dir traces/
+//
+// Endpoints: POST /check (specification in, verdict + certificate +
+// stats out), GET /metrics (Prometheus text exposition), GET /healthz,
+// and optional /debug/pprof (-pprof). SIGINT/SIGTERM trigger a
+// graceful shutdown that lets in-flight checks finish (bounded by
+// -deadline) before the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment abstracted so tests can drive the
+// daemon in-process. It returns the process exit code.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xmlconsistd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "localhost:8080", "listen address (host:port; :0 picks a free port)")
+	deadline := fs.Duration("deadline", 30*time.Second, "per-check deadline (0 disables)")
+	maxInflight := fs.Int("max-inflight", 0, "maximum concurrent checks, excess rejected with 429 (0: unlimited)")
+	traceDir := fs.String("trace-dir", "", "directory for per-request Chrome trace files (empty: no traces)")
+	pprofFlag := fs.Bool("pprof", false, "mount /debug/pprof")
+	version := fs.Bool("version", false, "print version and exit")
+	if err := fs.Parse(args); err != nil {
+		return 3
+	}
+	if *version {
+		fmt.Fprintln(stdout, cliutil.VersionString("xmlconsistd"))
+		return 0
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "xmlconsistd: unexpected arguments:", fs.Args())
+		return 3
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(stderr, "xmlconsistd:", err)
+			return 3
+		}
+	}
+
+	logger := slog.New(slog.NewTextHandler(stderr, nil))
+	srv := server.NewServer(server.Config{
+		Registry:    telemetry.NewRegistry(""),
+		Deadline:    *deadline,
+		MaxInflight: *maxInflight,
+		TraceDir:    *traceDir,
+		Logger:      logger,
+		Pprof:       *pprofFlag,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "xmlconsistd:", err)
+		return 3
+	}
+	// Printed after the listener is live so scripts (and the smoke
+	// test) can wait for this line, then scrape the bound address —
+	// which matters with -addr :0.
+	fmt.Fprintf(stdout, "xmlconsistd: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(stderr, "xmlconsistd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	logger.Info("shutting down", "reason", ctx.Err())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace(*deadline))
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(stderr, "xmlconsistd: shutdown:", err)
+		return 1
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(stderr, "xmlconsistd:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "xmlconsistd: bye")
+	return 0
+}
+
+// shutdownGrace bounds how long a graceful shutdown waits for
+// in-flight checks: slightly past the per-check deadline, or five
+// seconds when checks are unbounded.
+func shutdownGrace(deadline time.Duration) time.Duration {
+	if deadline > 0 {
+		return deadline + time.Second
+	}
+	return 5 * time.Second
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a bytes.Buffer safe for the daemon goroutine and the
+// test to share.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (sb *syncBuffer) Write(p []byte) (int, error) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.Write(p)
+}
+
+func (sb *syncBuffer) String() string {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (http://[^\s]+)`)
+
+// startDaemon runs the daemon on a free port and returns its base URL
+// and a shutdown func that asserts a clean exit.
+func startDaemon(t *testing.T, extraArgs ...string) (string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	stdout := &syncBuffer{}
+	args := append([]string{"-addr", "127.0.0.1:0", "-deadline", "5s"}, extraArgs...)
+	done := make(chan int, 1)
+	go func() { done <- run(ctx, args, stdout, io.Discard) }()
+
+	var url string
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if m := listenRE.FindStringSubmatch(stdout.String()); m != nil {
+			url = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon did not announce its address; stdout: %q", stdout.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return url, func() {
+		cancel()
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Errorf("daemon exit code = %d, want 0", code)
+			}
+		case <-time.After(10 * time.Second):
+			t.Errorf("daemon did not shut down")
+		}
+	}
+}
+
+func TestDaemonServesAndShutsDown(t *testing.T) {
+	url, shutdown := startDaemon(t)
+	defer shutdown()
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status = %d", resp.StatusCode)
+	}
+
+	body := `{"dtd": "<!ELEMENT db (a*)> <!ELEMENT a EMPTY> <!ATTLIST a k CDATA #REQUIRED>", "constraints": "a.k -> a"}`
+	resp2, err := http.Post(url+"/check", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /check: %v", err)
+	}
+	defer resp2.Body.Close()
+	var cr struct {
+		Verdict string `json:"verdict"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&cr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if cr.Verdict != "consistent" {
+		t.Fatalf("verdict = %q, want consistent", cr.Verdict)
+	}
+}
+
+func TestDaemonVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	if code := run(context.Background(), []string{"-version"}, &out, io.Discard); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.HasPrefix(out.String(), "xmlconsistd:") {
+		t.Fatalf("version output = %q", out.String())
+	}
+}
+
+func TestDaemonUsageErrors(t *testing.T) {
+	if code := run(context.Background(), []string{"-bogus"}, io.Discard, io.Discard); code != 3 {
+		t.Fatalf("unknown flag exit = %d, want 3", code)
+	}
+	if code := run(context.Background(), []string{"stray"}, io.Discard, io.Discard); code != 3 {
+		t.Fatalf("stray arg exit = %d, want 3", code)
+	}
+}

@@ -20,7 +20,6 @@ import (
 
 	xmlspec "repro"
 	"repro/internal/cliutil"
-	"repro/internal/obs"
 )
 
 func main() {
@@ -36,26 +35,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		count    = fs.Int("n", 1, "number of documents to generate")
 		nodes    = fs.Int("nodes", 30, "soft element bound per document")
 		seed     = fs.Int64("seed", 1, "random seed (fixed seed ⇒ reproducible output)")
-		trace    = fs.Bool("trace", false, "print a span trace of the generation to stderr")
-		traceOut = fs.String("trace-out", "", "write a Chrome trace-event JSON file (JSONL if the path ends in .jsonl)")
-		metrics  = fs.Bool("metrics", false, "emit metrics as JSON lines on stderr (stdout carries the documents)")
-		version  = fs.Bool("version", false, "print version information and exit")
 	)
+	ob := cliutil.RegisterObs(fs, "xmlgen", "the generation")
 	if err := fs.Parse(args); err != nil {
 		return 3
 	}
-	if *version {
-		fmt.Fprintln(stdout, cliutil.VersionString("xmlgen"))
+	if ob.HandleVersion(stdout) {
 		return 0
 	}
-	var traceFile *os.File
-	if *traceOut != "" {
-		var err error
-		traceFile, err = cliutil.OpenTraceFile(*traceOut)
-		if err != nil {
-			fmt.Fprintln(stderr, "xmlgen:", err)
-			return 3
-		}
+	if err := ob.Init(false); err != nil {
+		fmt.Fprintln(stderr, "xmlgen:", err)
+		return 3
 	}
 	if *dtdPath == "" || *count < 1 {
 		fmt.Fprintln(stderr, "xmlgen: -dtd is required and -n must be ≥ 1")
@@ -80,12 +70,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "xmlgen:", err)
 		return 3
 	}
-	var rec *obs.Recorder
-	if *trace || *metrics || traceFile != nil {
-		rec = obs.New()
-		if traceFile != nil {
-			rec.EnableEvents(0)
-		}
+	rec := ob.Recorder
+	if rec != nil {
 		spec.SetObserver(rec)
 	}
 	docs, err := spec.Sample(*count, &xmlspec.SampleOptions{MaxNodes: *nodes, Seed: *seed})
@@ -99,23 +85,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprint(stdout, doc)
 	}
-	if *trace {
-		if err := rec.WriteTree(stderr); err != nil {
-			fmt.Fprintln(stderr, "xmlgen:", err)
-			return 3
-		}
-	}
-	if *metrics {
-		if err := rec.WriteJSON(stderr); err != nil {
-			fmt.Fprintln(stderr, "xmlgen:", err)
-			return 3
-		}
-	}
-	if traceFile != nil {
-		if err := cliutil.WriteTrace(traceFile, rec); err != nil {
-			fmt.Fprintln(stderr, "xmlgen:", err)
-			return 3
-		}
+	if err := ob.Finish(stderr); err != nil {
+		fmt.Fprintln(stderr, "xmlgen:", err)
+		return 3
 	}
 	return 0
 }

@@ -19,7 +19,6 @@ import (
 
 	xmlspec "repro"
 	"repro/internal/cliutil"
-	"repro/internal/obs"
 )
 
 func main() {
@@ -33,26 +32,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		dtdPath  = fs.String("dtd", "", "path to the DTD file (required)")
 		consPath = fs.String("constraints", "", "path to the constraints file (optional)")
 		stream   = fs.Bool("stream", false, "validate in one streaming pass (constant memory in document size)")
-		trace    = fs.Bool("trace", false, "print a span trace of the validation to stderr")
-		traceOut = fs.String("trace-out", "", "write a Chrome trace-event JSON file (JSONL if the path ends in .jsonl)")
-		metrics  = fs.Bool("metrics", false, "emit metrics as JSON lines on stderr after the report")
-		version  = fs.Bool("version", false, "print version information and exit")
 	)
+	ob := cliutil.RegisterObs(fs, "xmlvalid", "the validation")
 	if err := fs.Parse(args); err != nil {
 		return 3
 	}
-	if *version {
-		fmt.Fprintln(stdout, cliutil.VersionString("xmlvalid"))
+	if ob.HandleVersion(stdout) {
 		return 0
 	}
-	var traceFile *os.File
-	if *traceOut != "" {
-		var err error
-		traceFile, err = cliutil.OpenTraceFile(*traceOut)
-		if err != nil {
-			fmt.Fprintln(stderr, "xmlvalid:", err)
-			return 3
-		}
+	if err := ob.Init(false); err != nil {
+		fmt.Fprintln(stderr, "xmlvalid:", err)
+		return 3
 	}
 	if *dtdPath == "" || fs.NArg() == 0 {
 		fmt.Fprintln(stderr, "xmlvalid: -dtd and at least one document are required")
@@ -77,12 +67,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "xmlvalid:", err)
 		return 3
 	}
-	var rec *obs.Recorder
-	if *trace || *metrics || traceFile != nil {
-		rec = obs.New()
-		if traceFile != nil {
-			rec.EnableEvents(0)
-		}
+	rec := ob.Recorder
+	if rec != nil {
 		spec.SetObserver(rec)
 	}
 
@@ -124,23 +110,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%s: %s\n", path, v)
 		}
 	}
-	if *trace {
-		if err := rec.WriteTree(stderr); err != nil {
-			fmt.Fprintln(stderr, "xmlvalid:", err)
-			return 3
-		}
-	}
-	if *metrics {
-		if err := rec.WriteJSON(stderr); err != nil {
-			fmt.Fprintln(stderr, "xmlvalid:", err)
-			return 3
-		}
-	}
-	if traceFile != nil {
-		if err := cliutil.WriteTrace(traceFile, rec); err != nil {
-			fmt.Fprintln(stderr, "xmlvalid:", err)
-			return 3
-		}
+	if err := ob.Finish(stderr); err != nil {
+		fmt.Fprintln(stderr, "xmlvalid:", err)
+		return 3
 	}
 	return status
 }

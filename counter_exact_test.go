@@ -1,0 +1,96 @@
+package xmlspec
+
+// Concurrency correctness (not just freedom from data races): when N
+// goroutines each run M checks of the same spec against one shared
+// recorder, every additive counter must total exactly N×M times the
+// single-run value, and every Set-style gauge must equal it. Lost
+// updates would pass the race detector's happens-before analysis if
+// they were protected-but-wrong, so this asserts the arithmetic.
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// setStyleCounter reports names written with Recorder.Set (last-value
+// gauges); everything else accumulates with Add.
+func setStyleCounter(name string) bool {
+	return name == "ilp.max_depth" || strings.HasPrefix(name, "encode.")
+}
+
+func TestConcurrentCheckExactCounters(t *testing.T) {
+	const dtdSrc = `<!ELEMENT a (b*)><!ELEMENT b EMPTY><!ATTLIST b x CDATA #REQUIRED><!ATTLIST a y CDATA #REQUIRED>`
+	const keySrc = "b.x -> b\na.y -> a\na.y ⊆ b.x"
+
+	runOnce := func(rec *obs.Recorder) error {
+		spec, err := Parse(dtdSrc, keySrc)
+		if err != nil {
+			return err
+		}
+		spec.SetObserver(rec)
+		_, err = spec.Consistent(nil)
+		return err
+	}
+
+	// Baseline: one check on a private recorder.
+	base := obs.New()
+	if err := runOnce(base); err != nil {
+		t.Fatal(err)
+	}
+	baseCounters, baseHists := base.Metrics()
+	if len(baseCounters) == 0 {
+		t.Fatal("baseline run recorded no counters; the test would be vacuous")
+	}
+
+	const workers, iters = 8, 5
+	shared := obs.New()
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if err := runOnce(shared); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	gotCounters, gotHists := shared.Metrics()
+	const runs = workers * iters
+	for name, baseV := range baseCounters {
+		want := baseV * runs
+		if setStyleCounter(name) {
+			want = baseV
+		}
+		if got := gotCounters[name]; got != want {
+			t.Errorf("counter %s = %d, want %d (base %d × %d runs)", name, got, want, baseV, runs)
+		}
+	}
+	for name := range gotCounters {
+		if _, ok := baseCounters[name]; !ok {
+			t.Errorf("counter %s appeared only under concurrency", name)
+		}
+	}
+	for name, bh := range baseHists {
+		gh, ok := gotHists[name]
+		if !ok {
+			t.Errorf("histogram %s missing from shared recorder", name)
+			continue
+		}
+		if gh.Count != bh.Count*runs {
+			t.Errorf("histogram %s count = %d, want %d", name, gh.Count, bh.Count*runs)
+		}
+	}
+}

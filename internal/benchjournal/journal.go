@@ -31,15 +31,21 @@ type Journal struct {
 // ran under and one Entry per benchmark case.
 type Run struct {
 	// Date is the RFC 3339 wall-clock time of the run.
-	Date      string  `json:"date"`
-	Module    string  `json:"module"`
-	Version   string  `json:"version"`
-	GoVersion string  `json:"go_version"`
-	Revision  string  `json:"revision"`
-	Dirty     bool    `json:"dirty,omitempty"`
-	Quick     bool    `json:"quick,omitempty"`
-	Seed      int64   `json:"seed"`
-	Entries   []Entry `json:"entries"`
+	Date      string `json:"date"`
+	Module    string `json:"module"`
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision"`
+	Dirty     bool   `json:"dirty,omitempty"`
+	Quick     bool   `json:"quick,omitempty"`
+	Seed      int64  `json:"seed"`
+	// Goroutines and GCCycles capture the process state when the run
+	// finished (additive repro-bench/v1 fields): a goroutine count far
+	// above the baseline flags a leak in the measured code, and the GC
+	// cycle count contextualizes the timing numbers.
+	Goroutines int     `json:"goroutines,omitempty"`
+	GCCycles   uint32  `json:"gc_cycles,omitempty"`
+	Entries    []Entry `json:"entries"`
 }
 
 // Entry is one benchmark case: the timing/allocation measurement plus

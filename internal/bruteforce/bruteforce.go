@@ -10,6 +10,7 @@
 package bruteforce
 
 import (
+	"context"
 	"strings"
 
 	"repro/internal/constraint"
@@ -39,6 +40,11 @@ type Options struct {
 	Extra func(*xmltree.Tree) bool
 	// Obs receives the search span and counters; nil disables.
 	Obs *obs.Recorder
+	// Ctx, when non-nil, makes the enumeration cancellable: it is
+	// polled once per tree shape and every 256 attribute-assignment
+	// patterns. A fired context stops the search with Exhausted false,
+	// so the caller's context check decides how to surface it.
+	Ctx context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -105,13 +111,30 @@ type enumerator struct {
 	set  *constraint.Set
 	opts Options
 	res  Result
+	done <-chan struct{}
 	stop bool
 }
 
+// canceled polls the context's done channel without blocking.
+func (e *enumerator) canceled() bool {
+	if e.done == nil {
+		return false
+	}
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
 func (e *enumerator) run() {
+	if e.opts.Ctx != nil {
+		e.done = e.opts.Ctx.Done()
+	}
 	e.trees(e.d.Root, e.opts.MaxNodes, func(root *xmltree.Node, used int) bool {
 		e.res.Shapes++
-		if e.res.Shapes > e.opts.MaxShapes {
+		if e.res.Shapes > e.opts.MaxShapes || e.canceled() {
 			e.res.Exhausted = false
 			return false
 		}
@@ -225,7 +248,8 @@ func (e *enumerator) tryAssignments(tree *xmltree.Tree) bool {
 	}
 	var rec func(i, maxBlock int) bool
 	rec = func(i, maxBlock int) bool {
-		if e.res.Assignments >= e.opts.MaxPartitions {
+		if e.res.Assignments >= e.opts.MaxPartitions ||
+			(e.res.Assignments&0xff == 0 && e.canceled()) {
 			e.res.Exhausted = false
 			e.stop = true
 			return false

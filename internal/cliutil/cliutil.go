@@ -1,8 +1,13 @@
-// Package cliutil holds the flag behaviours every command shares:
-// the -version stamp and the -trace-out export sink.
+// Package cliutil holds the flag behaviours every command shares: the
+// -version stamp and the observability sinks (-trace, -metrics,
+// -trace-out), so the cmd/* mains wire them once through Obs instead
+// of repeating the same four-flag lifecycle.
 package cliutil
 
 import (
+	"flag"
+	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -37,4 +42,89 @@ func WriteTrace(f *os.File, rec *obs.Recorder) error {
 		err = cerr
 	}
 	return err
+}
+
+// Obs bundles the observability flags shared by the checking tools
+// (-trace, -metrics, -trace-out, -version) together with their
+// end-of-run lifecycle: create the recorder when any sink wants one,
+// export the enabled sinks, close the trace file. Create with
+// RegisterObs, then call HandleVersion, Init, and (deferred or at the
+// end) Finish.
+type Obs struct {
+	tool string
+
+	trace    *bool
+	metrics  *bool
+	traceOut *string
+	version  *bool
+
+	traceFile *os.File
+	// Recorder is non-nil after Init when any sink (or the force
+	// argument) requires one; mains pass it to SetObserver and may
+	// use it directly.
+	Recorder *obs.Recorder
+}
+
+// RegisterObs installs the shared flags on fs. subject names the
+// traced activity in help text ("the check", "the validation", ...).
+func RegisterObs(fs *flag.FlagSet, tool, subject string) *Obs {
+	return &Obs{
+		tool:     tool,
+		trace:    fs.Bool("trace", false, "print a span trace of "+subject+" to stderr"),
+		metrics:  fs.Bool("metrics", false, "emit metrics as JSON lines on stderr after the report"),
+		traceOut: fs.String("trace-out", "", "write a Chrome trace-event JSON file (JSONL if the path ends in .jsonl)"),
+		version:  fs.Bool("version", false, "print version information and exit"),
+	}
+}
+
+// HandleVersion prints the -version stamp and reports whether it did
+// (the main should then return 0).
+func (c *Obs) HandleVersion(stdout io.Writer) bool {
+	if !*c.version {
+		return false
+	}
+	fmt.Fprintln(stdout, VersionString(c.tool))
+	return true
+}
+
+// Init opens the -trace-out file (early, so a bad path aborts the run
+// before any checking work) and creates the recorder when -trace,
+// -metrics, -trace-out, or force asks for one.
+func (c *Obs) Init(force bool) error {
+	if *c.traceOut != "" {
+		f, err := OpenTraceFile(*c.traceOut)
+		if err != nil {
+			return err
+		}
+		c.traceFile = f
+	}
+	if *c.trace || *c.metrics || force || c.traceFile != nil {
+		c.Recorder = obs.New()
+		if c.traceFile != nil {
+			c.Recorder.EnableEvents(0)
+		}
+	}
+	return nil
+}
+
+// Finish exports every enabled sink: the span tree (-trace) and the
+// metrics lines (-metrics) to stderr, and the trace file (-trace-out),
+// which it closes. It returns the first error.
+func (c *Obs) Finish(stderr io.Writer) error {
+	if *c.trace {
+		if err := c.Recorder.WriteTree(stderr); err != nil {
+			return err
+		}
+	}
+	if *c.metrics {
+		if err := c.Recorder.WriteJSON(stderr); err != nil {
+			return err
+		}
+	}
+	if c.traceFile != nil {
+		f := c.traceFile
+		c.traceFile = nil
+		return WriteTrace(f, c.Recorder)
+	}
+	return nil
 }

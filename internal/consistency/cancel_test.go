@@ -1,0 +1,56 @@
+package consistency
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/dtd"
+)
+
+func TestCheckContextCanceled(t *testing.T) {
+	d := dtd.MustParse(geoDTD)
+	set := constraint.MustParseSet(geoConstraints)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := CheckContext(ctx, d, set, Options{})
+	if err == nil {
+		t.Fatalf("CheckContext with canceled context returned a verdict, want abort error")
+	}
+	if !Aborted(err) {
+		t.Fatalf("Aborted(%v) = false", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("errors.Is(%v, context.Canceled) = false", err)
+	}
+}
+
+func TestCheckContextLive(t *testing.T) {
+	// A live context must not change the verdict.
+	d := dtd.MustParse(geoDTD)
+	set := constraint.MustParseSet(geoConstraints)
+	res, err := CheckContext(context.Background(), d, set, Options{})
+	if err != nil {
+		t.Fatalf("CheckContext: %v", err)
+	}
+	if res.Verdict != Inconsistent {
+		t.Fatalf("verdict = %v, want Inconsistent", res.Verdict)
+	}
+}
+
+func TestAbortErrorUnwrap(t *testing.T) {
+	err := &AbortError{Err: context.DeadlineExceeded}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("AbortError does not unwrap to its cause")
+	}
+	if !Aborted(err) {
+		t.Fatalf("Aborted(AbortError) = false")
+	}
+	if Aborted(errors.New("other")) {
+		t.Fatalf("Aborted(plain error) = true")
+	}
+	if Aborted(nil) {
+		t.Fatalf("Aborted(nil) = true")
+	}
+}

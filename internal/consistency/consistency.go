@@ -27,6 +27,8 @@
 package consistency
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/bruteforce"
@@ -94,6 +96,11 @@ type Options struct {
 	// maps, no system digests). Benchmarks isolating raw decision cost
 	// set this.
 	SkipCertificate bool
+	// Ctx, when non-nil, makes the check cancellable: it is threaded
+	// into the ILP search and the brute-force enumeration, and a check
+	// whose context fires returns an *AbortError instead of a verdict.
+	// CheckContext sets it; a nil Ctx costs nothing.
+	Ctx context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -108,7 +115,36 @@ func (o Options) withDefaults() Options {
 			o.BruteForce.Obs = o.Obs
 		}
 	}
+	if o.Ctx != nil {
+		if o.ILP.Ctx == nil {
+			o.ILP.Ctx = o.Ctx
+		}
+		if o.BruteForce.Ctx == nil {
+			o.BruteForce.Ctx = o.Ctx
+		}
+	}
 	return o
+}
+
+// AbortError reports a check cut short by its context — a deadline or
+// a cancellation, never a verdict. It wraps the context's error, so
+// errors.Is(err, context.DeadlineExceeded) and errors.Is(err,
+// context.Canceled) distinguish the two causes.
+type AbortError struct {
+	// Err is the underlying context error.
+	Err error
+}
+
+func (e *AbortError) Error() string { return "consistency: check aborted: " + e.Err.Error() }
+
+// Unwrap exposes the context error to errors.Is/As.
+func (e *AbortError) Unwrap() error { return e.Err }
+
+// Aborted reports whether err means "the check was canceled" rather
+// than a specification or verdict problem.
+func Aborted(err error) bool {
+	var a *AbortError
+	return errors.As(err, &a)
 }
 
 // Stats reports the work a check did, aggregated over every solver
@@ -198,6 +234,32 @@ func (r *Result) conclude(v Verdict, cert *certificate.Certificate) {
 
 // Check validates and decides a specification.
 func Check(d *dtd.DTD, set *constraint.Set, opts Options) (Result, error) {
+	res, err := dispatch(d, set, opts)
+	if err != nil {
+		return res, err
+	}
+	// A fired context invalidates the outcome even when a procedure
+	// happened to finish: the caller asked for an abort, and a verdict
+	// computed on a canceled budget must not be mistaken for a timely
+	// one.
+	if opts.Ctx != nil && opts.Ctx.Err() != nil {
+		return Result{}, &AbortError{Err: opts.Ctx.Err()}
+	}
+	return res, nil
+}
+
+// CheckContext is Check bounded by a context: per-request deadlines
+// and client disconnects abort the decision procedures (the ILP search
+// polls ctx.Done() between nodes) and surface as an *AbortError, never
+// as a verdict.
+func CheckContext(ctx context.Context, d *dtd.DTD, set *constraint.Set, opts Options) (Result, error) {
+	opts.Ctx = ctx
+	return Check(d, set, opts)
+}
+
+// dispatch is the decision core behind Check; it reports its result
+// without the final context gate.
+func dispatch(d *dtd.DTD, set *constraint.Set, opts Options) (Result, error) {
 	if err := d.Validate(); err != nil {
 		return Result{}, err
 	}

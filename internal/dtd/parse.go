@@ -169,7 +169,20 @@ func truncate(s string) string {
 // line, elements in definition order with the root first.
 func (d *DTD) String() string {
 	var b strings.Builder
-	for _, name := range d.Names {
+	names := d.Names
+	if len(names) > 0 && names[0] != d.Root {
+		// Definition order may introduce the root late (builders often
+		// define leaves first); Parse infers the root from the first
+		// declaration, so emit it first to keep String ∘ Parse a
+		// roundtrip.
+		names = []string{d.Root}
+		for _, n := range d.Names {
+			if n != d.Root {
+				names = append(names, n)
+			}
+		}
+	}
+	for _, name := range names {
 		e := d.Elements[name]
 		cm := e.Content.String()
 		if e.Content.Kind != contentmodel.Empty {

@@ -1,0 +1,72 @@
+package ilp
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// hardSystem returns an integer-infeasible, LP-feasible system the
+// search can only refute by enumerating values: 2x = 2y + 1 over a
+// large cap, padded with extra free variables so the node count
+// comfortably exceeds the cancellation poll interval.
+func hardSystem() *System {
+	s := NewSystem()
+	x, y := s.Var("x"), s.Var("y")
+	s.AddEQ([]Term{T(2, x), T(-2, y)}, 1)
+	for i := 0; i < 6; i++ {
+		v := s.Var("pad" + string(rune('a'+i)))
+		s.AddLE([]Term{T(1, v)}, 1<<16)
+	}
+	return s
+}
+
+func TestSolveCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already fired: the first poll must stop the search
+	res := Solve(hardSystem(), Options{Ctx: ctx, MaxValue: 1 << 30, MaxNodes: 1 << 30})
+	if !res.Canceled {
+		t.Fatalf("Canceled = false after pre-canceled context (nodes=%d)", res.Stats.Nodes)
+	}
+	if res.Verdict != Unknown {
+		t.Fatalf("verdict = %v, want Unknown on cancellation", res.Verdict)
+	}
+	if res.Values != nil {
+		t.Fatalf("canceled solve returned values %v", res.Values)
+	}
+	// The poll interval bounds how much work a canceled search does.
+	if res.Stats.Nodes > 4*(ctxPollMask+1) {
+		t.Errorf("canceled search explored %d nodes, want prompt unwind", res.Stats.Nodes)
+	}
+}
+
+func TestSolveDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res := Solve(hardSystem(), Options{Ctx: ctx, MaxValue: 1 << 30, MaxNodes: 1 << 30})
+	elapsed := time.Since(start)
+	if !res.Canceled || res.Verdict != Unknown {
+		t.Fatalf("canceled=%v verdict=%v, want true/Unknown", res.Canceled, res.Verdict)
+	}
+	// Generous bound: the solve must stop promptly after the deadline,
+	// not run the 2^30-node budget out.
+	if elapsed > 5*time.Second {
+		t.Errorf("solve took %v after a 1ms deadline", elapsed)
+	}
+}
+
+func TestSolveNilContextUnaffected(t *testing.T) {
+	// Without a context the same system still resolves on its own
+	// merits (here: Unsat via the complete cap bound).
+	s := NewSystem()
+	x, y := s.Var("x"), s.Var("y")
+	s.AddEQ([]Term{T(2, x), T(-2, y)}, 1)
+	res := Solve(s, Options{})
+	if res.Canceled {
+		t.Fatalf("Canceled = true without a context")
+	}
+	if res.Verdict != Unsat {
+		t.Fatalf("verdict = %v, want Unsat", res.Verdict)
+	}
+}

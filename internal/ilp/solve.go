@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"math"
 	"math/big"
 
@@ -68,7 +69,18 @@ type Options struct {
 	// Obs receives solver spans and counters; nil disables
 	// observability (the hot path then pays one nil check).
 	Obs *obs.Recorder
+	// Ctx, when non-nil, makes the search cancellable: the solver
+	// polls Ctx.Done() every ctxPollMask+1 nodes and unwinds with
+	// Canceled set and an Unknown verdict when it fires. A nil Ctx
+	// costs nothing on the hot path.
+	Ctx context.Context
 }
+
+// ctxPollMask spaces the cancellation polls: the search checks
+// Ctx.Done() whenever Nodes&ctxPollMask == 0, i.e. every 256 nodes —
+// frequent enough that a 1ms deadline aborts promptly, rare enough
+// that the non-blocking select never shows up in profiles.
+const ctxPollMask = 0xff
 
 // lpActivationNodes is the LPAuto threshold: below it the search runs
 // on propagation alone.
@@ -142,7 +154,11 @@ type Result struct {
 	Verdict Verdict
 	// Values is a satisfying assignment (indexed by Var) when Sat.
 	Values []int64
-	Stats  Stats
+	// Canceled reports that Options.Ctx fired mid-search; the verdict
+	// is then Unknown and the caller should surface the context's
+	// error rather than interpret the verdict.
+	Canceled bool
+	Stats    Stats
 }
 
 // Solve decides the system. The verdict is exact whenever it is Sat or
@@ -152,6 +168,9 @@ func Solve(s *System, opts Options) Result {
 	opts = opts.withDefaults()
 	n := s.NumVars()
 	sv := &solver{sys: s, opts: opts}
+	if opts.Ctx != nil {
+		sv.done = opts.Ctx.Done()
+	}
 	sp := opts.Obs.Start("ilp.solve")
 	if sp != nil {
 		sp.SetInt("vars", int64(n))
@@ -174,7 +193,11 @@ func Solve(s *System, opts Options) Result {
 	if verdict == Unsat && sv.tainted {
 		verdict = Unknown
 	}
-	res := Result{Verdict: verdict, Stats: sv.stats}
+	if sv.canceled {
+		verdict = Unknown
+		vals = nil
+	}
+	res := Result{Verdict: verdict, Canceled: sv.canceled, Stats: sv.stats}
 	if verdict == Sat {
 		res.Values = vals
 	}
@@ -192,8 +215,10 @@ type solver struct {
 	sys         *System
 	opts        Options
 	stats       Stats
-	tainted     bool // a cap/budget prune happened somewhere
-	capComplete bool // the cap provably covers all solutions
+	done        <-chan struct{} // Options.Ctx.Done(), nil when uncancellable
+	canceled    bool            // the context fired mid-search
+	tainted     bool            // a cap/budget prune happened somewhere
+	capComplete bool            // the cap provably covers all solutions
 }
 
 // search explores the subproblem with the given bounds. It returns Sat
@@ -206,6 +231,19 @@ func (sv *solver) search(lo, hi []int64, depth int) (Verdict, []int64) {
 	if sv.stats.Nodes > sv.opts.MaxNodes {
 		sv.tainted = true
 		return Unsat, nil // tainted Unsat becomes Unknown at the top
+	}
+	if sv.done != nil {
+		if !sv.canceled && sv.stats.Nodes&ctxPollMask == 0 {
+			select {
+			case <-sv.done:
+				sv.canceled = true
+			default:
+			}
+		}
+		if sv.canceled {
+			sv.tainted = true
+			return Unsat, nil // unwinds the whole tree; Unknown at the top
+		}
 	}
 	switch sv.propagate(lo, hi) {
 	case propConflict:

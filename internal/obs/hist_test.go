@@ -1,0 +1,166 @@
+package obs
+
+import "testing"
+
+// observeRange records every integer in [lo, hi] once.
+func observeRange(r *Recorder, name string, lo, hi int64) {
+	for v := lo; v <= hi; v++ {
+		r.Observe(name, v)
+	}
+}
+
+func TestHistogramSnapshotCumulative(t *testing.T) {
+	r := New()
+	observeRange(r, "h", 0, 15) // one observation each of 0..15
+	_, hists := r.Metrics()
+	snap := hists["h"].Snapshot()
+	if snap.Count != 16 || snap.Sum != 120 || snap.Max != 15 {
+		t.Fatalf("count/sum/max = %d/%d/%d, want 16/120/15", snap.Count, snap.Sum, snap.Max)
+	}
+	// Buckets: [0]=1, [1]=1, [2..3]=2, [4..7]=4, [8..15]=8.
+	want := []BucketCount{
+		{UpperBound: 0, Cumulative: 1},
+		{UpperBound: 1, Cumulative: 2},
+		{UpperBound: 3, Cumulative: 4},
+		{UpperBound: 7, Cumulative: 8},
+		{UpperBound: 15, Cumulative: 16},
+	}
+	if len(snap.Buckets) != len(want) {
+		t.Fatalf("bucket count %d, want %d (%v)", len(snap.Buckets), len(want), snap.Buckets)
+	}
+	for i, w := range want {
+		if snap.Buckets[i] != w {
+			t.Errorf("bucket %d = %+v, want %+v", i, snap.Buckets[i], w)
+		}
+	}
+	// The final cumulative count must equal Count — the exposition's
+	// +Inf bucket invariant.
+	if last := snap.Buckets[len(snap.Buckets)-1]; last.Cumulative != snap.Count {
+		t.Errorf("last cumulative %d != count %d", last.Cumulative, snap.Count)
+	}
+}
+
+func TestHistogramQuantilesUniform(t *testing.T) {
+	r := New()
+	observeRange(r, "h", 1, 100) // uniform 1..100
+	_, hists := r.Metrics()
+	h := hists["h"]
+	// With power-of-two buckets the estimate is interpolated; allow a
+	// tolerance of half the containing bucket's width.
+	cases := []struct {
+		q         float64
+		want, tol int64
+	}{
+		{0.50, 50, 16},
+		{0.90, 90, 19},
+		{0.99, 99, 19},
+	}
+	for _, c := range cases {
+		got := h.Quantile(c.q)
+		if got < c.want-c.tol || got > c.want+c.tol {
+			t.Errorf("Quantile(%v) = %d, want %d ± %d", c.q, got, c.want, c.tol)
+		}
+	}
+	if p100 := h.Quantile(1); p100 != 100 {
+		t.Errorf("Quantile(1) = %d, want 100 (clamped to max)", p100)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var empty Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %d, want 0", got)
+	}
+	if snap := empty.Snapshot(); len(snap.Buckets) != 0 || snap.P99 != 0 {
+		t.Errorf("empty snapshot = %+v, want no buckets", snap)
+	}
+
+	r := New()
+	for i := 0; i < 10; i++ {
+		r.Observe("z", 0)
+	}
+	_, hists := r.Metrics()
+	z := hists["z"]
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := z.Quantile(q); got != 0 {
+			t.Errorf("all-zero Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+
+	// A single observation is every quantile.
+	r.Observe("one", 42)
+	_, hists = r.Metrics()
+	one := hists["one"]
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if got := one.Quantile(q); got != 42 {
+			t.Errorf("single-value Quantile(%v) = %d, want 42", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileSkewed(t *testing.T) {
+	r := New()
+	// 99 fast observations at 1µs-scale, one slow outlier: p50 must
+	// stay small, p99 must not be dragged to the outlier's bucket top.
+	for i := 0; i < 99; i++ {
+		r.Observe("lat", 3)
+	}
+	r.Observe("lat", 5000)
+	_, hists := r.Metrics()
+	h := hists["lat"]
+	// The value 3 lives in the [2..3] bucket; estimates must stay
+	// inside that bucket, never dragged toward the outlier.
+	if p50 := h.Quantile(0.50); p50 < 2 || p50 > 3 {
+		t.Errorf("p50 = %d, want within [2, 3]", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 2 || p99 > 3 {
+		t.Errorf("p99 = %d, want within [2, 3] (99th of 100 is still in the fast bucket)", p99)
+	}
+	if p999 := h.Quantile(0.999); p999 < 3 || p999 > 5000 {
+		t.Errorf("p99.9 = %d, want within (3, 5000]", p999)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	r := New()
+	observeRange(r, "a", 0, 7)
+	observeRange(r, "b", 8, 15)
+	_, hists := r.Metrics()
+	merged := hists["a"]
+	merged.Merge(hists["b"])
+	if merged.Count != 16 || merged.Max != 15 {
+		t.Fatalf("merged count/max = %d/%d, want 16/15", merged.Count, merged.Max)
+	}
+	if merged.Sum != (0+7)*8/2+(8+15)*8/2 {
+		t.Errorf("merged sum = %d", merged.Sum)
+	}
+	// Merging must be equivalent to observing everything into one
+	// histogram.
+	observeRange(r, "all", 0, 15)
+	_, hists = r.Metrics()
+	if all := hists["all"]; all != merged {
+		t.Errorf("merged %+v != direct %+v", merged, all)
+	}
+}
+
+func TestRecorderMetricsIsolation(t *testing.T) {
+	r := New()
+	r.Add("c", 5)
+	r.Observe("h", 9)
+	counters, hists := r.Metrics()
+	counters["c"] = 999
+	h := hists["h"]
+	h.Count = 999
+	if got := r.Counter("c"); got != 5 {
+		t.Errorf("counter mutated through snapshot: %d", got)
+	}
+	_, again := r.Metrics()
+	if again["h"].Count != 1 {
+		t.Errorf("histogram mutated through snapshot: %+v", again["h"])
+	}
+	var nilRec *Recorder
+	c, hs := nilRec.Metrics()
+	if c != nil || hs != nil {
+		t.Errorf("nil recorder Metrics = %v, %v; want nils", c, hs)
+	}
+}

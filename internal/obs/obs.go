@@ -268,15 +268,7 @@ func (r *Recorder) Observe(name string, v int64) {
 		h = &Histogram{}
 		r.hists[name] = h
 	}
-	if v < 0 {
-		v = 0
-	}
-	h.Count++
-	h.Sum += v
-	if v > h.Max {
-		h.Max = v
-	}
-	h.Buckets[bucketOf(v)]++
+	h.Observe(v)
 	r.mu.Unlock()
 }
 

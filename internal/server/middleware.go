@@ -1,0 +1,72 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// ctxKey is the private context-key type for request-scoped values.
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// requestID returns the ID the middleware assigned, or "-" outside a
+// request context (direct handler tests).
+func requestID(ctx context.Context) string {
+	if id, ok := ctx.Value(requestIDKey).(string); ok {
+		return id
+	}
+	return "-"
+}
+
+// statusRecorder captures the response status for the log line.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// middleware wraps the route table with the per-request machinery:
+// request-ID assignment (echoed in X-Request-Id and attached to the
+// check's span tree), a structured log line, latency accounting, and
+// panic recovery into a 500 plus a counter.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("%08x", s.reqSeq.Add(1))
+		w.Header().Set("X-Request-Id", id)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, id))
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+
+		defer func() {
+			if p := recover(); p != nil {
+				s.reg.Add("server.panics", 1)
+				s.log.Error("handler panic",
+					"request_id", id, "path", r.URL.Path,
+					"panic", fmt.Sprint(p), "stack", string(debug.Stack()))
+				// Best-effort: the handler may have written already.
+				sr.WriteHeader(http.StatusInternalServerError)
+				fmt.Fprintf(sr, `{"request_id":%q,"error":"internal server error","kind":"internal"}`+"\n", id)
+			}
+			elapsed := time.Since(start)
+			s.reg.Add("server.requests", 1)
+			s.reg.Observe("server.request_us", elapsed.Microseconds())
+			s.log.Info("request",
+				"request_id", id,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sr.status,
+				"elapsed", elapsed,
+				"remote", r.RemoteAddr)
+		}()
+
+		next.ServeHTTP(sr, r)
+	})
+}

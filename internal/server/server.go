@@ -1,0 +1,322 @@
+// Package server exposes the consistency checker over HTTP with live
+// telemetry, using only the standard library. Endpoints:
+//
+//	POST /check        specification in, verdict + certificate + stats out
+//	GET  /metrics      Prometheus text exposition of the process registry
+//	GET  /healthz      liveness probe
+//	GET  /debug/pprof  optional runtime profiles (Config.Pprof)
+//
+// Every request runs under middleware that assigns a request ID,
+// writes a structured log line, recovers panics into 500s, and feeds
+// the latency histograms. Checks execute synchronously on the request
+// goroutine with a deadline-bounded context threaded into the decision
+// procedures, so a client disconnect or timeout aborts the worst-case
+// exponential search promptly and leaks no goroutines.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	xmlspec "repro"
+	"repro/internal/certificate"
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+// Config parameterizes a Server. The zero value serves with no
+// deadline, no in-flight cap, no trace directory, and a default
+// logger.
+type Config struct {
+	// Registry receives per-request measurements; NewServer creates
+	// one when nil.
+	Registry *telemetry.Registry
+	// Deadline bounds each check (zero: requests run until the client
+	// gives up). Per-request deadline_ms values are clamped to it.
+	Deadline time.Duration
+	// MaxInflight caps concurrently running checks; excess requests
+	// are rejected with 429 (zero: unlimited).
+	MaxInflight int
+	// TraceDir, when set, stores a Chrome trace-event file per check
+	// request (check-<request-id>.json), loadable in Perfetto.
+	TraceDir string
+	// Logger receives one structured line per request (nil: slog
+	// text handler on stderr).
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof under /debug/pprof.
+	Pprof bool
+	// MaxRequestBytes bounds the /check request body (zero: 8 MiB).
+	MaxRequestBytes int64
+}
+
+// Server handles the HTTP surface. Create with NewServer.
+type Server struct {
+	cfg      Config
+	reg      *telemetry.Registry
+	log      *slog.Logger
+	inflight atomic.Int64
+	reqSeq   atomic.Uint64
+}
+
+// NewServer validates the config and builds a server.
+func NewServer(cfg Config) *Server {
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry("")
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	if cfg.MaxRequestBytes == 0 {
+		cfg.MaxRequestBytes = 8 << 20
+	}
+	s := &Server{cfg: cfg, reg: cfg.Registry, log: cfg.Logger}
+	s.reg.RegisterGauge("server_inflight_checks",
+		"Checks currently executing.",
+		func() float64 { return float64(s.inflight.Load()) })
+	s.reg.Help("server.requests", "HTTP requests served, any endpoint.")
+	s.reg.Help("server.checks", "Consistency checks completed with a verdict.")
+	s.reg.Help("server.panics", "Handler panics recovered into 500 responses.")
+	s.reg.Help("server.request_us", "End-to-end HTTP request latency in microseconds.")
+	s.reg.Help("server.check_us", "Consistency-check latency in microseconds (verdict-bearing requests).")
+	return s
+}
+
+// Handler returns the full route table wrapped in the request
+// middleware.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /check", s.handleCheck)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s.middleware(mux)
+}
+
+// CheckRequest is the /check request body.
+type CheckRequest struct {
+	// DTD is the specification's DTD in surface syntax.
+	DTD string `json:"dtd"`
+	// Constraints is the constraint set, one constraint per line.
+	Constraints string `json:"constraints"`
+	// DeadlineMS optionally tightens this request's deadline in
+	// milliseconds; it never loosens the server-wide one.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Options tunes the decision procedures.
+	Options CheckOptions `json:"options,omitempty"`
+}
+
+// CheckOptions is the JSON projection of xmlspec.Options.
+type CheckOptions struct {
+	MaxSolverNodes  int   `json:"max_solver_nodes,omitempty"`
+	MaxValue        int64 `json:"max_value,omitempty"`
+	SkipWitness     bool  `json:"skip_witness,omitempty"`
+	MinimizeWitness bool  `json:"minimize_witness,omitempty"`
+	SkipLint        bool  `json:"skip_lint,omitempty"`
+	SkipCertificate bool  `json:"skip_certificate,omitempty"`
+}
+
+// CheckResponse is the /check response body on success.
+type CheckResponse struct {
+	RequestID   string                   `json:"request_id"`
+	Verdict     string                   `json:"verdict"`
+	Class       string                   `json:"class,omitempty"`
+	Method      string                   `json:"method,omitempty"`
+	Witness     string                   `json:"witness,omitempty"`
+	Diagnosis   string                   `json:"diagnosis,omitempty"`
+	Certificate *certificate.Certificate `json:"certificate,omitempty"`
+	Stats       xmlspec.Stats            `json:"stats"`
+	ElapsedUS   int64                    `json:"elapsed_us"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	RequestID string `json:"request_id"`
+	Error     string `json:"error"`
+	// Kind distinguishes machine-readable failure classes:
+	// "parse", "overload", "deadline", "canceled", "internal".
+	Kind string `json:"kind"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"inflight\":%d}\n", s.inflight.Load())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		s.log.Error("metrics write failed", "err", err)
+	}
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	id := requestID(r.Context())
+
+	if max := s.cfg.MaxInflight; max > 0 && s.inflight.Load() >= int64(max) {
+		s.reg.Add("server.rejects.overload", 1)
+		s.writeError(w, id, http.StatusTooManyRequests, "overload",
+			fmt.Sprintf("at capacity (%d checks in flight)", max))
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxRequestBytes+1))
+	if err != nil {
+		s.writeError(w, id, http.StatusBadRequest, "parse", "reading body: "+err.Error())
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxRequestBytes {
+		s.writeError(w, id, http.StatusRequestEntityTooLarge, "parse",
+			fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxRequestBytes))
+		return
+	}
+	var req CheckRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.reg.Add("server.errors.parse", 1)
+		s.writeError(w, id, http.StatusBadRequest, "parse", "decoding request: "+err.Error())
+		return
+	}
+
+	spec, err := xmlspec.Parse(req.DTD, req.Constraints)
+	if err != nil {
+		s.reg.Add("server.errors.parse", 1)
+		s.writeError(w, id, http.StatusBadRequest, "parse", err.Error())
+		return
+	}
+
+	ctx, cancel := s.checkContext(r.Context(), req.DeadlineMS)
+	defer cancel()
+
+	// Per-request recorder: the span tree becomes this request's trace
+	// file, the counters and histograms aggregate into the registry.
+	rec := obs.New()
+	root := rec.Start("server.check")
+	root.SetString("request_id", id)
+	spec.SetObserver(rec)
+
+	start := time.Now()
+	res, err := spec.CheckContext(ctx, req.Options.internal())
+	elapsed := time.Since(start)
+	root.SetInt("elapsed_us", elapsed.Microseconds())
+
+	rec.Observe("server.check_us", elapsed.Microseconds())
+	rec.Add("server.checks", 1)
+	if err == nil {
+		rec.Add("server.verdict."+res.Verdict.String(), 1)
+	}
+	root.End()
+	s.reg.Absorb(rec)
+	s.writeTraceFile(id, rec)
+
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.reg.Add("server.aborts.deadline", 1)
+			s.writeError(w, id, http.StatusGatewayTimeout, "deadline",
+				"check aborted: deadline exceeded after "+elapsed.String())
+		case errors.Is(err, context.Canceled):
+			s.reg.Add("server.aborts.canceled", 1)
+			// The client is usually gone; the status code is best-effort.
+			s.writeError(w, id, 499, "canceled", "check aborted: request canceled")
+		default:
+			s.reg.Add("server.errors.internal", 1)
+			s.writeError(w, id, http.StatusInternalServerError, "internal", err.Error())
+		}
+		return
+	}
+
+	s.writeJSON(w, http.StatusOK, CheckResponse{
+		RequestID:   id,
+		Verdict:     res.Verdict.String(),
+		Class:       res.Class,
+		Method:      res.Method,
+		Witness:     res.Witness,
+		Diagnosis:   res.Diagnosis,
+		Certificate: res.Certificate,
+		Stats:       res.Stats,
+		ElapsedUS:   elapsed.Microseconds(),
+	})
+}
+
+// checkContext derives the context a check runs under: the request
+// context (canceled on client disconnect) bounded by the tighter of
+// the server-wide and per-request deadlines.
+func (s *Server) checkContext(ctx context.Context, deadlineMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.Deadline
+	if deadlineMS > 0 {
+		if reqD := time.Duration(deadlineMS) * time.Millisecond; d == 0 || reqD < d {
+			d = reqD
+		}
+	}
+	if d <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// internal converts the JSON options to facade options.
+func (o CheckOptions) internal() *xmlspec.Options {
+	return &xmlspec.Options{
+		MaxSolverNodes:  o.MaxSolverNodes,
+		MaxValue:        o.MaxValue,
+		SkipWitness:     o.SkipWitness,
+		MinimizeWitness: o.MinimizeWitness,
+		SkipLint:        o.SkipLint,
+		SkipCertificate: o.SkipCertificate,
+	}
+}
+
+// writeTraceFile stores the request's span tree as a Chrome trace when
+// a trace directory is configured. Failures are logged, not surfaced:
+// tracing must never fail a check that succeeded.
+func (s *Server) writeTraceFile(id string, rec *obs.Recorder) {
+	if s.cfg.TraceDir == "" {
+		return
+	}
+	path := filepath.Join(s.cfg.TraceDir, "check-"+id+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		s.log.Error("trace file", "request_id", id, "err", err)
+		return
+	}
+	err = rec.WriteChromeTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		s.log.Error("trace write", "request_id", id, "err", err)
+		return
+	}
+	s.reg.Add("server.traces_written", 1)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		s.log.Error("response encode failed", "err", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, id string, status int, kind, msg string) {
+	s.writeJSON(w, status, ErrorResponse{RequestID: id, Error: msg, Kind: kind})
+}

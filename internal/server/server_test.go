@@ -1,0 +1,353 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/telemetry"
+)
+
+const libraryDTD = `
+<!ELEMENT library (book*)>
+<!ELEMENT book (chapter+)>
+<!ELEMENT chapter EMPTY>
+<!ATTLIST book isbn CDATA #REQUIRED>
+<!ATTLIST chapter num CDATA #REQUIRED>
+`
+
+const libraryConstraints = `book.isbn -> book`
+
+const geoDTD = `
+<!ELEMENT db (country+)>
+<!ELEMENT country (province+, capital+)>
+<!ELEMENT province (capital, city*)>
+<!ELEMENT capital EMPTY>
+<!ELEMENT city EMPTY>
+<!ATTLIST country name CDATA #REQUIRED>
+<!ATTLIST province name CDATA #REQUIRED>
+<!ATTLIST capital inProvince CDATA #REQUIRED>
+`
+
+const geoConstraints = `
+country.name -> country
+country(province.name -> province)
+country(capital.inProvince -> capital)
+country(capital.inProvince ⊆ province.name)
+`
+
+// quietLogger drops log output so test runs stay readable.
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = quietLogger()
+	}
+	s := NewServer(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postCheck(t *testing.T, ts *httptest.Server, req CheckRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(ts.URL+"/check", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /check: %v", err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, out
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if id := resp.Header.Get("X-Request-Id"); id == "" {
+		t.Errorf("missing X-Request-Id header")
+	}
+	var body struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Status != "ok" {
+		t.Fatalf("body = %+v, err %v", body, err)
+	}
+}
+
+func TestCheckConsistent(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, out := postCheck(t, ts, CheckRequest{DTD: libraryDTD, Constraints: libraryConstraints})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, out)
+	}
+	var cr CheckResponse
+	if err := json.Unmarshal(out, &cr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if cr.Verdict != "consistent" {
+		t.Fatalf("verdict = %q, want consistent", cr.Verdict)
+	}
+	if cr.Certificate == nil {
+		t.Errorf("no certificate attached to definitive verdict")
+	}
+	if cr.RequestID == "" || cr.RequestID != resp.Header.Get("X-Request-Id") {
+		t.Errorf("request id mismatch: body %q, header %q", cr.RequestID, resp.Header.Get("X-Request-Id"))
+	}
+}
+
+func TestCheckInconsistent(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, out := postCheck(t, ts, CheckRequest{DTD: geoDTD, Constraints: geoConstraints})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, out)
+	}
+	var cr CheckResponse
+	if err := json.Unmarshal(out, &cr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if cr.Verdict != "inconsistent" {
+		t.Fatalf("verdict = %q, want inconsistent", cr.Verdict)
+	}
+}
+
+func TestCheckParseErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, err := http.Post(ts.URL+"/check", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status = %d, want 400", resp.StatusCode)
+	}
+
+	resp2, out := postCheck(t, ts, CheckRequest{DTD: "<!NOT A DTD>", Constraints: ""})
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad DTD: status = %d, want 400: %s", resp2.StatusCode, out)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(out, &er); err != nil || er.Kind != "parse" {
+		t.Errorf("error body = %s (err %v), want kind parse", out, err)
+	}
+}
+
+// TestCheckDeadline is the acceptance test for cancellable serving: a
+// 1ms deadline against an exponential-search spec must produce a
+// deadline error, not a verdict, and must leak no goroutines.
+func TestCheckDeadline(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	in := experiments.Fig3Unary(rand.New(rand.NewSource(7)), 16)
+
+	// Warm up the connection first so the keepalive goroutines of the
+	// client transport and the server's conn handler are part of the
+	// baseline, not mistaken for a leak.
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	before := runtime.NumGoroutine()
+	resp, out := postCheck(t, ts, CheckRequest{
+		DTD:         in.D.String(),
+		Constraints: in.Set.String(),
+		DeadlineMS:  1,
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504: %s", resp.StatusCode, out)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(out, &er); err != nil {
+		t.Fatalf("decode error body: %v", err)
+	}
+	if er.Kind != "deadline" {
+		t.Fatalf("kind = %q, want deadline (%s)", er.Kind, er.Error)
+	}
+
+	// The check runs synchronously on the request goroutine, so once
+	// the response is in, the goroutine count must return to (near)
+	// the warmed-up baseline. postCheck uses the default client, so
+	// drain its idle connections as well as the test server's.
+	http.DefaultClient.CloseIdleConnections()
+	ts.Client().CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: before=%d after=%d — leak", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestServerDeadlineConfig exercises the server-wide -deadline path
+// (no per-request deadline in the body).
+func TestServerDeadlineConfig(t *testing.T) {
+	_, ts := newTestServer(t, Config{Deadline: time.Millisecond})
+	in := experiments.Fig3Unary(rand.New(rand.NewSource(7)), 16)
+	resp, out := postCheck(t, ts, CheckRequest{DTD: in.D.String(), Constraints: in.Set.String()})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504: %s", resp.StatusCode, out)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	reg := telemetry.NewRegistry("")
+	_, ts := newTestServer(t, Config{Registry: reg})
+
+	// Drive one check so the latency histograms have observations.
+	if resp, out := postCheck(t, ts, CheckRequest{DTD: libraryDTD, Constraints: libraryConstraints}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed check failed: %d %s", resp.StatusCode, out)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	exp, err := telemetry.ParseExposition(string(text))
+	if err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"xmlconsist_build_info",
+		"xmlconsist_server_requests_total",
+		"xmlconsist_server_checks_total",
+		"xmlconsist_server_check_us_count",
+		"xmlconsist_server_inflight_checks",
+		"xmlconsist_process_goroutines",
+	} {
+		if _, ok := exp.Sample(want); !ok {
+			t.Errorf("metric %s missing from exposition", want)
+		}
+	}
+	// Latency histogram buckets must be present and typed.
+	sawBucket := false
+	for _, s := range exp.Samples {
+		if s.Name == "xmlconsist_server_check_us_bucket" {
+			sawBucket = true
+			break
+		}
+	}
+	if !sawBucket {
+		t.Errorf("no check-latency histogram buckets in exposition")
+	}
+	if ty := exp.Types["xmlconsist_server_check_us"]; ty != "histogram" {
+		t.Errorf("server_check_us TYPE = %q, want histogram", ty)
+	}
+}
+
+func TestMaxInflight(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInflight: 1})
+	// Occupy the only slot directly — deterministic, no timing games.
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	resp, out := postCheck(t, ts, CheckRequest{DTD: libraryDTD, Constraints: libraryConstraints})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429: %s", resp.StatusCode, out)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(out, &er); err != nil || er.Kind != "overload" {
+		t.Fatalf("error body = %s (err %v), want kind overload", out, err)
+	}
+}
+
+func TestPanicRecovery(t *testing.T) {
+	reg := telemetry.NewRegistry("")
+	s := NewServer(Config{Registry: reg, Logger: quietLogger()})
+	h := s.middleware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/panic", nil))
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rr.Code)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	exp, err := telemetry.ParseExposition(b.String())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if smp, ok := exp.Sample("xmlconsist_server_panics_total"); !ok || smp.Value != 1 {
+		t.Fatalf("server_panics_total = %+v %v, want 1", smp, ok)
+	}
+}
+
+func TestTraceDir(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{TraceDir: dir})
+	resp, out := postCheck(t, ts, CheckRequest{DTD: libraryDTD, Constraints: libraryConstraints})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("check failed: %d %s", resp.StatusCode, out)
+	}
+	var cr CheckResponse
+	if err := json.Unmarshal(out, &cr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("check-%s.json", cr.RequestID))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("trace is not Chrome trace JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatalf("trace has no events")
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/check")
+	if err != nil {
+		t.Fatalf("GET /check: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /check status = %d, want 405", resp.StatusCode)
+	}
+}

@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed metric line: name, optional labels, value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Exposition is the parsed form of a text-format scrape.
+type Exposition struct {
+	// Samples holds every non-comment line in order.
+	Samples []Sample
+	// Types maps family name to its declared TYPE.
+	Types map[string]string
+}
+
+// Sample returns the first sample with the given name (any labels) and
+// whether one exists.
+func (e *Exposition) Sample(name string) (Sample, bool) {
+	for _, s := range e.Samples {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Sample{}, false
+}
+
+// ParseExposition validates a Prometheus text-format payload line by
+// line: every line must be blank, a `# HELP`/`# TYPE` comment, or a
+// `name{labels} value` sample with a well-formed name and value. It
+// returns the parsed samples or the first offending line.
+func ParseExposition(text string) (*Exposition, error) {
+	exp := &Exposition{Types: map[string]string{}}
+	for i, line := range strings.Split(text, "\n") {
+		lineNo := i + 1
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, exp); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		exp.Samples = append(exp.Samples, s)
+	}
+	return exp, nil
+}
+
+// parseComment checks `# HELP name text` / `# TYPE name kind` lines;
+// other comments are ignored per the format.
+func parseComment(line string, exp *Exposition) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validName(fields[2]) {
+			return fmt.Errorf("malformed HELP comment %q", line)
+		}
+	case "TYPE":
+		if len(fields) != 4 || !validName(fields[2]) {
+			return fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+		exp.Types[fields[2]] = fields[3]
+	}
+	return nil
+}
+
+// parseSample parses `name{labels} value [timestamp]`.
+func parseSample(line string) (Sample, error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return Sample{}, fmt.Errorf("sample without value: %q", line)
+	}
+	s := Sample{Name: rest[:i]}
+	if !validName(s.Name) {
+		return Sample{}, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return Sample{}, fmt.Errorf("unterminated label set: %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return Sample{}, fmt.Errorf("%v in %q", err, line)
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return Sample{}, fmt.Errorf("expected value [timestamp] after name, got %q", rest)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return Sample{}, fmt.Errorf("bad sample value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return Sample{}, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parseLabels parses `k1="v1",k2="v2"`. Escapes inside values follow
+// the exposition rules (\\, \", \n).
+func parseLabels(s string) (map[string]string, error) {
+	labels := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '='")
+		}
+		key := strings.TrimSpace(s[:eq])
+		if !validName(key) {
+			return nil, fmt.Errorf("invalid label name %q", key)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value for %q", key)
+		}
+		val, rest, err := scanQuoted(s)
+		if err != nil {
+			return nil, err
+		}
+		labels[key] = val
+		s = rest
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return nil, fmt.Errorf("expected ',' between labels")
+			}
+			s = s[1:]
+		}
+	}
+	return labels, nil
+}
+
+// scanQuoted consumes a double-quoted string with \\, \", \n escapes
+// and returns the unescaped value plus the remaining input.
+func scanQuoted(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+			if i == len(s) {
+				return "", "", fmt.Errorf("dangling escape in label value")
+			}
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+// parseValue accepts Go float syntax plus the Prometheus spellings of
+// the special values.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	case "NaN", "Nan":
+		return strconv.ParseFloat("NaN", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// validName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

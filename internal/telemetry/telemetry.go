@@ -1,0 +1,318 @@
+// Package telemetry aggregates per-request obs.Recorder measurements
+// into a process-wide registry and renders it in the Prometheus text
+// exposition format (version 0.0.4). It has no dependency beyond the
+// standard library: metrics are scraped with plain HTTP.
+//
+// The registry distinguishes three metric families:
+//
+//   - counters, absorbed from recorder counter maps and from direct
+//     Add calls, exported with a `_total` suffix;
+//   - histograms, absorbed from recorder histograms via
+//     obs.Histogram.Merge, exported as cumulative `_bucket{le="..."}`
+//     series plus `_sum`/`_count` and p50/p90/p99 gauges computed from
+//     the power-of-two buckets;
+//   - gauges, registered as callbacks sampled at scrape time (uptime,
+//     goroutine counts, in-flight requests, GC pauses, ...).
+//
+// Metric names are sanitized to the Prometheus grammar and prefixed
+// with a configurable namespace (default "xmlconsist").
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/obs"
+)
+
+// Registry accumulates metrics for the lifetime of a process. The zero
+// value is not usable; call NewRegistry.
+type Registry struct {
+	namespace string
+	start     time.Time
+
+	mu       sync.Mutex
+	counters map[string]int64
+	hists    map[string]*obs.Histogram
+	gauges   map[string]func() float64
+	help     map[string]string
+}
+
+// NewRegistry returns a registry with the given metric namespace
+// ("xmlconsist" when empty) and the process gauges pre-registered.
+func NewRegistry(namespace string) *Registry {
+	if namespace == "" {
+		namespace = "xmlconsist"
+	}
+	r := &Registry{
+		namespace: namespace,
+		start:     time.Now(),
+		counters:  map[string]int64{},
+		hists:     map[string]*obs.Histogram{},
+		gauges:    map[string]func() float64{},
+		help:      map[string]string{},
+	}
+	r.registerProcessGauges()
+	return r
+}
+
+// registerProcessGauges installs the runtime-sampled gauges every
+// serving process exports.
+func (r *Registry) registerProcessGauges() {
+	r.RegisterGauge("process_uptime_seconds",
+		"Seconds since the registry was created.",
+		func() float64 { return time.Since(r.start).Seconds() })
+	r.RegisterGauge("process_goroutines",
+		"Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.RegisterGauge("process_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.PauseTotalNs) / 1e9
+		})
+	r.RegisterGauge("process_gc_cycles_total",
+		"Completed garbage-collection cycles.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.NumGC)
+		})
+	r.RegisterGauge("process_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+}
+
+// Add increments a counter by delta.
+func (r *Registry) Add(name string, delta int64) {
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Observe records a value into a histogram.
+func (r *Registry) Observe(name string, v int64) {
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = &obs.Histogram{}
+		r.hists[name] = h
+	}
+	h.Observe(v)
+	r.mu.Unlock()
+}
+
+// RegisterGauge installs a callback sampled at scrape time. Re-using a
+// name replaces the callback.
+func (r *Registry) RegisterGauge(name, help string, fn func() float64) {
+	r.mu.Lock()
+	r.gauges[name] = fn
+	if help != "" {
+		r.help[name] = help
+	}
+	r.mu.Unlock()
+}
+
+// Help attaches a HELP string to a counter or histogram name (gauges
+// set theirs at registration).
+func (r *Registry) Help(name, help string) {
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// Absorb folds a request recorder's counters and histograms into the
+// registry. It is the bridge between per-request observability and
+// process-wide metrics: the recorder keeps its data (for the request's
+// own trace), the registry accumulates across requests. A nil recorder
+// is a no-op.
+func (r *Registry) Absorb(rec *obs.Recorder) {
+	counters, hists := rec.Metrics()
+	if counters == nil && hists == nil {
+		return
+	}
+	r.mu.Lock()
+	for name, v := range counters {
+		r.counters[name] += v
+	}
+	for name, h := range hists {
+		dst := r.hists[name]
+		if dst == nil {
+			dst = &obs.Histogram{}
+			r.hists[name] = dst
+		}
+		dst.Merge(h)
+	}
+	r.mu.Unlock()
+}
+
+// snapshot copies the registry state under the lock; gauge callbacks
+// run outside it so a gauge may itself take locks.
+func (r *Registry) snapshot() (counters map[string]int64, hists map[string]obs.Histogram, gauges map[string]func() float64, help map[string]string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	counters = make(map[string]int64, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	hists = make(map[string]obs.Histogram, len(r.hists))
+	for k, h := range r.hists {
+		hists[k] = *h
+	}
+	gauges = make(map[string]func() float64, len(r.gauges))
+	for k, fn := range r.gauges {
+		gauges[k] = fn
+	}
+	help = make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	return counters, hists, gauges, help
+}
+
+// WritePrometheus renders the registry in the text exposition format:
+// every line is either a `# HELP`/`# TYPE` comment or a
+// `name{labels} value` sample. Families are sorted by name so scrapes
+// are deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	counters, hists, gauges, help := r.snapshot()
+	bw := &errWriter{w: w}
+
+	info := buildinfo.Get()
+	infoName := r.metricName("build_info")
+	fmt.Fprintf(bw, "# HELP %s Build stamp of the running binary (value is always 1).\n", infoName)
+	fmt.Fprintf(bw, "# TYPE %s gauge\n", infoName)
+	fmt.Fprintf(bw, "%s{module=%q,version=%q,go=%q,revision=%q,dirty=%q} 1\n",
+		infoName, info.Module, info.Version, info.GoVersion, info.Revision,
+		fmt.Sprintf("%v", info.Dirty))
+
+	for _, name := range sortedKeys(counters) {
+		full := r.metricName(name) + "_total"
+		r.writeHeader(bw, full, help[name], "counter")
+		fmt.Fprintf(bw, "%s %d\n", full, counters[name])
+	}
+
+	for _, name := range sortedKeys(gauges) {
+		full := r.metricName(name)
+		r.writeHeader(bw, full, help[name], "gauge")
+		fmt.Fprintf(bw, "%s %s\n", full, formatFloat(gauges[name]()))
+	}
+
+	for _, name := range sortedKeys(hists) {
+		h := hists[name]
+		full := r.metricName(name)
+		r.writeHeader(bw, full, help[name], "histogram")
+		snap := h.Snapshot()
+		for _, b := range snap.Buckets {
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", full, formatFloat(float64(b.UpperBound)), b.Cumulative)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", full, snap.Count)
+		fmt.Fprintf(bw, "%s_sum %d\n", full, snap.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", full, snap.Count)
+		for _, q := range []struct {
+			suffix string
+			v      int64
+		}{{"p50", snap.P50}, {"p90", snap.P90}, {"p99", snap.P99}} {
+			qn := full + "_" + q.suffix
+			fmt.Fprintf(bw, "# TYPE %s gauge\n", qn)
+			fmt.Fprintf(bw, "%s %d\n", qn, q.v)
+		}
+	}
+	return bw.err
+}
+
+// writeHeader emits the HELP (when present) and TYPE comments for a
+// family.
+func (r *Registry) writeHeader(w io.Writer, fullName, help, typ string) {
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", fullName, escapeHelp(help))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", fullName, typ)
+}
+
+// metricName prefixes the namespace and sanitizes the result to the
+// Prometheus name grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func (r *Registry) metricName(name string) string {
+	return SanitizeName(r.namespace + "_" + name)
+}
+
+// SanitizeName maps an arbitrary metric name (obs counter names use
+// dots, e.g. "ilp.nodes") onto the Prometheus name grammar by
+// replacing every disallowed byte with '_'.
+func SanitizeName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition
+// format's HELP rules.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a float the way Prometheus expects: integral
+// values without an exponent, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case v == float64(int64(v)):
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// sortedKeys returns the keys of a map in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// errWriter latches the first write error so rendering code can stay
+// straight-line.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	ew.err = err
+	return n, err
+}

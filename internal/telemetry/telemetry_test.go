@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestWritePrometheusParses(t *testing.T) {
+	r := NewRegistry("")
+	r.Add("checks", 3)
+	r.Help("checks", "Total consistency checks.")
+	r.Observe("check.duration_us", 100)
+	r.Observe("check.duration_us", 2000)
+	r.RegisterGauge("inflight", "In-flight checks.", func() float64 { return 2 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	text := b.String()
+	exp, err := ParseExposition(text)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, text)
+	}
+
+	if s, ok := exp.Sample("xmlconsist_checks_total"); !ok || s.Value != 3 {
+		t.Errorf("checks_total = %+v, %v; want value 3", s, ok)
+	}
+	if s, ok := exp.Sample("xmlconsist_inflight"); !ok || s.Value != 2 {
+		t.Errorf("inflight = %+v, %v; want value 2", s, ok)
+	}
+	if s, ok := exp.Sample("xmlconsist_build_info"); !ok || s.Value != 1 || s.Labels["go"] == "" {
+		t.Errorf("build_info = %+v, %v; want value 1 with go label", s, ok)
+	}
+	if _, ok := exp.Sample("xmlconsist_process_uptime_seconds"); !ok {
+		t.Errorf("missing process_uptime_seconds gauge")
+	}
+	if ty := exp.Types["xmlconsist_check_duration_us"]; ty != "histogram" {
+		t.Errorf("check_duration_us TYPE = %q, want histogram", ty)
+	}
+
+	// Histogram series: cumulative buckets ending in +Inf == count.
+	var lastBucket, infBucket, count float64
+	sawInf := false
+	for _, s := range exp.Samples {
+		switch s.Name {
+		case "xmlconsist_check_duration_us_bucket":
+			if s.Labels["le"] == "+Inf" {
+				infBucket = s.Value
+				sawInf = true
+			} else {
+				if s.Value < lastBucket {
+					t.Errorf("bucket counts not cumulative: %v after %v", s.Value, lastBucket)
+				}
+				lastBucket = s.Value
+			}
+		case "xmlconsist_check_duration_us_count":
+			count = s.Value
+		}
+	}
+	if !sawInf || infBucket != count || count != 2 {
+		t.Errorf("bucket/+Inf/count mismatch: inf=%v count=%v sawInf=%v", infBucket, count, sawInf)
+	}
+	if s, ok := exp.Sample("xmlconsist_check_duration_us_sum"); !ok || s.Value != 2100 {
+		t.Errorf("sum = %+v, %v; want 2100", s, ok)
+	}
+	if _, ok := exp.Sample("xmlconsist_check_duration_us_p99"); !ok {
+		t.Errorf("missing p99 quantile gauge")
+	}
+}
+
+func TestAbsorb(t *testing.T) {
+	r := NewRegistry("t")
+	for i := 0; i < 3; i++ {
+		rec := obs.New()
+		rec.Add("ilp.nodes", 10)
+		rec.Observe("solve_us", int64(1<<i))
+		r.Absorb(rec)
+	}
+	r.Absorb(nil) // no-op
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	exp, err := ParseExposition(b.String())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if s, ok := exp.Sample("t_ilp_nodes_total"); !ok || s.Value != 30 {
+		t.Errorf("ilp_nodes_total = %+v, %v; want 30 (dots sanitized, recorders summed)", s, ok)
+	}
+	if s, ok := exp.Sample("t_solve_us_count"); !ok || s.Value != 3 {
+		t.Errorf("solve_us_count = %+v, %v; want 3", s, ok)
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"ilp.nodes":     "ilp_nodes",
+		"check-latency": "check_latency",
+		"ok_name:x9":    "ok_name:x9",
+		"9lead":         "_9lead",
+		"":              "_",
+	}
+	for in, want := range cases {
+		if got := SanitizeName(in); got != want {
+			t.Errorf("SanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseExpositionRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"no_value_here",
+		"metric{unterminated 1",
+		"metric{le=unquoted} 1",
+		"metric 1 2 3",
+		"metric notanumber",
+		"# TYPE metric sideways",
+		"9metric 1",
+	}
+	for _, line := range bad {
+		if _, err := ParseExposition(line); err == nil {
+			t.Errorf("ParseExposition(%q) accepted invalid input", line)
+		}
+	}
+	good := "# random comment\n\nm_total 5\nm2{a=\"x\",b=\"y \\\"z\\\"\"} 1.5 1700000000\nm3 +Inf\n"
+	exp, err := ParseExposition(good)
+	if err != nil {
+		t.Fatalf("ParseExposition(valid) = %v", err)
+	}
+	if len(exp.Samples) != 3 {
+		t.Fatalf("samples = %d, want 3", len(exp.Samples))
+	}
+	if exp.Samples[1].Labels["b"] != `y "z"` {
+		t.Errorf("escaped label = %q", exp.Samples[1].Labels["b"])
+	}
+}

@@ -1,0 +1,257 @@
+// Command servesmoke is the end-to-end smoke test behind `make
+// serve-smoke`: it builds nothing itself, but drives an already-built
+// xmlconsistd binary through its whole surface:
+//
+//  1. start the daemon on a random port and wait for its address line;
+//  2. GET /healthz;
+//  3. POST /check with a known-consistent and a known-inconsistent
+//     spec, asserting the verdicts;
+//  4. POST /check with a 1ms deadline against an exponential-search
+//     spec, asserting a deadline error rather than a verdict;
+//  5. GET /metrics and validate the Prometheus exposition line by
+//     line, requiring the check-latency histogram and build-info
+//     metrics;
+//  6. SIGTERM the daemon and require a clean exit.
+//
+// Usage: servesmoke -bin ./bin/xmlconsistd
+//
+// Exit status: 0 when every step passes, 1 otherwise.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/telemetry"
+)
+
+const consistentDTD = `<!ELEMENT library (book*)>
+<!ELEMENT book (chapter+)>
+<!ELEMENT chapter EMPTY>
+<!ATTLIST book isbn CDATA #REQUIRED>
+<!ATTLIST chapter num CDATA #REQUIRED>`
+
+const consistentKeys = `book.isbn -> book`
+
+const inconsistentDTD = `<!ELEMENT db (country+)>
+<!ELEMENT country (province+, capital+)>
+<!ELEMENT province (capital, city*)>
+<!ELEMENT capital EMPTY>
+<!ELEMENT city EMPTY>
+<!ATTLIST country name CDATA #REQUIRED>
+<!ATTLIST province name CDATA #REQUIRED>
+<!ATTLIST capital inProvince CDATA #REQUIRED>`
+
+const inconsistentKeys = `country.name -> country
+country(province.name -> province)
+country(capital.inProvince -> capital)
+country(capital.inProvince ⊆ province.name)`
+
+func main() {
+	bin := flag.String("bin", "bin/xmlconsistd", "path to the xmlconsistd binary under test")
+	flag.Parse()
+	if err := smoke(*bin); err != nil {
+		fmt.Fprintln(os.Stderr, "servesmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("servesmoke: ok")
+}
+
+var listenRE = regexp.MustCompile(`listening on (http://\S+)`)
+
+func smoke(bin string) error {
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-deadline", "10s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("starting %s: %w", bin, err)
+	}
+	defer cmd.Process.Kill()
+
+	// Wait for the address announcement.
+	urlc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if m := listenRE.FindStringSubmatch(sc.Text()); m != nil {
+				urlc <- m[1]
+			}
+		}
+	}()
+	var base string
+	select {
+	case base = <-urlc:
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("daemon did not announce its listen address")
+	}
+	fmt.Println("servesmoke: daemon at", base)
+
+	if err := checkHealthz(base); err != nil {
+		return err
+	}
+	if err := checkVerdict(base, consistentDTD, consistentKeys, "consistent"); err != nil {
+		return err
+	}
+	if err := checkVerdict(base, inconsistentDTD, inconsistentKeys, "inconsistent"); err != nil {
+		return err
+	}
+	if err := checkDeadline(base); err != nil {
+		return err
+	}
+	if err := checkMetrics(base); err != nil {
+		return err
+	}
+
+	// Graceful shutdown on SIGTERM.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("daemon exit after SIGTERM: %w", err)
+		}
+	case <-time.After(15 * time.Second):
+		return fmt.Errorf("daemon did not exit after SIGTERM")
+	}
+	fmt.Println("servesmoke: clean shutdown")
+	return nil
+}
+
+func checkHealthz(base string) error {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("GET /healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/healthz status %d", resp.StatusCode)
+	}
+	fmt.Println("servesmoke: /healthz ok")
+	return nil
+}
+
+func postCheck(base string, body map[string]any) (int, []byte, error) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.Post(base+"/check", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, fmt.Errorf("POST /check: %w", err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, out, err
+}
+
+func checkVerdict(base, dtd, keys, want string) error {
+	status, out, err := postCheck(base, map[string]any{"dtd": dtd, "constraints": keys})
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("/check status %d: %s", status, out)
+	}
+	var cr struct {
+		Verdict     string          `json:"verdict"`
+		Certificate json.RawMessage `json:"certificate"`
+	}
+	if err := json.Unmarshal(out, &cr); err != nil {
+		return fmt.Errorf("decoding /check response: %w", err)
+	}
+	if cr.Verdict != want {
+		return fmt.Errorf("verdict %q, want %q", cr.Verdict, want)
+	}
+	if len(cr.Certificate) == 0 {
+		return fmt.Errorf("%s verdict carried no certificate", want)
+	}
+	fmt.Printf("servesmoke: /check %s ok (certificate attached)\n", want)
+	return nil
+}
+
+func checkDeadline(base string) error {
+	in := experiments.Fig3Unary(rand.New(rand.NewSource(7)), 16)
+	status, out, err := postCheck(base, map[string]any{
+		"dtd":         in.D.String(),
+		"constraints": in.Set.String(),
+		"deadline_ms": 1,
+	})
+	if err != nil {
+		return err
+	}
+	if status != http.StatusGatewayTimeout {
+		return fmt.Errorf("deadline check: status %d, want 504: %s", status, out)
+	}
+	var er struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(out, &er); err != nil || er.Kind != "deadline" {
+		return fmt.Errorf("deadline check: kind %q (err %v), want deadline", er.Kind, err)
+	}
+	fmt.Println("servesmoke: 1ms deadline aborts with a deadline error, not a verdict")
+	return nil
+}
+
+func checkMetrics(base string) error {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("GET /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	exp, err := telemetry.ParseExposition(string(text))
+	if err != nil {
+		return fmt.Errorf("exposition invalid: %w", err)
+	}
+	for _, want := range []string{
+		"xmlconsist_build_info",
+		"xmlconsist_server_requests_total",
+		"xmlconsist_server_check_us_count",
+		"xmlconsist_server_check_us_sum",
+		"xmlconsist_process_goroutines",
+	} {
+		if _, ok := exp.Sample(want); !ok {
+			return fmt.Errorf("metric %s missing from /metrics", want)
+		}
+	}
+	buckets := 0
+	for _, s := range exp.Samples {
+		if s.Name == "xmlconsist_server_check_us_bucket" {
+			buckets++
+		}
+	}
+	if buckets == 0 {
+		return fmt.Errorf("no check-latency histogram buckets in /metrics")
+	}
+	lines := 0
+	for _, l := range strings.Split(string(text), "\n") {
+		if strings.TrimSpace(l) != "" {
+			lines++
+		}
+	}
+	fmt.Printf("servesmoke: /metrics ok (%d lines, %d samples, %d latency buckets)\n",
+		lines, len(exp.Samples), buckets)
+	return nil
+}

@@ -1,6 +1,7 @@
 package xmlspec
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -208,6 +209,28 @@ func (s *Spec) Consistent(opts *Options) (Result, error) {
 	}
 	return convertResult(res), nil
 }
+
+// CheckContext is Consistent bounded by a context: the decision
+// procedures poll ctx and a deadline or cancellation aborts the check
+// with an error for which Aborted reports true — never with a verdict
+// computed on a truncated budget. This is what makes the checker safe
+// to serve: a request's deadline or disconnect reliably stops the
+// (worst-case exponential) search. opts may be nil.
+func (s *Spec) CheckContext(ctx context.Context, opts *Options) (Result, error) {
+	sp := s.obs.Start("xmlspec.check")
+	defer sp.End()
+	res, err := consistency.CheckContext(ctx, s.dtd, s.set, opts.internal(s.obs))
+	if err != nil {
+		return Result{}, err
+	}
+	return convertResult(res), nil
+}
+
+// Aborted reports whether an error from CheckContext means the check
+// was cut short by its context (deadline or cancellation) rather than
+// failing. errors.Is against context.DeadlineExceeded or
+// context.Canceled further distinguishes the cause.
+func Aborted(err error) bool { return consistency.Aborted(err) }
 
 func convertResult(res consistency.Result) Result {
 	out := Result{
