@@ -17,7 +17,8 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the repository's own static analysis: the vettool passes
-# from tools/analyzers (exhaustive Verdict switches, nil-safe obs use)
+# from tools/analyzers (exhaustive Verdict switches, nil-safe obs use,
+# certificate-attached verdicts, Prometheus metric-name conventions)
 # over every package, then cmd/speclint over the shipped example specs.
 # The geography spec is the known-inconsistent fixture, so exit 1 is
 # its expected verdict there.
@@ -49,10 +50,14 @@ bench:
 
 # serve-smoke builds xmlconsistd, starts it on a random port, and
 # drives the whole serving surface end to end: /healthz, /check with a
-# consistent and an inconsistent spec, a 1ms-deadline check that must
-# abort with a deadline error, and a line-by-line validation of the
-# /metrics Prometheus exposition — then SIGTERMs the daemon and
-# requires a clean exit.
+# consistent and an inconsistent spec (asserting spec digests and the
+# X-Request-Id echo), a 1ms-deadline check that must abort with a
+# deadline error, the /debug status pages, a line-by-line validation
+# of the /metrics exposition (including rolling-window and SLO
+# burn-rate gauges) — then SIGTERMs the daemon, requires a clean exit,
+# parses the audit log against the responses, and re-runs with a
+# 1ns slow threshold to require exactly one quarantined trace+spec
+# pair.
 serve-smoke:
 	$(GO) build -o bin/xmlconsistd ./cmd/xmlconsistd
 	$(GO) run ./tools/servesmoke -bin bin/xmlconsistd

@@ -27,6 +27,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/consistency"
 	"repro/internal/constraint"
+	"repro/internal/digest"
 	"repro/internal/dtd"
 	"repro/internal/experiments"
 	"repro/internal/obs"
@@ -154,6 +155,7 @@ func journalEntry(c benchCase, target time.Duration) (benchjournal.Entry, error)
 		NsPerOp:     m.NsPerOp,
 		AllocsPerOp: m.AllocsPerOp,
 		BytesPerOp:  m.BytesPerOp,
+		SpecDigest:  digest.Spec(c.d, c.set),
 		Verdict:     res.Verdict.String(),
 	}
 	if res.Certificate != nil {

@@ -41,6 +41,9 @@ func TestRunProducesValidJournal(t *testing.T) {
 		if e.Verdict != "consistent" && e.Verdict != "inconsistent" {
 			t.Errorf("%s: verdict %q", e.Name, e.Verdict)
 		}
+		if !strings.HasPrefix(e.SpecDigest, "spec-") {
+			t.Errorf("%s: spec digest %q, want spec-<hex>", e.Name, e.SpecDigest)
+		}
 	}
 
 	// A second run appends rather than overwrites.

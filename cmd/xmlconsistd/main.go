@@ -1,11 +1,14 @@
 // Command xmlconsistd serves the consistency checker over HTTP with
 // live telemetry:
 //
-//	xmlconsistd -addr :8080 -deadline 30s -max-inflight 8 -trace-dir traces/
+//	xmlconsistd -addr :8080 -deadline 30s -max-inflight 8 -trace-dir traces/ \
+//	  -audit-log audit.jsonl -slow-threshold 2s -quarantine-dir slow/ \
+//	  -slo-target-ms 250 -slo-objective 0.99 -log-format json
 //
 // Endpoints: POST /check (specification in, verdict + certificate +
 // stats out), GET /metrics (Prometheus text exposition), GET /healthz,
-// and optional /debug/pprof (-pprof). SIGINT/SIGTERM trigger a
+// GET /debug/status (HTML status page), GET /debug/checks (its JSON
+// twin), and optional /debug/pprof (-pprof). SIGINT/SIGTERM trigger a
 // graceful shutdown that lets in-flight checks finish (bounded by
 // -deadline) before the listener closes.
 package main
@@ -24,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/cliutil"
 	"repro/internal/server"
 	"repro/internal/telemetry"
@@ -45,6 +49,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	maxInflight := fs.Int("max-inflight", 0, "maximum concurrent checks, excess rejected with 429 (0: unlimited)")
 	traceDir := fs.String("trace-dir", "", "directory for per-request Chrome trace files (empty: no traces)")
 	pprofFlag := fs.Bool("pprof", false, "mount /debug/pprof")
+	logFormat := fs.String("log-format", "text", "structured log format: text or json")
+	auditLog := fs.String("audit-log", "", "append-only JSONL audit log, one event per check (empty: in-memory only)")
+	auditMaxBytes := fs.Int64("audit-max-bytes", 0, "rotate the audit log past this size (0: 8 MiB)")
+	auditSample := fs.Int("audit-sample", 1, "write every Nth audit event to the file (status page sees all)")
+	slowThreshold := fs.Duration("slow-threshold", 0, "quarantine checks slower than this (0: no slow capture)")
+	quarantineDir := fs.String("quarantine-dir", "", "directory for slow-check trace+spec captures")
+	sloTargetMS := fs.Int64("slo-target-ms", 0, "SLO latency target in milliseconds (0: no SLO gauges)")
+	sloObjective := fs.Float64("slo-objective", 0.99, "SLO objective: fraction of checks under target")
 	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return 3
@@ -57,21 +69,58 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "xmlconsistd: unexpected arguments:", fs.Args())
 		return 3
 	}
-	if *traceDir != "" {
-		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+	for _, dir := range []string{*traceDir, *quarantineDir} {
+		if dir == "" {
+			continue
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
 			fmt.Fprintln(stderr, "xmlconsistd:", err)
 			return 3
 		}
 	}
 
-	logger := slog.New(slog.NewTextHandler(stderr, nil))
+	// Every log line of the process — request lines, slow-check
+	// warnings, shutdown notices — flows through this one handler, so
+	// -log-format json turns the whole daemon machine-parsable.
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(stderr, nil)
+	default:
+		fmt.Fprintf(stderr, "xmlconsistd: unknown -log-format %q (want text or json)\n", *logFormat)
+		return 3
+	}
+	logger := slog.New(handler)
+
+	al, err := audit.New(audit.Options{
+		Path:     *auditLog,
+		MaxBytes: *auditMaxBytes,
+		Sample:   *auditSample,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "xmlconsistd:", err)
+		return 3
+	}
+	defer func() {
+		if err := al.Close(); err != nil {
+			logger.Error("audit log close", "err", err)
+		}
+	}()
+
 	srv := server.NewServer(server.Config{
-		Registry:    telemetry.NewRegistry(""),
-		Deadline:    *deadline,
-		MaxInflight: *maxInflight,
-		TraceDir:    *traceDir,
-		Logger:      logger,
-		Pprof:       *pprofFlag,
+		Registry:      telemetry.NewRegistry(""),
+		Deadline:      *deadline,
+		MaxInflight:   *maxInflight,
+		TraceDir:      *traceDir,
+		Logger:        logger,
+		Pprof:         *pprofFlag,
+		Audit:         al,
+		SlowThreshold: *slowThreshold,
+		QuarantineDir: *quarantineDir,
+		SLOTarget:     time.Duration(*sloTargetMS) * time.Millisecond,
+		SLOObjective:  *sloObjective,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"os"
 	"regexp"
 	"strings"
 	"sync"
@@ -114,5 +115,140 @@ func TestDaemonUsageErrors(t *testing.T) {
 	}
 	if code := run(context.Background(), []string{"stray"}, io.Discard, io.Discard); code != 3 {
 		t.Fatalf("stray arg exit = %d, want 3", code)
+	}
+}
+
+// startDaemonStderr is startDaemon with the daemon's stderr captured.
+func startDaemonStderr(t *testing.T, stderr io.Writer, extraArgs ...string) (string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	stdout := &syncBuffer{}
+	args := append([]string{"-addr", "127.0.0.1:0", "-deadline", "5s"}, extraArgs...)
+	done := make(chan int, 1)
+	go func() { done <- run(ctx, args, stdout, stderr) }()
+
+	var url string
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if m := listenRE.FindStringSubmatch(stdout.String()); m != nil {
+			url = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon did not announce its address; stdout: %q", stdout.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return url, func() {
+		cancel()
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Errorf("daemon exit code = %d, want 0", code)
+			}
+		case <-time.After(10 * time.Second):
+			t.Errorf("daemon did not shut down")
+		}
+	}
+}
+
+func TestDaemonJSONLogFormat(t *testing.T) {
+	stderr := &syncBuffer{}
+	url, shutdown := startDaemonStderr(t, stderr, "-log-format", "json")
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	resp.Body.Close()
+	shutdown() // flush the shutdown log line too
+
+	lines := strings.Split(strings.TrimSpace(stderr.String()), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatalf("no log output")
+	}
+	for _, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("log line not JSON: %q: %v", line, err)
+		}
+		if _, ok := obj["msg"]; !ok {
+			t.Errorf("log line missing msg: %q", line)
+		}
+	}
+	// The request log line must carry the request id.
+	var sawRequest bool
+	for _, line := range lines {
+		var obj map[string]any
+		json.Unmarshal([]byte(line), &obj)
+		if obj["msg"] == "request" {
+			sawRequest = true
+			if id, _ := obj["request_id"].(string); id == "" {
+				t.Errorf("request line missing request_id: %q", line)
+			}
+		}
+	}
+	if !sawRequest {
+		t.Errorf("no request log line in %q", stderr.String())
+	}
+}
+
+func TestDaemonBadLogFormat(t *testing.T) {
+	if code := run(context.Background(), []string{"-log-format", "yaml"}, io.Discard, io.Discard); code != 3 {
+		t.Fatalf("bad -log-format exit = %d, want 3", code)
+	}
+}
+
+func TestDaemonAuditLogFile(t *testing.T) {
+	path := t.TempDir() + "/audit.jsonl"
+	url, shutdown := startDaemon(t, "-audit-log", path)
+
+	body := `{"dtd": "<!ELEMENT db (a*)> <!ELEMENT a EMPTY> <!ATTLIST a k CDATA #REQUIRED>", "constraints": "a.k -> a"}`
+	resp, err := http.Post(url+"/check", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /check: %v", err)
+	}
+	var cr struct {
+		RequestID  string `json:"request_id"`
+		SpecDigest string `json:"spec_digest"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	shutdown() // Close flushes the audit file
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("audit log: %v", err)
+	}
+	var ev struct {
+		RequestID  string `json:"request_id"`
+		SpecDigest string `json:"spec_digest"`
+		Verdict    string `json:"verdict"`
+	}
+	line := strings.TrimSpace(string(data))
+	if err := json.Unmarshal([]byte(line), &ev); err != nil {
+		t.Fatalf("audit line unparsable: %q: %v", line, err)
+	}
+	if ev.RequestID != cr.RequestID || ev.SpecDigest != cr.SpecDigest || ev.Verdict != "consistent" {
+		t.Fatalf("audit event %+v does not match response %+v", ev, cr)
+	}
+}
+
+func TestDaemonStatusPage(t *testing.T) {
+	url, shutdown := startDaemon(t, "-slo-target-ms", "250")
+	defer shutdown()
+
+	resp, err := http.Get(url + "/debug/status")
+	if err != nil {
+		t.Fatalf("GET /debug/status: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/status = %d", resp.StatusCode)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(page), "xmlconsistd") {
+		t.Fatalf("status page malformed: %.200s", page)
 	}
 }

@@ -1,0 +1,70 @@
+package xmlspec
+
+import (
+	"strings"
+	"testing"
+)
+
+const digestTestDTD = `
+<!ELEMENT library (book*)>
+<!ELEMENT book (chapter+)>
+<!ELEMENT chapter EMPTY>
+<!ATTLIST book isbn CDATA #REQUIRED>
+<!ATTLIST chapter num CDATA #REQUIRED>
+`
+
+// TestSpecDigest pins the facade-level digest contract: stable format,
+// memoized value, order-insensitivity across constraint listings, and
+// invalidation when the spec itself changes.
+func TestSpecDigest(t *testing.T) {
+	s := MustParse(digestTestDTD, "book.isbn -> book\nchapter.num -> chapter")
+	dig := s.Digest()
+	if !strings.HasPrefix(dig, "spec-") || len(dig) != len("spec-")+16 {
+		t.Fatalf("digest = %q, want spec-<16 hex>", dig)
+	}
+	if again := s.Digest(); again != dig {
+		t.Errorf("digest not memoized: %q then %q", dig, again)
+	}
+
+	reordered := MustParse(digestTestDTD, "chapter.num -> chapter\nbook.isbn -> book")
+	if got := reordered.Digest(); got != dig {
+		t.Errorf("constraint order changed the digest: %q vs %q", got, dig)
+	}
+
+	if err := s.AddConstraint("book.isbn ⊆ chapter.num"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Digest(); got == dig {
+		t.Errorf("AddConstraint did not change the digest")
+	}
+}
+
+// TestCertificateCarriesSpecDigest checks the stamp travels with the
+// certificate and that verification enforces it: the certificate
+// passes against its own spec and is rejected by a spec with a
+// different digest.
+func TestCertificateCarriesSpecDigest(t *testing.T) {
+	s := MustParse(digestTestDTD, "book.isbn -> book")
+	res, err := s.Consistent(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Certificate == nil {
+		t.Fatal("no certificate on definitive verdict")
+	}
+	if res.Certificate.SpecDigest != s.Digest() {
+		t.Fatalf("certificate digest %q, spec digest %q", res.Certificate.SpecDigest, s.Digest())
+	}
+	if err := s.VerifyCertificate(res.Certificate); err != nil {
+		t.Fatalf("stamped certificate fails on its own spec: %v", err)
+	}
+
+	other := MustParse(digestTestDTD, "chapter.num -> chapter")
+	err = other.VerifyCertificate(res.Certificate)
+	if err == nil {
+		t.Fatal("certificate stamped for another spec verified anyway")
+	}
+	if !strings.Contains(err.Error(), "digest") {
+		t.Errorf("mismatch error %q does not mention the digest", err)
+	}
+}

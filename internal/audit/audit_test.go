@@ -1,0 +1,208 @@
+package audit
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestNilLogNoOps(t *testing.T) {
+	var l *Log
+	l.Record(Event{RequestID: "x"})
+	if got := l.Recent(5); got != nil {
+		t.Errorf("nil Recent = %v", got)
+	}
+	if got := l.Hot(5); got != nil {
+		t.Errorf("nil Hot = %v", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("nil Close = %v", err)
+	}
+}
+
+func TestFileLinesParseAndRotate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "audit.jsonl")
+	// Each line is ~230 bytes; 3000 forces exactly one rotation over 20
+	// events (rotation keeps one previous file, so a second rotation
+	// would discard lines and fail the count below).
+	l, err := New(Options{Path: path, MaxBytes: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		l.Record(Event{
+			RequestID:  fmt.Sprintf("%08x", i),
+			SpecDigest: "spec-0123456789abcdef",
+			Verdict:    "consistent",
+			Status:     200,
+			ElapsedUS:  int64(100 + i),
+			Phases:     []Phase{{Path: "server.check", DurationUS: int64(90 + i)}},
+		})
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Rotation must have happened.
+	if _, err := os.Stat(path + ".1"); err != nil {
+		t.Fatalf("no rotated file: %v", err)
+	}
+
+	// Every line of both files must parse back into an Event.
+	lines := 0
+	for _, p := range []string{path + ".1", path} {
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			var ev Event
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				t.Fatalf("%s: unparsable line %q: %v", p, sc.Text(), err)
+			}
+			if ev.Time == "" || ev.RequestID == "" {
+				t.Fatalf("%s: event missing time/request id: %+v", p, ev)
+			}
+			lines++
+		}
+		f.Close()
+	}
+	if lines != 20 {
+		t.Fatalf("got %d audit lines across rotation, want 20", lines)
+	}
+}
+
+func TestSamplingWritesEveryNth(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "audit.jsonl")
+	l, err := New(Options{Path: path, Sample: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		l.Record(Event{RequestID: fmt.Sprintf("%d", i)})
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count := bytes.Count(raw, []byte("\n")); count != 3 { // events 0, 4, 8
+		t.Fatalf("sampled file has %d lines, want 3", count)
+	}
+	// The ring still saw everything.
+	if got := len(l.Recent(0)); got != 10 {
+		t.Fatalf("ring has %d events, want 10", got)
+	}
+}
+
+func TestRecentNewestFirstAndBounded(t *testing.T) {
+	l, err := New(Options{RingSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		l.Record(Event{RequestID: fmt.Sprintf("r%d", i)})
+	}
+	got := l.Recent(0)
+	if len(got) != 4 {
+		t.Fatalf("Recent(0) len = %d, want 4 (ring size)", len(got))
+	}
+	for i, want := range []string{"r6", "r5", "r4", "r3"} {
+		if got[i].RequestID != want {
+			t.Errorf("Recent[%d] = %s, want %s", i, got[i].RequestID, want)
+		}
+	}
+	if got := l.Recent(2); len(got) != 2 || got[0].RequestID != "r6" {
+		t.Errorf("Recent(2) = %+v", got)
+	}
+}
+
+func TestHotDigestsRankAndDecay(t *testing.T) {
+	l, err := New(Options{DecayEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		l.Record(Event{SpecDigest: "spec-hot", Verdict: "consistent"})
+	}
+	for i := 0; i < 3; i++ {
+		l.Record(Event{SpecDigest: "spec-warm", Verdict: "inconsistent"})
+	}
+	l.Record(Event{SpecDigest: "spec-cold", Verdict: "unknown"})
+
+	hot := l.Hot(2)
+	if len(hot) != 2 {
+		t.Fatalf("Hot(2) len = %d", len(hot))
+	}
+	if hot[0].Digest != "spec-hot" || hot[0].Score != 10 || hot[0].LastVerdict != "consistent" {
+		t.Errorf("hot[0] = %+v", hot[0])
+	}
+	if hot[1].Digest != "spec-warm" || hot[1].Score != 3 {
+		t.Errorf("hot[1] = %+v", hot[1])
+	}
+
+	// 86 more events crosses DecayEvery=100: scores halve, and
+	// spec-cold (0.5 after decay) is evicted as < 0.5 after two decays.
+	for i := 0; i < 86; i++ {
+		l.Record(Event{SpecDigest: "spec-hot"})
+	}
+	hot = l.Hot(0)
+	if hot[0].Digest != "spec-hot" {
+		t.Fatalf("hot[0] after decay = %+v", hot[0])
+	}
+	// spec-hot: (10+86)/2 = 48 at the decay boundary.
+	if hot[0].Score > 96 || hot[0].Score < 40 {
+		t.Errorf("spec-hot score %f not decayed", hot[0].Score)
+	}
+	for _, h := range hot {
+		if h.Digest == "spec-warm" && h.Score > 1.5 {
+			t.Errorf("spec-warm score %f not decayed", h.Score)
+		}
+	}
+}
+
+func TestHotTableBounded(t *testing.T) {
+	l, err := New(Options{HotSize: 8, DecayEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		l.Record(Event{SpecDigest: fmt.Sprintf("spec-%04d", i)})
+	}
+	if got := len(l.Hot(0)); got > 16 {
+		t.Fatalf("hot table grew to %d entries with HotSize=8", got)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	l, err := New(Options{RingSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Record(Event{RequestID: fmt.Sprintf("g%d-%d", g, i), SpecDigest: "spec-x"})
+				l.Recent(4)
+				l.Hot(4)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := l.Events(); got != 800 {
+		t.Fatalf("Events() = %d, want 800", got)
+	}
+}

@@ -52,11 +52,16 @@ type Run struct {
 // the provenance of a single instrumented run (verdict, certificate
 // shape, per-phase durations).
 type Entry struct {
-	Name            string  `json:"name"`
-	Iterations      int     `json:"iterations"`
-	NsPerOp         float64 `json:"ns_per_op"`
-	AllocsPerOp     float64 `json:"allocs_per_op"`
-	BytesPerOp      float64 `json:"bytes_per_op"`
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// SpecDigest is the canonical digest of the measured specification
+	// (internal/digest), so journal entries join against audit events
+	// and traces from the same spec. Additive in repro-bench/v1:
+	// entries written by older builds simply lack it.
+	SpecDigest      string  `json:"spec_digest,omitempty"`
 	Verdict         string  `json:"verdict,omitempty"`
 	CertificateKind string  `json:"certificate_kind,omitempty"`
 	CertificateSize int     `json:"certificate_size,omitempty"`

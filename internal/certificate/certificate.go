@@ -116,6 +116,14 @@ type Refutation struct {
 type Certificate struct {
 	Witness    *Witness    `json:"witness,omitempty"`
 	Refutation *Refutation `json:"refutation,omitempty"`
+	// SpecDigest is the canonical digest of the specification the
+	// certificate is about (internal/digest), stamped by the facade so
+	// a certificate stored next to an audit log, journal entry, or
+	// trace names the spec it proves something for. Verify re-derives
+	// the digest from the presented spec and rejects a mismatch; an
+	// empty digest (certificates built below the facade) skips the
+	// check.
+	SpecDigest string `json:"spec_digest,omitempty"`
 }
 
 // FromVector builds a witness certificate from a solution of the

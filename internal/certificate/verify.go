@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cardinality"
 	"repro/internal/constraint"
+	"repro/internal/digest"
 	"repro/internal/dtd"
 	"repro/internal/scope"
 	"repro/internal/speclint"
@@ -31,6 +32,11 @@ func Verify(d *dtd.DTD, set *constraint.Set, c *Certificate) error {
 	}
 	if err := set.Validate(d); err != nil {
 		return fmt.Errorf("certificate: invalid constraint set: %w", err)
+	}
+	if c.SpecDigest != "" {
+		if got := digest.Spec(d, set); got != c.SpecDigest {
+			return fmt.Errorf("certificate: stamped for spec %s but presented spec digests to %s", c.SpecDigest, got)
+		}
 	}
 	if c.Witness != nil {
 		return verifyWitness(d, set, c.Witness)

@@ -1,0 +1,158 @@
+package digest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/dtd"
+)
+
+const testDTD = `
+<!ELEMENT library (book*)>
+<!ELEMENT book (author+, chapter+)>
+<!ELEMENT author EMPTY>
+<!ELEMENT chapter EMPTY>
+<!ATTLIST book isbn CDATA #REQUIRED>
+<!ATTLIST author name CDATA #REQUIRED>
+<!ATTLIST chapter num CDATA #REQUIRED>
+`
+
+const testKeys = `
+book.isbn -> book
+book(author.name -> author)
+book(chapter.num -> chapter)
+`
+
+func mustSpec(t *testing.T, dtdSrc, keySrc string) (*dtd.DTD, *constraint.Set) {
+	t.Helper()
+	d, err := dtd.Parse(dtdSrc)
+	if err != nil {
+		t.Fatalf("dtd.Parse: %v", err)
+	}
+	set, err := constraint.ParseSet(keySrc)
+	if err != nil {
+		t.Fatalf("constraint.ParseSet: %v", err)
+	}
+	return d, set
+}
+
+func TestDigestInvariantUnderConstraintReordering(t *testing.T) {
+	d, set := mustSpec(t, testDTD, testKeys)
+	want := Spec(d, set)
+
+	orders := []string{
+		"book(chapter.num -> chapter)\nbook.isbn -> book\nbook(author.name -> author)",
+		"book(author.name -> author)\nbook(chapter.num -> chapter)\nbook.isbn -> book",
+	}
+	for _, src := range orders {
+		set2, err := constraint.ParseSet(src)
+		if err != nil {
+			t.Fatalf("ParseSet(%q): %v", src, err)
+		}
+		if got := Spec(d, set2); got != want {
+			t.Errorf("digest depends on constraint order: %s vs %s for\n%s", got, want, src)
+		}
+	}
+}
+
+func TestDigestInvariantUnderDTDRoundTrip(t *testing.T) {
+	d, set := mustSpec(t, testDTD, testKeys)
+	want := Spec(d, set)
+
+	// String ∘ Parse must be digest-preserving.
+	d2, err := dtd.Parse(d.String())
+	if err != nil {
+		t.Fatalf("re-parsing DTD.String(): %v", err)
+	}
+	if got := Spec(d2, set); got != want {
+		t.Errorf("digest not preserved by String∘Parse: %s vs %s", got, want)
+	}
+
+	// A builder-made DTD that declares leaves first (so Names order
+	// differs from the parsed order) must digest identically.
+	b := dtd.New("library")
+	for _, name := range []string{"chapter", "author", "book", "library"} {
+		e := d.Element(name)
+		b.Define(name, e.Content, e.Attrs...)
+	}
+	if got := Spec(b, set); got != want {
+		t.Errorf("digest depends on declaration order: %s vs %s", got, want)
+	}
+}
+
+func TestDigestSensitivity(t *testing.T) {
+	d, set := mustSpec(t, testDTD, testKeys)
+	base := Spec(d, set)
+
+	// Dropping a constraint changes the digest.
+	smaller, err := constraint.ParseSet("book.isbn -> book")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Spec(d, smaller) == base {
+		t.Error("digest unchanged after dropping constraints")
+	}
+
+	// Changing an attribute changes the digest.
+	d2, err := dtd.Parse(strings.ReplaceAll(testDTD, "num CDATA", "number CDATA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set2, err := constraint.ParseSet(strings.ReplaceAll(testKeys, "chapter.num", "chapter.number"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Spec(d2, set2) == base {
+		t.Error("digest unchanged after renaming an attribute")
+	}
+
+	// An empty constraint set digests differently from a non-empty one.
+	if Spec(d, &constraint.Set{}) == base {
+		t.Error("digest unchanged after emptying the constraint set")
+	}
+}
+
+// TestDigestDistinctAcrossTestdata loads every (dtd, keys) pair under
+// testdata and requires pairwise-distinct digests: the digest is the
+// fleet's identity key, so the shipped example specs must never
+// collide.
+func TestDigestDistinctAcrossTestdata(t *testing.T) {
+	root := filepath.Join("..", "..", "testdata")
+	pairs := [][2]string{
+		{"library.dtd", "library.keys"},
+		{"school.dtd", "school.keys"},
+		{"school.dtd", "school-extended.keys"},
+		{"geography.dtd", "geography.keys"},
+	}
+	seen := map[string]string{}
+	for _, p := range pairs {
+		dtdSrc, err := os.ReadFile(filepath.Join(root, p[0]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		keySrc, err := os.ReadFile(filepath.Join(root, p[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, set := mustSpec(t, string(dtdSrc), string(keySrc))
+		dig := Spec(d, set)
+		if !strings.HasPrefix(dig, "spec-") || len(dig) != len("spec-")+16 {
+			t.Errorf("%s+%s: malformed digest %q", p[0], p[1], dig)
+		}
+		if prev, dup := seen[dig]; dup {
+			t.Errorf("digest collision: %s+%s and %s share %s", p[0], p[1], prev, dig)
+		}
+		seen[dig] = p[0] + "+" + p[1]
+	}
+}
+
+func TestDigestDeterministic(t *testing.T) {
+	d, set := mustSpec(t, testDTD, testKeys)
+	a, b := Spec(d, set), Spec(d, set)
+	if a != b {
+		t.Fatalf("digest not deterministic: %s vs %s", a, b)
+	}
+}

@@ -1,10 +1,12 @@
 // Package server exposes the consistency checker over HTTP with live
 // telemetry, using only the standard library. Endpoints:
 //
-//	POST /check        specification in, verdict + certificate + stats out
-//	GET  /metrics      Prometheus text exposition of the process registry
-//	GET  /healthz      liveness probe
-//	GET  /debug/pprof  optional runtime profiles (Config.Pprof)
+//	POST /check         specification in, verdict + certificate + stats out
+//	GET  /metrics       Prometheus text exposition of the process registry
+//	GET  /healthz       liveness probe
+//	GET  /debug/status  human-readable status page (HTML)
+//	GET  /debug/checks  the status page's data as JSON
+//	GET  /debug/pprof   optional runtime profiles (Config.Pprof)
 //
 // Every request runs under middleware that assigns a request ID,
 // writes a structured log line, recovers panics into 500s, and feeds
@@ -12,6 +14,14 @@
 // goroutine with a deadline-bounded context threaded into the decision
 // procedures, so a client disconnect or timeout aborts the worst-case
 // exponential search promptly and leaks no goroutines.
+//
+// Beyond counters, every completed check leaves three observability
+// trails: an audit event (request ID, spec digest, verdict, phases)
+// in the configured audit log, an observation in the rolling 1m/5m/1h
+// windows that drive the rate/latency/burn-rate gauges, and — when the
+// check ran longer than Config.SlowThreshold — a rate-limited
+// quarantine capture pairing the Chrome trace with the offending spec
+// so slow checks can be replayed offline.
 package server
 
 import (
@@ -25,10 +35,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	xmlspec "repro"
+	"repro/internal/audit"
 	"repro/internal/certificate"
 	"repro/internal/obs"
 	"repro/internal/telemetry"
@@ -57,6 +69,27 @@ type Config struct {
 	Pprof bool
 	// MaxRequestBytes bounds the /check request body (zero: 8 MiB).
 	MaxRequestBytes int64
+	// Audit receives one event per check. When nil, NewServer creates
+	// an in-memory log (ring and hot-digest table only, no file) so the
+	// status page always has data; the caller owns a file-backed log's
+	// lifecycle, including Close.
+	Audit *audit.Log
+	// SlowThreshold marks checks slower than it for quarantine capture
+	// (zero: no captures).
+	SlowThreshold time.Duration
+	// QuarantineDir is where slow-check captures land, as a
+	// slow-<request-id>.json Chrome trace plus a slow-<request-id>.spec
+	// spec dump. Empty disables capture even with a threshold set.
+	QuarantineDir string
+	// SlowCaptureInterval rate-limits captures: at most one per
+	// interval (zero: one per minute).
+	SlowCaptureInterval time.Duration
+	// SLOTarget is the latency target of the serving SLO; checks
+	// slower than it burn error budget. Zero disables the SLO gauges.
+	SLOTarget time.Duration
+	// SLOObjective is the fraction of checks that must finish under
+	// SLOTarget without failing (zero: 0.99).
+	SLOObjective float64
 }
 
 // Server handles the HTTP surface. Create with NewServer.
@@ -64,8 +97,27 @@ type Server struct {
 	cfg      Config
 	reg      *telemetry.Registry
 	log      *slog.Logger
+	audit    *audit.Log
+	rolling  *telemetry.Rolling
+	start    time.Time
 	inflight atomic.Int64
 	reqSeq   atomic.Uint64
+
+	// running tracks the checks currently executing, for the status
+	// page's in-flight table.
+	runningMu sync.Mutex
+	running   map[string]*runningCheck
+
+	// lastCapture rate-limits slow-check quarantine captures.
+	captureMu   sync.Mutex
+	lastCapture time.Time
+}
+
+// runningCheck is one in-flight check as the status page shows it.
+type runningCheck struct {
+	ID         string `json:"request_id"`
+	SpecDigest string `json:"spec_digest,omitempty"`
+	StartedAt  time.Time
 }
 
 // NewServer validates the config and builds a server.
@@ -79,15 +131,45 @@ func NewServer(cfg Config) *Server {
 	if cfg.MaxRequestBytes == 0 {
 		cfg.MaxRequestBytes = 8 << 20
 	}
-	s := &Server{cfg: cfg, reg: cfg.Registry, log: cfg.Logger}
+	if cfg.Audit == nil {
+		// Cannot fail: an empty path opens no file.
+		cfg.Audit, _ = audit.New(audit.Options{})
+	}
+	if cfg.SLOObjective == 0 {
+		cfg.SLOObjective = 0.99
+	}
+	if cfg.SlowCaptureInterval == 0 {
+		cfg.SlowCaptureInterval = time.Minute
+	}
+	s := &Server{
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		log:     cfg.Logger,
+		audit:   cfg.Audit,
+		rolling: telemetry.NewRolling(cfg.SLOTarget.Microseconds()),
+		start:   time.Now(),
+		running: map[string]*runningCheck{},
+	}
 	s.reg.RegisterGauge("server_inflight_checks",
 		"Checks currently executing.",
 		func() float64 { return float64(s.inflight.Load()) })
+	s.reg.RegisterGauge("server_audit_events",
+		"Audit events recorded since start.",
+		func() float64 { return float64(s.audit.Events()) })
+	s.reg.RegisterGauge("server_uptime_seconds",
+		"Seconds since the server was constructed.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	telemetry.RegisterRolling(s.reg, s.rolling)
+	if cfg.SLOTarget > 0 {
+		telemetry.RegisterSLO(s.reg, s.rolling, cfg.SLOTarget, cfg.SLOObjective)
+	}
 	s.reg.Help("server.requests", "HTTP requests served, any endpoint.")
 	s.reg.Help("server.checks", "Consistency checks completed with a verdict.")
 	s.reg.Help("server.panics", "Handler panics recovered into 500 responses.")
 	s.reg.Help("server.request_us", "End-to-end HTTP request latency in microseconds.")
 	s.reg.Help("server.check_us", "Consistency-check latency in microseconds (verdict-bearing requests).")
+	s.reg.Help("server.slow_captures", "Slow checks quarantined as trace+spec pairs.")
+	s.reg.Help("server.slow_checks", "Checks that exceeded the slow threshold (captured or not).")
 	return s
 }
 
@@ -98,6 +180,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /check", s.handleCheck)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /debug/status", s.handleStatus)
+	mux.HandleFunc("GET /debug/checks", s.handleChecks)
 	if s.cfg.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -133,7 +217,11 @@ type CheckOptions struct {
 
 // CheckResponse is the /check response body on success.
 type CheckResponse struct {
-	RequestID   string                   `json:"request_id"`
+	RequestID string `json:"request_id"`
+	// SpecDigest is the canonical digest of the checked specification
+	// (internal/digest) — the key joining this response to audit
+	// events, traces, journal entries, and the status page.
+	SpecDigest  string                   `json:"spec_digest"`
 	Verdict     string                   `json:"verdict"`
 	Class       string                   `json:"class,omitempty"`
 	Method      string                   `json:"method,omitempty"`
@@ -200,6 +288,16 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, id, http.StatusBadRequest, "parse", err.Error())
 		return
 	}
+	dig := spec.Digest()
+
+	s.runningMu.Lock()
+	s.running[id] = &runningCheck{ID: id, SpecDigest: dig, StartedAt: time.Now()}
+	s.runningMu.Unlock()
+	defer func() {
+		s.runningMu.Lock()
+		delete(s.running, id)
+		s.runningMu.Unlock()
+	}()
 
 	ctx, cancel := s.checkContext(r.Context(), req.DeadlineMS)
 	defer cancel()
@@ -209,6 +307,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	rec := obs.New()
 	root := rec.Start("server.check")
 	root.SetString("request_id", id)
+	root.SetString("spec_digest", dig)
 	spec.SetObserver(rec)
 
 	start := time.Now()
@@ -224,26 +323,47 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	root.End()
 	s.reg.Absorb(rec)
 	s.writeTraceFile(id, rec)
+	s.rolling.Observe(elapsed.Microseconds(), err != nil)
+	s.captureSlow(id, dig, req, rec, elapsed)
+
+	ev := audit.Event{
+		RequestID:  id,
+		SpecDigest: dig,
+		ElapsedUS:  elapsed.Microseconds(),
+		Phases:     auditPhases(rec),
+	}
 
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
 			s.reg.Add("server.aborts.deadline", 1)
+			ev.Abort, ev.Status = "deadline", http.StatusGatewayTimeout
+			s.audit.Record(ev)
 			s.writeError(w, id, http.StatusGatewayTimeout, "deadline",
 				"check aborted: deadline exceeded after "+elapsed.String())
 		case errors.Is(err, context.Canceled):
 			s.reg.Add("server.aborts.canceled", 1)
+			ev.Abort, ev.Status = "canceled", 499
+			s.audit.Record(ev)
 			// The client is usually gone; the status code is best-effort.
 			s.writeError(w, id, 499, "canceled", "check aborted: request canceled")
 		default:
 			s.reg.Add("server.errors.internal", 1)
+			ev.Abort, ev.Status = "internal", http.StatusInternalServerError
+			s.audit.Record(ev)
 			s.writeError(w, id, http.StatusInternalServerError, "internal", err.Error())
 		}
 		return
 	}
 
+	ev.Verdict = res.Verdict.String()
+	ev.CertificateKind = res.Certificate.Kind()
+	ev.Status = http.StatusOK
+	s.audit.Record(ev)
+
 	s.writeJSON(w, http.StatusOK, CheckResponse{
 		RequestID:   id,
+		SpecDigest:  dig,
 		Verdict:     res.Verdict.String(),
 		Class:       res.Class,
 		Method:      res.Method,
@@ -253,6 +373,68 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		Stats:       res.Stats,
 		ElapsedUS:   elapsed.Microseconds(),
 	})
+}
+
+// auditPhases flattens the request's span tree into audit phases,
+// capped so a pathological trace cannot bloat the log line.
+func auditPhases(rec *obs.Recorder) []audit.Phase {
+	spans := rec.Spans()
+	const maxPhases = 48
+	if len(spans) > maxPhases {
+		spans = spans[:maxPhases]
+	}
+	phases := make([]audit.Phase, len(spans))
+	for i, sp := range spans {
+		phases[i] = audit.Phase{Path: sp.Path, DurationUS: sp.DurationUS}
+	}
+	return phases
+}
+
+// captureSlow quarantines a slow check as a replayable pair of files —
+// slow-<id>.json (Chrome trace) and slow-<id>.spec (digest header, DTD,
+// constraint set) — at most once per SlowCaptureInterval so a storm of
+// slow checks cannot flood the directory. Failures are logged, never
+// surfaced: capture must not fail a check that finished.
+func (s *Server) captureSlow(id, dig string, req CheckRequest, rec *obs.Recorder, elapsed time.Duration) {
+	if s.cfg.SlowThreshold <= 0 || elapsed < s.cfg.SlowThreshold {
+		return
+	}
+	s.reg.Add("server.slow_checks", 1)
+	s.log.Warn("slow check",
+		"request_id", id, "spec_digest", dig,
+		"elapsed", elapsed, "threshold", s.cfg.SlowThreshold)
+	if s.cfg.QuarantineDir == "" {
+		return
+	}
+	s.captureMu.Lock()
+	if time.Since(s.lastCapture) < s.cfg.SlowCaptureInterval {
+		s.captureMu.Unlock()
+		return
+	}
+	s.lastCapture = time.Now()
+	s.captureMu.Unlock()
+
+	tracePath := filepath.Join(s.cfg.QuarantineDir, "slow-"+id+".json")
+	f, err := os.Create(tracePath)
+	if err != nil {
+		s.log.Error("slow capture", "request_id", id, "err", err)
+		return
+	}
+	err = rec.WriteChromeTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		s.log.Error("slow capture trace", "request_id", id, "err", err)
+		return
+	}
+	spec := fmt.Sprintf("# spec_digest: %s\n# request_id: %s\n# elapsed: %s\n\n%s\n%%%%\n%s",
+		dig, id, elapsed, req.DTD, req.Constraints)
+	if err := os.WriteFile(filepath.Join(s.cfg.QuarantineDir, "slow-"+id+".spec"), []byte(spec), 0o644); err != nil {
+		s.log.Error("slow capture spec", "request_id", id, "err", err)
+		return
+	}
+	s.reg.Add("server.slow_captures", 1)
 }
 
 // checkContext derives the context a check runs under: the request

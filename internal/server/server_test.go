@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
 )
@@ -349,5 +350,276 @@ func TestMethodNotAllowed(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET /check status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestCheckResponseCarriesSpecDigest(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, out := postCheck(t, ts, CheckRequest{DTD: libraryDTD, Constraints: libraryConstraints})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, out)
+	}
+	var cr CheckResponse
+	if err := json.Unmarshal(out, &cr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !strings.HasPrefix(cr.SpecDigest, "spec-") || len(cr.SpecDigest) != len("spec-")+16 {
+		t.Fatalf("spec digest = %q, want spec-<16 hex>", cr.SpecDigest)
+	}
+	if cr.Certificate == nil || cr.Certificate.SpecDigest != cr.SpecDigest {
+		t.Errorf("certificate digest = %+v, want stamped with %s", cr.Certificate, cr.SpecDigest)
+	}
+	// The same spec must digest identically on a second request.
+	_, out2 := postCheck(t, ts, CheckRequest{DTD: libraryDTD, Constraints: libraryConstraints})
+	var cr2 CheckResponse
+	if err := json.Unmarshal(out2, &cr2); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if cr2.SpecDigest != cr.SpecDigest {
+		t.Errorf("digest unstable across requests: %s vs %s", cr.SpecDigest, cr2.SpecDigest)
+	}
+}
+
+func TestAuditTrail(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "audit.jsonl")
+	al, err := audit.New(audit.Options{Path: logPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer al.Close()
+	_, ts := newTestServer(t, Config{Audit: al})
+
+	resp, out := postCheck(t, ts, CheckRequest{DTD: libraryDTD, Constraints: libraryConstraints})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, out)
+	}
+	var cr CheckResponse
+	if err := json.Unmarshal(out, &cr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+
+	raw, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatalf("audit log: %v", err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(raw), []byte("\n"))
+	if len(lines) != 1 {
+		t.Fatalf("audit log has %d lines, want 1", len(lines))
+	}
+	var ev audit.Event
+	if err := json.Unmarshal(lines[0], &ev); err != nil {
+		t.Fatalf("audit line unparsable: %v: %s", err, lines[0])
+	}
+	if ev.RequestID != cr.RequestID || ev.SpecDigest != cr.SpecDigest {
+		t.Errorf("audit event %+v does not match response (id %s, digest %s)", ev, cr.RequestID, cr.SpecDigest)
+	}
+	if ev.Verdict != "consistent" || ev.CertificateKind != "witness" || ev.Status != http.StatusOK {
+		t.Errorf("audit event = %+v", ev)
+	}
+	if len(ev.Phases) == 0 || ev.Phases[0].Path != "server.check" {
+		t.Errorf("audit phases = %+v, want server.check root", ev.Phases)
+	}
+
+	// The in-memory views feed the status page.
+	if got := al.Recent(1); len(got) != 1 || got[0].RequestID != cr.RequestID {
+		t.Errorf("Recent = %+v", got)
+	}
+	if got := al.Hot(1); len(got) != 1 || got[0].Digest != cr.SpecDigest {
+		t.Errorf("Hot = %+v", got)
+	}
+}
+
+func TestAuditRecordsAborts(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	in := experiments.Fig3Unary(rand.New(rand.NewSource(7)), 16)
+	resp, out := postCheck(t, ts, CheckRequest{
+		DTD:         in.D.String(),
+		Constraints: in.Set.String(),
+		DeadlineMS:  1,
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504: %s", resp.StatusCode, out)
+	}
+	recent := s.audit.Recent(1)
+	if len(recent) != 1 {
+		t.Fatalf("no audit event for aborted check")
+	}
+	if recent[0].Abort != "deadline" || recent[0].Status != http.StatusGatewayTimeout || recent[0].Verdict != "" {
+		t.Errorf("abort event = %+v", recent[0])
+	}
+}
+
+func TestStatusEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{SLOTarget: 250 * time.Millisecond})
+	resp, out := postCheck(t, ts, CheckRequest{DTD: libraryDTD, Constraints: libraryConstraints})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed check: %d %s", resp.StatusCode, out)
+	}
+	var cr CheckResponse
+	if err := json.Unmarshal(out, &cr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+
+	// JSON view.
+	jr, err := http.Get(ts.URL + "/debug/checks")
+	if err != nil {
+		t.Fatalf("GET /debug/checks: %v", err)
+	}
+	defer jr.Body.Close()
+	if jr.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/checks status = %d", jr.StatusCode)
+	}
+	var st Status
+	if err := json.NewDecoder(jr.Body).Decode(&st); err != nil {
+		t.Fatalf("decode status: %v", err)
+	}
+	if st.AuditEvents != 1 {
+		t.Errorf("audit events = %d, want 1", st.AuditEvents)
+	}
+	if len(st.Windows) != 3 {
+		t.Errorf("windows = %d, want 3 (1m/5m/1h)", len(st.Windows))
+	}
+	if len(st.Recent) != 1 || st.Recent[0].SpecDigest != cr.SpecDigest {
+		t.Errorf("recent = %+v, want the checked digest", st.Recent)
+	}
+	if len(st.HotDigests) != 1 || st.HotDigests[0].Digest != cr.SpecDigest {
+		t.Errorf("hot = %+v", st.HotDigests)
+	}
+	if st.SLOTargetMS != 250 {
+		t.Errorf("slo target = %d, want 250", st.SLOTargetMS)
+	}
+
+	// HTML view mentions the digest we just checked.
+	hr, err := http.Get(ts.URL + "/debug/status")
+	if err != nil {
+		t.Fatalf("GET /debug/status: %v", err)
+	}
+	defer hr.Body.Close()
+	html, err := io.ReadAll(hr.Body)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/status status = %d", hr.StatusCode)
+	}
+	if ct := hr.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(string(html), cr.SpecDigest) {
+		t.Errorf("status page does not mention digest %s", cr.SpecDigest)
+	}
+	if !strings.Contains(string(html), "Rolling windows") {
+		t.Errorf("status page missing rolling-window table")
+	}
+}
+
+func TestRollingAndSLOMetricsExposed(t *testing.T) {
+	reg := telemetry.NewRegistry("")
+	_, ts := newTestServer(t, Config{Registry: reg, SLOTarget: 250 * time.Millisecond, SLOObjective: 0.999})
+	if resp, out := postCheck(t, ts, CheckRequest{DTD: libraryDTD, Constraints: libraryConstraints}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed check failed: %d %s", resp.StatusCode, out)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	exp, err := telemetry.ParseExposition(string(text))
+	if err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"xmlconsist_checks_per_second_1m",
+		"xmlconsist_check_error_ratio_5m",
+		"xmlconsist_check_latency_p99_us_1h",
+		"xmlconsist_slo_burn_rate_1m",
+		"xmlconsist_slo_target_ms",
+		"xmlconsist_slo_objective",
+		"xmlconsist_server_audit_events",
+		"xmlconsist_server_uptime_seconds",
+	} {
+		if _, ok := exp.Sample(want); !ok {
+			t.Errorf("metric %s missing from exposition", want)
+		}
+	}
+	if s, ok := exp.Sample("xmlconsist_slo_objective"); !ok || s.Value != 0.999 {
+		t.Errorf("slo_objective = %+v, want 0.999", s)
+	}
+}
+
+func TestSlowCaptureQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{
+		SlowThreshold:       time.Nanosecond, // every check is slow
+		QuarantineDir:       dir,
+		SlowCaptureInterval: time.Hour, // rate limit: at most one capture
+	})
+	var first CheckResponse
+	for i := 0; i < 3; i++ {
+		resp, out := postCheck(t, ts, CheckRequest{DTD: libraryDTD, Constraints: libraryConstraints})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("check %d: %d %s", i, resp.StatusCode, out)
+		}
+		if i == 0 {
+			if err := json.Unmarshal(out, &first); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		names := []string{}
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("quarantine has %d files %v, want exactly one trace+spec pair", len(entries), names)
+	}
+	tracePath := filepath.Join(dir, "slow-"+first.RequestID+".json")
+	specPath := filepath.Join(dir, "slow-"+first.RequestID+".spec")
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceData, &trace); err != nil || len(trace.TraceEvents) == 0 {
+		t.Fatalf("quarantined trace invalid (err %v, %d events)", err, len(trace.TraceEvents))
+	}
+	specData, err := os.ReadFile(specPath)
+	if err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	if !strings.Contains(string(specData), first.SpecDigest) {
+		t.Errorf("quarantined spec missing digest header:\n%s", specData)
+	}
+	if !strings.Contains(string(specData), "<!ELEMENT library") {
+		t.Errorf("quarantined spec missing DTD:\n%s", specData)
+	}
+}
+
+func TestNoQuarantineUnderThreshold(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{
+		SlowThreshold: time.Hour, // nothing is slow
+		QuarantineDir: dir,
+	})
+	if resp, out := postCheck(t, ts, CheckRequest{DTD: libraryDTD, Constraints: libraryConstraints}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("check failed: %d %s", resp.StatusCode, out)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("quarantine not empty under threshold: %d files", len(entries))
 	}
 }

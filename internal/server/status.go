@@ -1,0 +1,185 @@
+package server
+
+import (
+	"html/template"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/buildinfo"
+	"repro/internal/telemetry"
+)
+
+// StatusWindow is one rolling window's summary as /debug/checks
+// reports it.
+type StatusWindow struct {
+	Label      string  `json:"label"`
+	Count      int64   `json:"count"`
+	Errors     int64   `json:"errors"`
+	Slow       int64   `json:"slow"`
+	Rate       float64 `json:"rate"`
+	ErrorRatio float64 `json:"error_ratio"`
+	P50US      int64   `json:"p50_us"`
+	P90US      int64   `json:"p90_us"`
+	P99US      int64   `json:"p99_us"`
+	// BurnRate is the SLO error-budget burn rate; zero when no SLO is
+	// configured.
+	BurnRate float64 `json:"burn_rate"`
+}
+
+// StatusInflight is one in-flight check.
+type StatusInflight struct {
+	RequestID  string `json:"request_id"`
+	SpecDigest string `json:"spec_digest,omitempty"`
+	ElapsedMS  int64  `json:"elapsed_ms"`
+}
+
+// Status is the /debug/checks response body: everything the HTML
+// status page renders, as JSON.
+type Status struct {
+	Build         buildinfo.Info    `json:"build"`
+	UptimeSeconds int64             `json:"uptime_seconds"`
+	AuditEvents   uint64            `json:"audit_events"`
+	SLOTargetMS   int64             `json:"slo_target_ms,omitempty"`
+	SLOObjective  float64           `json:"slo_objective,omitempty"`
+	Inflight      []StatusInflight  `json:"inflight"`
+	Windows       []StatusWindow    `json:"windows"`
+	Recent        []audit.Event     `json:"recent"`
+	HotDigests    []audit.HotDigest `json:"hot_digests"`
+}
+
+// status assembles the live snapshot both debug endpoints render.
+func (s *Server) status() Status {
+	st := Status{
+		Build:         buildinfo.Get(),
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+		AuditEvents:   s.audit.Events(),
+		Recent:        s.audit.Recent(16),
+		HotDigests:    s.audit.Hot(16),
+	}
+	if st.Recent == nil {
+		st.Recent = []audit.Event{}
+	}
+	if st.HotDigests == nil {
+		st.HotDigests = []audit.HotDigest{}
+	}
+	if s.cfg.SLOTarget > 0 {
+		st.SLOTargetMS = s.cfg.SLOTarget.Milliseconds()
+		st.SLOObjective = s.cfg.SLOObjective
+	}
+	for _, w := range telemetry.Windows {
+		ws := s.rolling.Window(w.D)
+		sw := StatusWindow{
+			Label:      w.Label,
+			Count:      ws.Count,
+			Errors:     ws.Errors,
+			Slow:       ws.Slow,
+			Rate:       ws.Rate(),
+			ErrorRatio: ws.ErrorRatio(),
+			P50US:      ws.P50,
+			P90US:      ws.P90,
+			P99US:      ws.P99,
+		}
+		if s.cfg.SLOTarget > 0 {
+			sw.BurnRate = ws.BurnRate(s.cfg.SLOObjective)
+		}
+		st.Windows = append(st.Windows, sw)
+	}
+	s.runningMu.Lock()
+	now := time.Now()
+	for _, rc := range s.running {
+		st.Inflight = append(st.Inflight, StatusInflight{
+			RequestID:  rc.ID,
+			SpecDigest: rc.SpecDigest,
+			ElapsedMS:  now.Sub(rc.StartedAt).Milliseconds(),
+		})
+	}
+	s.runningMu.Unlock()
+	sort.Slice(st.Inflight, func(i, j int) bool {
+		return st.Inflight[i].ElapsedMS > st.Inflight[j].ElapsedMS
+	})
+	if st.Inflight == nil {
+		st.Inflight = []StatusInflight{}
+	}
+	return st
+}
+
+// handleChecks serves the status snapshot as JSON.
+func (s *Server) handleChecks(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.status())
+}
+
+// handleStatus serves the human-readable status page.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := statusTmpl.Execute(w, s.status()); err != nil {
+		s.log.Error("status render failed", "err", err)
+	}
+}
+
+var statusTmpl = template.Must(template.New("status").Parse(`<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>xmlconsistd status</title>
+<style>
+body { font-family: monospace; margin: 2em; background: #fafafa; color: #222; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.1em; margin-top: 1.5em; }
+table { border-collapse: collapse; margin: 0.5em 0; }
+th, td { border: 1px solid #ccc; padding: 0.25em 0.75em; text-align: left; }
+th { background: #eee; }
+.muted { color: #888; }
+</style>
+</head>
+<body>
+<h1>xmlconsistd</h1>
+<p>
+version {{.Build.Version}} ({{.Build.Revision}}, {{.Build.GoVersion}})
+&middot; up {{.UptimeSeconds}}s
+&middot; {{.AuditEvents}} checks audited
+{{if .SLOTargetMS}}&middot; SLO: {{.SLOObjective}} under {{.SLOTargetMS}}ms{{end}}
+</p>
+
+<h2>Rolling windows</h2>
+<table>
+<tr><th>window</th><th>checks</th><th>errors</th><th>slow</th><th>rate/s</th><th>p50 &micro;s</th><th>p90 &micro;s</th><th>p99 &micro;s</th>{{if .SLOTargetMS}}<th>burn rate</th>{{end}}</tr>
+{{range .Windows}}
+<tr><td>{{.Label}}</td><td>{{.Count}}</td><td>{{.Errors}}</td><td>{{.Slow}}</td><td>{{printf "%.3f" .Rate}}</td><td>{{.P50US}}</td><td>{{.P90US}}</td><td>{{.P99US}}</td>{{if $.SLOTargetMS}}<td>{{printf "%.2f" .BurnRate}}</td>{{end}}</tr>
+{{end}}
+</table>
+
+<h2>In flight ({{len .Inflight}})</h2>
+{{if .Inflight}}
+<table>
+<tr><th>request</th><th>spec digest</th><th>running ms</th></tr>
+{{range .Inflight}}
+<tr><td>{{.RequestID}}</td><td>{{.SpecDigest}}</td><td>{{.ElapsedMS}}</td></tr>
+{{end}}
+</table>
+{{else}}<p class="muted">none</p>{{end}}
+
+<h2>Hot spec digests</h2>
+{{if .HotDigests}}
+<table>
+<tr><th>spec digest</th><th>score</th><th>last verdict</th></tr>
+{{range .HotDigests}}
+<tr><td>{{.Digest}}</td><td>{{printf "%.1f" .Score}}</td><td>{{.LastVerdict}}</td></tr>
+{{end}}
+</table>
+{{else}}<p class="muted">none yet</p>{{end}}
+
+<h2>Recent checks</h2>
+{{if .Recent}}
+<table>
+<tr><th>time</th><th>request</th><th>spec digest</th><th>verdict</th><th>certificate</th><th>status</th><th>abort</th><th>&micro;s</th></tr>
+{{range .Recent}}
+<tr><td>{{.Time}}</td><td>{{.RequestID}}</td><td>{{.SpecDigest}}</td><td>{{.Verdict}}</td><td>{{.CertificateKind}}</td><td>{{.Status}}</td><td>{{.Abort}}</td><td>{{.ElapsedUS}}</td></tr>
+{{end}}
+</table>
+{{else}}<p class="muted">none yet</p>{{end}}
+
+<p class="muted">machine-readable: <a href="/debug/checks">/debug/checks</a> &middot; <a href="/metrics">/metrics</a></p>
+</body>
+</html>
+`))

@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// rollingSeconds is the ring capacity: one bucket per second, enough
+// for the longest exported window (1h).
+const rollingSeconds = 3600
+
+// Windows are the rolling windows every serving process exports.
+var Windows = []struct {
+	Label string
+	D     time.Duration
+}{
+	{"1m", time.Minute},
+	{"5m", 5 * time.Minute},
+	{"1h", time.Hour},
+}
+
+// Rolling aggregates check latency and failure observations into
+// one-second buckets so gauges can answer "over the last minute /
+// five minutes / hour" questions — rate, error ratio, latency
+// quantiles, and SLO burn rate — without unbounded memory: the ring
+// holds exactly one hour and overwrites itself in place.
+type Rolling struct {
+	mu  sync.Mutex
+	now func() time.Time
+	// slowCutUS is the SLO latency target in microseconds; checks
+	// slower than it count as "slow" for burn-rate accounting
+	// (0: nothing is slow).
+	slowCutUS int64
+	buckets   [rollingSeconds]rollingBucket
+}
+
+type rollingBucket struct {
+	// sec is the unix second this bucket currently holds; a bucket is
+	// lazily reset when its slot is reused an hour later.
+	sec                 int64
+	count, errors, slow int64
+	lat                 obs.Histogram
+}
+
+// NewRolling returns an empty rolling aggregator. slowCutUS is the
+// latency (µs) above which a successful check still violates the SLO
+// (0: latency never counts against it).
+func NewRolling(slowCutUS int64) *Rolling {
+	return &Rolling{now: time.Now, slowCutUS: slowCutUS}
+}
+
+// SetClock replaces the time source (tests only).
+func (r *Rolling) SetClock(now func() time.Time) {
+	r.mu.Lock()
+	r.now = now
+	r.mu.Unlock()
+}
+
+// Observe records one finished check: its latency and whether it
+// failed (aborted or errored rather than returning a verdict).
+func (r *Rolling) Observe(latUS int64, failed bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sec := r.now().Unix()
+	b := &r.buckets[sec%rollingSeconds]
+	if b.sec != sec {
+		*b = rollingBucket{sec: sec}
+	}
+	b.count++
+	switch {
+	case failed:
+		b.errors++
+	case r.slowCutUS > 0 && latUS > r.slowCutUS:
+		b.slow++
+	}
+	b.lat.Observe(latUS)
+}
+
+// WindowStats summarizes the checks of one rolling window.
+type WindowStats struct {
+	// Seconds is the window length.
+	Seconds int
+	// Count is checks observed; Errors the failed ones; Slow the
+	// successful ones over the SLO latency target.
+	Count, Errors, Slow int64
+	// P50/P90/P99 are latency quantile estimates in microseconds.
+	P50, P90, P99 int64
+}
+
+// Rate returns checks per second over the window.
+func (w WindowStats) Rate() float64 { return float64(w.Count) / float64(w.Seconds) }
+
+// ErrorRatio returns the failed fraction (0 for an empty window).
+func (w WindowStats) ErrorRatio() float64 {
+	if w.Count == 0 {
+		return 0
+	}
+	return float64(w.Errors) / float64(w.Count)
+}
+
+// BadRatio returns the SLO-violating fraction: failed or slow.
+func (w WindowStats) BadRatio() float64 {
+	if w.Count == 0 {
+		return 0
+	}
+	return float64(w.Errors+w.Slow) / float64(w.Count)
+}
+
+// BurnRate returns how fast the window consumes the error budget of
+// the given objective: BadRatio divided by (1 - objective). 1.0 means
+// exactly on budget; 10 means the budget burns ten times too fast.
+// An empty window (or a degenerate objective) burns nothing.
+func (w WindowStats) BurnRate(objective float64) float64 {
+	budget := 1 - objective
+	if budget <= 0 {
+		return 0
+	}
+	return w.BadRatio() / budget
+}
+
+// Window merges the last d of observations (clamped to [1s, 1h]).
+func (r *Rolling) Window(d time.Duration) WindowStats {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > rollingSeconds {
+		secs = rollingSeconds
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now().Unix()
+	ws := WindowStats{Seconds: secs}
+	var h obs.Histogram
+	for i := range r.buckets {
+		b := &r.buckets[i]
+		if b.count == 0 || b.sec <= now-int64(secs) || b.sec > now {
+			continue
+		}
+		ws.Count += b.count
+		ws.Errors += b.errors
+		ws.Slow += b.slow
+		h.Merge(b.lat)
+	}
+	ws.P50, ws.P90, ws.P99 = h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99)
+	return ws
+}
+
+// RegisterRolling installs the rolling-window gauges for r into reg:
+// per-window check rate, error ratio, and latency quantiles.
+func RegisterRolling(reg *Registry, r *Rolling) {
+	for _, w := range Windows {
+		d := w.D
+		reg.RegisterGauge("checks_per_second_"+w.Label,
+			"Checks per second over the trailing "+w.Label+" window.",
+			func() float64 { return r.Window(d).Rate() })
+		reg.RegisterGauge("check_error_ratio_"+w.Label,
+			"Fraction of checks that failed over the trailing "+w.Label+" window.",
+			func() float64 { return r.Window(d).ErrorRatio() })
+		reg.RegisterGauge("check_latency_p50_us_"+w.Label,
+			"Median check latency (µs) over the trailing "+w.Label+" window.",
+			func() float64 { return float64(r.Window(d).P50) })
+		reg.RegisterGauge("check_latency_p99_us_"+w.Label,
+			"p99 check latency (µs) over the trailing "+w.Label+" window.",
+			func() float64 { return float64(r.Window(d).P99) })
+	}
+}
+
+// RegisterSLO installs the burn-rate gauges for an SLO of the form
+// "objective of checks finish under target without failing": one
+// burn-rate gauge per window plus the SLO parameters themselves, so a
+// scrape is self-describing.
+func RegisterSLO(reg *Registry, r *Rolling, target time.Duration, objective float64) {
+	reg.RegisterGauge("slo_target_ms",
+		"Configured SLO latency target in milliseconds.",
+		func() float64 { return float64(target.Milliseconds()) })
+	reg.RegisterGauge("slo_objective",
+		"Configured SLO objective (fraction of good checks).",
+		func() float64 { return objective })
+	for _, w := range Windows {
+		d := w.D
+		reg.RegisterGauge("slo_burn_rate_"+w.Label,
+			"Error-budget burn rate over the trailing "+w.Label+" window (1.0 = exactly on budget).",
+			func() float64 { return r.Window(d).BurnRate(objective) })
+	}
+}

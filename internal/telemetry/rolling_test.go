@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable clock for rolling-window tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestRolling(slowCutUS int64) (*Rolling, *fakeClock) {
+	r := NewRolling(slowCutUS)
+	c := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	r.SetClock(c.now)
+	return r, c
+}
+
+func TestRollingWindowCountsAndRates(t *testing.T) {
+	r, c := newTestRolling(0)
+	for i := 0; i < 30; i++ {
+		r.Observe(1000, false)
+		c.advance(time.Second)
+	}
+	// 30 checks over 30s: all inside 1m, rate 0.5/s.
+	w := r.Window(time.Minute)
+	if w.Count != 30 {
+		t.Fatalf("1m count = %d, want 30", w.Count)
+	}
+	if got := w.Rate(); got != 30.0/60 {
+		t.Errorf("1m rate = %f, want 0.5", got)
+	}
+
+	// Advance 2 minutes: the 1m window empties, 5m still sees them.
+	c.advance(2 * time.Minute)
+	if got := r.Window(time.Minute).Count; got != 0 {
+		t.Errorf("1m count after 2m idle = %d, want 0", got)
+	}
+	if got := r.Window(5 * time.Minute).Count; got != 30 {
+		t.Errorf("5m count after 2m idle = %d, want 30", got)
+	}
+
+	// Advance past an hour: everything ages out of every window.
+	c.advance(time.Hour)
+	if got := r.Window(time.Hour).Count; got != 0 {
+		t.Errorf("1h count after aging = %d, want 0", got)
+	}
+}
+
+func TestRollingErrorAndBurnRate(t *testing.T) {
+	// SLO: latency target 10ms (10_000µs).
+	r, c := newTestRolling(10_000)
+	for i := 0; i < 90; i++ {
+		r.Observe(1000, false) // good
+	}
+	for i := 0; i < 5; i++ {
+		r.Observe(1000, true) // failed
+	}
+	for i := 0; i < 5; i++ {
+		r.Observe(50_000, false) // slow
+	}
+	c.advance(time.Second) // close the current second into the window
+
+	w := r.Window(time.Minute)
+	if w.Count != 100 || w.Errors != 5 || w.Slow != 5 {
+		t.Fatalf("window = %+v", w)
+	}
+	if got := w.ErrorRatio(); got != 0.05 {
+		t.Errorf("error ratio = %f, want 0.05", got)
+	}
+	if got := w.BadRatio(); got != 0.10 {
+		t.Errorf("bad ratio = %f, want 0.10", got)
+	}
+	// Objective 0.99 → budget 0.01 → burn rate 10×.
+	if got := w.BurnRate(0.99); got < 9.99 || got > 10.01 {
+		t.Errorf("burn rate = %f, want 10", got)
+	}
+	// Degenerate objectives burn nothing.
+	if got := w.BurnRate(1.0); got != 0 {
+		t.Errorf("burn rate at objective 1.0 = %f, want 0", got)
+	}
+}
+
+func TestRollingQuantiles(t *testing.T) {
+	r, c := newTestRolling(0)
+	for i := 0; i < 100; i++ {
+		r.Observe(100, false)
+	}
+	r.Observe(1<<20, false)
+	c.advance(time.Second)
+	w := r.Window(time.Minute)
+	if w.P50 > 256 {
+		t.Errorf("p50 = %d, want ~100", w.P50)
+	}
+	if w.P99 < w.P50 {
+		t.Errorf("p99 %d < p50 %d", w.P99, w.P50)
+	}
+}
+
+func TestRollingBucketReuseAcrossHours(t *testing.T) {
+	r, c := newTestRolling(0)
+	r.Observe(1000, false)
+	c.advance(rollingSeconds * time.Second) // exactly one ring revolution
+	r.Observe(2000, false)
+	c.advance(time.Second)
+	// The old observation landed in the same slot and must have been
+	// reset, not double-counted.
+	if got := r.Window(time.Hour).Count; got != 1 {
+		t.Fatalf("count after ring reuse = %d, want 1", got)
+	}
+}
+
+func TestRollingAndSLOGaugesExposed(t *testing.T) {
+	reg := NewRegistry("")
+	r, c := newTestRolling(5_000)
+	RegisterRolling(reg, r)
+	RegisterSLO(reg, r, 5*time.Millisecond, 0.99)
+	r.Observe(1000, false)
+	r.Observe(9000, false) // slow
+	c.advance(time.Second)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseExposition(b.String())
+	if err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, b.String())
+	}
+	for _, name := range []string{
+		"xmlconsist_checks_per_second_1m",
+		"xmlconsist_checks_per_second_5m",
+		"xmlconsist_checks_per_second_1h",
+		"xmlconsist_check_error_ratio_1m",
+		"xmlconsist_check_latency_p50_us_1m",
+		"xmlconsist_check_latency_p99_us_1h",
+		"xmlconsist_slo_burn_rate_1m",
+		"xmlconsist_slo_burn_rate_5m",
+		"xmlconsist_slo_burn_rate_1h",
+		"xmlconsist_slo_target_ms",
+		"xmlconsist_slo_objective",
+	} {
+		if _, ok := exp.Sample(name); !ok {
+			t.Errorf("gauge %s missing from exposition", name)
+		}
+	}
+	// Burn rate over 1m: 1 bad of 2 → 0.5 / 0.01 = 50.
+	s, _ := exp.Sample("xmlconsist_slo_burn_rate_1m")
+	if s.Value < 49 || s.Value > 51 {
+		t.Errorf("slo_burn_rate_1m = %f, want ~50", s.Value)
+	}
+}

@@ -20,6 +20,10 @@
 // building a keyed Result literal with a definitive Verdict and no
 // Certificate — bypasses the certificate plumbing and ships a verdict
 // a caller cannot independently re-check.
+//
+// promnames: constant metric names passed to the telemetry registry
+// and obs recorders must follow the Prometheus conventions the
+// exposition renderer assumes (see promnames.go).
 package main
 
 import (
@@ -43,6 +47,7 @@ func analyze(pkgPath string, files []*ast.File, info *types.Info) []diagnostic {
 	out = append(out, checkVerdictSwitches(files, info)...)
 	out = append(out, checkObsNil(pkgPath, files, info)...)
 	out = append(out, checkCertAttach(pkgPath, files, info)...)
+	out = append(out, checkPromNames(files, info)...)
 	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
 	return out
 }

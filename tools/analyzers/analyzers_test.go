@@ -360,3 +360,102 @@ func f(r *Result) {
 		}
 	}
 }
+
+// fakeTelemetry is a miniature internal/telemetry: just the metric
+// registration surface promnames inspects.
+const fakeTelemetry = `package telemetry
+
+type Registry struct{}
+
+func (r *Registry) Add(name string, delta int64)                 {}
+func (r *Registry) Observe(name string, v int64)                 {}
+func (r *Registry) Help(name, text string)                       {}
+func (r *Registry) RegisterGauge(name, help string, fn func() float64) {}
+`
+
+func TestPromNames(t *testing.T) {
+	tel := buildPkg(t, "repro/internal/telemetry", fakeTelemetry)
+	obs := buildPkg(t, "repro/internal/obs", fakeObs)
+	deps := map[string]*types.Package{
+		"repro/internal/telemetry": tel,
+		"repro/internal/obs":       obs,
+	}
+	const prologue = `package client
+
+import (
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+var _ = obs.Recorder{}
+var _ = telemetry.Registry{}
+`
+	cases := []struct {
+		name string
+		body string
+		want int
+		frag string
+	}{
+		{"good-dotted", `
+func f(reg *telemetry.Registry, r *obs.Recorder) {
+	reg.Add("server.requests", 1)
+	reg.Observe("server.check_us", 5)
+	reg.Help("server.checks", "Checks completed.")
+	r.Add("solver.nodes", 1)
+}`, 0, ""},
+		{"good-gauge", `
+func f(reg *telemetry.Registry) {
+	reg.RegisterGauge("slo_target_ms", "h", func() float64 { return 0 })
+	reg.RegisterGauge("process_gc_cycles_total", "h", func() float64 { return 0 })
+}`, 0, ""},
+		{"counter-ends-total", `
+func f(reg *telemetry.Registry) {
+	reg.Add("server.requests_total", 1)
+}`, 1, "_total"},
+		{"uppercase-counter", `
+func f(reg *telemetry.Registry) {
+	reg.Add("server.Requests", 1)
+}`, 1, "dotted snake_case"},
+		{"gauge-with-dot", `
+func f(reg *telemetry.Registry) {
+	reg.RegisterGauge("server.inflight", "h", func() float64 { return 0 })
+}`, 1, "snake_case"},
+		{"gauge-uppercase", `
+func f(reg *telemetry.Registry) {
+	reg.RegisterGauge("InflightChecks", "h", func() float64 { return 0 })
+}`, 1, "snake_case"},
+		{"recorder-bad-name", `
+func f(r *obs.Recorder) {
+	r.Add("Solver-Nodes", 1)
+}`, 1, "dotted snake_case"},
+		{"dynamic-name-skipped", `
+func f(reg *telemetry.Registry, v string) {
+	reg.Add("server.verdict."+v, 1)
+}`, 0, ""},
+		{"constant-folded-checked", `
+const prefix = "Server."
+
+func f(reg *telemetry.Registry) {
+	reg.Add(prefix+"requests", 1)
+}`, 1, "dotted snake_case"},
+		{"other-type-ignored", `
+type Registry struct{}
+
+func (r *Registry) Add(name string, delta int64) {}
+
+func f(r *Registry) {
+	r.Add("Whatever Goes", 1)
+}`, 0, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ds := checkPkg(t, "example.com/client", prologue+tc.body, deps)
+			if len(ds) != tc.want {
+				t.Fatalf("got %d diagnostics, want %d: %v", len(ds), tc.want, msgs(ds))
+			}
+			if tc.want == 1 && !strings.Contains(ds[0].Msg, tc.frag) {
+				t.Errorf("diagnostic %q should mention %q", ds[0].Msg, tc.frag)
+			}
+		})
+	}
+}

@@ -1,0 +1,108 @@
+package main
+
+// promnames: metric names registered against the telemetry registry or
+// an obs recorder must follow the Prometheus conventions the renderer
+// assumes. Counter and histogram names (Registry.Add/Observe/Help,
+// Recorder.Add/Observe/Set) are dotted lowercase snake_case — the
+// renderer rewrites dots to underscores and appends _total to
+// counters, so a literal name that already ends in _total would render
+// as _total_total. Gauge names (Registry.RegisterGauge) skip the
+// rewriting and must be plain snake_case already. Only constant-folded
+// string arguments are checked; dynamically assembled names (e.g.
+// "server.verdict."+v) are out of scope.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+const telemetryPath = "repro/internal/telemetry"
+
+var (
+	// gaugeNameRE: snake_case, one flat segment space ("slo_target_ms").
+	gaugeNameRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+	// dottedNameRE: dot-separated snake_case segments ("server.check_us").
+	dottedNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$`)
+)
+
+// metricCall describes how one method names its metric argument.
+type metricCall struct {
+	gauge bool // RegisterGauge-style flat name vs dotted counter name
+}
+
+// promMethods maps "<pkg path>.<type>.<method>" to its naming rule.
+var promMethods = map[string]metricCall{
+	telemetryPath + ".Registry.RegisterGauge": {gauge: true},
+	telemetryPath + ".Registry.Add":           {},
+	telemetryPath + ".Registry.Observe":       {},
+	telemetryPath + ".Registry.Help":          {},
+	obsPath + ".Recorder.Add":                 {},
+	obsPath + ".Recorder.Observe":             {},
+	obsPath + ".Recorder.Set":                 {},
+}
+
+func checkPromNames(files []*ast.File, info *types.Info) []diagnostic {
+	var out []diagnostic
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				return true
+			}
+			recv := namedType(sig.Recv().Type())
+			if recv == nil || recv.Obj().Pkg() == nil {
+				return true
+			}
+			key := recv.Obj().Pkg().Path() + "." + recv.Obj().Name() + "." + fn.Name()
+			rule, ok := promMethods[key]
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true // dynamic name: out of scope
+			}
+			name := constant.StringVal(tv.Value)
+			short := recv.Obj().Name() + "." + fn.Name()
+			switch {
+			case rule.gauge:
+				if !gaugeNameRE.MatchString(name) {
+					out = append(out, diagnostic{
+						Pos: call.Args[0].Pos(),
+						Msg: fmt.Sprintf("%s name %q is not snake_case ([a-z0-9_], starting with a letter)", short, name),
+					})
+				}
+			default:
+				if !dottedNameRE.MatchString(name) {
+					out = append(out, diagnostic{
+						Pos: call.Args[0].Pos(),
+						Msg: fmt.Sprintf("%s name %q is not dotted snake_case (lowercase segments separated by dots)", short, name),
+					})
+				} else if strings.HasSuffix(name, "_total") {
+					out = append(out, diagnostic{
+						Pos: call.Args[0].Pos(),
+						Msg: fmt.Sprintf("%s name %q must not end in _total; the exposition renderer appends it to counters", short, name),
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

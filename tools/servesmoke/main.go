@@ -2,16 +2,26 @@
 // serve-smoke`: it builds nothing itself, but drives an already-built
 // xmlconsistd binary through its whole surface:
 //
-//  1. start the daemon on a random port and wait for its address line;
-//  2. GET /healthz;
+//  1. start the daemon on a random port — with a JSONL audit log, a
+//     generous slow threshold, a quarantine directory, and an SLO —
+//     and wait for its address line;
+//  2. GET /healthz, asserting the X-Request-Id echo;
 //  3. POST /check with a known-consistent and a known-inconsistent
-//     spec, asserting the verdicts;
+//     spec, asserting the verdicts and that each response names its
+//     spec digest;
 //  4. POST /check with a 1ms deadline against an exponential-search
 //     spec, asserting a deadline error rather than a verdict;
-//  5. GET /metrics and validate the Prometheus exposition line by
-//     line, requiring the check-latency histogram and build-info
-//     metrics;
-//  6. SIGTERM the daemon and require a clean exit.
+//  5. GET /debug/status and /debug/checks, requiring the just-checked
+//     digest on the status page;
+//  6. GET /metrics and validate the Prometheus exposition line by
+//     line, requiring the check-latency histogram, build-info,
+//     rolling-window, and SLO burn-rate metrics;
+//  7. SIGTERM the daemon, require a clean exit, then parse the audit
+//     log and match it against the responses — and require the
+//     quarantine directory stayed empty (nothing was slow);
+//  8. restart the daemon with a 1ns slow threshold, drive three
+//     checks, and require exactly one quarantined trace+spec pair
+//     (the capture rate limit holds).
 //
 // Usage: servesmoke -bin ./bin/xmlconsistd
 //
@@ -29,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"syscall"
@@ -72,19 +83,25 @@ func main() {
 
 var listenRE = regexp.MustCompile(`listening on (http://\S+)`)
 
-func smoke(bin string) error {
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-deadline", "10s")
+// daemon is one running xmlconsistd under test.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+// startDaemon launches the binary with the given extra flags and waits
+// for its address announcement.
+func startDaemon(bin string, extra ...string) (*daemon, error) {
+	args := append([]string{"-addr", "127.0.0.1:0", "-deadline", "10s"}, extra...)
+	cmd := exec.Command(bin, args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	cmd.Stderr = io.Discard
 	if err := cmd.Start(); err != nil {
-		return fmt.Errorf("starting %s: %w", bin, err)
+		return nil, fmt.Errorf("starting %s: %w", bin, err)
 	}
-	defer cmd.Process.Kill()
-
-	// Wait for the address announcement.
 	urlc := make(chan string, 1)
 	go func() {
 		sc := bufio.NewScanner(stdout)
@@ -94,36 +111,22 @@ func smoke(bin string) error {
 			}
 		}
 	}()
-	var base string
 	select {
-	case base = <-urlc:
+	case base := <-urlc:
+		return &daemon{cmd: cmd, base: base}, nil
 	case <-time.After(10 * time.Second):
-		return fmt.Errorf("daemon did not announce its listen address")
+		cmd.Process.Kill()
+		return nil, fmt.Errorf("daemon did not announce its listen address")
 	}
-	fmt.Println("servesmoke: daemon at", base)
+}
 
-	if err := checkHealthz(base); err != nil {
-		return err
-	}
-	if err := checkVerdict(base, consistentDTD, consistentKeys, "consistent"); err != nil {
-		return err
-	}
-	if err := checkVerdict(base, inconsistentDTD, inconsistentKeys, "inconsistent"); err != nil {
-		return err
-	}
-	if err := checkDeadline(base); err != nil {
-		return err
-	}
-	if err := checkMetrics(base); err != nil {
-		return err
-	}
-
-	// Graceful shutdown on SIGTERM.
-	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+// shutdown SIGTERMs the daemon and requires a clean exit.
+func (d *daemon) shutdown() error {
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		return err
 	}
 	done := make(chan error, 1)
-	go func() { done <- cmd.Wait() }()
+	go func() { done <- d.cmd.Wait() }()
 	select {
 	case err := <-done:
 		if err != nil {
@@ -132,8 +135,72 @@ func smoke(bin string) error {
 	case <-time.After(15 * time.Second):
 		return fmt.Errorf("daemon did not exit after SIGTERM")
 	}
-	fmt.Println("servesmoke: clean shutdown")
 	return nil
+}
+
+func smoke(bin string) error {
+	work, err := os.MkdirTemp("", "servesmoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+	auditPath := filepath.Join(work, "audit.jsonl")
+	quarantine := filepath.Join(work, "quarantine")
+
+	d, err := startDaemon(bin,
+		"-audit-log", auditPath,
+		"-slow-threshold", "1h", // nothing in this run is slow
+		"-quarantine-dir", quarantine,
+		"-slo-target-ms", "250",
+		"-log-format", "json",
+	)
+	if err != nil {
+		return err
+	}
+	defer d.cmd.Process.Kill()
+	base := d.base
+	fmt.Println("servesmoke: daemon at", base)
+
+	if err := checkHealthz(base); err != nil {
+		return err
+	}
+	digest, requestID, err := checkVerdict(base, consistentDTD, consistentKeys, "consistent")
+	if err != nil {
+		return err
+	}
+	if _, _, err := checkVerdict(base, inconsistentDTD, inconsistentKeys, "inconsistent"); err != nil {
+		return err
+	}
+	if err := checkDeadline(base); err != nil {
+		return err
+	}
+	if err := checkStatusPages(base, digest); err != nil {
+		return err
+	}
+	if err := checkMetrics(base); err != nil {
+		return err
+	}
+
+	if err := d.shutdown(); err != nil {
+		return err
+	}
+	fmt.Println("servesmoke: clean shutdown")
+
+	// The audit trail is flushed on shutdown; the first event must be
+	// the consistent check we drove, digest and all.
+	if err := checkAuditLog(auditPath, requestID, digest); err != nil {
+		return err
+	}
+	// Nothing crossed the 1h slow threshold, so the quarantine must be
+	// empty.
+	if entries, err := os.ReadDir(quarantine); err != nil {
+		return fmt.Errorf("quarantine dir: %w", err)
+	} else if len(entries) != 0 {
+		return fmt.Errorf("quarantine has %d files after a fast run, want 0", len(entries))
+	}
+	fmt.Println("servesmoke: quarantine empty under threshold")
+
+	return slowCaptureRun(bin, filepath.Join(work, "q2"))
 }
 
 func checkHealthz(base string) error {
@@ -145,52 +212,65 @@ func checkHealthz(base string) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("/healthz status %d", resp.StatusCode)
 	}
-	fmt.Println("servesmoke: /healthz ok")
+	if resp.Header.Get("X-Request-Id") == "" {
+		return fmt.Errorf("/healthz response lacks the X-Request-Id header")
+	}
+	fmt.Println("servesmoke: /healthz ok (X-Request-Id echoed)")
 	return nil
 }
 
-func postCheck(base string, body map[string]any) (int, []byte, error) {
+func postCheck(base string, body map[string]any) (*http.Response, []byte, error) {
 	payload, err := json.Marshal(body)
 	if err != nil {
-		return 0, nil, err
+		return nil, nil, err
 	}
 	resp, err := http.Post(base+"/check", "application/json", bytes.NewReader(payload))
 	if err != nil {
-		return 0, nil, fmt.Errorf("POST /check: %w", err)
+		return nil, nil, fmt.Errorf("POST /check: %w", err)
 	}
 	defer resp.Body.Close()
 	out, err := io.ReadAll(resp.Body)
-	return resp.StatusCode, out, err
+	return resp, out, err
 }
 
-func checkVerdict(base, dtd, keys, want string) error {
-	status, out, err := postCheck(base, map[string]any{"dtd": dtd, "constraints": keys})
+// checkVerdict drives one check and returns the spec digest and
+// request ID the server reported.
+func checkVerdict(base, dtd, keys, want string) (digest, requestID string, err error) {
+	resp, out, err := postCheck(base, map[string]any{"dtd": dtd, "constraints": keys})
 	if err != nil {
-		return err
+		return "", "", err
 	}
-	if status != http.StatusOK {
-		return fmt.Errorf("/check status %d: %s", status, out)
+	if resp.StatusCode != http.StatusOK {
+		return "", "", fmt.Errorf("/check status %d: %s", resp.StatusCode, out)
 	}
 	var cr struct {
+		RequestID   string          `json:"request_id"`
+		SpecDigest  string          `json:"spec_digest"`
 		Verdict     string          `json:"verdict"`
 		Certificate json.RawMessage `json:"certificate"`
 	}
 	if err := json.Unmarshal(out, &cr); err != nil {
-		return fmt.Errorf("decoding /check response: %w", err)
+		return "", "", fmt.Errorf("decoding /check response: %w", err)
 	}
 	if cr.Verdict != want {
-		return fmt.Errorf("verdict %q, want %q", cr.Verdict, want)
+		return "", "", fmt.Errorf("verdict %q, want %q", cr.Verdict, want)
 	}
 	if len(cr.Certificate) == 0 {
-		return fmt.Errorf("%s verdict carried no certificate", want)
+		return "", "", fmt.Errorf("%s verdict carried no certificate", want)
 	}
-	fmt.Printf("servesmoke: /check %s ok (certificate attached)\n", want)
-	return nil
+	if !strings.HasPrefix(cr.SpecDigest, "spec-") {
+		return "", "", fmt.Errorf("spec digest %q, want spec-<hex>", cr.SpecDigest)
+	}
+	if hdr := resp.Header.Get("X-Request-Id"); hdr != cr.RequestID {
+		return "", "", fmt.Errorf("X-Request-Id %q != body request_id %q", hdr, cr.RequestID)
+	}
+	fmt.Printf("servesmoke: /check %s ok (certificate attached, digest %s)\n", want, cr.SpecDigest)
+	return cr.SpecDigest, cr.RequestID, nil
 }
 
 func checkDeadline(base string) error {
 	in := experiments.Fig3Unary(rand.New(rand.NewSource(7)), 16)
-	status, out, err := postCheck(base, map[string]any{
+	resp, out, err := postCheck(base, map[string]any{
 		"dtd":         in.D.String(),
 		"constraints": in.Set.String(),
 		"deadline_ms": 1,
@@ -198,8 +278,8 @@ func checkDeadline(base string) error {
 	if err != nil {
 		return err
 	}
-	if status != http.StatusGatewayTimeout {
-		return fmt.Errorf("deadline check: status %d, want 504: %s", status, out)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		return fmt.Errorf("deadline check: status %d, want 504: %s", resp.StatusCode, out)
 	}
 	var er struct {
 		Kind string `json:"kind"`
@@ -208,6 +288,61 @@ func checkDeadline(base string) error {
 		return fmt.Errorf("deadline check: kind %q (err %v), want deadline", er.Kind, err)
 	}
 	fmt.Println("servesmoke: 1ms deadline aborts with a deadline error, not a verdict")
+	return nil
+}
+
+// checkStatusPages requires /debug/status to render (mentioning the
+// digest just checked) and /debug/checks to decode.
+func checkStatusPages(base, digest string) error {
+	resp, err := http.Get(base + "/debug/status")
+	if err != nil {
+		return fmt.Errorf("GET /debug/status: %w", err)
+	}
+	page, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/debug/status status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(page), digest) {
+		return fmt.Errorf("/debug/status does not mention just-checked digest %s", digest)
+	}
+
+	jr, err := http.Get(base + "/debug/checks")
+	if err != nil {
+		return fmt.Errorf("GET /debug/checks: %w", err)
+	}
+	defer jr.Body.Close()
+	var st struct {
+		AuditEvents uint64 `json:"audit_events"`
+		Windows     []struct {
+			Label string `json:"label"`
+		} `json:"windows"`
+		HotDigests []struct {
+			Digest string `json:"digest"`
+		} `json:"hot_digests"`
+	}
+	if err := json.NewDecoder(jr.Body).Decode(&st); err != nil {
+		return fmt.Errorf("decoding /debug/checks: %w", err)
+	}
+	if st.AuditEvents == 0 {
+		return fmt.Errorf("/debug/checks reports zero audit events after three checks")
+	}
+	if len(st.Windows) != 3 {
+		return fmt.Errorf("/debug/checks reports %d windows, want 3", len(st.Windows))
+	}
+	var hot bool
+	for _, h := range st.HotDigests {
+		if h.Digest == digest {
+			hot = true
+		}
+	}
+	if !hot {
+		return fmt.Errorf("/debug/checks hot digests %v omit %s", st.HotDigests, digest)
+	}
+	fmt.Printf("servesmoke: status pages ok (%d audited, digest on the board)\n", st.AuditEvents)
 	return nil
 }
 
@@ -231,6 +366,19 @@ func checkMetrics(base string) error {
 		"xmlconsist_server_check_us_count",
 		"xmlconsist_server_check_us_sum",
 		"xmlconsist_process_goroutines",
+		"xmlconsist_checks_per_second_1m",
+		"xmlconsist_checks_per_second_5m",
+		"xmlconsist_checks_per_second_1h",
+		"xmlconsist_check_error_ratio_1m",
+		"xmlconsist_check_latency_p50_us_1m",
+		"xmlconsist_check_latency_p99_us_1h",
+		"xmlconsist_slo_target_ms",
+		"xmlconsist_slo_objective",
+		"xmlconsist_slo_burn_rate_1m",
+		"xmlconsist_slo_burn_rate_5m",
+		"xmlconsist_slo_burn_rate_1h",
+		"xmlconsist_server_audit_events",
+		"xmlconsist_server_uptime_seconds",
 	} {
 		if _, ok := exp.Sample(want); !ok {
 			return fmt.Errorf("metric %s missing from /metrics", want)
@@ -253,5 +401,116 @@ func checkMetrics(base string) error {
 	}
 	fmt.Printf("servesmoke: /metrics ok (%d lines, %d samples, %d latency buckets)\n",
 		lines, len(exp.Samples), buckets)
+	return nil
+}
+
+// checkAuditLog parses every line of the audit trail and requires the
+// first event to match the consistent check's response.
+func checkAuditLog(path, requestID, digest string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("audit log: %w", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 3 {
+		return fmt.Errorf("audit log has %d lines, want >= 3 (two verdicts + one abort)", len(lines))
+	}
+	type event struct {
+		RequestID  string `json:"request_id"`
+		SpecDigest string `json:"spec_digest"`
+		Verdict    string `json:"verdict"`
+		Abort      string `json:"abort"`
+	}
+	var first event
+	for i, line := range lines {
+		var ev event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return fmt.Errorf("audit line %d unparsable: %q: %v", i+1, line, err)
+		}
+		if i == 0 {
+			first = ev
+		}
+	}
+	if first.RequestID != requestID || first.SpecDigest != digest || first.Verdict != "consistent" {
+		return fmt.Errorf("first audit event %+v does not match response (id %s, digest %s)", first, requestID, digest)
+	}
+	var sawAbort bool
+	for _, line := range lines {
+		var ev event
+		json.Unmarshal([]byte(line), &ev)
+		if ev.Abort == "deadline" {
+			sawAbort = true
+		}
+	}
+	if !sawAbort {
+		return fmt.Errorf("audit log records no deadline abort")
+	}
+	fmt.Printf("servesmoke: audit log ok (%d events, digests match)\n", len(lines))
+	return nil
+}
+
+// slowCaptureRun restarts the daemon with an always-firing slow
+// threshold, drives three checks, and requires exactly one quarantined
+// trace+spec pair — the capture rate limit must hold.
+func slowCaptureRun(bin, quarantine string) error {
+	d, err := startDaemon(bin,
+		"-slow-threshold", "1ns",
+		"-quarantine-dir", quarantine,
+	)
+	if err != nil {
+		return err
+	}
+	defer d.cmd.Process.Kill()
+
+	var digest string
+	for i := 0; i < 3; i++ {
+		dig, _, err := checkVerdict(d.base, consistentDTD, consistentKeys, "consistent")
+		if err != nil {
+			return fmt.Errorf("slow run check %d: %w", i, err)
+		}
+		digest = dig
+	}
+	if err := d.shutdown(); err != nil {
+		return err
+	}
+
+	entries, err := os.ReadDir(quarantine)
+	if err != nil {
+		return fmt.Errorf("quarantine dir: %w", err)
+	}
+	var trace, spec string
+	for _, e := range entries {
+		switch {
+		case strings.HasSuffix(e.Name(), ".json"):
+			trace = e.Name()
+		case strings.HasSuffix(e.Name(), ".spec"):
+			spec = e.Name()
+		}
+	}
+	if len(entries) != 2 || trace == "" || spec == "" {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		return fmt.Errorf("quarantine has %v, want exactly one trace+spec pair", names)
+	}
+	specData, err := os.ReadFile(filepath.Join(quarantine, spec))
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(specData), digest) {
+		return fmt.Errorf("quarantined spec %s lacks digest %s", spec, digest)
+	}
+	traceData, err := os.ReadFile(filepath.Join(quarantine, trace))
+	if err != nil {
+		return err
+	}
+	var tr struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceData, &tr); err != nil || len(tr.TraceEvents) == 0 {
+		return fmt.Errorf("quarantined trace %s invalid (err %v, %d events)", trace, err, len(tr.TraceEvents))
+	}
+	fmt.Printf("servesmoke: slow capture ok (one pair: %s, %s)\n", trace, spec)
 	return nil
 }

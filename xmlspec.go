@@ -6,11 +6,13 @@ import (
 	"io"
 	"math/rand"
 	"strings"
+	"sync"
 
 	"repro/internal/bruteforce"
 	"repro/internal/certificate"
 	"repro/internal/consistency"
 	"repro/internal/constraint"
+	"repro/internal/digest"
 	"repro/internal/docgen"
 	"repro/internal/dtd"
 	"repro/internal/ilp"
@@ -49,6 +51,26 @@ type Spec struct {
 	// obs, when set, receives pipeline spans and solver metrics for
 	// every operation on the Spec.
 	obs *obs.Recorder
+	// digestMu guards digestMemo, the lazily computed canonical digest
+	// (empty until the first Digest call; reset by AddConstraint).
+	digestMu   sync.Mutex
+	digestMemo string
+}
+
+// Digest returns the specification's canonical identity: an
+// order-insensitive fingerprint of the DTD and the constraint set
+// (see internal/digest). Equal specifications — same declarations,
+// same root, same constraint set in any order — share a digest, so it
+// keys hot-spec tracking, audit-log joins, and (in a coming PR) the
+// verdict cache. The digest is computed on first use and cached; it
+// is never computed on the check hot path.
+func (s *Spec) Digest() string {
+	s.digestMu.Lock()
+	defer s.digestMu.Unlock()
+	if s.digestMemo == "" {
+		s.digestMemo = digest.Spec(s.dtd, s.set)
+	}
+	return s.digestMemo
 }
 
 // SetObserver attaches an observability recorder (internal/obs) to the
@@ -207,7 +229,7 @@ func (s *Spec) Consistent(opts *Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return convertResult(res), nil
+	return s.convertResult(res), nil
 }
 
 // CheckContext is Consistent bounded by a context: the decision
@@ -223,7 +245,7 @@ func (s *Spec) CheckContext(ctx context.Context, opts *Options) (Result, error) 
 	if err != nil {
 		return Result{}, err
 	}
-	return convertResult(res), nil
+	return s.convertResult(res), nil
 }
 
 // Aborted reports whether an error from CheckContext means the check
@@ -231,6 +253,19 @@ func (s *Spec) CheckContext(ctx context.Context, opts *Options) (Result, error) 
 // failing. errors.Is against context.DeadlineExceeded or
 // context.Canceled further distinguishes the cause.
 func Aborted(err error) bool { return consistency.Aborted(err) }
+
+// convertResult maps the internal result onto the facade's and stamps
+// the specification's digest into the certificate, so the provenance
+// record names the exact spec it proves something about. The stamp
+// only runs when a certificate was built — SkipCertificate checks
+// never pay for a digest.
+func (s *Spec) convertResult(res consistency.Result) Result {
+	out := convertResult(res)
+	if out.Certificate != nil {
+		out.Certificate.SpecDigest = s.Digest()
+	}
+	return out
+}
 
 func convertResult(res consistency.Result) Result {
 	out := Result{
@@ -291,7 +326,7 @@ func (s *Spec) CheckWithReport(opts *Options) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	return Report{Result: convertResult(res), Spans: rec.Spans()}, nil
+	return Report{Result: s.convertResult(res), Spans: rec.Spans()}, nil
 }
 
 // Finding is one static-analysis diagnostic about the specification
@@ -572,5 +607,8 @@ func (s *Spec) AddConstraint(line string) error {
 		return err
 	}
 	s.set = next
+	s.digestMu.Lock()
+	s.digestMemo = "" // the identity changed with the constraint set
+	s.digestMu.Unlock()
 	return nil
 }
