@@ -2,13 +2,13 @@ GO ?= go
 
 ANALYZERS := bin/analyzers
 
-.PHONY: check build vet test race fmt bench lint bench-journal serve-smoke
+.PHONY: check build vet test race fmt bench lint bench-journal serve-smoke prove-smoke
 
 # The full pre-commit gate: formatting, vet (including the custom
 # analyzers and the spec linter), build, the race-enabled test suite,
-# and the end-to-end daemon smoke test. -short keeps the long soak
-# tests out; run `make test` for the unabridged suite.
-check: fmt vet lint build race serve-smoke
+# and the end-to-end daemon and prover smoke tests. -short keeps the
+# long soak tests out; run `make test` for the unabridged suite.
+check: fmt vet lint build race serve-smoke prove-smoke
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,17 @@ bench:
 serve-smoke:
 	$(GO) build -o bin/xmlconsistd ./cmd/xmlconsistd
 	$(GO) run ./tools/servesmoke -bin bin/xmlconsistd
+
+# prove-smoke drives the explanation surface end to end over the two
+# known-inconsistent fixtures (the Figure 1 geography spec and the §1
+# school-extended regular spec): xmlconsist -explain must refute each
+# with a minimal conflicting subset, rule derivation, and repair
+# hints, and the smoke then re-runs Explain in process, replays the
+# derivation under prover.Replay, and re-verifies the attached
+# certificate — solver-free — with certificate.Verify.
+prove-smoke:
+	$(GO) build -o bin/xmlconsist ./cmd/xmlconsist
+	$(GO) run ./tools/provesmoke -bin bin/xmlconsist
 
 # bench-journal appends one timed run of the core benchmark families
 # to the day's BENCH_<date>.json (schema repro-bench/v1), recording

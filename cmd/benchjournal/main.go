@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/benchjournal"
@@ -166,6 +167,29 @@ func journalEntry(c benchCase, target time.Duration) (benchjournal.Entry, error)
 		entry.Phases = append(entry.Phases, benchjournal.Phase{
 			Path: sp.Path, DurationUS: sp.DurationUS,
 		})
+	}
+
+	// One more instrumented run with the prover enabled, recorded
+	// separately so the baseline phases above stay untouched: only the
+	// prover span is appended, giving each row an additive "prover"
+	// phase without disturbing the certificate provenance (Explain can
+	// short-circuit inconsistent cases before the ILP phases run).
+	prec := obs.New()
+	proverOpts := c.opts
+	proverOpts.SkipWitness = true
+	proverOpts.SkipCertificate = true
+	proverOpts.SkipLint = true // lint would short-circuit known-bad specs before the prover runs
+	proverOpts.Explain = true
+	proverOpts.Obs = prec
+	if _, err := consistency.Check(c.d, c.set, proverOpts); err != nil {
+		return benchjournal.Entry{}, err
+	}
+	for _, sp := range prec.Spans() {
+		if strings.HasSuffix(sp.Path, "/prover") || sp.Path == "prover" {
+			entry.Phases = append(entry.Phases, benchjournal.Phase{
+				Path: sp.Path, DurationUS: sp.DurationUS,
+			})
+		}
 	}
 	return entry, nil
 }

@@ -6,8 +6,12 @@
 //
 // Usage:
 //
-//	speclint -dtd schema.dtd [-constraints keys.txt] [-json]
+//	speclint -dtd schema.dtd [-constraints keys.txt] [-json] [-prove]
 //	speclint -rules
+//
+// -prove additionally runs the rule-based saturation prover
+// (internal/prover) on specifications whose constraint set validates:
+// a refutation prints the step-by-step rule derivation and exits 1.
 //
 // Unlike xmlconsist, speclint does not reject a constraint set that
 // fails validation against the DTD: those problems are exactly what the
@@ -27,6 +31,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/constraint"
 	"repro/internal/dtd"
+	"repro/internal/prover"
 	"repro/internal/speclint"
 )
 
@@ -41,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		dtdPath  = fs.String("dtd", "", "path to the DTD file (required unless -rules)")
 		consPath = fs.String("constraints", "", "path to the constraints file (one per line; optional)")
 		jsonOut  = fs.Bool("json", false, "emit a single JSON object instead of text")
+		prove    = fs.Bool("prove", false, "additionally run the saturation prover; a rule refutation is reported with its derivation and exits 1")
 		rules    = fs.Bool("rules", false, "print the rule table and exit")
 		minSev   = fs.String("min-severity", "info", "lowest severity to report: info, warning or error")
 	)
@@ -105,16 +111,48 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	errs, warns, infos := rep.Counts()
 
+	// -prove runs the saturation prover on top of the lint pass. It
+	// needs a validated set (unlike linting, which reports validation
+	// problems as findings), so it is skipped with a note when the set
+	// does not validate.
+	var proveOut *prover.Outcome
+	var proveSkip string
+	if *prove {
+		if err := set.Validate(d); err != nil {
+			proveSkip = "constraint set does not validate: " + err.Error()
+		} else {
+			out := prover.Saturate(d, set)
+			proveOut = &out
+		}
+	}
+
 	if *jsonOut {
+		type proveReport struct {
+			Refuted    bool          `json:"refuted"`
+			Facts      int           `json:"facts"`
+			Derivation []prover.Step `json:"derivation,omitempty"`
+			Skipped    string        `json:"skipped,omitempty"`
+		}
 		type report struct {
 			Diagnostics []speclint.Diagnostic `json:"diagnostics"`
 			Errors      int                   `json:"errors"`
 			Warnings    int                   `json:"warnings"`
 			Infos       int                   `json:"infos"`
+			Prover      *proveReport          `json:"prover,omitempty"`
+		}
+		r := report{Diagnostics: shown, Errors: errs, Warnings: warns, Infos: infos}
+		if *prove {
+			pr := &proveReport{Skipped: proveSkip}
+			if proveOut != nil {
+				pr.Refuted = proveOut.Refuted
+				pr.Facts = proveOut.Facts
+				pr.Derivation = proveOut.Derivation
+			}
+			r.Prover = pr
 		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(report{Diagnostics: shown, Errors: errs, Warnings: warns, Infos: infos}); err != nil {
+		if err := enc.Encode(r); err != nil {
 			fmt.Fprintln(stderr, "speclint:", err)
 			return 3
 		}
@@ -131,6 +169,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		} else {
 			fmt.Fprintf(stdout, "%d error(s), %d warning(s), %d info(s)\n", errs, warns, infos)
 		}
+		switch {
+		case proveSkip != "":
+			fmt.Fprintf(stdout, "prover: skipped (%s)\n", proveSkip)
+		case proveOut != nil && proveOut.Refuted:
+			fmt.Fprintf(stdout, "prover: inconsistent — %d-step rule derivation:\n", len(proveOut.Derivation))
+			for i, st := range proveOut.Derivation {
+				fmt.Fprintf(stdout, "  %3d. [%s] %s", i+1, st.Rule, st.Fact.String())
+				for _, c := range st.Constraints {
+					fmt.Fprintf(stdout, "  {%s}", prover.ConstraintAt(set, c))
+				}
+				fmt.Fprintln(stdout)
+			}
+		case proveOut != nil:
+			fmt.Fprintf(stdout, "prover: no refutation (%d facts saturated)\n", proveOut.Facts)
+		}
 	}
 
 	if err := ob.Finish(stderr); err != nil {
@@ -139,6 +192,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if errs > 0 {
+		return 1
+	}
+	if proveOut != nil && proveOut.Refuted {
 		return 1
 	}
 	return 0

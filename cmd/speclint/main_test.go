@@ -64,6 +64,18 @@ func TestGolden(t *testing.T) {
 	t.Run("rules-table", func(t *testing.T) {
 		golden(t, "rules-table", 0, "-rules")
 	})
+	t.Run("school-extended-prove", func(t *testing.T) {
+		golden(t, "school-extended-prove", 1,
+			"-dtd", shared("school.dtd"), "-constraints", shared("school-extended.keys"), "-prove")
+	})
+	t.Run("school-extended-prove-json", func(t *testing.T) {
+		golden(t, "school-extended-prove-json", 1,
+			"-dtd", shared("school.dtd"), "-constraints", shared("school-extended.keys"), "-prove", "-json")
+	})
+	t.Run("library-prove", func(t *testing.T) {
+		golden(t, "library-prove", 0,
+			"-dtd", shared("library.dtd"), "-constraints", shared("library.keys"), "-prove")
+	})
 }
 
 func TestUsageErrors(t *testing.T) {

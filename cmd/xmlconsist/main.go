@@ -29,10 +29,38 @@ import (
 
 	xmlspec "repro"
 	"repro/internal/cliutil"
+	"repro/internal/prover"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// printDerivation renders the prover's rule derivation and the ranked
+// repair hints of an explanation (text mode).
+func printDerivation(stdout io.Writer, spec *xmlspec.Spec, ex *xmlspec.Explanation) {
+	if len(ex.Derivation) > 0 {
+		fmt.Fprintf(stdout, "rule derivation (%d steps, replayable):\n", len(ex.Derivation))
+		for i, st := range ex.Derivation {
+			fmt.Fprintf(stdout, "  %3d. [%s] %s", i+1, st.Rule, st.Fact.String())
+			if len(st.Premises) > 0 {
+				fmt.Fprint(stdout, "  from")
+				for _, p := range st.Premises {
+					fmt.Fprintf(stdout, " %d", p+1)
+				}
+			}
+			for _, c := range st.Constraints {
+				fmt.Fprintf(stdout, "  {%s}", spec.ConstraintAt(c))
+			}
+			fmt.Fprintln(stdout)
+		}
+	}
+	if len(ex.Hints) > 0 {
+		fmt.Fprintf(stdout, "repair hints (ranked over %d cores):\n", ex.Cores)
+		for _, h := range ex.Hints {
+			fmt.Fprintf(stdout, "   %s %s  (in %d/%d cores)\n", h.Action, h.Rendered, h.Cores, ex.Cores)
+		}
+	}
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -131,22 +159,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
-	res, err := spec.Consistent(&xmlspec.Options{
+	checkOpts := xmlspec.Options{
 		SkipWitness:     !*witness,
 		MinimizeWitness: *minWitness,
 		SearchNodes:     *searchNodes,
 		MaxSolverNodes:  *maxNodes,
-	})
+		Explain:         *explain,
+	}
+	res, err := spec.Consistent(&checkOpts)
 	if err != nil {
 		fmt.Fprintln(stderr, "xmlconsist:", err)
 		return 3
 	}
 	var core []string
+	var explanation *xmlspec.Explanation
 	if *explain && res.Verdict == xmlspec.Inconsistent {
-		core, err = spec.ExplainInconsistency()
+		ex, err := spec.Explain(&checkOpts)
 		if err != nil {
 			fmt.Fprintln(stderr, "xmlconsist:", err)
 			return 3
+		}
+		explanation = &ex
+		core = ex.CoreConstraints
+		if len(core) == 0 {
+			core = []string{"the DTD alone admits no finite document"}
 		}
 	}
 	var lint []string
@@ -167,18 +203,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *jsonOut {
 		type report struct {
-			Class            string   `json:"class"`
-			Method           string   `json:"method"`
-			Verdict          string   `json:"verdict"`
-			Diagnosis        string   `json:"diagnosis,omitempty"`
-			Witness          string   `json:"witness,omitempty"`
-			ConflictingPairs []string `json:"conflictingPairs,omitempty"`
-			MinimalCore      []string `json:"minimalCore,omitempty"`
-			Lint             []string `json:"lint,omitempty"`
-			Implies          string   `json:"implies,omitempty"`
-			ImpliesVerdict   string   `json:"impliesVerdict,omitempty"`
-			Counterexample   string   `json:"counterexample,omitempty"`
-			SolverNodes      int      `json:"solverNodes"`
+			Class            string               `json:"class"`
+			Method           string               `json:"method"`
+			Verdict          string               `json:"verdict"`
+			Diagnosis        string               `json:"diagnosis,omitempty"`
+			Witness          string               `json:"witness,omitempty"`
+			ConflictingPairs []string             `json:"conflictingPairs,omitempty"`
+			MinimalCore      []string             `json:"minimalCore,omitempty"`
+			CoreIndices      []int                `json:"coreIndices,omitempty"`
+			Derivation       []prover.Step        `json:"derivation,omitempty"`
+			RepairHints      []xmlspec.RepairHint `json:"repairHints,omitempty"`
+			Cores            int                  `json:"cores,omitempty"`
+			Lint             []string             `json:"lint,omitempty"`
+			Implies          string               `json:"implies,omitempty"`
+			ImpliesVerdict   string               `json:"impliesVerdict,omitempty"`
+			Counterexample   string               `json:"counterexample,omitempty"`
+			SolverNodes      int                  `json:"solverNodes"`
 		}
 		rep := report{
 			Class:            spec.Class(),
@@ -190,6 +230,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			MinimalCore:      core,
 			Lint:             lint,
 			SolverNodes:      res.Stats.SolverNodes,
+		}
+		if explanation != nil {
+			rep.CoreIndices = explanation.Core
+			rep.Derivation = explanation.Derivation
+			rep.RepairHints = explanation.Hints
+			rep.Cores = explanation.Cores
 		}
 		if impliesRes != nil {
 			rep.Implies = *implies
@@ -216,6 +262,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, "minimal conflicting subset:")
 			for _, line := range core {
 				fmt.Fprintln(stdout, "  ", line)
+			}
+			if explanation != nil {
+				printDerivation(stdout, spec, explanation)
 			}
 		}
 		if *explain && len(lint) > 0 {

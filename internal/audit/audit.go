@@ -33,6 +33,9 @@ type Event struct {
 	Time string `json:"time"`
 	// RequestID is the serving request ID ("-" outside a server).
 	RequestID string `json:"request_id"`
+	// Op names the serving operation ("explain" for /explain events;
+	// empty for plain checks, keeping existing logs stable).
+	Op string `json:"op,omitempty"`
 	// SpecDigest is the canonical digest of the checked specification.
 	SpecDigest string `json:"spec_digest,omitempty"`
 	// Verdict is the check's outcome (empty when the check aborted).

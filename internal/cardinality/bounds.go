@@ -1,0 +1,184 @@
+package cardinality
+
+import (
+	"math"
+
+	"repro/internal/contentmodel"
+	"repro/internal/dtd"
+)
+
+// Bounds is a sound interval on a node count: every conforming tree (or
+// forest) has at least Min and — when Bounded — at most Max occurrences
+// of the counted type. Min is clamped to math.MaxInt/4 so downstream
+// saturated arithmetic cannot overflow.
+type Bounds struct {
+	Min     int
+	Max     int
+	Bounded bool
+}
+
+// Counter computes occurrence bounds over a fixed DTD, memoizing the
+// per-type folds across queries. The folds are exact on non-recursive
+// DTDs; on recursive ones a re-entered type conservatively contributes
+// [0, ∞), which keeps every returned interval sound.
+type Counter struct {
+	d    *dtd.DTD
+	min  map[[2]string]int    // {type, tau} -> min count in a type-rooted tree
+	max  map[[2]string]Bounds // {type, tau} -> max count (Min field unused)
+	busy map[[2]string]bool
+}
+
+// NewCounter returns a Counter for d.
+func NewCounter(d *dtd.DTD) *Counter {
+	return &Counter{
+		d:    d,
+		min:  map[[2]string]int{},
+		max:  map[[2]string]Bounds{},
+		busy: map[[2]string]bool{},
+	}
+}
+
+// CountBounds returns bounds on the number of τ nodes in a conforming
+// tree rooted at an x node, x itself included.
+func CountBounds(d *dtd.DTD, x, tau string) Bounds {
+	return NewCounter(d).Node(x, tau)
+}
+
+// ContentBounds returns bounds on the number of τ nodes in the forests
+// derivable from a word of the content model e (the proper descendants
+// of a node whose content model is e).
+func ContentBounds(d *dtd.DTD, e *contentmodel.Expr, tau string) Bounds {
+	return NewCounter(d).Content(e, tau)
+}
+
+// Node returns bounds for a tree rooted at an x node, x included.
+func (c *Counter) Node(x, tau string) Bounds {
+	lo := c.nodeMin(x, tau)
+	hi := c.nodeMax(x, tau)
+	return Bounds{Min: lo, Max: hi.Max, Bounded: hi.Bounded}
+}
+
+// Content returns bounds for the forests derivable from a word of e.
+func (c *Counter) Content(e *contentmodel.Expr, tau string) Bounds {
+	lo := c.wordMin(e, tau)
+	hi := c.wordMax(e, tau)
+	return Bounds{Min: lo, Max: hi.Max, Bounded: hi.Bounded}
+}
+
+func (c *Counter) nodeMin(x, tau string) int {
+	key := [2]string{x, tau}
+	if v, done := c.min[key]; done {
+		return v
+	}
+	el := c.d.Element(x)
+	if el == nil || c.busy[key] {
+		return 0 // unknown type or recursion: 0 is always a sound lower bound
+	}
+	c.busy[key] = true
+	v := c.wordMin(el.Content, tau)
+	if x == tau {
+		v = addClamped(v, 1)
+	}
+	c.busy[key] = false
+	c.min[key] = v
+	return v
+}
+
+func (c *Counter) wordMin(e *contentmodel.Expr, tau string) int {
+	switch e.Kind {
+	case contentmodel.Empty, contentmodel.Text:
+		return 0
+	case contentmodel.Name:
+		return c.nodeMin(e.Ref, tau)
+	case contentmodel.Seq:
+		sum := 0
+		for _, k := range e.Kids {
+			sum = addClamped(sum, c.wordMin(k, tau))
+		}
+		return sum
+	case contentmodel.Choice:
+		best := math.MaxInt
+		for _, k := range e.Kids {
+			if v := c.wordMin(k, tau); v < best {
+				best = v
+			}
+		}
+		if best == math.MaxInt {
+			return 0
+		}
+		return best
+	case contentmodel.Star:
+		return 0
+	}
+	return 0
+}
+
+func (c *Counter) nodeMax(x, tau string) Bounds {
+	key := [2]string{x, tau}
+	if v, done := c.max[key]; done {
+		return v
+	}
+	el := c.d.Element(x)
+	if el == nil {
+		return Bounds{Max: 0, Bounded: true} // undeclared types never occur
+	}
+	if c.busy[key] {
+		return Bounds{Bounded: false} // recursion: no finite upper bound claimed
+	}
+	c.busy[key] = true
+	v := c.wordMax(el.Content, tau)
+	if v.Bounded && x == tau {
+		v.Max = addClamped(v.Max, 1)
+	}
+	c.busy[key] = false
+	c.max[key] = v
+	return v
+}
+
+func (c *Counter) wordMax(e *contentmodel.Expr, tau string) Bounds {
+	switch e.Kind {
+	case contentmodel.Empty, contentmodel.Text:
+		return Bounds{Max: 0, Bounded: true}
+	case contentmodel.Name:
+		return c.nodeMax(e.Ref, tau)
+	case contentmodel.Seq:
+		sum := Bounds{Max: 0, Bounded: true}
+		for _, k := range e.Kids {
+			v := c.wordMax(k, tau)
+			if !v.Bounded {
+				return Bounds{Bounded: false}
+			}
+			sum.Max = addClamped(sum.Max, v.Max)
+		}
+		return sum
+	case contentmodel.Choice:
+		best := Bounds{Max: 0, Bounded: true}
+		for _, k := range e.Kids {
+			v := c.wordMax(k, tau)
+			if !v.Bounded {
+				return Bounds{Bounded: false}
+			}
+			if v.Max > best.Max {
+				best.Max = v.Max
+			}
+		}
+		return best
+	case contentmodel.Star:
+		v := c.wordMax(e.Kids[0], tau)
+		if v.Bounded && v.Max == 0 {
+			return Bounds{Max: 0, Bounded: true}
+		}
+		return Bounds{Bounded: false}
+	}
+	return Bounds{Max: 0, Bounded: true}
+}
+
+// addClamped adds non-negative counts, clamping at math.MaxInt/4 so the
+// saturated arithmetic downstream cannot overflow.
+func addClamped(a, b int) int {
+	s := a + b
+	if s > math.MaxInt/4 || s < 0 {
+		return math.MaxInt / 4
+	}
+	return s
+}

@@ -11,7 +11,11 @@
 // into a second search.
 package certificate
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/prover"
+)
 
 // Form discriminates the witness shapes.
 type Form string
@@ -84,6 +88,9 @@ const (
 	SourceILP Source = "ilp"
 	// SourceScope is infeasibility of a hierarchical scope problem.
 	SourceScope Source = "scope"
+	// SourceProver is a rule-derivation refutation from the saturation
+	// prover; the ordered rule applications are replayed by Verify.
+	SourceProver Source = "prover"
 )
 
 // Refutation is the evidence behind an Inconsistent verdict. For
@@ -109,6 +116,10 @@ type Refutation struct {
 	// SystemDigest fingerprints the refuted base system (SourceILP and
 	// SourceScope).
 	SystemDigest string `json:"system_digest,omitempty"`
+	// Derivation is the ordered list of rule applications ending in the
+	// document-scope contradiction (SourceProver only). Verify replays
+	// it step by step against the presented spec.
+	Derivation []prover.Step `json:"derivation,omitempty"`
 }
 
 // Certificate is the provenance of a definitive verdict: exactly one
@@ -170,6 +181,22 @@ func FromInfeasible(enc Encoding, digest, detail string) *Certificate {
 	return &Certificate{Refutation: &Refutation{Source: SourceILP, Encoding: enc, SystemDigest: digest, Detail: detail}}
 }
 
+// FromProver builds a refutation certificate carrying the saturation
+// prover's rule derivation. The derivation is the whole proof: Verify
+// replays every step against the presented spec, so nothing here rests
+// on a solver's say-so. A nil or empty derivation yields no
+// certificate.
+func FromProver(derivation []prover.Step, detail string) *Certificate {
+	if len(derivation) == 0 {
+		return nil
+	}
+	return &Certificate{Refutation: &Refutation{
+		Source:     SourceProver,
+		Detail:     detail,
+		Derivation: derivation,
+	}}
+}
+
 // FromScopeRefutation builds a refutation certificate pinning the
 // infeasible scope problem by ChainKey and system digest.
 func FromScopeRefutation(scopeKey, digest string) *Certificate {
@@ -203,6 +230,9 @@ func (c *Certificate) Size() int {
 	case c == nil:
 		return 0
 	case c.Refutation != nil:
+		if n := len(c.Refutation.Derivation); n > 0 {
+			return n
+		}
 		return 1
 	case c.Witness == nil:
 		return 0

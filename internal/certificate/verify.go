@@ -7,6 +7,7 @@ import (
 	"repro/internal/constraint"
 	"repro/internal/digest"
 	"repro/internal/dtd"
+	"repro/internal/prover"
 	"repro/internal/scope"
 	"repro/internal/speclint"
 	"repro/internal/xmltree"
@@ -213,6 +214,11 @@ func verifyRefutation(d *dtd.DTD, set *constraint.Set, r *Refutation) error {
 		return verifyInfeasible(d, set, r)
 	case SourceScope:
 		return verifyScopeRefutation(d, set, r)
+	case SourceProver:
+		if err := prover.Replay(d, set, r.Derivation); err != nil {
+			return fmt.Errorf("certificate: %w", err)
+		}
+		return nil
 	default:
 		return fmt.Errorf("certificate: unknown refutation source %q", r.Source)
 	}

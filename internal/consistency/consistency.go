@@ -38,6 +38,7 @@ import (
 	"repro/internal/dtd"
 	"repro/internal/ilp"
 	"repro/internal/obs"
+	"repro/internal/prover"
 	"repro/internal/speclint"
 	"repro/internal/xmltree"
 )
@@ -90,6 +91,11 @@ type Options struct {
 	// static rules (SL101/SL201/SL202) before any encoding and
 	// short-circuits to Inconsistent when one fires.
 	SkipLint bool
+	// Explain runs the saturation prover (internal/prover) between the
+	// lint prepass and the encoding layer: a refutation short-circuits
+	// the ILP entirely and ships a replayable rule-derivation
+	// certificate. Off by default so the hot path pays nothing for it.
+	Explain bool
 	// SkipCertificate disables certificate construction entirely:
 	// definitive verdicts come back with a nil Certificate and the
 	// decision path does none of the associated work (no named-vector
@@ -169,6 +175,12 @@ type Stats struct {
 	// LintFindings counts the diagnostics the speclint prepass
 	// reported (zero when the prepass is skipped or clean).
 	LintFindings int
+	// ProverFacts counts the facts the saturation prover derived
+	// (zero unless Options.Explain ran it).
+	ProverFacts int
+	// ProverShortCircuit records that the prover refuted the spec and
+	// the encoding/ILP layers never ran.
+	ProverShortCircuit bool
 }
 
 // addILP merges one solver invocation's effort into the check stats.
@@ -285,6 +297,31 @@ func dispatch(d *dtd.DTD, set *constraint.Set, opts Options) (Result, error) {
 				sp.SetString("method", res.Method)
 				sp.SetString("verdict", res.Verdict.String())
 				sp.SetString("early_exit", "speclint "+diag.RuleID)
+			}
+			return res, nil
+		}
+	}
+
+	if opts.Explain {
+		psp := opts.Obs.Start("prover")
+		out := prover.Saturate(d, set)
+		res.Stats.ProverFacts = out.Facts
+		if psp != nil {
+			psp.SetInt("facts", int64(out.Facts))
+			psp.SetString("refuted", fmt.Sprintf("%t", out.Refuted))
+		}
+		psp.End()
+		if out.Refuted {
+			route(opts.Obs, "prover_short_circuit")
+			res.Stats.ProverShortCircuit = true
+			res.conclude(Inconsistent, proverCert(out.Derivation, opts))
+			res.Method = fmt.Sprintf("saturation prover (%d-step rule derivation)", len(out.Derivation))
+			res.Diagnosis = "the sound rule set derives a document-scope contradiction"
+			if sp != nil {
+				sp.SetString("class", res.Class)
+				sp.SetString("method", res.Method)
+				sp.SetString("verdict", res.Verdict.String())
+				sp.SetString("early_exit", "prover refutation")
 			}
 			return res, nil
 		}
@@ -483,6 +520,13 @@ func lintCert(diag *speclint.Diagnostic, opts Options) *certificate.Certificate 
 		return nil
 	}
 	return certificate.FromLint(diag.RuleID, diag.Message)
+}
+
+func proverCert(derivation []prover.Step, opts Options) *certificate.Certificate {
+	if opts.SkipCertificate {
+		return nil
+	}
+	return certificate.FromProver(derivation, "saturation derives the document-scope contradiction")
 }
 
 func dtdSatCert(opts Options) *certificate.Certificate {

@@ -1,0 +1,195 @@
+package prover
+
+import (
+	"math"
+
+	"repro/internal/contentmodel"
+	"repro/internal/dtd"
+)
+
+// negInf is the -∞ sentinel of the difference analysis: "the difference
+// can be made arbitrarily negative". Small enough that saturated
+// additions cannot overflow. (Mirrors the speclint prepass analysis,
+// which is unexported there by design — the prepass and the prover keep
+// independent rule sets.)
+const negInf = math.MinInt / 4
+
+// satAdd adds with saturation: negInf absorbs, and finite sums are
+// clamped to [negInf, math.MaxInt/4].
+func satAdd(a, b int) int {
+	if a == negInf || b == negInf {
+		return negInf
+	}
+	s := a + b
+	if s > math.MaxInt/4 {
+		return math.MaxInt / 4
+	}
+	if s < negInf {
+		return negInf
+	}
+	return s
+}
+
+// minDiff returns, for every type x, the minimum of
+// count(σ) − count(τ) over all conforming trees rooted at an x node
+// (x included); negInf means unbounded below. Only meaningful on
+// non-recursive DTDs — callers must check d.IsRecursive first.
+func minDiff(d *dtd.DTD, sigma, tau string) map[string]int {
+	memo := map[string]int{}
+	var nodeDiff func(x string) int
+	nodeDiff = func(x string) int {
+		if v, done := memo[x]; done {
+			return v
+		}
+		v := wordDiff(d.Element(x).Content, nodeDiff)
+		if x == sigma {
+			v = satAdd(v, 1)
+		}
+		if x == tau {
+			v = satAdd(v, -1)
+		}
+		memo[x] = v
+		return v
+	}
+	for _, name := range d.Names {
+		nodeDiff(name)
+	}
+	return memo
+}
+
+// wordDiff folds per-symbol minimum differences over a content model:
+// sequences add, choices take the minimum, a star is 0 repetitions
+// unless its body can go negative (then the minimum is unbounded).
+func wordDiff(e *contentmodel.Expr, diff func(string) int) int {
+	switch e.Kind {
+	case contentmodel.Empty, contentmodel.Text:
+		return 0
+	case contentmodel.Name:
+		return diff(e.Ref)
+	case contentmodel.Seq:
+		sum := 0
+		for _, k := range e.Kids {
+			sum = satAdd(sum, wordDiff(k, diff))
+			if sum == negInf {
+				return negInf
+			}
+		}
+		return sum
+	case contentmodel.Choice:
+		best := math.MaxInt
+		for _, k := range e.Kids {
+			if v := wordDiff(k, diff); v < best {
+				best = v
+			}
+		}
+		if best == math.MaxInt {
+			return 0
+		}
+		return best
+	case contentmodel.Star:
+		if wordDiff(e.Kids[0], diff) < 0 {
+			return negInf
+		}
+		return 0
+	}
+	return 0
+}
+
+// reachableAvoiding returns the set of types reachable from the root in
+// the type-reference graph without passing through p (the root itself
+// is included unless it is p). If a type is NOT in this set, every
+// occurrence of it in a conforming document sits below a p node — the
+// soundness basis of the zero-dom rule.
+func reachableAvoiding(d *dtd.DTD, p string) map[string]bool {
+	seen := map[string]bool{}
+	if d.Root == p {
+		return seen
+	}
+	seen[d.Root] = true
+	queue := []string{d.Root}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		el := d.Element(x)
+		if el == nil {
+			continue
+		}
+		for _, y := range el.Content.Alphabet() {
+			if y == p || seen[y] {
+				continue
+			}
+			seen[y] = true
+			queue = append(queue, y)
+		}
+	}
+	return seen
+}
+
+// occInf is the +∞ sentinel of the occurrence analysis: "a word of the
+// content model may repeat the type arbitrarily often".
+const occInf = math.MaxInt / 4
+
+// occRange is the occurrence interval of one type across the words of
+// a content model: every word contains at least Lo and at most Hi
+// occurrences (Hi == occInf under a star).
+type occRange struct {
+	Lo, Hi int
+}
+
+// occRanges folds a content model into the occurrence interval of
+// every type it references, in a single walk: sequences add intervals,
+// choices take the union's hull, and a star drops the floor to zero
+// and lifts any positive ceiling to occInf.
+func occRanges(e *contentmodel.Expr) map[string]occRange {
+	switch e.Kind {
+	case contentmodel.Name:
+		return map[string]occRange{e.Ref: {Lo: 1, Hi: 1}}
+	case contentmodel.Seq:
+		out := map[string]occRange{}
+		for _, k := range e.Kids {
+			for t, o := range occRanges(k) {
+				cur := out[t]
+				hi := cur.Hi + o.Hi
+				if hi > occInf {
+					hi = occInf
+				}
+				out[t] = occRange{Lo: cur.Lo + o.Lo, Hi: hi}
+			}
+		}
+		return out
+	case contentmodel.Choice:
+		kids := make([]map[string]occRange, len(e.Kids))
+		union := map[string]bool{}
+		for i, k := range e.Kids {
+			kids[i] = occRanges(k)
+			for t := range kids[i] {
+				union[t] = true
+			}
+		}
+		out := map[string]occRange{}
+		for t := range union {
+			lo, hi := math.MaxInt, 0
+			for _, ko := range kids {
+				o := ko[t] // absent branch contributes zero occurrences
+				if o.Lo < lo {
+					lo = o.Lo
+				}
+				if o.Hi > hi {
+					hi = o.Hi
+				}
+			}
+			out[t] = occRange{Lo: lo, Hi: hi}
+		}
+		return out
+	case contentmodel.Star:
+		out := occRanges(e.Kids[0])
+		for t, o := range out {
+			if o.Hi > 0 {
+				o.Hi = occInf
+			}
+			out[t] = occRange{Lo: 0, Hi: o.Hi}
+		}
+		return out
+	}
+	return nil // Empty, Text: no type references
+}

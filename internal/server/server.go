@@ -2,6 +2,8 @@
 // telemetry, using only the standard library. Endpoints:
 //
 //	POST /check         specification in, verdict + certificate + stats out
+//	POST /explain       same request shape; verdict + minimal unsat core +
+//	                    rule derivation + repair hints out
 //	GET  /metrics       Prometheus text exposition of the process registry
 //	GET  /healthz       liveness probe
 //	GET  /debug/status  human-readable status page (HTML)
@@ -43,6 +45,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/certificate"
 	"repro/internal/obs"
+	"repro/internal/prover"
 	"repro/internal/telemetry"
 )
 
@@ -165,6 +168,8 @@ func NewServer(cfg Config) *Server {
 	}
 	s.reg.Help("server.requests", "HTTP requests served, any endpoint.")
 	s.reg.Help("server.checks", "Consistency checks completed with a verdict.")
+	s.reg.Help("server.explains", "Explanations (/explain) completed with a verdict.")
+	s.reg.Help("server.explain_us", "Explanation latency in microseconds (check + core minimization).")
 	s.reg.Help("server.panics", "Handler panics recovered into 500 responses.")
 	s.reg.Help("server.request_us", "End-to-end HTTP request latency in microseconds.")
 	s.reg.Help("server.check_us", "Consistency-check latency in microseconds (verdict-bearing requests).")
@@ -178,6 +183,7 @@ func NewServer(cfg Config) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /check", s.handleCheck)
+	mux.HandleFunc("POST /explain", s.handleExplain)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /debug/status", s.handleStatus)
@@ -232,6 +238,33 @@ type CheckResponse struct {
 	ElapsedUS   int64                    `json:"elapsed_us"`
 }
 
+// ExplainResponse is the /explain response body on success. The request
+// shape is CheckRequest — /explain accepts exactly what /check accepts —
+// and the core, derivation and hint fields mirror xmlspec.Explanation,
+// with constraint references as Σ indices in the prover's canonical
+// order (keys first, then inclusions).
+type ExplainResponse struct {
+	RequestID  string `json:"request_id"`
+	SpecDigest string `json:"spec_digest"`
+	Verdict    string `json:"verdict"`
+	Method     string `json:"method,omitempty"`
+	// Core lists the Σ indices of a minimal conflicting subset;
+	// CoreConstraints renders them, parallel to Core.
+	Core            []int    `json:"core,omitempty"`
+	CoreConstraints []string `json:"core_constraints,omitempty"`
+	// Derivation is the prover's replayable rule derivation of the
+	// contradiction, when the sound rule set reaches it.
+	Derivation []prover.Step `json:"derivation,omitempty"`
+	// Hints ranks drop/weaken repair candidates by cross-core membership.
+	Hints []xmlspec.RepairHint `json:"hints,omitempty"`
+	// Cores and Checks describe the minimization effort: distinct unsat
+	// cores enumerated, and consistency sub-decisions performed.
+	Cores       int                      `json:"cores"`
+	Checks      int                      `json:"checks"`
+	Certificate *certificate.Certificate `json:"certificate,omitempty"`
+	ElapsedUS   int64                    `json:"elapsed_us"`
+}
+
 // ErrorResponse is the body of every non-2xx reply.
 type ErrorResponse struct {
 	RequestID string `json:"request_id"`
@@ -253,39 +286,59 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
-	id := requestID(r.Context())
-
+// admit applies the in-flight cap, answering 429 itself when the server
+// is at capacity. The caller must pair a successful admit with the
+// deferred decrement.
+func (s *Server) admit(w http.ResponseWriter, id string) bool {
 	if max := s.cfg.MaxInflight; max > 0 && s.inflight.Load() >= int64(max) {
 		s.reg.Add("server.rejects.overload", 1)
 		s.writeError(w, id, http.StatusTooManyRequests, "overload",
 			fmt.Sprintf("at capacity (%d checks in flight)", max))
-		return
+		return false
 	}
 	s.inflight.Add(1)
-	defer s.inflight.Add(-1)
+	return true
+}
 
+// readSpecRequest reads and decodes the request shape /check and
+// /explain share, and parses the specification. On failure it answers
+// the request itself and reports ok=false.
+func (s *Server) readSpecRequest(w http.ResponseWriter, r *http.Request, id string) (CheckRequest, *xmlspec.Spec, bool) {
+	var req CheckRequest
 	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxRequestBytes+1))
 	if err != nil {
 		s.writeError(w, id, http.StatusBadRequest, "parse", "reading body: "+err.Error())
-		return
+		return req, nil, false
 	}
 	if int64(len(body)) > s.cfg.MaxRequestBytes {
 		s.writeError(w, id, http.StatusRequestEntityTooLarge, "parse",
 			fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxRequestBytes))
-		return
+		return req, nil, false
 	}
-	var req CheckRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		s.reg.Add("server.errors.parse", 1)
 		s.writeError(w, id, http.StatusBadRequest, "parse", "decoding request: "+err.Error())
-		return
+		return req, nil, false
 	}
-
 	spec, err := xmlspec.Parse(req.DTD, req.Constraints)
 	if err != nil {
 		s.reg.Add("server.errors.parse", 1)
 		s.writeError(w, id, http.StatusBadRequest, "parse", err.Error())
+		return req, nil, false
+	}
+	return req, spec, true
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	id := requestID(r.Context())
+
+	if !s.admit(w, id) {
+		return
+	}
+	defer s.inflight.Add(-1)
+
+	req, spec, ok := s.readSpecRequest(w, r, id)
+	if !ok {
 		return
 	}
 	dig := spec.Digest()
@@ -372,6 +425,110 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		Certificate: res.Certificate,
 		Stats:       res.Stats,
 		ElapsedUS:   elapsed.Microseconds(),
+	})
+}
+
+// handleExplain runs the full explanation pipeline — check, then
+// deletion-based core minimization with derivation extraction and
+// repair-hint ranking — on the same request shape as /check. It is
+// deliberately a sibling of handleCheck rather than an option on it:
+// explanation re-decides many constraint subsets, so it gets its own
+// latency histogram, counters, and audit op.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	id := requestID(r.Context())
+
+	if !s.admit(w, id) {
+		return
+	}
+	defer s.inflight.Add(-1)
+
+	req, spec, ok := s.readSpecRequest(w, r, id)
+	if !ok {
+		return
+	}
+	dig := spec.Digest()
+
+	s.runningMu.Lock()
+	s.running[id] = &runningCheck{ID: id, SpecDigest: dig, StartedAt: time.Now()}
+	s.runningMu.Unlock()
+	defer func() {
+		s.runningMu.Lock()
+		delete(s.running, id)
+		s.runningMu.Unlock()
+	}()
+
+	ctx, cancel := s.checkContext(r.Context(), req.DeadlineMS)
+	defer cancel()
+
+	rec := obs.New()
+	root := rec.Start("server.explain")
+	root.SetString("request_id", id)
+	root.SetString("spec_digest", dig)
+	spec.SetObserver(rec)
+
+	start := time.Now()
+	ex, err := spec.ExplainContext(ctx, req.Options.internal())
+	elapsed := time.Since(start)
+	root.SetInt("elapsed_us", elapsed.Microseconds())
+
+	rec.Observe("server.explain_us", elapsed.Microseconds())
+	rec.Add("server.explains", 1)
+	if err == nil {
+		rec.Add("server.verdict."+ex.Verdict.String(), 1)
+	}
+	root.End()
+	s.reg.Absorb(rec)
+	s.writeTraceFile(id, rec)
+	s.rolling.Observe(elapsed.Microseconds(), err != nil)
+
+	ev := audit.Event{
+		RequestID:  id,
+		Op:         "explain",
+		SpecDigest: dig,
+		ElapsedUS:  elapsed.Microseconds(),
+		Phases:     auditPhases(rec),
+	}
+
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.reg.Add("server.aborts.deadline", 1)
+			ev.Abort, ev.Status = "deadline", http.StatusGatewayTimeout
+			s.audit.Record(ev)
+			s.writeError(w, id, http.StatusGatewayTimeout, "deadline",
+				"explain aborted: deadline exceeded after "+elapsed.String())
+		case errors.Is(err, context.Canceled):
+			s.reg.Add("server.aborts.canceled", 1)
+			ev.Abort, ev.Status = "canceled", 499
+			s.audit.Record(ev)
+			s.writeError(w, id, 499, "canceled", "explain aborted: request canceled")
+		default:
+			s.reg.Add("server.errors.internal", 1)
+			ev.Abort, ev.Status = "internal", http.StatusInternalServerError
+			s.audit.Record(ev)
+			s.writeError(w, id, http.StatusInternalServerError, "internal", err.Error())
+		}
+		return
+	}
+
+	ev.Verdict = ex.Verdict.String()
+	ev.CertificateKind = ex.Certificate.Kind()
+	ev.Status = http.StatusOK
+	s.audit.Record(ev)
+
+	s.writeJSON(w, http.StatusOK, ExplainResponse{
+		RequestID:       id,
+		SpecDigest:      dig,
+		Verdict:         ex.Verdict.String(),
+		Method:          ex.Method,
+		Core:            ex.Core,
+		CoreConstraints: ex.CoreConstraints,
+		Derivation:      ex.Derivation,
+		Hints:           ex.Hints,
+		Cores:           ex.Cores,
+		Checks:          ex.Checks,
+		Certificate:     ex.Certificate,
+		ElapsedUS:       elapsed.Microseconds(),
 	})
 }
 

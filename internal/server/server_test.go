@@ -83,6 +83,24 @@ func postCheck(t *testing.T, ts *httptest.Server, req CheckRequest) (*http.Respo
 	return resp, out
 }
 
+func postExplain(t *testing.T, ts *httptest.Server, req CheckRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(ts.URL+"/explain", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /explain: %v", err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, out
+}
+
 func TestHealthz(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	resp, err := http.Get(ts.URL + "/healthz")
@@ -137,6 +155,101 @@ func TestCheckInconsistent(t *testing.T) {
 	}
 	if cr.Verdict != "inconsistent" {
 		t.Fatalf("verdict = %q, want inconsistent", cr.Verdict)
+	}
+}
+
+// TestExplainInconsistent drives the /explain surface end to end: the
+// inconsistent geography spec must come back with a minimal core,
+// repair hints, a certificate stamped with the spec digest, and an
+// audit event carrying the "explain" op.
+func TestExplainInconsistent(t *testing.T) {
+	reg := telemetry.NewRegistry("")
+	s, ts := newTestServer(t, Config{Registry: reg})
+	resp, out := postExplain(t, ts, CheckRequest{DTD: geoDTD, Constraints: geoConstraints})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, out)
+	}
+	var er ExplainResponse
+	if err := json.Unmarshal(out, &er); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if er.Verdict != "inconsistent" {
+		t.Fatalf("verdict = %q, want inconsistent", er.Verdict)
+	}
+	if len(er.Core) == 0 || len(er.CoreConstraints) != len(er.Core) {
+		t.Fatalf("core = %v / %v, want non-empty parallel slices", er.Core, er.CoreConstraints)
+	}
+	if len(er.Hints) == 0 || er.Cores < 1 {
+		t.Errorf("hints = %v over %d cores, want ranked hints", er.Hints, er.Cores)
+	}
+	if er.Certificate == nil || er.Certificate.SpecDigest != er.SpecDigest {
+		t.Errorf("certificate = %+v, want stamped with %s", er.Certificate, er.SpecDigest)
+	}
+
+	recent := s.audit.Recent(1)
+	if len(recent) != 1 || recent[0].Op != "explain" {
+		t.Fatalf("audit event = %+v, want op explain", recent)
+	}
+	if recent[0].Verdict != "inconsistent" || recent[0].Status != http.StatusOK {
+		t.Errorf("audit event = %+v", recent[0])
+	}
+
+	// The explain surface has its own counter and latency histogram.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	exp, err := telemetry.ParseExposition(b.String())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if smp, ok := exp.Sample("xmlconsist_server_explains_total"); !ok || smp.Value != 1 {
+		t.Errorf("server_explains_total = %+v %v, want 1", smp, ok)
+	}
+	if _, ok := exp.Sample("xmlconsist_server_explain_us_count"); !ok {
+		t.Errorf("server_explain_us histogram missing from exposition")
+	}
+}
+
+// TestExplainConsistent: a consistent spec explains to its verdict with
+// no core and no hints.
+func TestExplainConsistent(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, out := postExplain(t, ts, CheckRequest{DTD: libraryDTD, Constraints: libraryConstraints})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, out)
+	}
+	var er ExplainResponse
+	if err := json.Unmarshal(out, &er); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if er.Verdict != "consistent" {
+		t.Fatalf("verdict = %q, want consistent", er.Verdict)
+	}
+	if len(er.Core) != 0 || len(er.Hints) != 0 {
+		t.Errorf("consistent spec explained with core %v hints %v", er.Core, er.Hints)
+	}
+	if er.Certificate == nil {
+		t.Errorf("no certificate on consistent explanation")
+	}
+}
+
+// TestExplainDeadline: the minimization loop must respect the request
+// deadline, not just the initial check.
+func TestExplainDeadline(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	in := experiments.Fig3Unary(rand.New(rand.NewSource(7)), 16)
+	resp, out := postExplain(t, ts, CheckRequest{
+		DTD:         in.D.String(),
+		Constraints: in.Set.String(),
+		DeadlineMS:  1,
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504: %s", resp.StatusCode, out)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(out, &er); err != nil || er.Kind != "deadline" {
+		t.Fatalf("error body = %s (err %v), want kind deadline", out, err)
 	}
 }
 

@@ -23,6 +23,7 @@
 package speclint
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 
@@ -76,6 +77,17 @@ type Diagnostic struct {
 	// Sound marks a tier-3 error whose firing proves the spec
 	// inconsistent.
 	Sound bool `json:"sound,omitempty"`
+}
+
+// MarshalJSON emits the numeric severity alongside its name, so JSON
+// consumers can threshold on severity without re-parsing the string
+// form.
+func (d Diagnostic) MarshalJSON() ([]byte, error) {
+	type plain Diagnostic
+	return json.Marshal(struct {
+		plain
+		SeverityLevel int `json:"severity_level"`
+	}{plain(d), int(d.Severity)})
 }
 
 // String renders the diagnostic in a compact single-line form.

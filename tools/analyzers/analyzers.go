@@ -24,6 +24,11 @@
 // promnames: constant metric names passed to the telemetry registry
 // and obs recorders must follow the Prometheus conventions the
 // exposition renderer assumes (see promnames.go).
+//
+// soundcert: inside repro/internal/prover, every rule name cited by the
+// saturation engine's fact recorder must be registered in the Rules
+// table with Sound set, so every refutation derivation is built from
+// replayable rules (see soundcert.go).
 package main
 
 import (
@@ -48,6 +53,7 @@ func analyze(pkgPath string, files []*ast.File, info *types.Info) []diagnostic {
 	out = append(out, checkObsNil(pkgPath, files, info)...)
 	out = append(out, checkCertAttach(pkgPath, files, info)...)
 	out = append(out, checkPromNames(files, info)...)
+	out = append(out, checkSoundCert(pkgPath, files, info)...)
 	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
 	return out
 }

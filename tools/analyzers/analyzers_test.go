@@ -459,3 +459,59 @@ func f(r *Registry) {
 		})
 	}
 }
+
+func TestSoundCert(t *testing.T) {
+	const registry = `package prover
+
+type Rule struct {
+	Name  string
+	Doc   string
+	Sound bool
+}
+
+var Rules = []Rule{
+	{Name: "good-rule", Sound: true, Doc: "ok"},
+	{Name: "shaky-rule", Sound: false, Doc: "not replayable"},
+}
+
+type engine struct{ n int }
+
+func (e *engine) derive(rule string, k int) { e.n += k }
+`
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"registered-sound", `
+func f(e *engine) { e.derive("good-rule", 1) }`, 0},
+		{"registered-unsound", `
+func f(e *engine) { e.derive("shaky-rule", 1) }`, 1},
+		{"unregistered", `
+func f(e *engine) { e.derive("made-up", 1) }`, 1},
+		{"computed-name", `
+func f(e *engine, name string) { e.derive(name, 1) }`, 1},
+		{"other-receiver", `
+type other struct{}
+func (o *other) derive(rule string, k int) {}
+func f(o *other) { o.derive("made-up", 1) }`, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ds := checkPkg(t, "repro/internal/prover", registry+tc.body, nil)
+			if len(ds) != tc.want {
+				t.Errorf("diagnostics = %v, want %d", msgs(ds), tc.want)
+			}
+		})
+	}
+
+	// The pass is scoped to the prover package: the same derive call
+	// elsewhere is someone else's method and none of our business.
+	t.Run("other-package", func(t *testing.T) {
+		ds := checkPkg(t, "example.com/elsewhere", registry+`
+func f(e *engine) { e.derive("made-up", 1) }`, nil)
+		if len(ds) != 0 {
+			t.Errorf("diagnostics outside the prover package: %v", msgs(ds))
+		}
+	})
+}

@@ -1,0 +1,138 @@
+// soundcert: inside repro/internal/prover, every rule name the
+// saturation engine cites when recording a fact — the string literal
+// passed to (*engine).derive — must be registered in the package-level
+// Rules table with Sound set. Derivations become refutation
+// certificates that certificate.Verify replays rule by rule, so a
+// derive call citing an unregistered or unsound rule would mint
+// certificates that either fail replay or, worse, launder an unproven
+// inference through the certificate format. The check is syntactic on
+// the registry (the Rules literal) and type-checked on the call sites,
+// so it also catches a registered rule whose Sound flag was dropped.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+const proverPath = "repro/internal/prover"
+
+// checkSoundCert flags derive calls citing rules that are not
+// registered as sound.
+func checkSoundCert(pkgPath string, files []*ast.File, info *types.Info) []diagnostic {
+	if pkgPath != proverPath {
+		return nil
+	}
+	sound := soundRuleNames(files)
+	var out []diagnostic
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "derive" || len(call.Args) == 0 {
+				return true
+			}
+			if !isEngine(info.TypeOf(sel.X)) {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok {
+				// The registry check only works on literals; a computed
+				// rule name defeats it, so require the literal form.
+				out = append(out, diagnostic{
+					Pos: call.Args[0].Pos(),
+					Msg: "rule name passed to (*engine).derive must be a string literal so soundcert can check the registry",
+				})
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !sound[name] {
+				out = append(out, diagnostic{
+					Pos: lit.Pos(),
+					Msg: fmt.Sprintf("derive cites rule %q, which is not registered in Rules with Sound: true; its derivations could not be replayed", name),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isEngine reports whether t is (a pointer to) the prover's engine
+// type.
+func isEngine(t types.Type) bool {
+	named := namedType(t)
+	return named != nil && named.Obj().Name() == "engine" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == proverPath
+}
+
+// soundRuleNames reads the package-level `var Rules = []Rule{...}`
+// literal and collects the names declared with Sound: true.
+func soundRuleNames(files []*ast.File) map[string]bool {
+	sound := map[string]bool{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != "Rules" || i >= len(vs.Values) {
+						continue
+					}
+					table, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					for _, elt := range table.Elts {
+						rule, ok := elt.(*ast.CompositeLit)
+						if !ok {
+							continue
+						}
+						var ruleName string
+						var isSound bool
+						for _, kv := range rule.Elts {
+							pair, ok := kv.(*ast.KeyValueExpr)
+							if !ok {
+								continue
+							}
+							key, ok := pair.Key.(*ast.Ident)
+							if !ok {
+								continue
+							}
+							switch key.Name {
+							case "Name":
+								if lit, ok := pair.Value.(*ast.BasicLit); ok {
+									if s, err := strconv.Unquote(lit.Value); err == nil {
+										ruleName = s
+									}
+								}
+							case "Sound":
+								if id, ok := pair.Value.(*ast.Ident); ok && id.Name == "true" {
+									isSound = true
+								}
+							}
+						}
+						if ruleName != "" && isSound {
+							sound[ruleName] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return sound
+}

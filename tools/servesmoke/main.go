@@ -9,17 +9,21 @@
 //  3. POST /check with a known-consistent and a known-inconsistent
 //     spec, asserting the verdicts and that each response names its
 //     spec digest;
-//  4. POST /check with a 1ms deadline against an exponential-search
+//  4. POST /explain with the inconsistent spec, asserting the verdict
+//     plus a non-empty minimal core, rule derivation, and repair
+//     hints;
+//  5. POST /check with a 1ms deadline against an exponential-search
 //     spec, asserting a deadline error rather than a verdict;
-//  5. GET /debug/status and /debug/checks, requiring the just-checked
+//  6. GET /debug/status and /debug/checks, requiring the just-checked
 //     digest on the status page;
-//  6. GET /metrics and validate the Prometheus exposition line by
+//  7. GET /metrics and validate the Prometheus exposition line by
 //     line, requiring the check-latency histogram, build-info,
-//     rolling-window, and SLO burn-rate metrics;
-//  7. SIGTERM the daemon, require a clean exit, then parse the audit
-//     log and match it against the responses — and require the
-//     quarantine directory stayed empty (nothing was slow);
-//  8. restart the daemon with a 1ns slow threshold, drive three
+//     rolling-window, SLO burn-rate, and explain metrics;
+//  8. SIGTERM the daemon, require a clean exit, then parse the audit
+//     log and match it against the responses — including an
+//     op:"explain" event — and require the quarantine directory
+//     stayed empty (nothing was slow);
+//  9. restart the daemon with a 1ns slow threshold, drive three
 //     checks, and require exactly one quarantined trace+spec pair
 //     (the capture rate limit holds).
 //
@@ -171,6 +175,9 @@ func smoke(bin string) error {
 	if _, _, err := checkVerdict(base, inconsistentDTD, inconsistentKeys, "inconsistent"); err != nil {
 		return err
 	}
+	if err := checkExplain(base); err != nil {
+		return err
+	}
 	if err := checkDeadline(base); err != nil {
 		return err
 	}
@@ -266,6 +273,71 @@ func checkVerdict(base, dtd, keys, want string) (digest, requestID string, err e
 	}
 	fmt.Printf("servesmoke: /check %s ok (certificate attached, digest %s)\n", want, cr.SpecDigest)
 	return cr.SpecDigest, cr.RequestID, nil
+}
+
+// checkExplain drives the inconsistent spec through /explain and
+// requires the full explanation: a minimal core with rendered members,
+// a replayable rule derivation, ranked repair hints, and a certificate.
+func checkExplain(base string) error {
+	payload, err := json.Marshal(map[string]any{
+		"dtd": inconsistentDTD, "constraints": inconsistentKeys,
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/explain", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("POST /explain: %w", err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/explain status %d: %s", resp.StatusCode, out)
+	}
+	var er struct {
+		SpecDigest      string            `json:"spec_digest"`
+		Verdict         string            `json:"verdict"`
+		Core            []int             `json:"core"`
+		CoreConstraints []string          `json:"core_constraints"`
+		Derivation      []json.RawMessage `json:"derivation"`
+		Hints           []struct {
+			Action string `json:"action"`
+		} `json:"hints"`
+		Cores       int             `json:"cores"`
+		Certificate json.RawMessage `json:"certificate"`
+	}
+	if err := json.Unmarshal(out, &er); err != nil {
+		return fmt.Errorf("decoding /explain response: %w", err)
+	}
+	if er.Verdict != "inconsistent" {
+		return fmt.Errorf("/explain verdict %q, want inconsistent", er.Verdict)
+	}
+	if len(er.Core) == 0 || len(er.CoreConstraints) != len(er.Core) {
+		return fmt.Errorf("/explain core %v / %v, want non-empty parallel slices", er.Core, er.CoreConstraints)
+	}
+	if len(er.Derivation) == 0 {
+		return fmt.Errorf("/explain carried no rule derivation")
+	}
+	if len(er.Hints) == 0 || er.Cores < 1 {
+		return fmt.Errorf("/explain hints %v over %d cores, want ranked hints", er.Hints, er.Cores)
+	}
+	for _, h := range er.Hints {
+		if h.Action != "drop" && h.Action != "weaken" {
+			return fmt.Errorf("/explain hint action %q, want drop or weaken", h.Action)
+		}
+	}
+	if len(er.Certificate) == 0 {
+		return fmt.Errorf("/explain verdict carried no certificate")
+	}
+	if !strings.HasPrefix(er.SpecDigest, "spec-") {
+		return fmt.Errorf("/explain spec digest %q, want spec-<hex>", er.SpecDigest)
+	}
+	fmt.Printf("servesmoke: /explain ok (core of %d, %d-step derivation, %d hints over %d cores)\n",
+		len(er.Core), len(er.Derivation), len(er.Hints), er.Cores)
+	return nil
 }
 
 func checkDeadline(base string) error {
@@ -379,6 +451,8 @@ func checkMetrics(base string) error {
 		"xmlconsist_slo_burn_rate_1h",
 		"xmlconsist_server_audit_events",
 		"xmlconsist_server_uptime_seconds",
+		"xmlconsist_server_explains_total",
+		"xmlconsist_server_explain_us_count",
 	} {
 		if _, ok := exp.Sample(want); !ok {
 			return fmt.Errorf("metric %s missing from /metrics", want)
@@ -417,6 +491,7 @@ func checkAuditLog(path, requestID, digest string) error {
 	}
 	type event struct {
 		RequestID  string `json:"request_id"`
+		Op         string `json:"op"`
 		SpecDigest string `json:"spec_digest"`
 		Verdict    string `json:"verdict"`
 		Abort      string `json:"abort"`
@@ -434,16 +509,22 @@ func checkAuditLog(path, requestID, digest string) error {
 	if first.RequestID != requestID || first.SpecDigest != digest || first.Verdict != "consistent" {
 		return fmt.Errorf("first audit event %+v does not match response (id %s, digest %s)", first, requestID, digest)
 	}
-	var sawAbort bool
+	var sawAbort, sawExplain bool
 	for _, line := range lines {
 		var ev event
 		json.Unmarshal([]byte(line), &ev)
 		if ev.Abort == "deadline" {
 			sawAbort = true
 		}
+		if ev.Op == "explain" && ev.Verdict == "inconsistent" {
+			sawExplain = true
+		}
 	}
 	if !sawAbort {
 		return fmt.Errorf("audit log records no deadline abort")
+	}
+	if !sawExplain {
+		return fmt.Errorf("audit log records no explain event")
 	}
 	fmt.Printf("servesmoke: audit log ok (%d events, digests match)\n", len(lines))
 	return nil

@@ -18,6 +18,7 @@ import (
 	"repro/internal/ilp"
 	"repro/internal/implication"
 	"repro/internal/obs"
+	"repro/internal/prover"
 	"repro/internal/speclint"
 	"repro/internal/streamcheck"
 	"repro/internal/xmltree"
@@ -159,6 +160,11 @@ type Options struct {
 	// SkipCertificate disables verdict-provenance construction:
 	// definitive verdicts come back without a checkable certificate.
 	SkipCertificate bool
+	// Explain runs the rule-based saturation prover between the lint
+	// prepass and the solver: a rule refutation short-circuits the
+	// integer search and ships a step-by-step replayable derivation
+	// certificate. Off by default — the hot path pays nothing for it.
+	Explain bool
 }
 
 func (o *Options) internal(rec *obs.Recorder) consistency.Options {
@@ -177,6 +183,7 @@ func (o *Options) internal(rec *obs.Recorder) consistency.Options {
 		Obs:             rec,
 		SkipLint:        o.SkipLint,
 		SkipCertificate: o.SkipCertificate,
+		Explain:         o.Explain,
 	}
 }
 
@@ -193,6 +200,11 @@ type Stats struct {
 	// reported (zero when SkipLint is set or the prepass found
 	// nothing).
 	LintFindings int
+	// ProverFacts counts the facts the saturation prover derived (zero
+	// unless Options.Explain ran it), and ProverShortCircuit records
+	// that a rule refutation decided the check before any solver ran.
+	ProverFacts        int
+	ProverShortCircuit bool
 }
 
 // Result reports the outcome of a consistency check.
@@ -275,14 +287,16 @@ func convertResult(res consistency.Result) Result {
 		Diagnosis:   res.Diagnosis,
 		Certificate: res.Certificate,
 		Stats: Stats{
-			SolverNodes:  res.Stats.ILPNodes,
-			Cuts:         res.Stats.Cuts,
-			Scopes:       res.Stats.Scopes,
-			LPCalls:      res.Stats.LPCalls,
-			Pivots:       res.Stats.Pivots,
-			Propagations: res.Stats.Propagations,
-			Branches:     res.Stats.Branches,
-			LintFindings: res.Stats.LintFindings,
+			SolverNodes:        res.Stats.ILPNodes,
+			Cuts:               res.Stats.Cuts,
+			Scopes:             res.Stats.Scopes,
+			LPCalls:            res.Stats.LPCalls,
+			Pivots:             res.Stats.Pivots,
+			Propagations:       res.Stats.Propagations,
+			Branches:           res.Stats.Branches,
+			LintFindings:       res.Stats.LintFindings,
+			ProverFacts:        res.Stats.ProverFacts,
+			ProverShortCircuit: res.Stats.ProverShortCircuit,
 		},
 	}
 	if res.Witness != nil && res.WitnessVerified {
@@ -515,6 +529,56 @@ func (s *Spec) EquivalentTo(other *Spec) (EquivalenceResult, error) {
 		out.Separating = res.Separating.XML()
 	}
 	return out, nil
+}
+
+// Explanation is the full account of an inconsistency produced by
+// Explain: a minimal unsat core (Σ indices, keys first, then
+// inclusions), the prover's rule derivation when the sound rule set
+// reaches the contradiction, and ranked drop/weaken repair hints.
+type Explanation = consistency.Explanation
+
+// RepairHint is one ranked repair candidate in an Explanation.
+type RepairHint = consistency.RepairHint
+
+// ConstraintAt renders the Σ member at the given index in the
+// prover-canonical order (keys first, then inclusions) — the order
+// Explanation cores and derivation steps cite. It returns "" for an
+// out-of-range index.
+func (s *Spec) ConstraintAt(i int) string { return prover.ConstraintAt(s.set, i) }
+
+// Explain decides the specification with the saturation prover enabled
+// and, when the verdict is Inconsistent, shrinks the constraint set to
+// a minimal unsat core by deletion-based minimization, attaches the
+// prover's step-by-step derivation when the rule set reaches the
+// contradiction (VerifyCertificate replays it), and ranks repair
+// candidates by how many of the enumerated cores they appear in. For
+// Consistent and Unknown specifications the explanation carries the
+// verdict and nothing else. opts may be nil.
+func (s *Spec) Explain(opts *Options) (Explanation, error) {
+	return s.explain(nil, opts)
+}
+
+// ExplainContext is Explain bounded by a context: every consistency
+// sub-decision of the core minimization polls ctx, and a deadline or
+// cancellation aborts the explanation with an error for which Aborted
+// reports true. opts may be nil.
+func (s *Spec) ExplainContext(ctx context.Context, opts *Options) (Explanation, error) {
+	return s.explain(ctx, opts)
+}
+
+func (s *Spec) explain(ctx context.Context, opts *Options) (Explanation, error) {
+	sp := s.obs.Start("xmlspec.explain")
+	defer sp.End()
+	iopts := opts.internal(s.obs)
+	iopts.Ctx = ctx
+	ex, err := consistency.Explain(s.dtd, s.set, iopts)
+	if err != nil {
+		return Explanation{}, err
+	}
+	if ex.Certificate != nil {
+		ex.Certificate.SpecDigest = s.Digest()
+	}
+	return ex, nil
 }
 
 // ExplainInconsistency diagnoses an inconsistent specification: it
