@@ -2,13 +2,14 @@ GO ?= go
 
 ANALYZERS := bin/analyzers
 
-.PHONY: check build vet test race fmt bench lint bench-journal serve-smoke prove-smoke
+.PHONY: check build vet test race fmt bench lint bench-journal bench-watch serve-smoke prove-smoke
 
 # The full pre-commit gate: formatting, vet (including the custom
 # analyzers and the spec linter), build, the race-enabled test suite,
-# and the end-to-end daemon and prover smoke tests. -short keeps the
-# long soak tests out; run `make test` for the unabridged suite.
-check: fmt vet lint build race serve-smoke prove-smoke
+# the end-to-end daemon and prover smoke tests, and the bench-regression
+# sentinel over the committed journals. -short keeps the long soak
+# tests out; run `make test` for the unabridged suite.
+check: fmt vet lint build race serve-smoke prove-smoke bench-watch
 
 build:
 	$(GO) build ./...
@@ -79,3 +80,11 @@ prove-smoke:
 # alongside the toolchain and VCS revision.
 bench-journal:
 	$(GO) run ./cmd/benchjournal
+
+# bench-watch compares the latest journaled run against the best prior
+# measurement and fails on a >75% ns/op regression or a >10% allocs/op
+# regression. The absolute gate pins the observer-free fig2/library
+# check at 689 allocs/op — the attach-only introspection invariant: a
+# detached publisher and a nil ledger must cost nothing.
+bench-watch:
+	$(GO) run ./cmd/benchwatch -threshold 0.75 -max-allocs 'fig2/library=689'

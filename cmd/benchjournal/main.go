@@ -31,6 +31,7 @@ import (
 	"repro/internal/digest"
 	"repro/internal/dtd"
 	"repro/internal/experiments"
+	"repro/internal/introspect"
 	"repro/internal/obs"
 )
 
@@ -146,6 +147,9 @@ func journalEntry(c benchCase, target time.Duration) (benchjournal.Entry, error)
 	instrOpts := c.opts
 	instrOpts.SkipWitness = true
 	instrOpts.Obs = rec
+	// The ledger attributes the instrumented run's cost to its scope
+	// subproblems; allocation tracking is fine in a batch tool.
+	instrOpts.Ledger = introspect.NewLedger().TrackAllocs()
 	res, err := consistency.Check(c.d, c.set, instrOpts)
 	if err != nil {
 		return benchjournal.Entry{}, err
@@ -168,6 +172,7 @@ func journalEntry(c benchCase, target time.Duration) (benchjournal.Entry, error)
 			Path: sp.Path, DurationUS: sp.DurationUS,
 		})
 	}
+	entry.ScopeCosts = instrOpts.Ledger.Rows()
 
 	// One more instrumented run with the prover enabled, recorded
 	// separately so the baseline phases above stay untouched: only the

@@ -1,0 +1,250 @@
+// Command benchwatch is the bench-regression sentinel: it reads every
+// BENCH_*.json journal in a directory (schema repro-bench/v1), flattens
+// the runs in date order, and compares the latest run's per-benchmark
+// numbers against the best earlier measurement. A ns/op or allocs/op
+// regression beyond the configured thresholds — or an absolute
+// allocs/op gate violation — makes it exit nonzero, so `make check`
+// catches performance regressions the same way it catches test
+// failures.
+//
+// Usage:
+//
+//	benchwatch [-dir .] [-threshold 0.5] [-alloc-threshold 0.1]
+//	           [-max-allocs fig2/library=689] [-v]
+//
+// The baseline for each benchmark is the minimum over all runs before
+// the latest (the best the code has ever measured), which makes the
+// sentinel robust to a noisy single prior run. A journal with a single
+// run has no baseline yet: only the absolute -max-allocs gates apply.
+// Absolute gates compare against the rounded allocs/op, since the
+// MemStats-based measurement carries sub-allocation noise (689.02
+// passes a gate of 689).
+//
+// Exit status: 0 no regression, 1 regression detected, 3 usage or
+// journal-file errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/benchjournal"
+	"repro/internal/cliutil"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// allocGates is the repeatable -max-allocs name=value flag.
+type allocGates map[string]float64
+
+func (g allocGates) String() string {
+	parts := make([]string, 0, len(g))
+	for k, v := range g {
+		parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (g allocGates) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("bad gate value %q: %v", val, err)
+	}
+	g[name] = v
+	return nil
+}
+
+// datedRun pairs a run with its parsed date for sorting across files.
+type datedRun struct {
+	at  time.Time
+	run benchjournal.Run
+}
+
+// loadRuns flattens every BENCH_*.json journal under dir into one
+// date-ordered run sequence.
+func loadRuns(dir string) ([]datedRun, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var runs []datedRun
+	for _, p := range paths {
+		j, err := benchjournal.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range j.Runs {
+			// Validate guarantees the date parses.
+			at, _ := time.Parse(time.RFC3339, r.Date)
+			runs = append(runs, datedRun{at: at, run: r})
+		}
+	}
+	sort.SliceStable(runs, func(i, j int) bool { return runs[i].at.Before(runs[j].at) })
+	return runs, nil
+}
+
+// baseline is the best earlier measurement of one benchmark.
+type baseline struct {
+	nsPerOp     float64
+	allocsPerOp float64
+	phaseUS     map[string]int64
+	runs        int
+}
+
+// baselines folds every run except the latest into per-benchmark
+// minima (phase spans keep the values of the run that had the best
+// ns/op, so phase deltas compare against a coherent run).
+func baselines(prior []datedRun) map[string]*baseline {
+	base := map[string]*baseline{}
+	for _, dr := range prior {
+		for _, e := range dr.run.Entries {
+			b := base[e.Name]
+			if b == nil {
+				b = &baseline{nsPerOp: math.Inf(1), allocsPerOp: math.Inf(1)}
+				base[e.Name] = b
+			}
+			b.runs++
+			if e.NsPerOp < b.nsPerOp {
+				b.nsPerOp = e.NsPerOp
+				b.phaseUS = phaseTotals(e.Phases)
+			}
+			if e.AllocsPerOp < b.allocsPerOp {
+				b.allocsPerOp = e.AllocsPerOp
+			}
+		}
+	}
+	return base
+}
+
+// phaseTotals sums span durations by path (an entry can hold several
+// spans with the same path across its instrumented runs).
+func phaseTotals(phases []benchjournal.Phase) map[string]int64 {
+	out := map[string]int64{}
+	for _, p := range phases {
+		out[p.Path] += p.DurationUS
+	}
+	return out
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchwatch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	gates := allocGates{}
+	var (
+		dir       = fs.String("dir", ".", "directory holding the BENCH_*.json journals")
+		threshold = fs.Float64("threshold", 0.5, "tolerated fractional ns/op regression vs the best prior run")
+		allocTol  = fs.Float64("alloc-threshold", 0.1, "tolerated fractional allocs/op regression vs the best prior run")
+		verbose   = fs.Bool("v", false, "print every comparison, not just regressions")
+		version   = fs.Bool("version", false, "print version information and exit")
+	)
+	fs.Var(gates, "max-allocs", "absolute allocs/op gate as name=value (repeatable); compares the rounded measurement")
+	if err := fs.Parse(args); err != nil {
+		return 3
+	}
+	if *version {
+		fmt.Fprintln(stdout, cliutil.VersionString("benchwatch"))
+		return 0
+	}
+
+	runs, err := loadRuns(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchwatch:", err)
+		return 3
+	}
+	if len(runs) == 0 {
+		fmt.Fprintf(stderr, "benchwatch: no BENCH_*.json journals in %s\n", *dir)
+		return 3
+	}
+
+	latest := runs[len(runs)-1]
+	base := baselines(runs[:len(runs)-1])
+	fmt.Fprintf(stdout, "benchwatch: latest run %s (%d entries), %d prior run(s)\n",
+		latest.run.Date, len(latest.run.Entries), len(runs)-1)
+
+	regressions := 0
+	for _, e := range latest.run.Entries {
+		// Absolute gates apply even without a baseline.
+		if gate, ok := gates[e.Name]; ok {
+			if rounded := math.Round(e.AllocsPerOp); rounded > gate {
+				fmt.Fprintf(stdout, "REGRESSION %-30s allocs/op %.2f (rounded %.0f) exceeds gate %.0f\n",
+					e.Name, e.AllocsPerOp, rounded, gate)
+				regressions++
+			} else if *verbose {
+				fmt.Fprintf(stdout, "ok         %-30s allocs/op %.2f within gate %.0f\n",
+					e.Name, e.AllocsPerOp, gate)
+			}
+		}
+		b := base[e.Name]
+		if b == nil {
+			if *verbose {
+				fmt.Fprintf(stdout, "ok         %-30s no baseline yet (first journaled run)\n", e.Name)
+			}
+			continue
+		}
+		if delta := (e.NsPerOp - b.nsPerOp) / b.nsPerOp; delta > *threshold {
+			fmt.Fprintf(stdout, "REGRESSION %-30s ns/op %.0f vs best %.0f (%+.1f%%, threshold %+.1f%%)\n",
+				e.Name, e.NsPerOp, b.nsPerOp, 100*delta, 100**threshold)
+			regressions++
+		} else if *verbose {
+			fmt.Fprintf(stdout, "ok         %-30s ns/op %.0f vs best %.0f (%+.1f%%)\n",
+				e.Name, e.NsPerOp, b.nsPerOp, 100*delta)
+		}
+		if delta := (e.AllocsPerOp - b.allocsPerOp) / b.allocsPerOp; delta > *allocTol {
+			fmt.Fprintf(stdout, "REGRESSION %-30s allocs/op %.1f vs best %.1f (%+.1f%%, threshold %+.1f%%)\n",
+				e.Name, e.AllocsPerOp, b.allocsPerOp, 100*delta, 100**allocTol)
+			regressions++
+		}
+		// Phase spans are reported, never gated: single instrumented
+		// runs are too noisy to fail the build on, but a large shift is
+		// worth a line in the log.
+		cur := phaseTotals(e.Phases)
+		for _, path := range sortedKeys(cur) {
+			prev, ok := b.phaseUS[path]
+			if !ok || prev < 100 {
+				continue
+			}
+			if delta := float64(cur[path]-prev) / float64(prev); delta > *threshold {
+				fmt.Fprintf(stdout, "note       %-30s phase %s %dµs vs %dµs (%+.1f%%)\n",
+					e.Name, path, cur[path], prev, 100*delta)
+			}
+		}
+	}
+
+	if regressions > 0 {
+		fmt.Fprintf(stdout, "benchwatch: %d regression(s)\n", regressions)
+		return 1
+	}
+	if len(runs) == 1 {
+		fmt.Fprintln(stdout, "benchwatch: single-run journal, no baseline yet — absolute gates only")
+	} else {
+		fmt.Fprintln(stdout, "benchwatch: no regressions")
+	}
+	return 0
+}
+
+// sortedKeys returns a map's keys in sorted order so output is
+// deterministic.
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

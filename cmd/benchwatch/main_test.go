@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/benchjournal"
+)
+
+func entry(name string, ns, allocs float64, phases ...benchjournal.Phase) benchjournal.Entry {
+	return benchjournal.Entry{
+		Name:        name,
+		Iterations:  100,
+		NsPerOp:     ns,
+		AllocsPerOp: allocs,
+		BytesPerOp:  1024,
+		Verdict:     "consistent",
+		Phases:      phases,
+	}
+}
+
+func writeJournal(t *testing.T, path string, runs ...benchjournal.Run) {
+	t.Helper()
+	for _, r := range runs {
+		if err := benchjournal.Append(path, r); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+}
+
+func stampedRun(date string, entries ...benchjournal.Entry) benchjournal.Run {
+	return benchjournal.Run{
+		Date:      date,
+		Module:    "repro",
+		Version:   "(devel)",
+		GoVersion: "go1.24.0",
+		Revision:  "feedface",
+		Seed:      2002,
+		Entries:   entries,
+	}
+}
+
+func runWatch(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String() + errb.String()
+}
+
+// TestRegressionExitsNonzero is the sentinel's acceptance test: a
+// journal whose latest run regressed ns/op beyond the threshold must
+// fail the watch.
+func TestRegressionExitsNonzero(t *testing.T) {
+	dir := t.TempDir()
+	writeJournal(t, filepath.Join(dir, "BENCH_2026-08-01.json"),
+		stampedRun("2026-08-01T10:00:00Z", entry("fig2/library", 100_000, 700)))
+	writeJournal(t, filepath.Join(dir, "BENCH_2026-08-02.json"),
+		stampedRun("2026-08-02T10:00:00Z", entry("fig2/library", 250_000, 700)))
+
+	code, out := runWatch(t, "-dir", dir, "-threshold", "0.5")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "fig2/library") {
+		t.Errorf("output missing regression line:\n%s", out)
+	}
+}
+
+// TestWithinThresholdPasses: the same delta under a looser threshold
+// is not a regression.
+func TestWithinThresholdPasses(t *testing.T) {
+	dir := t.TempDir()
+	writeJournal(t, filepath.Join(dir, "BENCH_2026-08-01.json"),
+		stampedRun("2026-08-01T10:00:00Z", entry("fig2/library", 100_000, 700)))
+	writeJournal(t, filepath.Join(dir, "BENCH_2026-08-02.json"),
+		stampedRun("2026-08-02T10:00:00Z", entry("fig2/library", 120_000, 700)))
+
+	code, out := runWatch(t, "-dir", dir, "-threshold", "0.5")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+}
+
+// TestAllocRegression: allocs/op regressions gate independently of
+// ns/op.
+func TestAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	writeJournal(t, filepath.Join(dir, "BENCH_2026-08-01.json"),
+		stampedRun("2026-08-01T10:00:00Z", entry("fig2/library", 100_000, 700)))
+	writeJournal(t, filepath.Join(dir, "BENCH_2026-08-02.json"),
+		stampedRun("2026-08-02T10:00:00Z", entry("fig2/library", 100_000, 900)))
+
+	code, out := runWatch(t, "-dir", dir, "-alloc-threshold", "0.1")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "allocs/op") {
+		t.Errorf("output missing alloc regression:\n%s", out)
+	}
+}
+
+// TestSingleRunJournalPasses: one run means no baseline; the sentinel
+// must stay green so it can be wired into make check from day one.
+func TestSingleRunJournalPasses(t *testing.T) {
+	dir := t.TempDir()
+	writeJournal(t, filepath.Join(dir, "BENCH_2026-08-01.json"),
+		stampedRun("2026-08-01T10:00:00Z", entry("fig2/library", 100_000, 689.025)))
+
+	code, out := runWatch(t, "-dir", dir)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "no baseline yet") {
+		t.Errorf("output missing single-run notice:\n%s", out)
+	}
+}
+
+// TestMaxAllocsGate: the absolute gate applies even without a
+// baseline, and compares the rounded measurement so MemStats noise
+// (689.025 against a gate of 689) does not fail the build.
+func TestMaxAllocsGate(t *testing.T) {
+	dir := t.TempDir()
+	writeJournal(t, filepath.Join(dir, "BENCH_2026-08-01.json"),
+		stampedRun("2026-08-01T10:00:00Z", entry("fig2/library", 100_000, 689.025)))
+
+	code, out := runWatch(t, "-dir", dir, "-max-allocs", "fig2/library=689")
+	if code != 0 {
+		t.Fatalf("rounded gate: exit = %d, want 0\n%s", code, out)
+	}
+
+	code, out = runWatch(t, "-dir", dir, "-max-allocs", "fig2/library=650")
+	if code != 1 {
+		t.Fatalf("violated gate: exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "exceeds gate") {
+		t.Errorf("output missing gate violation:\n%s", out)
+	}
+}
+
+// TestPhaseShiftIsNoteNotFailure: a large phase-span shift alone is
+// reported but never fails the watch.
+func TestPhaseShiftIsNoteNotFailure(t *testing.T) {
+	dir := t.TempDir()
+	writeJournal(t, filepath.Join(dir, "BENCH_2026-08-01.json"),
+		stampedRun("2026-08-01T10:00:00Z",
+			entry("fig2/library", 100_000, 700, benchjournal.Phase{Path: "consistency.check/ilp.solve", DurationUS: 500})))
+	writeJournal(t, filepath.Join(dir, "BENCH_2026-08-02.json"),
+		stampedRun("2026-08-02T10:00:00Z",
+			entry("fig2/library", 110_000, 700, benchjournal.Phase{Path: "consistency.check/ilp.solve", DurationUS: 5000})))
+
+	code, out := runWatch(t, "-dir", dir, "-threshold", "0.5")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "note") || !strings.Contains(out, "ilp.solve") {
+		t.Errorf("output missing phase note:\n%s", out)
+	}
+}
+
+// TestEmptyDirErrors: no journals is a usage error, not a silent pass.
+func TestEmptyDirErrors(t *testing.T) {
+	code, out := runWatch(t, "-dir", t.TempDir())
+	if code != 3 {
+		t.Fatalf("exit = %d, want 3\n%s", code, out)
+	}
+}

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	xmlconsist -dtd schema.dtd -constraints keys.txt [-witness] [-min-witness]
-//	           [-explain] [-implies "c.z ⊆ a.x"] [-trace-out trace.json]
+//	           [-explain] [-attribution] [-implies "c.z ⊆ a.x"]
+//	           [-trace-out trace.json]
 //
 // Machine-readable side channels never share stdout with the human
 // report: -metrics writes JSON lines to stderr and -trace-out writes a
@@ -63,6 +64,41 @@ func printDerivation(stdout io.Writer, spec *xmlspec.Spec, ex *xmlspec.Explanati
 	}
 }
 
+// printAttribution renders the per-scope cost ledger and its
+// per-family aggregate as text tables, most expensive first, with each
+// row's share of the attributed wall time.
+func printAttribution(stdout io.Writer, rows []xmlspec.ScopeCost) {
+	if len(rows) == 0 {
+		fmt.Fprintln(stdout, "cost attribution: no scope subproblems ran (the check was settled before the solver)")
+		return
+	}
+	total := int64(0)
+	for _, r := range rows {
+		total += r.ElapsedUS
+	}
+	fmt.Fprintf(stdout, "cost attribution (%d scopes, %d µs attributed):\n", len(rows), total)
+	fmt.Fprintf(stdout, "  %-32s %-8s %8s %6s %9s %7s %7s %7s %6s\n",
+		"scope", "verdict", "µs", "share", "allocs", "nodes", "pivots", "branch", "cuts")
+	for _, r := range rows {
+		share := 0.0
+		if total > 0 {
+			share = float64(r.ElapsedUS) / float64(total)
+		}
+		key := r.Key
+		if len(key) > 32 {
+			key = key[:29] + "..."
+		}
+		fmt.Fprintf(stdout, "  %-32s %-8s %8d %5.1f%% %9d %7d %7d %7d %6d\n",
+			key, r.Verdict, r.ElapsedUS, 100*share, r.Allocs, r.Nodes, r.Pivots, r.Branches, r.Cuts)
+	}
+	fams := xmlspec.CostByFamily(rows)
+	fmt.Fprintln(stdout, "by constraint family:")
+	fmt.Fprintf(stdout, "  %-24s %6s %8s %7s %7s\n", "family", "scopes", "µs", "nodes", "pivots")
+	for _, f := range fams {
+		fmt.Fprintf(stdout, "  %-24s %6d %8d %7d %7d\n", f.Family, f.Scopes, f.ElapsedUS, f.Nodes, f.Pivots)
+	}
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("xmlconsist", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -72,6 +108,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		witness     = fs.Bool("witness", false, "print a witness document when consistent")
 		minWitness  = fs.Bool("min-witness", false, "shrink the witness to the fewest elements (slower)")
 		explain     = fs.Bool("explain", false, "on inconsistency, print a minimal conflicting constraint subset")
+		attribution = fs.Bool("attribution", false, "print the per-scope cost table: time, allocations, and solver effort per scope subproblem and constraint family")
 		implies     = fs.String("implies", "", "also check whether the specification implies this constraint")
 		searchNodes = fs.Int("search-nodes", 6, "node bound for the fallback search on undecidable dialects")
 		maxNodes    = fs.Int("solver-nodes", 0, "integer-solver node budget (0 = default)")
@@ -165,6 +202,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		SearchNodes:     *searchNodes,
 		MaxSolverNodes:  *maxNodes,
 		Explain:         *explain,
+		// Allocation tracking is fine here: a batch CLI accepts the two
+		// ReadMemStats stop-the-worlds per scope that a daemon cannot.
+		Attribution:       *attribution,
+		AttributionAllocs: *attribution,
 	}
 	res, err := spec.Consistent(&checkOpts)
 	if err != nil {
@@ -219,6 +260,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			ImpliesVerdict   string               `json:"impliesVerdict,omitempty"`
 			Counterexample   string               `json:"counterexample,omitempty"`
 			SolverNodes      int                  `json:"solverNodes"`
+			Attribution      []xmlspec.ScopeCost  `json:"attribution,omitempty"`
+			FamilyCosts      []xmlspec.FamilyCost `json:"familyCosts,omitempty"`
 		}
 		rep := report{
 			Class:            spec.Class(),
@@ -230,6 +273,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			MinimalCore:      core,
 			Lint:             lint,
 			SolverNodes:      res.Stats.SolverNodes,
+		}
+		if *attribution {
+			rep.Attribution = res.Attribution
+			rep.FamilyCosts = xmlspec.CostByFamily(res.Attribution)
 		}
 		if explanation != nil {
 			rep.CoreIndices = explanation.Core
@@ -287,6 +334,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stdout, "counterexample document:")
 				fmt.Fprint(stdout, impliesRes.Counterexample)
 			}
+		}
+		if *attribution {
+			printAttribution(stdout, res.Attribution)
 		}
 	}
 

@@ -20,6 +20,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/introspect"
 )
 
 // Event is one audited check. It is written as a single JSON line and
@@ -52,6 +54,10 @@ type Event struct {
 	// Phases are the check's per-phase span durations (slash-joined
 	// paths, as in traces and the benchmark journal).
 	Phases []Phase `json:"phases,omitempty"`
+	// ScopeCosts attributes the check's cost to its scope subproblems
+	// (repro-bench/v1 rows, capped by the recorder so a pathological
+	// spec cannot bloat the log line). Additive: absent in old logs.
+	ScopeCosts []introspect.ScopeCost `json:"scope_costs,omitempty"`
 }
 
 // Phase is one span of the audited check.

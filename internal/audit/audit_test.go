@@ -184,6 +184,74 @@ func TestHotTableBounded(t *testing.T) {
 	}
 }
 
+// TestConcurrentRotation hammers a file-backed log from several
+// writers with MaxBytes tuned so the size threshold is crossed exactly
+// once mid-run: rotation must happen under contention without losing a
+// single event. Every recorded request ID must be found in exactly one
+// of the two files (rotation keeps one previous file, so a lost event
+// or a double rotation both fail the accounting).
+func TestConcurrentRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "audit.jsonl")
+	// Each line is ~230 bytes; 8 writers × 25 events ≈ 46 kB, so a
+	// 30 kB cap rotates once (~event 130) and the ~16 kB remainder
+	// stays under it.
+	l, err := New(Options{Path: path, MaxBytes: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 25
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				l.Record(Event{
+					RequestID:  fmt.Sprintf("g%02d-%04d", g, i),
+					SpecDigest: "spec-0123456789abcdef",
+					Verdict:    "consistent",
+					Status:     200,
+					ElapsedUS:  int64(100 + i),
+					Phases:     []Phase{{Path: "server.check", DurationUS: int64(90 + i)}},
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	if _, err := os.Stat(path + ".1"); err != nil {
+		t.Fatalf("no rotated file after crossing MaxBytes: %v", err)
+	}
+	seen := make(map[string]int)
+	for _, p := range []string{path + ".1", path} {
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			var ev Event
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				t.Fatalf("%s: unparsable line %q: %v", p, sc.Text(), err)
+			}
+			seen[ev.RequestID]++
+		}
+		f.Close()
+	}
+	if len(seen) != writers*perWriter {
+		t.Fatalf("found %d distinct events across rotation, want %d", len(seen), writers*perWriter)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("event %s written %d times, want once", id, n)
+		}
+	}
+}
+
 func TestConcurrentRecord(t *testing.T) {
 	l, err := New(Options{RingSize: 32})
 	if err != nil {

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"os"
 	"time"
+
+	"repro/internal/introspect"
 )
 
 // Schema identifies the journal file format. Bump the suffix on any
@@ -66,6 +68,11 @@ type Entry struct {
 	CertificateKind string  `json:"certificate_kind,omitempty"`
 	CertificateSize int     `json:"certificate_size,omitempty"`
 	Phases          []Phase `json:"phases,omitempty"`
+	// ScopeCosts is the instrumented run's per-scope cost ledger
+	// (internal/introspect): where the case's wall time, allocations,
+	// and solver effort went. Additive in repro-bench/v1: entries
+	// written by older builds simply lack it.
+	ScopeCosts []introspect.ScopeCost `json:"scope_costs,omitempty"`
 }
 
 // Phase is one span from the instrumented run, identified by its

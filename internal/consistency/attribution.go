@@ -1,0 +1,113 @@
+package consistency
+
+import (
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/constraint"
+	"repro/internal/ilp"
+	"repro/internal/introspect"
+)
+
+// costProbe measures one solved subproblem — a hierarchical scope or
+// the whole document — for the attached cost ledger. A probe begun on
+// a detached ledger is inert: beginProbe reads no clock and record
+// does nothing, so un-attributed checks pay one nil check per
+// subproblem.
+type costProbe struct {
+	led     *introspect.Ledger
+	start   time.Time
+	mallocs uint64
+}
+
+// beginProbe starts measuring. The heap-allocation counter is read
+// only when the ledger asks for it (runtime.ReadMemStats briefly
+// stops the world, which time-only attribution should not pay).
+func beginProbe(led *introspect.Ledger) costProbe {
+	if !led.Enabled() {
+		return costProbe{}
+	}
+	p := costProbe{led: led, start: time.Now()}
+	if led.TracksAllocs() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		p.mallocs = ms.Mallocs
+	}
+	return p
+}
+
+// record appends the subproblem's cost row: its identity, verdict
+// contribution, wall time since beginProbe, solver effort, and the
+// constraint families of its local set.
+func (p costProbe) record(key, tau string, verdict ilp.Verdict, st ilp.Stats, cuts int, set *constraint.Set) {
+	if p.led == nil {
+		return
+	}
+	row := introspect.ScopeCost{
+		Key:          key,
+		Type:         tau,
+		Verdict:      verdict.String(),
+		ElapsedUS:    time.Since(p.start).Microseconds(),
+		Nodes:        st.Nodes,
+		LPCalls:      st.LPCalls,
+		Pivots:       st.Pivots,
+		Branches:     st.Branches,
+		Propagations: st.PropPasses,
+		Cuts:         cuts,
+		Families:     familyTags(set),
+	}
+	if p.led.TracksAllocs() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		row.Allocs = ms.Mallocs - p.mallocs
+	}
+	p.led.Record(row)
+}
+
+// familyTags classifies a constraint set into the families the cost
+// tables aggregate by: absolute vs relative keys and foreign keys,
+// regular-path constraints, multi-attribute targets. The result is
+// sorted and duplicate-free; nil for an empty set.
+func familyTags(set *constraint.Set) []string {
+	if set == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	add := func(f string) { seen[f] = true }
+	for _, k := range set.Keys {
+		switch {
+		case k.Target.Path != nil:
+			add("regular")
+		case k.Context != "":
+			add("relative-key")
+		default:
+			add("key")
+		}
+		if len(k.Target.Attrs) > 1 {
+			add("multi-attribute")
+		}
+	}
+	for _, c := range set.Incls {
+		switch {
+		case c.From.Path != nil || c.To.Path != nil:
+			add("regular")
+		case c.Context != "":
+			add("relative-foreign-key")
+		default:
+			add("foreign-key")
+		}
+		if len(c.From.Attrs) > 1 || len(c.To.Attrs) > 1 {
+			add("multi-attribute")
+		}
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}

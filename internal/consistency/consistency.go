@@ -37,6 +37,7 @@ import (
 	"repro/internal/constraint"
 	"repro/internal/dtd"
 	"repro/internal/ilp"
+	"repro/internal/introspect"
 	"repro/internal/obs"
 	"repro/internal/prover"
 	"repro/internal/speclint"
@@ -107,6 +108,17 @@ type Options struct {
 	// whose context fires returns an *AbortError instead of a verdict.
 	// CheckContext sets it; a nil Ctx costs nothing.
 	Ctx context.Context
+	// Progress, when non-nil, receives live introspection: the
+	// dispatcher marks the pipeline phase and scope position, and the
+	// ILP search (which inherits the publisher) samples full search
+	// snapshots through it. nil costs one nil check per phase change.
+	Progress *introspect.Publisher
+	// Ledger, when non-nil, collects per-subproblem cost rows (time,
+	// solver effort, verdict contribution, constraint families): one
+	// row per hierarchical scope on the relative route, one "document"
+	// row elsewhere. Check copies the rows into Result.Attribution.
+	// nil costs one nil check per subproblem.
+	Ledger *introspect.Ledger
 }
 
 func (o Options) withDefaults() Options {
@@ -128,6 +140,9 @@ func (o Options) withDefaults() Options {
 		if o.BruteForce.Ctx == nil {
 			o.BruteForce.Ctx = o.Ctx
 		}
+	}
+	if o.Progress != nil && o.ILP.Progress == nil {
+		o.ILP.Progress = o.Progress
 	}
 	return o
 }
@@ -231,6 +246,10 @@ type Result struct {
 	// exists, e.g. inexact scope encodings). It verifies with
 	// certificate.Verify without re-running any solver.
 	Certificate *certificate.Certificate
+	// Attribution is the per-subproblem cost ledger, sorted by
+	// descending elapsed time — only when Options.Ledger was attached,
+	// nil otherwise.
+	Attribution []introspect.ScopeCost
 	Stats       Stats
 }
 
@@ -249,6 +268,9 @@ func Check(d *dtd.DTD, set *constraint.Set, opts Options) (Result, error) {
 	res, err := dispatch(d, set, opts)
 	if err != nil {
 		return res, err
+	}
+	if opts.Ledger.Enabled() {
+		res.Attribution = opts.Ledger.Rows()
 	}
 	// A fired context invalidates the outcome even when a procedure
 	// happened to finish: the caller asked for an abort, and a verdict
@@ -285,6 +307,7 @@ func dispatch(d *dtd.DTD, set *constraint.Set, opts Options) (Result, error) {
 	res := Result{Class: prof.ClassName()}
 
 	if !opts.SkipLint {
+		opts.Progress.SetPhase("lint")
 		rep := speclint.PrepassValidated(d, set, opts.Obs)
 		res.Stats.LintFindings = len(rep.Diags)
 		if diag := rep.SoundError(); diag != nil {
@@ -303,6 +326,7 @@ func dispatch(d *dtd.DTD, set *constraint.Set, opts Options) (Result, error) {
 	}
 
 	if opts.Explain {
+		opts.Progress.SetPhase("prover")
 		psp := opts.Obs.Start("prover")
 		out := prover.Saturate(d, set)
 		res.Stats.ProverFacts = out.Facts
@@ -330,13 +354,17 @@ func dispatch(d *dtd.DTD, set *constraint.Set, opts Options) (Result, error) {
 	switch {
 	case prof.Relative:
 		route(opts.Obs, "relative")
+		opts.Progress.SetPhase("relative")
 		checkRelative(d, set, opts, &res)
 	case len(set.Incls) == 0 && !prof.Regular:
 		// SAT(AC_K): keys alone never conflict; only the DTD matters.
 		route(opts.Obs, "keys-only")
+		opts.Progress.SetPhase("keys-only")
 		kp := opts.Obs.Start("route.keys_only")
 		res.Method = "keys-only (PTIME, Section 3.3)"
+		probe := beginProbe(opts.Ledger)
 		if d.Satisfiable() {
+			probe.record("document", d.Root, ilp.Sat, ilp.Stats{}, 0, set)
 			res.conclude(Consistent, dtdSatCert(opts))
 			if !opts.SkipWitness {
 				wsp := opts.Obs.Start("witness")
@@ -344,15 +372,18 @@ func dispatch(d *dtd.DTD, set *constraint.Set, opts Options) (Result, error) {
 				wsp.End()
 			}
 		} else {
+			probe.record("document", d.Root, ilp.Unsat, ilp.Stats{}, 0, set)
 			res.conclude(Inconsistent, dtdUnsatCert(opts))
 			kp.SetString("early_exit", "DTD unsatisfiable")
 		}
 		kp.End()
 	case prof.Regular:
 		route(opts.Obs, "regular")
+		opts.Progress.SetPhase("regular")
 		checkRegular(d, set, opts, &res)
 	default:
 		route(opts.Obs, "absolute")
+		opts.Progress.SetPhase("absolute")
 		checkAbsolute(d, set, prof, opts, &res)
 	}
 	if sp != nil {
@@ -390,6 +421,7 @@ func (s Stats) record(rec *obs.Recorder) {
 func checkAbsolute(d *dtd.DTD, set *constraint.Set, prof constraint.Profile, opts Options, res *Result) {
 	sp := opts.Obs.Start("route.absolute")
 	defer sp.End()
+	probe := beginProbe(opts.Ledger)
 	esp := opts.Obs.Start("encode.absolute")
 	enc, err := cardinality.EncodeAbsolute(d, set)
 	esp.End()
@@ -406,6 +438,7 @@ func checkAbsolute(d *dtd.DTD, set *constraint.Set, prof constraint.Profile, opt
 		sp.SetString("exactness", "refutation-sound relaxation")
 	}
 	ilpRes, cuts := decideFlow(enc.Flow, opts)
+	probe.record("document", d.Root, ilpRes.Verdict, ilpRes.Stats, cuts, set)
 	res.Stats.addILP(ilpRes.Stats)
 	res.Stats.Cuts += cuts
 	switch ilpRes.Verdict {
@@ -458,6 +491,7 @@ func checkAbsolute(d *dtd.DTD, set *constraint.Set, prof constraint.Profile, opt
 func checkRegular(d *dtd.DTD, set *constraint.Set, opts Options, res *Result) {
 	sp := opts.Obs.Start("route.regular")
 	defer sp.End()
+	probe := beginProbe(opts.Ledger)
 	esp := opts.Obs.Start("encode.regular")
 	enc, err := cardinality.EncodeRegular(d, set)
 	esp.End()
@@ -473,6 +507,7 @@ func checkRegular(d *dtd.DTD, set *constraint.Set, opts Options, res *Result) {
 	}
 	res.Method = "state-tagged cell encoding (Theorem 3.4)"
 	ilpRes, cuts := decideFlow(enc.Flow, opts)
+	probe.record("document", d.Root, ilpRes.Verdict, ilpRes.Stats, cuts, set)
 	res.Stats.addILP(ilpRes.Stats)
 	res.Stats.Cuts += cuts
 	switch ilpRes.Verdict {

@@ -161,9 +161,17 @@ func (h *hierChecker) scope(chain map[string]bool, tau string) hierScope {
 		}
 	}
 
+	// The probe starts after the exit recursion, so a parent scope's
+	// row covers its own encode+solve only — children account for
+	// themselves and the ledger's total stays the real wall time. The
+	// live scope position is published here too: the exits above moved
+	// it, so re-mark this scope before its solve runs.
+	h.opts.Progress.SetScope(len(h.memo), key)
+	probe := beginProbe(h.opts.Ledger)
 	local, forceZero := scope.LocalSet(h.d, sd, h.set, chain, tau)
 	enc, err := cardinality.EncodeAbsolute(sd, local)
 	if err != nil {
+		probe.record(key, tau, ilp.Unknown, ilp.Stats{}, 0, local)
 		h.memo[key] = hierScope{verdict: ilp.Unknown}
 		return h.memo[key]
 	}
@@ -185,6 +193,7 @@ func (h *hierChecker) scope(chain map[string]bool, tau string) hierScope {
 	ilpRes, cuts := decideFlow(enc.Flow, h.opts)
 	h.stats.addILP(ilpRes.Stats)
 	h.stats.Cuts += cuts
+	scopeStats, scopeCuts := ilpRes.Stats, cuts
 	out := hierScope{
 		verdict: ilpRes.Verdict,
 		enc:     enc,
@@ -209,6 +218,8 @@ func (h *hierChecker) scope(chain map[string]bool, tau string) hierScope {
 		retry, cuts2 := cardinality.DecideFlow(enc.Flow, h.opts.ILP)
 		h.stats.addILP(retry.Stats)
 		h.stats.Cuts += cuts2
+		scopeStats.Merge(retry.Stats)
+		scopeCuts += cuts2
 		if retry.Verdict == ilp.Sat {
 			out.vals = retry.Values
 		} else {
@@ -216,6 +227,7 @@ func (h *hierChecker) scope(chain map[string]bool, tau string) hierScope {
 			out.vals = nil
 		}
 	}
+	probe.record(key, tau, out.verdict, scopeStats, scopeCuts, local)
 	h.memo[key] = out
 	return out
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/big"
 
+	"repro/internal/introspect"
 	"repro/internal/obs"
 )
 
@@ -74,6 +75,13 @@ type Options struct {
 	// Canceled set and an Unknown verdict when it fires. A nil Ctx
 	// costs nothing on the hot path.
 	Ctx context.Context
+	// Progress, when non-nil, receives sampled live snapshots of the
+	// search (every progressMask+1 nodes, after each simplex call, and
+	// once at the end of every solve) through the publisher's atomic
+	// pointer. The search-shaped fields describe the current solve;
+	// Progress.Restarts counts how many solves this publisher has
+	// seen. A nil Progress costs one pointer check per node.
+	Progress *introspect.Publisher
 }
 
 // ctxPollMask spaces the cancellation polls: the search checks
@@ -85,6 +93,14 @@ const ctxPollMask = 0xff
 // lpActivationNodes is the LPAuto threshold: below it the search runs
 // on propagation alone.
 const lpActivationNodes = 2000
+
+// progressMask spaces the live-progress samples the same way
+// ctxPollMask spaces cancellation polls: a snapshot publishes whenever
+// Nodes&progressMask == 0, i.e. every 512 nodes — frequent enough
+// that an in-flight view refreshes many times per second on hard
+// instances, rare enough that the atomic store never shows up in
+// profiles.
+const progressMask = 0x1ff
 
 func (o Options) withDefaults() Options {
 	if o.MaxValue == 0 {
@@ -171,6 +187,7 @@ func Solve(s *System, opts Options) Result {
 	if opts.Ctx != nil {
 		sv.done = opts.Ctx.Done()
 	}
+	opts.Progress.Restart()
 	sp := opts.Obs.Start("ilp.solve")
 	if sp != nil {
 		sp.SetInt("vars", int64(n))
@@ -207,8 +224,45 @@ func Solve(s *System, opts Options) Result {
 		opts.Obs.Observe("ilp.nodes_per_solve", int64(sv.stats.Nodes))
 		opts.Obs.Observe("ilp.depth_per_solve", int64(sv.stats.MaxDepth))
 	}
+	if opts.Progress != nil {
+		// Final snapshot: the solve's ending tallies, with the root
+		// bounds the search started from.
+		sv.publishProgress(lo, hi, 0)
+	}
 	sp.End()
 	return res
+}
+
+// publishProgress stores a live snapshot through the attached
+// publisher and, when the recorder has an event ring, appends counter
+// samples so trace exports grow nodes/pivots tracks over time. Only
+// called with a non-nil Options.Progress.
+func (sv *solver) publishProgress(lo, hi []int64, depth int) {
+	var boundLo, boundHi int64
+	unbounded := false
+	for i := range lo {
+		boundLo += lo[i]
+		if hi[i] == noBound {
+			unbounded = true
+		} else if !unbounded {
+			boundHi += hi[i]
+		}
+	}
+	if unbounded {
+		boundHi = -1
+	}
+	sv.opts.Progress.Publish(introspect.Progress{
+		Nodes:    sv.stats.Nodes,
+		Depth:    depth,
+		MaxDepth: sv.stats.MaxDepth,
+		Branches: sv.stats.Branches,
+		LPCalls:  sv.stats.LPCalls,
+		Pivots:   sv.stats.Pivots,
+		BoundLo:  boundLo,
+		BoundHi:  boundHi,
+	})
+	sv.opts.Obs.Sample("ilp.nodes", int64(sv.stats.Nodes))
+	sv.opts.Obs.Sample("ilp.pivots", int64(sv.stats.Pivots))
 }
 
 type solver struct {
@@ -227,6 +281,9 @@ func (sv *solver) search(lo, hi []int64, depth int) (Verdict, []int64) {
 	sv.stats.Nodes++
 	if depth > sv.stats.MaxDepth {
 		sv.stats.MaxDepth = depth
+	}
+	if sv.opts.Progress != nil && sv.stats.Nodes&progressMask == 0 {
+		sv.publishProgress(lo, hi, depth)
 	}
 	if sv.stats.Nodes > sv.opts.MaxNodes {
 		sv.tainted = true
@@ -267,6 +324,11 @@ func (sv *solver) search(lo, hi []int64, depth int) (Verdict, []int64) {
 	var point []*big.Rat
 	if sv.lpWanted(depth) {
 		feasible, pt := sv.lpCheck(lo, hi)
+		if sv.opts.Progress != nil {
+			// Publish after every simplex call so pivot counts surface
+			// promptly even when the node cadence hasn't fired.
+			sv.publishProgress(lo, hi, depth)
+		}
 		if !feasible {
 			return Unsat, nil
 		}

@@ -1,0 +1,163 @@
+package introspect
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestNilPublisherAndLedgerNoOp(t *testing.T) {
+	var p *Publisher
+	p.SetPhase("lint")
+	p.SetScope(1, "k")
+	p.Restart()
+	p.Publish(Progress{Nodes: 10})
+	if _, ok := p.Snapshot(); ok {
+		t.Fatal("nil publisher: Snapshot ok = true, want false")
+	}
+	var l *Ledger
+	l.Record(ScopeCost{Key: "document"})
+	if l.Enabled() {
+		t.Fatal("nil ledger reports Enabled")
+	}
+	if got := l.Rows(); got != nil {
+		t.Fatalf("nil ledger Rows = %v, want nil", got)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("nil ledger Len = %d", l.Len())
+	}
+}
+
+func TestPublishStampsLocationAndRestarts(t *testing.T) {
+	p := NewPublisher()
+	p.SetPhase("relative")
+	p.SetScope(2, "{db}|country")
+	p.Restart()
+	p.Restart()
+	p.Publish(Progress{Nodes: 512, Depth: 7, MaxDepth: 9, Pivots: 3, BoundLo: 4, BoundHi: 40})
+	pr, ok := p.Snapshot()
+	if !ok {
+		t.Fatal("Snapshot not ok on live publisher")
+	}
+	if pr.Phase != "relative" || pr.ScopeIndex != 2 || pr.ScopeKey != "{db}|country" {
+		t.Fatalf("location not stamped: %+v", pr)
+	}
+	if pr.Nodes != 512 || pr.Restarts != 2 || pr.BoundHi != 40 {
+		t.Fatalf("snapshot fields wrong: %+v", pr)
+	}
+	if pr.ElapsedUS < 0 {
+		t.Fatalf("negative elapsed: %d", pr.ElapsedUS)
+	}
+	// SetPhase must preserve the scope position and vice versa.
+	p.SetPhase("witness")
+	p.SetScope(3, "{db}|province")
+	p.Publish(Progress{Nodes: 600})
+	pr, _ = p.Snapshot()
+	if pr.Phase != "witness" || pr.ScopeIndex != 3 {
+		t.Fatalf("phase/scope not preserved across partial updates: %+v", pr)
+	}
+}
+
+func TestSnapshotBeforeFirstPublish(t *testing.T) {
+	p := NewPublisher()
+	p.SetPhase("lint")
+	pr, ok := p.Snapshot()
+	if !ok {
+		t.Fatal("Snapshot not ok before first Publish")
+	}
+	if pr.Phase != "lint" || pr.Nodes != 0 {
+		t.Fatalf("synthesized snapshot wrong: %+v", pr)
+	}
+}
+
+// TestConcurrentPublishSnapshot drives writers and readers together;
+// under -race this proves the publisher is safe without locks.
+func TestConcurrentPublishSnapshot(t *testing.T) {
+	p := NewPublisher()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				p.SetScope(i, "k")
+				p.Publish(Progress{Nodes: i, Pivots: w})
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if pr, ok := p.Snapshot(); !ok || pr.Nodes < 0 {
+					t.Error("bad snapshot")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestLedgerRowsSortedByElapsed(t *testing.T) {
+	l := NewLedger()
+	l.Record(ScopeCost{Key: "b", ElapsedUS: 10})
+	l.Record(ScopeCost{Key: "a", ElapsedUS: 30})
+	l.Record(ScopeCost{Key: "c", ElapsedUS: 10})
+	rows := l.Rows()
+	got := []string{rows[0].Key, rows[1].Key, rows[2].Key}
+	want := []string{"a", "b", "c"} // 30 first, then the 10µs tie by key
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("row order = %v, want %v", got, want)
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	if TotalElapsedUS(rows) != 50 {
+		t.Fatalf("TotalElapsedUS = %d, want 50", TotalElapsedUS(rows))
+	}
+}
+
+func TestByFamilyAggregation(t *testing.T) {
+	rows := []ScopeCost{
+		{Key: "s1", ElapsedUS: 100, Nodes: 10, Pivots: 2, Families: []string{"key", "foreign-key"}},
+		{Key: "s2", ElapsedUS: 50, Nodes: 5, Families: []string{"key"}},
+		{Key: "s3", ElapsedUS: 7, Nodes: 1},
+	}
+	fams := ByFamily(rows)
+	byName := map[string]FamilyCost{}
+	for _, f := range fams {
+		byName[f.Family] = f
+	}
+	if f := byName["key"]; f.Scopes != 2 || f.ElapsedUS != 150 || f.Nodes != 15 {
+		t.Fatalf("key family = %+v", f)
+	}
+	if f := byName["foreign-key"]; f.Scopes != 1 || f.Pivots != 2 {
+		t.Fatalf("foreign-key family = %+v", f)
+	}
+	if f := byName["(unconstrained)"]; f.Scopes != 1 || f.ElapsedUS != 7 {
+		t.Fatalf("unconstrained bucket = %+v", f)
+	}
+	if fams[0].Family != "key" {
+		t.Fatalf("families not sorted by elapsed: %v", fams)
+	}
+}
+
+func TestConcurrentLedgerRecord(t *testing.T) {
+	l := NewLedger()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Record(ScopeCost{Key: "k", ElapsedUS: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", l.Len())
+	}
+}

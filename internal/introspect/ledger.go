@@ -1,0 +1,169 @@
+package introspect
+
+import (
+	"sort"
+	"sync"
+)
+
+// ScopeCost is one row of the cost ledger: what a single solved
+// subproblem — a hierarchical scope, or the whole document on the
+// non-relative routes — cost, and what it contributed to the verdict.
+type ScopeCost struct {
+	// Key identifies the subproblem: a scope chain key on the relative
+	// route ("{library}|book"), "document" elsewhere.
+	Key string `json:"key"`
+	// Type is the scope's root element type.
+	Type string `json:"type,omitempty"`
+	// Verdict is the subproblem's solver outcome ("sat", "unsat",
+	// "unknown") — its contribution to the overall verdict.
+	Verdict string `json:"verdict,omitempty"`
+	// ElapsedUS is the wall time the subproblem's encode+solve took.
+	ElapsedUS int64 `json:"elapsed_us"`
+	// Allocs is the number of heap allocations during the subproblem
+	// (0 when allocation tracking was off).
+	Allocs uint64 `json:"allocs,omitempty"`
+	// Nodes, LPCalls, Pivots, Branches, Propagations are the solver
+	// effort spent on this subproblem; Cuts the connectivity cutting
+	// planes it needed.
+	Nodes        int `json:"nodes"`
+	LPCalls      int `json:"lp_calls,omitempty"`
+	Pivots       int `json:"pivots,omitempty"`
+	Branches     int `json:"branches,omitempty"`
+	Propagations int `json:"propagations,omitempty"`
+	Cuts         int `json:"cuts,omitempty"`
+	// Families tags the constraint families present in the
+	// subproblem's local constraint set (sorted): "key",
+	// "relative-key", "foreign-key", "relative-foreign-key",
+	// "regular", "multi-attribute".
+	Families []string `json:"families,omitempty"`
+}
+
+// FamilyCost aggregates ledger rows by constraint family. A row with
+// several families contributes to each (costs are attributed, not
+// partitioned), and a row with none lands under "(unconstrained)".
+type FamilyCost struct {
+	Family    string `json:"family"`
+	Scopes    int    `json:"scopes"`
+	ElapsedUS int64  `json:"elapsed_us"`
+	Nodes     int    `json:"nodes"`
+	Pivots    int    `json:"pivots"`
+}
+
+// Ledger collects ScopeCost rows for one check. A nil *Ledger is the
+// canonical detached ledger: Record no-ops, so un-attributed checks
+// pay one nil check per subproblem and allocate nothing. All methods
+// are safe for concurrent use on a non-nil ledger.
+type Ledger struct {
+	mu     sync.Mutex
+	rows   []ScopeCost
+	allocs bool
+}
+
+// NewLedger returns an attached, empty ledger. Rows carry time and
+// solver effort; call TrackAllocs to also pay for per-row heap
+// allocation deltas.
+func NewLedger() *Ledger { return &Ledger{} }
+
+// TrackAllocs asks recorders to fill ScopeCost.Allocs. It costs two
+// runtime.ReadMemStats calls (each a brief stop-the-world) per row,
+// which batch tools accept and a serving hot path should not; the
+// default is off. It returns l for chaining.
+func (l *Ledger) TrackAllocs() *Ledger {
+	if l != nil {
+		l.allocs = true
+	}
+	return l
+}
+
+// TracksAllocs reports whether allocation deltas were requested.
+func (l *Ledger) TracksAllocs() bool { return l != nil && l.allocs }
+
+// Enabled reports whether costs are actually collected, so callers
+// can skip measurement work (clock reads, allocation counters) that
+// would be wasted on a detached ledger.
+func (l *Ledger) Enabled() bool { return l != nil }
+
+// Record appends one row.
+func (l *Ledger) Record(sc ScopeCost) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.rows = append(l.rows, sc)
+	l.mu.Unlock()
+}
+
+// Rows returns a copy of the recorded rows sorted by descending
+// elapsed time (ties by key), the order a cost table reads best in.
+func (l *Ledger) Rows() []ScopeCost {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	out := append([]ScopeCost(nil), l.rows...)
+	l.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].ElapsedUS != out[j].ElapsedUS {
+			return out[i].ElapsedUS > out[j].ElapsedUS
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Len reports the number of recorded rows.
+func (l *Ledger) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.rows)
+}
+
+// ByFamily aggregates rows per constraint family, sorted by
+// descending elapsed time (ties by family name).
+func ByFamily(rows []ScopeCost) []FamilyCost {
+	agg := map[string]*FamilyCost{}
+	bump := func(fam string, r ScopeCost) {
+		fc := agg[fam]
+		if fc == nil {
+			fc = &FamilyCost{Family: fam}
+			agg[fam] = fc
+		}
+		fc.Scopes++
+		fc.ElapsedUS += r.ElapsedUS
+		fc.Nodes += r.Nodes
+		fc.Pivots += r.Pivots
+	}
+	for _, r := range rows {
+		if len(r.Families) == 0 {
+			bump("(unconstrained)", r)
+			continue
+		}
+		for _, f := range r.Families {
+			bump(f, r)
+		}
+	}
+	out := make([]FamilyCost, 0, len(agg))
+	for _, fc := range agg {
+		out = append(out, *fc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ElapsedUS != out[j].ElapsedUS {
+			return out[i].ElapsedUS > out[j].ElapsedUS
+		}
+		return out[i].Family < out[j].Family
+	})
+	return out
+}
+
+// TotalElapsedUS sums the rows' wall time — the denominator for
+// per-row share columns.
+func TotalElapsedUS(rows []ScopeCost) int64 {
+	var total int64
+	for _, r := range rows {
+		total += r.ElapsedUS
+	}
+	return total
+}

@@ -3,9 +3,11 @@ package obs
 import "strings"
 
 // Event is one entry of the recorder's bounded event sink: a span
-// open ('B'), a span close ('E', carrying the span's attributes), or
-// an instant sample ('i', synthesized by the exporters for counters
-// and histograms). TS is microseconds since the recorder's epoch.
+// open ('B'), a span close ('E', carrying the span's attributes), an
+// instant sample ('i', synthesized by the exporters for counters and
+// histograms), or a counter-track sample ('C', appended by Sample —
+// Perfetto renders the series as a value-over-time track). TS is
+// microseconds since the recorder's epoch.
 type Event struct {
 	Phase byte
 	Name  string
@@ -93,6 +95,31 @@ func (r *Recorder) Events() []Event {
 		return nil
 	}
 	return r.events.drain()
+}
+
+// Sample appends a counter-track sample: one 'C' event carrying the
+// series' current value, which the Chrome-trace exporters turn into a
+// Perfetto counter track plotting the named quantity over time (e.g.
+// solver nodes or simplex pivots during one long check). Unlike Add,
+// Sample records a point on a timeline, not a running total — callers
+// pass the absolute value of the series at this instant. Without an
+// attached ring (and on a nil recorder) Sample is a no-op, so sampled
+// hot paths cost a nil-or-ring check and nothing else.
+func (r *Recorder) Sample(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.events != nil {
+		r.events.append(Event{
+			Phase: 'C',
+			Name:  name,
+			Cat:   category(name),
+			TS:    r.now().Sub(r.epoch).Microseconds(),
+			Args:  []Attr{{Key: "value", Int: v, IsInt: true}},
+		})
+	}
+	r.mu.Unlock()
 }
 
 // DroppedEvents reports how many events the bounded ring discarded.

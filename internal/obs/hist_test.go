@@ -143,6 +143,66 @@ func TestHistogramMerge(t *testing.T) {
 	}
 }
 
+// TestHistogramMergeDisjointLayouts merges two histograms whose
+// observations occupy non-overlapping bucket ranges — microsecond-scale
+// values against second-scale outliers — the shape a registry sees when
+// aggregating a fast serving path with a slow batch path. The merged
+// snapshot must keep both populations: cumulative counts step up at
+// both ends, and the quantiles straddle the gap rather than collapsing
+// onto one side.
+func TestHistogramMergeDisjointLayouts(t *testing.T) {
+	var fast, slow Histogram
+	for i := 0; i < 90; i++ {
+		fast.Observe(3) // bucket [2..3]
+	}
+	for i := 0; i < 10; i++ {
+		slow.Observe(3_000_000) // bucket [2097152..4194303]
+	}
+
+	merged := fast
+	merged.Merge(slow)
+	if merged.Count != 100 || merged.Max != 3_000_000 {
+		t.Fatalf("merged count/max = %d/%d, want 100/3000000", merged.Count, merged.Max)
+	}
+	if want := int64(90*3 + 10*3_000_000); merged.Sum != want {
+		t.Errorf("merged sum = %d, want %d", merged.Sum, want)
+	}
+
+	snap := merged.Snapshot()
+	if len(snap.Buckets) == 0 {
+		t.Fatal("merged snapshot has no buckets")
+	}
+	// The low population must be fully cumulated before the high
+	// bucket, and the final bucket must cover everything.
+	sawLowPlateau := false
+	for _, b := range snap.Buckets {
+		if b.UpperBound >= 3 && b.UpperBound < 2_097_152 && b.Cumulative == 90 {
+			sawLowPlateau = true
+		}
+	}
+	if !sawLowPlateau {
+		t.Errorf("no 90-observation plateau between the populations: %+v", snap.Buckets)
+	}
+	if last := snap.Buckets[len(snap.Buckets)-1]; last.Cumulative != 100 {
+		t.Errorf("final cumulative = %d, want 100", last.Cumulative)
+	}
+	// p50 sits in the fast population, p99 in the slow one; the empty
+	// buckets between them must not distort either estimate.
+	if snap.P50 < 2 || snap.P50 > 3 {
+		t.Errorf("p50 = %d, want within the fast bucket [2, 3]", snap.P50)
+	}
+	if snap.P99 < 2_097_152 || snap.P99 > 3_000_000 {
+		t.Errorf("p99 = %d, want within the slow bucket, clamped to max", snap.P99)
+	}
+
+	// Merge must commute: folding fast into slow gives the same result.
+	other := slow
+	other.Merge(fast)
+	if other != merged {
+		t.Errorf("merge not commutative:\n fast←slow %+v\n slow←fast %+v", merged, other)
+	}
+}
+
 func TestRecorderMetricsIsolation(t *testing.T) {
 	r := New()
 	r.Add("c", 5)

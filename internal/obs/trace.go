@@ -55,7 +55,9 @@ func (r *Recorder) Spans() []SpanInfo {
 // traceEvents assembles the exportable event stream: the ring's
 // events when one is attached (plus 'E' closers derived from the
 // snapshot are already in the ring), otherwise B/E pairs derived from
-// the span tree. Counters and histograms become 'i' instant samples
+// the span tree. Ringed 'C' counter-track samples (Recorder.Sample)
+// pass through unchanged, giving Perfetto a value-over-time track per
+// sampled series. Counters and histograms become 'i' instant samples
 // stamped at the stream's final timestamp, so a trace always carries
 // the run's final tallies even though individual increments are never
 // ringed.
@@ -108,7 +110,8 @@ func (r *Recorder) traceEvents() []Event {
 
 // chromeEvent is one entry of the Chrome trace-event format (the JSON
 // object format Perfetto and about://tracing load): ph "B"/"E" span
-// pairs and ph "i" instants, timestamps in microseconds.
+// pairs, ph "C" counter tracks, and ph "i" instants, timestamps in
+// microseconds.
 type chromeEvent struct {
 	Name  string         `json:"name,omitempty"`
 	Cat   string         `json:"cat,omitempty"`

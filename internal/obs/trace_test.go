@@ -128,6 +128,65 @@ func TestSnapshotDerivedTrace(t *testing.T) {
 	}
 }
 
+// TestChromeTraceCounterTrack pins the 'C' counter-track path: Sample
+// calls inside a span must come out of WriteChromeTrace as ph:"C"
+// events carrying the series value at distinct timestamps, so Perfetto
+// renders solver progress (nodes, pivots) as a value-over-time track.
+func TestChromeTraceCounterTrack(t *testing.T) {
+	rec := New()
+	rec.SetClock(tickClock(time.Unix(1000, 0), time.Millisecond))
+	rec.EnableEvents(0)
+	sp := rec.Start("ilp.solve")
+	rec.Sample("ilp.frontier_nodes", 10)
+	rec.Sample("ilp.frontier_nodes", 25)
+	rec.Sample("ilp.frontier_nodes", 7)
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Phase string         `json:"ph"`
+			Name  string         `json:"name"`
+			TS    int64          `json:"ts"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	var values []float64
+	var lastTS int64 = -1
+	for _, e := range out.TraceEvents {
+		if e.Phase != "C" {
+			continue
+		}
+		if e.Name != "ilp.frontier_nodes" {
+			t.Errorf("counter event name = %q", e.Name)
+		}
+		v, ok := e.Args["value"].(float64)
+		if !ok {
+			t.Fatalf("counter event lacks a numeric value arg: %+v", e)
+		}
+		if e.TS <= lastTS {
+			t.Errorf("counter samples not strictly ordered: ts %d after %d", e.TS, lastTS)
+		}
+		lastTS = e.TS
+		values = append(values, v)
+	}
+	want := []float64{10, 25, 7}
+	if len(values) != len(want) {
+		t.Fatalf("got %d 'C' events, want %d: %v", len(values), len(want), values)
+	}
+	for i := range want {
+		if values[i] != want[i] {
+			t.Errorf("sample %d = %v, want %v (absolute values, not deltas)", i, values[i], want[i])
+		}
+	}
+}
+
 func TestEventRingBounded(t *testing.T) {
 	rec := New()
 	rec.EnableEvents(4)

@@ -8,6 +8,7 @@
 //	GET  /healthz       liveness probe
 //	GET  /debug/status  human-readable status page (HTML)
 //	GET  /debug/checks  the status page's data as JSON
+//	GET  /debug/inflight live solver progress of running checks (JSON)
 //	GET  /debug/pprof   optional runtime profiles (Config.Pprof)
 //
 // Every request runs under middleware that assigns a request ID,
@@ -44,6 +45,7 @@ import (
 	xmlspec "repro"
 	"repro/internal/audit"
 	"repro/internal/certificate"
+	"repro/internal/introspect"
 	"repro/internal/obs"
 	"repro/internal/prover"
 	"repro/internal/telemetry"
@@ -117,10 +119,14 @@ type Server struct {
 }
 
 // runningCheck is one in-flight check as the status page shows it.
+// Its publisher receives the solver's sampled progress snapshots, so
+// the /debug/inflight handler can show where a long check is without
+// ever blocking the search.
 type runningCheck struct {
 	ID         string `json:"request_id"`
 	SpecDigest string `json:"spec_digest,omitempty"`
 	StartedAt  time.Time
+	pub        *introspect.Publisher
 }
 
 // NewServer validates the config and builds a server.
@@ -188,6 +194,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /debug/status", s.handleStatus)
 	mux.HandleFunc("GET /debug/checks", s.handleChecks)
+	mux.HandleFunc("GET /debug/inflight", s.handleInflight)
 	if s.cfg.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -219,6 +226,10 @@ type CheckOptions struct {
 	MinimizeWitness bool  `json:"minimize_witness,omitempty"`
 	SkipLint        bool  `json:"skip_lint,omitempty"`
 	SkipCertificate bool  `json:"skip_certificate,omitempty"`
+	// Attribution asks for the per-scope cost ledger in the response.
+	// The server always runs the (time-only) ledger for its audit
+	// trail; this flag only controls response inclusion.
+	Attribution bool `json:"attribution,omitempty"`
 }
 
 // CheckResponse is the /check response body on success.
@@ -235,7 +246,10 @@ type CheckResponse struct {
 	Diagnosis   string                   `json:"diagnosis,omitempty"`
 	Certificate *certificate.Certificate `json:"certificate,omitempty"`
 	Stats       xmlspec.Stats            `json:"stats"`
-	ElapsedUS   int64                    `json:"elapsed_us"`
+	// Attribution is the per-scope cost ledger (certificate's sibling
+	// report), present when the request set options.attribution.
+	Attribution []xmlspec.ScopeCost `json:"attribution,omitempty"`
+	ElapsedUS   int64               `json:"elapsed_us"`
 }
 
 // ExplainResponse is the /explain response body on success. The request
@@ -343,8 +357,11 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	}
 	dig := spec.Digest()
 
+	// Per-request progress publisher: the solver samples live search
+	// snapshots into it, /debug/inflight reads them lock-free.
+	pub := introspect.NewPublisher()
 	s.runningMu.Lock()
-	s.running[id] = &runningCheck{ID: id, SpecDigest: dig, StartedAt: time.Now()}
+	s.running[id] = &runningCheck{ID: id, SpecDigest: dig, StartedAt: time.Now(), pub: pub}
 	s.runningMu.Unlock()
 	defer func() {
 		s.runningMu.Lock()
@@ -363,8 +380,16 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	root.SetString("spec_digest", dig)
 	spec.SetObserver(rec)
 
+	opts := req.Options.internal()
+	opts.Progress = pub
+	// The time-only ledger always runs: its rows feed the audit trail
+	// even when the client did not ask for them in the response.
+	// Allocation tracking stays off — ReadMemStats is too heavy for a
+	// serving hot path.
+	opts.Attribution = true
+
 	start := time.Now()
-	res, err := spec.CheckContext(ctx, req.Options.internal())
+	res, err := spec.CheckContext(ctx, opts)
 	elapsed := time.Since(start)
 	root.SetInt("elapsed_us", elapsed.Microseconds())
 
@@ -412,9 +437,10 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	ev.Verdict = res.Verdict.String()
 	ev.CertificateKind = res.Certificate.Kind()
 	ev.Status = http.StatusOK
+	ev.ScopeCosts = auditScopeCosts(res.Attribution)
 	s.audit.Record(ev)
 
-	s.writeJSON(w, http.StatusOK, CheckResponse{
+	cresp := CheckResponse{
 		RequestID:   id,
 		SpecDigest:  dig,
 		Verdict:     res.Verdict.String(),
@@ -425,7 +451,11 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		Certificate: res.Certificate,
 		Stats:       res.Stats,
 		ElapsedUS:   elapsed.Microseconds(),
-	})
+	}
+	if req.Options.Attribution {
+		cresp.Attribution = res.Attribution
+	}
+	s.writeJSON(w, http.StatusOK, cresp)
 }
 
 // handleExplain runs the full explanation pipeline — check, then
@@ -448,8 +478,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	dig := spec.Digest()
 
+	pub := introspect.NewPublisher()
 	s.runningMu.Lock()
-	s.running[id] = &runningCheck{ID: id, SpecDigest: dig, StartedAt: time.Now()}
+	s.running[id] = &runningCheck{ID: id, SpecDigest: dig, StartedAt: time.Now(), pub: pub}
 	s.runningMu.Unlock()
 	defer func() {
 		s.runningMu.Lock()
@@ -466,8 +497,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	root.SetString("spec_digest", dig)
 	spec.SetObserver(rec)
 
+	opts := req.Options.internal()
+	opts.Progress = pub
+
 	start := time.Now()
-	ex, err := spec.ExplainContext(ctx, req.Options.internal())
+	ex, err := spec.ExplainContext(ctx, opts)
 	elapsed := time.Since(start)
 	root.SetInt("elapsed_us", elapsed.Microseconds())
 
@@ -530,6 +564,18 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		Certificate:     ex.Certificate,
 		ElapsedUS:       elapsed.Microseconds(),
 	})
+}
+
+// auditScopeCosts caps the attribution rows stamped into an audit
+// event. The ledger sorts rows by descending elapsed time, so the cap
+// keeps the most expensive scopes and a pathological spec cannot
+// bloat the log line.
+func auditScopeCosts(rows []introspect.ScopeCost) []introspect.ScopeCost {
+	const maxRows = 32
+	if len(rows) > maxRows {
+		rows = rows[:maxRows:maxRows]
+	}
+	return rows
 }
 
 // auditPhases flattens the request's span tree into audit phases,
@@ -610,7 +656,9 @@ func (s *Server) checkContext(ctx context.Context, deadlineMS int64) (context.Co
 	return context.WithTimeout(ctx, d)
 }
 
-// internal converts the JSON options to facade options.
+// internal converts the JSON options to facade options. The handlers
+// attach the progress publisher and force the attribution ledger on
+// afterwards.
 func (o CheckOptions) internal() *xmlspec.Options {
 	return &xmlspec.Options{
 		MaxSolverNodes:  o.MaxSolverNodes,
@@ -619,6 +667,7 @@ func (o CheckOptions) internal() *xmlspec.Options {
 		MinimizeWitness: o.MinimizeWitness,
 		SkipLint:        o.SkipLint,
 		SkipCertificate: o.SkipCertificate,
+		Attribution:     o.Attribution,
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/experiments"
+	"repro/internal/introspect"
 	"repro/internal/telemetry"
 )
 
@@ -734,5 +735,222 @@ func TestNoQuarantineUnderThreshold(t *testing.T) {
 	}
 	if len(entries) != 0 {
 		t.Fatalf("quarantine not empty under threshold: %d files", len(entries))
+	}
+}
+
+// TestCheckAttribution: options.attribution returns the per-scope cost
+// ledger in the response, and the audit event carries the capped rows
+// whether or not the client asked.
+func TestCheckAttribution(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	// SkipLint: the geography fixture is otherwise refuted by the lint
+	// prepass before any scope subproblem runs, and an empty ledger
+	// would make this test vacuous.
+	resp, out := postCheck(t, ts, CheckRequest{
+		DTD:         geoDTD,
+		Constraints: geoConstraints,
+		Options:     CheckOptions{Attribution: true, SkipLint: true},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, out)
+	}
+	var cr CheckResponse
+	if err := json.Unmarshal(out, &cr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(cr.Attribution) == 0 {
+		t.Fatalf("no attribution rows in response: %s", out)
+	}
+	row := cr.Attribution[0]
+	if row.Key == "" || row.Verdict == "" {
+		t.Errorf("attribution row incomplete: %+v", row)
+	}
+
+	recent := s.audit.Recent(1)
+	if len(recent) != 1 || len(recent[0].ScopeCosts) == 0 {
+		t.Errorf("audit event missing scope costs: %+v", recent)
+	}
+
+	// Without the option the response omits the rows but the audit
+	// trail still gets them.
+	_, out2 := postCheck(t, ts, CheckRequest{
+		DTD:         geoDTD,
+		Constraints: geoConstraints,
+		Options:     CheckOptions{SkipLint: true},
+	})
+	var cr2 CheckResponse
+	if err := json.Unmarshal(out2, &cr2); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(cr2.Attribution) != 0 {
+		t.Errorf("attribution present without the option: %+v", cr2.Attribution)
+	}
+	recent = s.audit.Recent(1)
+	if len(recent) != 1 || len(recent[0].ScopeCosts) == 0 {
+		t.Errorf("audit event missing scope costs without the option: %+v", recent)
+	}
+}
+
+// TestDebugInflight exercises the live-progress surface
+// deterministically: a registered running check whose publisher has
+// published a snapshot must show up in /debug/inflight with the
+// search fields, and the HTML status page must render its phase.
+func TestDebugInflight(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	pub := introspect.NewPublisher()
+	pub.SetPhase("relative")
+	pub.SetScope(3, "db/country")
+	pub.Restart()
+	pub.Publish(introspect.Progress{Nodes: 1234, Pivots: 56, LPCalls: 7, BoundLo: 2, BoundHi: -1})
+	s.runningMu.Lock()
+	s.running["req-test"] = &runningCheck{
+		ID: "req-test", SpecDigest: "spec-cafecafecafecafe",
+		StartedAt: time.Now().Add(-time.Second), pub: pub,
+	}
+	s.runningMu.Unlock()
+	defer func() {
+		s.runningMu.Lock()
+		delete(s.running, "req-test")
+		s.runningMu.Unlock()
+	}()
+
+	resp, err := http.Get(ts.URL + "/debug/inflight")
+	if err != nil {
+		t.Fatalf("GET /debug/inflight: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var ir InflightResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(ir.Inflight) != 1 {
+		t.Fatalf("inflight rows = %+v, want 1", ir.Inflight)
+	}
+	row := ir.Inflight[0]
+	if row.Phase != "relative" || row.ScopeIndex != 3 || row.ScopeKey != "db/country" {
+		t.Errorf("location = %q #%d %q", row.Phase, row.ScopeIndex, row.ScopeKey)
+	}
+	if row.Nodes != 1234 || row.Pivots != 56 || row.LPCalls != 7 || row.Restarts != 1 {
+		t.Errorf("search fields = %+v", row)
+	}
+	if row.BoundLo != 2 || row.BoundHi != -1 {
+		t.Errorf("bounds = [%d, %d]", row.BoundLo, row.BoundHi)
+	}
+	if row.ElapsedMS < 900 {
+		t.Errorf("elapsed = %dms, want ~1000", row.ElapsedMS)
+	}
+
+	// The status page renders the same row.
+	hr, err := http.Get(ts.URL + "/debug/status")
+	if err != nil {
+		t.Fatalf("GET /debug/status: %v", err)
+	}
+	defer hr.Body.Close()
+	html, _ := io.ReadAll(hr.Body)
+	for _, want := range []string{"req-test", "relative", "#3 db/country", "1234"} {
+		if !strings.Contains(string(html), want) {
+			t.Errorf("status page missing %q", want)
+		}
+	}
+}
+
+// TestDebugInflightLive drives a real slow check and polls
+// /debug/inflight until the solver's live snapshot shows work in
+// progress — the end-to-end guarantee behind the smoke test.
+func TestDebugInflightLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive live poll; skipped under -short (covered deterministically by TestDebugInflight and end to end by tools/servesmoke)")
+	}
+	_, ts := newTestServer(t, Config{})
+	// Fig3Regular(8) solves for on the order of a second — long enough
+	// that the poll loop below reliably sees a live snapshot.
+	in := experiments.Fig3Regular(rand.New(rand.NewSource(7)), 8)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		body, _ := json.Marshal(CheckRequest{
+			DTD:         in.D.String(),
+			Constraints: in.Set.String(),
+			DeadlineMS:  4000,
+			Options:     CheckOptions{SkipWitness: true},
+		})
+		resp, err := http.Post(ts.URL+"/check", "application/json", bytes.NewReader(body))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	deadline := time.Now().Add(8 * time.Second)
+	var last InflightResponse
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/debug/inflight")
+		if err != nil {
+			t.Fatalf("GET /debug/inflight: %v", err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&last)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(last.Inflight) > 0 && last.Inflight[0].Nodes > 0 && last.Inflight[0].Phase != "" {
+			<-done
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("no live snapshot with nonzero nodes before deadline; last = %+v", last)
+}
+
+// TestStatusPhaseSummary: the recent-checks ring reports per-phase
+// spans for lint, prover, and ilp in /debug/checks.
+func TestStatusPhaseSummary(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// Three requests, each lighting up one phase: a linted check (the
+	// geography fixture is refuted by the lint prepass), a lint-skipped
+	// check that must reach the ILP solver, and an explain whose
+	// pipeline runs the saturation prover.
+	if resp, out := postCheck(t, ts, CheckRequest{DTD: geoDTD, Constraints: geoConstraints}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("linted check: %d %s", resp.StatusCode, out)
+	}
+	if resp, out := postCheck(t, ts, CheckRequest{
+		DTD: geoDTD, Constraints: geoConstraints,
+		Options: CheckOptions{SkipLint: true},
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("solver check: %d %s", resp.StatusCode, out)
+	}
+	if resp, out := postExplain(t, ts, CheckRequest{
+		DTD: geoDTD, Constraints: geoConstraints,
+		Options: CheckOptions{SkipLint: true},
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain: %d %s", resp.StatusCode, out)
+	}
+
+	jr, err := http.Get(ts.URL + "/debug/checks")
+	if err != nil {
+		t.Fatalf("GET /debug/checks: %v", err)
+	}
+	defer jr.Body.Close()
+	var st Status
+	if err := json.NewDecoder(jr.Body).Decode(&st); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(st.Recent) != 3 {
+		t.Fatalf("recent rows = %d, want 3", len(st.Recent))
+	}
+	// Recent is newest first: explain, solver check, linted check.
+	if ps := st.Recent[0].PhaseSummary; ps.ProverUS <= 0 {
+		t.Errorf("explain phase summary = %+v, want nonzero prover", ps)
+	}
+	if ps := st.Recent[1].PhaseSummary; ps.ILPUS <= 0 {
+		t.Errorf("solver-check phase summary = %+v, want nonzero ilp", ps)
+	}
+	if ps := st.Recent[2].PhaseSummary; ps.LintUS <= 0 || ps.ILPUS != 0 {
+		t.Errorf("linted-check phase summary = %+v, want nonzero lint, zero ilp", ps)
 	}
 }

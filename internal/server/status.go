@@ -1,9 +1,11 @@
 package server
 
 import (
+	"fmt"
 	"html/template"
 	"net/http"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/audit"
@@ -28,11 +30,74 @@ type StatusWindow struct {
 	BurnRate float64 `json:"burn_rate"`
 }
 
-// StatusInflight is one in-flight check.
+// StatusInflight is one in-flight check, joined with the latest live
+// progress snapshot its solver published (all search fields zero when
+// the check has not reached the solver yet).
 type StatusInflight struct {
 	RequestID  string `json:"request_id"`
 	SpecDigest string `json:"spec_digest,omitempty"`
 	ElapsedMS  int64  `json:"elapsed_ms"`
+	// Phase is the pipeline stage the check was last seen in ("lint",
+	// "prover", "relative", ...); ScopeIndex/ScopeKey locate the scope
+	// subproblem on the relative route.
+	Phase      string `json:"phase,omitempty"`
+	ScopeIndex int    `json:"scope_index,omitempty"`
+	ScopeKey   string `json:"scope_key,omitempty"`
+	// Nodes, LPCalls, Pivots, Restarts measure solver effort so far;
+	// BoundLo/BoundHi are the incumbent document-size bounds at the
+	// sampled node (BoundHi -1 while some variable is unbounded).
+	Nodes    int   `json:"nodes,omitempty"`
+	LPCalls  int   `json:"lp_calls,omitempty"`
+	Pivots   int   `json:"pivots,omitempty"`
+	Restarts int   `json:"restarts,omitempty"`
+	BoundLo  int64 `json:"bound_lo,omitempty"`
+	BoundHi  int64 `json:"bound_hi,omitempty"`
+}
+
+// Bounds renders the incumbent bound interval for the status page,
+// spelling the still-unbounded upper bound as ∞.
+func (si StatusInflight) Bounds() string {
+	if si.BoundHi < 0 {
+		return fmt.Sprintf("[%d, ∞)", si.BoundLo)
+	}
+	return fmt.Sprintf("[%d, %d]", si.BoundLo, si.BoundHi)
+}
+
+// PhaseSummary condenses an audited check's span tree into the three
+// pipeline phases operators scan the recent-checks table for. Each
+// field sums every matching span (a relative check solves many ILPs),
+// in microseconds; zero means the phase did not run.
+type PhaseSummary struct {
+	LintUS   int64 `json:"lint_us,omitempty"`
+	ProverUS int64 `json:"prover_us,omitempty"`
+	ILPUS    int64 `json:"ilp_us,omitempty"`
+}
+
+// RecentCheck is one recent-ring row: the audit event plus its phase
+// summary.
+type RecentCheck struct {
+	audit.Event
+	PhaseSummary PhaseSummary `json:"phase_summary"`
+}
+
+// summarizePhases folds the audit event's slash-joined span paths into
+// a PhaseSummary by matching the well-known span names at any depth.
+func summarizePhases(phases []audit.Phase) PhaseSummary {
+	var ps PhaseSummary
+	atSpan := func(path, name string) bool {
+		return path == name || strings.HasSuffix(path, "/"+name)
+	}
+	for _, p := range phases {
+		switch {
+		case atSpan(p.Path, "speclint.run"):
+			ps.LintUS += p.DurationUS
+		case atSpan(p.Path, "prover"):
+			ps.ProverUS += p.DurationUS
+		case atSpan(p.Path, "ilp.solve"):
+			ps.ILPUS += p.DurationUS
+		}
+	}
+	return ps
 }
 
 // Status is the /debug/checks response body: everything the HTML
@@ -45,7 +110,7 @@ type Status struct {
 	SLOObjective  float64           `json:"slo_objective,omitempty"`
 	Inflight      []StatusInflight  `json:"inflight"`
 	Windows       []StatusWindow    `json:"windows"`
-	Recent        []audit.Event     `json:"recent"`
+	Recent        []RecentCheck     `json:"recent"`
 	HotDigests    []audit.HotDigest `json:"hot_digests"`
 }
 
@@ -55,11 +120,11 @@ func (s *Server) status() Status {
 		Build:         buildinfo.Get(),
 		UptimeSeconds: int64(time.Since(s.start).Seconds()),
 		AuditEvents:   s.audit.Events(),
-		Recent:        s.audit.Recent(16),
+		Recent:        []RecentCheck{},
 		HotDigests:    s.audit.Hot(16),
 	}
-	if st.Recent == nil {
-		st.Recent = []audit.Event{}
+	for _, ev := range s.audit.Recent(16) {
+		st.Recent = append(st.Recent, RecentCheck{Event: ev, PhaseSummary: summarizePhases(ev.Phases)})
 	}
 	if st.HotDigests == nil {
 		st.HotDigests = []audit.HotDigest{}
@@ -86,23 +151,53 @@ func (s *Server) status() Status {
 		}
 		st.Windows = append(st.Windows, sw)
 	}
+	st.Inflight = s.inflightRows()
+	return st
+}
+
+// inflightRows snapshots the running checks: the registration row from
+// the handler joined with the latest progress snapshot the solver
+// published (Snapshot never blocks the search). Rows are sorted
+// longest-running first.
+func (s *Server) inflightRows() []StatusInflight {
 	s.runningMu.Lock()
 	now := time.Now()
+	rows := make([]StatusInflight, 0, len(s.running))
 	for _, rc := range s.running {
-		st.Inflight = append(st.Inflight, StatusInflight{
+		row := StatusInflight{
 			RequestID:  rc.ID,
 			SpecDigest: rc.SpecDigest,
 			ElapsedMS:  now.Sub(rc.StartedAt).Milliseconds(),
-		})
+		}
+		if pr, ok := rc.pub.Snapshot(); ok {
+			row.Phase = pr.Phase
+			row.ScopeIndex = pr.ScopeIndex
+			row.ScopeKey = pr.ScopeKey
+			row.Nodes = pr.Nodes
+			row.LPCalls = pr.LPCalls
+			row.Pivots = pr.Pivots
+			row.Restarts = pr.Restarts
+			row.BoundLo = pr.BoundLo
+			row.BoundHi = pr.BoundHi
+		}
+		rows = append(rows, row)
 	}
 	s.runningMu.Unlock()
-	sort.Slice(st.Inflight, func(i, j int) bool {
-		return st.Inflight[i].ElapsedMS > st.Inflight[j].ElapsedMS
+	sort.Slice(rows, func(i, j int) bool {
+		return rows[i].ElapsedMS > rows[j].ElapsedMS
 	})
-	if st.Inflight == nil {
-		st.Inflight = []StatusInflight{}
-	}
-	return st
+	return rows
+}
+
+// InflightResponse is the /debug/inflight body: just the live rows,
+// cheap enough to poll at a high rate while a check runs.
+type InflightResponse struct {
+	Inflight []StatusInflight `json:"inflight"`
+}
+
+// handleInflight serves the live progress of running checks.
+func (s *Server) handleInflight(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, InflightResponse{Inflight: s.inflightRows()})
 }
 
 // handleChecks serves the status snapshot as JSON.
@@ -152,11 +247,12 @@ version {{.Build.Version}} ({{.Build.Revision}}, {{.Build.GoVersion}})
 <h2>In flight ({{len .Inflight}})</h2>
 {{if .Inflight}}
 <table>
-<tr><th>request</th><th>spec digest</th><th>running ms</th></tr>
+<tr><th>request</th><th>spec digest</th><th>running ms</th><th>phase</th><th>scope</th><th>nodes</th><th>pivots</th><th>restarts</th><th>bounds</th></tr>
 {{range .Inflight}}
-<tr><td>{{.RequestID}}</td><td>{{.SpecDigest}}</td><td>{{.ElapsedMS}}</td></tr>
+<tr><td>{{.RequestID}}</td><td>{{.SpecDigest}}</td><td>{{.ElapsedMS}}</td><td>{{.Phase}}</td><td>{{if .ScopeKey}}#{{.ScopeIndex}} {{.ScopeKey}}{{end}}</td><td>{{.Nodes}}</td><td>{{.Pivots}}</td><td>{{.Restarts}}</td><td>{{.Bounds}}</td></tr>
 {{end}}
 </table>
+<p class="muted">live solver progress, sampled lock-free; also at <a href="/debug/inflight">/debug/inflight</a></p>
 {{else}}<p class="muted">none</p>{{end}}
 
 <h2>Hot spec digests</h2>
@@ -172,9 +268,9 @@ version {{.Build.Version}} ({{.Build.Revision}}, {{.Build.GoVersion}})
 <h2>Recent checks</h2>
 {{if .Recent}}
 <table>
-<tr><th>time</th><th>request</th><th>spec digest</th><th>verdict</th><th>certificate</th><th>status</th><th>abort</th><th>&micro;s</th></tr>
+<tr><th>time</th><th>request</th><th>spec digest</th><th>verdict</th><th>certificate</th><th>status</th><th>abort</th><th>&micro;s</th><th>lint/prover/ilp &micro;s</th></tr>
 {{range .Recent}}
-<tr><td>{{.Time}}</td><td>{{.RequestID}}</td><td>{{.SpecDigest}}</td><td>{{.Verdict}}</td><td>{{.CertificateKind}}</td><td>{{.Status}}</td><td>{{.Abort}}</td><td>{{.ElapsedUS}}</td></tr>
+<tr><td>{{.Time}}</td><td>{{.RequestID}}</td><td>{{.SpecDigest}}</td><td>{{.Verdict}}</td><td>{{.CertificateKind}}</td><td>{{.Status}}</td><td>{{.Abort}}</td><td>{{.ElapsedUS}}</td><td>{{.PhaseSummary.LintUS}}/{{.PhaseSummary.ProverUS}}/{{.PhaseSummary.ILPUS}}</td></tr>
 {{end}}
 </table>
 {{else}}<p class="muted">none yet</p>{{end}}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"math"
 	"sync"
 	"time"
 
@@ -149,8 +150,21 @@ func (r *Rolling) Window(d time.Duration) WindowStats {
 }
 
 // RegisterRolling installs the rolling-window gauges for r into reg:
-// per-window check rate, error ratio, and latency quantiles.
+// per-window check rate, error ratio, and latency quantiles. Rate and
+// error ratio are genuinely 0 on an empty window; a latency quantile
+// of an empty window is not 0 — it does not exist — so the quantile
+// gauges return NaN there and WritePrometheus omits the family from
+// the scrape instead of exporting a fabricated 0µs latency.
 func RegisterRolling(reg *Registry, r *Rolling) {
+	quantile := func(d time.Duration, pick func(WindowStats) int64) func() float64 {
+		return func() float64 {
+			w := r.Window(d)
+			if w.Count == 0 {
+				return math.NaN()
+			}
+			return float64(pick(w))
+		}
+	}
 	for _, w := range Windows {
 		d := w.D
 		reg.RegisterGauge("checks_per_second_"+w.Label,
@@ -160,11 +174,14 @@ func RegisterRolling(reg *Registry, r *Rolling) {
 			"Fraction of checks that failed over the trailing "+w.Label+" window.",
 			func() float64 { return r.Window(d).ErrorRatio() })
 		reg.RegisterGauge("check_latency_p50_us_"+w.Label,
-			"Median check latency (µs) over the trailing "+w.Label+" window.",
-			func() float64 { return float64(r.Window(d).P50) })
+			"Median check latency (µs) over the trailing "+w.Label+" window (absent while the window is empty).",
+			quantile(d, func(ws WindowStats) int64 { return ws.P50 }))
+		reg.RegisterGauge("check_latency_p90_us_"+w.Label,
+			"p90 check latency (µs) over the trailing "+w.Label+" window (absent while the window is empty).",
+			quantile(d, func(ws WindowStats) int64 { return ws.P90 }))
 		reg.RegisterGauge("check_latency_p99_us_"+w.Label,
-			"p99 check latency (µs) over the trailing "+w.Label+" window.",
-			func() float64 { return float64(r.Window(d).P99) })
+			"p99 check latency (µs) over the trailing "+w.Label+" window (absent while the window is empty).",
+			quantile(d, func(ws WindowStats) int64 { return ws.P99 }))
 	}
 }
 

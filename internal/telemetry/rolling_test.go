@@ -153,3 +153,77 @@ func TestRollingAndSLOGaugesExposed(t *testing.T) {
 		t.Errorf("slo_burn_rate_1m = %f, want ~50", s.Value)
 	}
 }
+
+// TestEmptyWindowQuantileGaugesAbsent pins the NaN-safe-absence rule:
+// a latency quantile over a window with no observations is not 0, it
+// does not exist, so the gauge family must be missing from the
+// exposition entirely — while rate and error-ratio gauges (where 0 is
+// the truth) stay present.
+func TestEmptyWindowQuantileGaugesAbsent(t *testing.T) {
+	reg := NewRegistry("")
+	r, c := newTestRolling(0)
+	RegisterRolling(reg, r)
+
+	scrape := func() *Exposition {
+		t.Helper()
+		var b strings.Builder
+		if err := reg.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		exp, err := ParseExposition(b.String())
+		if err != nil {
+			t.Fatalf("exposition invalid: %v\n%s", err, b.String())
+		}
+		return exp
+	}
+
+	quantiles := []string{
+		"xmlconsist_check_latency_p50_us_1m",
+		"xmlconsist_check_latency_p90_us_1m",
+		"xmlconsist_check_latency_p99_us_1m",
+		"xmlconsist_check_latency_p50_us_5m",
+		"xmlconsist_check_latency_p90_us_5m",
+		"xmlconsist_check_latency_p99_us_5m",
+		"xmlconsist_check_latency_p50_us_1h",
+		"xmlconsist_check_latency_p90_us_1h",
+		"xmlconsist_check_latency_p99_us_1h",
+	}
+
+	// No observations anywhere: every quantile gauge must be absent,
+	// the rate gauges present with value 0.
+	exp := scrape()
+	for _, name := range quantiles {
+		if s, ok := exp.Sample(name); ok {
+			t.Errorf("empty window: %s present with value %f, want absent", name, s.Value)
+		}
+	}
+	if s, ok := exp.Sample("xmlconsist_checks_per_second_1m"); !ok || s.Value != 0 {
+		t.Errorf("checks_per_second_1m on empty window = %+v (ok=%t), want present 0", s, ok)
+	}
+
+	// One observation: every quantile gauge appears with a real value.
+	r.Observe(1000, false)
+	c.advance(time.Second)
+	exp = scrape()
+	for _, name := range quantiles {
+		s, ok := exp.Sample(name)
+		if !ok {
+			t.Errorf("after observation: %s absent, want present", name)
+			continue
+		}
+		if s.Value <= 0 {
+			t.Errorf("after observation: %s = %f, want > 0", name, s.Value)
+		}
+	}
+
+	// Age the observation out of the 1m window only: its quantiles
+	// vanish again while the 1h window's stay.
+	c.advance(2 * time.Minute)
+	exp = scrape()
+	if _, ok := exp.Sample("xmlconsist_check_latency_p50_us_1m"); ok {
+		t.Error("p50_us_1m still present after the window emptied")
+	}
+	if _, ok := exp.Sample("xmlconsist_check_latency_p50_us_1h"); !ok {
+		t.Error("p50_us_1h absent while its window still holds the observation")
+	}
+}

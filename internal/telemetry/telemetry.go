@@ -21,6 +21,7 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sort"
 	"strings"
@@ -204,9 +205,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 
 	for _, name := range sortedKeys(gauges) {
+		// A NaN callback value means "no observation to report" (e.g. a
+		// latency quantile over an empty rolling window): the family is
+		// omitted from the exposition entirely — absence, not a fake 0 —
+		// so dashboards and alerts never ingest a made-up sample.
+		v := gauges[name]()
+		if math.IsNaN(v) {
+			continue
+		}
 		full := r.metricName(name)
 		r.writeHeader(bw, full, help[name], "gauge")
-		fmt.Fprintf(bw, "%s %s\n", full, formatFloat(gauges[name]()))
+		fmt.Fprintf(bw, "%s %s\n", full, formatFloat(v))
 	}
 
 	for _, name := range sortedKeys(hists) {

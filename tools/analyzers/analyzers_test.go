@@ -29,6 +29,13 @@ func (r *Recorder) Add(n string, d int64) {
 	r.Hits++
 }
 
+func (r *Recorder) Sample(n string, v int64) {
+	if r == nil {
+		return
+	}
+	r.Hits++
+}
+
 func (s *Span) End() {
 	if s == nil {
 		return
@@ -402,6 +409,7 @@ func f(reg *telemetry.Registry, r *obs.Recorder) {
 	reg.Observe("server.check_us", 5)
 	reg.Help("server.checks", "Checks completed.")
 	r.Add("solver.nodes", 1)
+	r.Sample("ilp.frontier_depth", 3)
 }`, 0, ""},
 		{"good-gauge", `
 func f(reg *telemetry.Registry) {
@@ -427,6 +435,10 @@ func f(reg *telemetry.Registry) {
 		{"recorder-bad-name", `
 func f(r *obs.Recorder) {
 	r.Add("Solver-Nodes", 1)
+}`, 1, "dotted snake_case"},
+		{"sample-bad-name", `
+func f(r *obs.Recorder) {
+	r.Sample("Frontier Depth", 3)
 }`, 1, "dotted snake_case"},
 		{"dynamic-name-skipped", `
 func f(reg *telemetry.Registry, v string) {

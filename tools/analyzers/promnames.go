@@ -42,6 +42,7 @@ var promMethods = map[string]metricCall{
 	telemetryPath + ".Registry.Help":          {},
 	obsPath + ".Recorder.Add":                 {},
 	obsPath + ".Recorder.Observe":             {},
+	obsPath + ".Recorder.Sample":              {},
 	obsPath + ".Recorder.Set":                 {},
 }
 

@@ -19,11 +19,16 @@
 //  7. GET /metrics and validate the Prometheus exposition line by
 //     line, requiring the check-latency histogram, build-info,
 //     rolling-window, SLO burn-rate, and explain metrics;
-//  8. SIGTERM the daemon, require a clean exit, then parse the audit
+//  8. POST a deliberately hard check (a Figure 3 regular-fragment
+//     reduction) in the background and poll GET /debug/inflight
+//     until a row reports a live solver snapshot — non-empty phase
+//     and a nonzero node count — proving the introspection plumbing
+//     publishes while a check runs, not just after it;
+//  9. SIGTERM the daemon, require a clean exit, then parse the audit
 //     log and match it against the responses — including an
 //     op:"explain" event — and require the quarantine directory
 //     stayed empty (nothing was slow);
-//  9. restart the daemon with a 1ns slow threshold, drive three
+//  10. restart the daemon with a 1ns slow threshold, drive three
 //     checks, and require exactly one quarantined trace+spec pair
 //     (the capture rate limit holds).
 //
@@ -185,6 +190,9 @@ func smoke(bin string) error {
 		return err
 	}
 	if err := checkMetrics(base); err != nil {
+		return err
+	}
+	if err := checkInflight(base); err != nil {
 		return err
 	}
 
@@ -475,6 +483,75 @@ func checkMetrics(base string) error {
 	}
 	fmt.Printf("servesmoke: /metrics ok (%d lines, %d samples, %d latency buckets)\n",
 		lines, len(exp.Samples), buckets)
+	return nil
+}
+
+// checkInflight fires a deliberately hard check — a Figure 3
+// regular-fragment reduction that keeps the branch-and-bound busy for
+// on the order of a second — and polls /debug/inflight until a row
+// shows a live solver snapshot: non-empty phase and nonzero explored
+// nodes. SkipWitness keeps the eventual response small; the generous
+// deadline only bounds the worst case.
+func checkInflight(base string) error {
+	in := experiments.Fig3Regular(rand.New(rand.NewSource(7)), 8)
+	done := make(chan error, 1)
+	go func() {
+		resp, out, err := postCheck(base, map[string]any{
+			"dtd":         in.D.String(),
+			"constraints": in.Set.String(),
+			"deadline_ms": 8000,
+			"options":     map[string]any{"skip_witness": true},
+		})
+		if err != nil {
+			done <- err
+			return
+		}
+		if resp.StatusCode != http.StatusOK {
+			done <- fmt.Errorf("hard check status %d: %s", resp.StatusCode, out)
+			return
+		}
+		done <- nil
+	}()
+
+	type row struct {
+		RequestID string `json:"request_id"`
+		Phase     string `json:"phase"`
+		ScopeKey  string `json:"scope_key"`
+		Nodes     int    `json:"nodes"`
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	var live *row
+	for live == nil && time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/debug/inflight")
+		if err != nil {
+			return fmt.Errorf("GET /debug/inflight: %w", err)
+		}
+		var ir struct {
+			Inflight []row `json:"inflight"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&ir)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("decoding /debug/inflight: %w", err)
+		}
+		for i, r := range ir.Inflight {
+			if r.Phase != "" && r.Nodes > 0 {
+				live = &ir.Inflight[i]
+				break
+			}
+		}
+		if live == nil {
+			time.Sleep(15 * time.Millisecond)
+		}
+	}
+	if live == nil {
+		return fmt.Errorf("/debug/inflight never showed a live solver snapshot for the hard check")
+	}
+	if err := <-done; err != nil {
+		return err
+	}
+	fmt.Printf("servesmoke: /debug/inflight ok (live snapshot: phase %s, scope %q, %d nodes)\n",
+		live.Phase, live.ScopeKey, live.Nodes)
 	return nil
 }
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/dtd"
 	"repro/internal/ilp"
 	"repro/internal/implication"
+	"repro/internal/introspect"
 	"repro/internal/obs"
 	"repro/internal/prover"
 	"repro/internal/speclint"
@@ -165,13 +166,30 @@ type Options struct {
 	// integer search and ships a step-by-step replayable derivation
 	// certificate. Off by default — the hot path pays nothing for it.
 	Explain bool
+	// Attribution collects the per-scope cost ledger into
+	// Result.Attribution: one row per hierarchical scope subproblem
+	// (one "document" row on the non-relative routes) with wall time,
+	// solver effort, verdict contribution, and constraint families.
+	// Off by default — the hot path pays one nil check per subproblem.
+	Attribution bool
+	// AttributionAllocs additionally records per-row heap-allocation
+	// deltas, at the cost of two brief stop-the-world runtime MemStats
+	// reads per subproblem — fine for CLIs and batch tools, too heavy
+	// for a serving hot path. Implies nothing without Attribution.
+	AttributionAllocs bool
+	// Progress, when non-nil, receives live introspection snapshots
+	// while the check runs: the pipeline phase, the scope position,
+	// and sampled branch-and-bound search state (see
+	// internal/introspect). Readers may call Snapshot concurrently at
+	// any time; the check never blocks on them.
+	Progress *ProgressPublisher
 }
 
 func (o *Options) internal(rec *obs.Recorder) consistency.Options {
 	if o == nil {
 		o = &Options{}
 	}
-	return consistency.Options{
+	out := consistency.Options{
 		ILP: ilp.Options{
 			MaxNodes:  o.MaxSolverNodes,
 			MaxValue:  o.MaxValue,
@@ -184,7 +202,16 @@ func (o *Options) internal(rec *obs.Recorder) consistency.Options {
 		SkipLint:        o.SkipLint,
 		SkipCertificate: o.SkipCertificate,
 		Explain:         o.Explain,
+		Progress:        o.Progress,
 	}
+	if o.Attribution {
+		led := introspect.NewLedger()
+		if o.AttributionAllocs {
+			led.TrackAllocs()
+		}
+		out.Ledger = led
+	}
+	return out
 }
 
 // Stats summarizes the work a check performed.
@@ -225,6 +252,11 @@ type Result struct {
 	// under SkipCertificate. VerifyCertificate re-checks it against the
 	// specification without re-running any solver.
 	Certificate *Certificate
+	// Attribution is the per-scope cost ledger, sorted by descending
+	// elapsed time — the certificate's sibling report of where the
+	// verdict's cost went. Only with Options.Attribution; nil
+	// otherwise.
+	Attribution []ScopeCost
 	// Stats reports solver effort.
 	Stats Stats
 }
@@ -232,6 +264,31 @@ type Result struct {
 // Certificate is the provenance record attached to definitive
 // verdicts (see internal/certificate).
 type Certificate = certificate.Certificate
+
+// ScopeCost is one row of the per-scope cost ledger and FamilyCost
+// one per-constraint-family aggregate (see internal/introspect).
+type ScopeCost = introspect.ScopeCost
+
+// FamilyCost aggregates ScopeCost rows by constraint family.
+type FamilyCost = introspect.FamilyCost
+
+// ProgressPublisher is the live-introspection rendezvous a caller can
+// attach through Options.Progress: the running check publishes
+// sampled Progress snapshots into it and any number of concurrent
+// observers read them with Snapshot, without ever blocking the search
+// (see internal/introspect).
+type ProgressPublisher = introspect.Publisher
+
+// ProgressSnapshot is one sampled view of a running check.
+type ProgressSnapshot = introspect.Progress
+
+// NewProgressPublisher returns a publisher ready to attach to
+// Options.Progress.
+func NewProgressPublisher() *ProgressPublisher { return introspect.NewPublisher() }
+
+// CostByFamily aggregates attribution rows per constraint family,
+// sorted by descending elapsed time.
+func CostByFamily(rows []ScopeCost) []FamilyCost { return introspect.ByFamily(rows) }
 
 // Consistent statically checks the specification. opts may be nil.
 func (s *Spec) Consistent(opts *Options) (Result, error) {
@@ -286,6 +343,7 @@ func convertResult(res consistency.Result) Result {
 		Method:      res.Method,
 		Diagnosis:   res.Diagnosis,
 		Certificate: res.Certificate,
+		Attribution: res.Attribution,
 		Stats: Stats{
 			SolverNodes:        res.Stats.ILPNodes,
 			Cuts:               res.Stats.Cuts,
