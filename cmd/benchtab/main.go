@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	benchtab [-quick] [-seed N]
+//	benchtab [-quick] [-seed N] [-metrics out.jsonl] [-dump-specs dir]
 //
 // The output of a full run is recorded in EXPERIMENTS.md.
 package main
@@ -37,6 +37,7 @@ var (
 	quickFlag   = flag.Bool("quick", false, "smaller sweeps")
 	seedFlag    = flag.Int64("seed", 2002, "random seed for the instance families")
 	metricsFlag = flag.String("metrics", "", "write per-instance metrics as JSON lines to this file (- for stdout)")
+	dumpFlag    = flag.String("dump-specs", "", "write one hard Figure 3 instance per family to this directory as <name>.dtd/<name>.keys and exit")
 	versionFlag = flag.Bool("version", false, "print version information and exit")
 )
 
@@ -165,6 +166,9 @@ func main() {
 		os.Exit(0)
 	}
 	quick = *quickFlag
+	if *dumpFlag != "" {
+		os.Exit(dumpSpecs(*dumpFlag, *seedFlag))
+	}
 	if *metricsFlag == "-" {
 		metricsOut = os.Stdout
 	} else if *metricsFlag != "" {
@@ -182,6 +186,45 @@ func main() {
 		os.Exit(code)
 	}
 	os.Exit(runAll(*seedFlag))
+}
+
+// dumpSpecs writes one representative hard instance per decidable
+// Figure 3 family to dir as a <name>.dtd/<name>.keys pair, directly
+// usable with xmlconsist -dtd/-constraints or as the fields of a
+// /check request body. Sizes are picked so a check takes on the order
+// of a second: heavy enough to register in latency tooling (slow
+// flight bundles, p99 exemplars, labeled profiles), small enough to
+// terminate.
+func dumpSpecs(dir string, seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	type dump struct {
+		file string
+		in   experiments.Instance
+	}
+	dumps := []dump{
+		{"fig3-unary", experiments.Fig3Unary(rng, 12)},
+		{"fig3-reg", experiments.Fig3Regular(rng, 8)},
+	}
+	if in, ok := experiments.Fig3PDE(rng, 4); ok {
+		dumps = append(dumps, dump{"fig3-pde", in})
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		return 1
+	}
+	for _, d := range dumps {
+		base := dir + string(os.PathSeparator) + d.file
+		if err := os.WriteFile(base+".dtd", []byte(d.in.D.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			return 1
+		}
+		if err := os.WriteFile(base+".keys", []byte(d.in.Set.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			return 1
+		}
+		fmt.Fprintf(out, "benchtab: wrote %s.dtd + %s.keys (%s)\n", base, base, d.in.Name)
+	}
+	return 0
 }
 
 // runAll executes every experiment section and returns the exit code

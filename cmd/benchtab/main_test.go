@@ -2,8 +2,14 @@ package main
 
 import (
 	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/dtd"
 )
 
 // TestRunAllQuick executes every experiment section in quick mode and
@@ -76,5 +82,37 @@ func TestMetricsJSONLines(t *testing.T) {
 	}
 	if !sawLibrary {
 		t.Error("fig2a library record missing")
+	}
+}
+
+// TestDumpSpecs writes the hard-family spec pairs to a temp dir and
+// round-trips each through the on-disk parsers, proving the dumped
+// form is loadable by xmlconsist and the /check endpoint.
+func TestDumpSpecs(t *testing.T) {
+	dir := t.TempDir()
+	old := out
+	out = io.Discard
+	defer func() { out = old }()
+	if code := dumpSpecs(dir, 2002); code != 0 {
+		t.Fatalf("dumpSpecs exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"fig3-unary", "fig3-reg", "fig3-pde"} {
+		dtdSrc, err := os.ReadFile(filepath.Join(dir, name+".dtd"))
+		if err != nil {
+			t.Fatalf("%s.dtd: %v", name, err)
+		}
+		keySrc, err := os.ReadFile(filepath.Join(dir, name+".keys"))
+		if err != nil {
+			t.Fatalf("%s.keys: %v", name, err)
+		}
+		if _, err := dtd.Parse(string(dtdSrc)); err != nil {
+			t.Errorf("%s.dtd does not re-parse: %v", name, err)
+		}
+		set, err := constraint.ParseSet(string(keySrc))
+		if err != nil {
+			t.Errorf("%s.keys does not re-parse: %v", name, err)
+		} else if set.Size() == 0 {
+			t.Errorf("%s.keys re-parsed empty", name)
+		}
 	}
 }

@@ -207,6 +207,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Attribution:       *attribution,
 		AttributionAllocs: *attribution,
 	}
+	if *cpuprofile != "" {
+		// Label the check so the profile attributes its samples to the
+		// spec and pipeline phases (go tool pprof -tagfocus digest=…,
+		// or -tagfocus phase=ilp to isolate the solver).
+		checkOpts.ProfileLabel = spec.Digest()
+	}
 	res, err := spec.Consistent(&checkOpts)
 	if err != nil {
 		fmt.Fprintln(stderr, "xmlconsist:", err)

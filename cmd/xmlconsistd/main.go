@@ -53,8 +53,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	auditLog := fs.String("audit-log", "", "append-only JSONL audit log, one event per check (empty: in-memory only)")
 	auditMaxBytes := fs.Int64("audit-max-bytes", 0, "rotate the audit log past this size (0: 8 MiB)")
 	auditSample := fs.Int("audit-sample", 1, "write every Nth audit event to the file (status page sees all)")
-	slowThreshold := fs.Duration("slow-threshold", 0, "quarantine checks slower than this (0: no slow capture)")
-	quarantineDir := fs.String("quarantine-dir", "", "directory for slow-check trace+spec captures")
+	slowThreshold := fs.Duration("slow-threshold", 0, "flight-record checks slower than this (0: no slow trigger)")
+	quarantineDir := fs.String("quarantine-dir", "", "directory for flight bundles: correlated trace+spec captures of slow, errored, aborted, or sampled-inconsistent checks")
+	flightSample := fs.Int("flight-sample-inconsistent", 0, "flight-record every Nth inconsistent verdict (0: off)")
+	flightMaxBytes := fs.Int64("flight-max-bytes", 0, "size cap per flight bundle .json (0: 4 MiB)")
 	sloTargetMS := fs.Int64("slo-target-ms", 0, "SLO latency target in milliseconds (0: no SLO gauges)")
 	sloObjective := fs.Float64("slo-objective", 0.99, "SLO objective: fraction of checks under target")
 	version := fs.Bool("version", false, "print version and exit")
@@ -110,17 +112,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}()
 
 	srv := server.NewServer(server.Config{
-		Registry:      telemetry.NewRegistry(""),
-		Deadline:      *deadline,
-		MaxInflight:   *maxInflight,
-		TraceDir:      *traceDir,
-		Logger:        logger,
-		Pprof:         *pprofFlag,
-		Audit:         al,
-		SlowThreshold: *slowThreshold,
-		QuarantineDir: *quarantineDir,
-		SLOTarget:     time.Duration(*sloTargetMS) * time.Millisecond,
-		SLOObjective:  *sloObjective,
+		Registry:                 telemetry.NewRegistry(""),
+		Deadline:                 *deadline,
+		MaxInflight:              *maxInflight,
+		TraceDir:                 *traceDir,
+		Logger:                   logger,
+		Pprof:                    *pprofFlag,
+		Audit:                    al,
+		SlowThreshold:            *slowThreshold,
+		QuarantineDir:            *quarantineDir,
+		FlightSampleInconsistent: *flightSample,
+		FlightMaxBundleBytes:     *flightMaxBytes,
+		SLOTarget:                time.Duration(*sloTargetMS) * time.Millisecond,
+		SLOObjective:             *sloObjective,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -35,6 +35,10 @@ type Event struct {
 	Time string `json:"time"`
 	// RequestID is the serving request ID ("-" outside a server).
 	RequestID string `json:"request_id"`
+	// TraceID is the W3C trace ID the request ran under, joining this
+	// event with the response headers, metric exemplars, and flight
+	// bundles (empty outside a server).
+	TraceID string `json:"trace_id,omitempty"`
 	// Op names the serving operation ("explain" for /explain events;
 	// empty for plain checks, keeping existing logs stable).
 	Op string `json:"op,omitempty"`

@@ -30,6 +30,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 
 	"repro/internal/bruteforce"
 	"repro/internal/cardinality"
@@ -119,6 +120,18 @@ type Options struct {
 	// row elsewhere. Check copies the rows into Result.Attribution.
 	// nil costs one nil check per subproblem.
 	Ledger *introspect.Ledger
+	// ProfileLabel, when non-empty, runs the check's phases under
+	// runtime/pprof labels — ("digest", ProfileLabel, "phase",
+	// lint|prover|ilp), plus ("scope", key) around each hierarchical
+	// scope subproblem — so CPU profiles collected while checks run
+	// (-cpuprofile, /debug/pprof) attribute their samples to specs and
+	// pipeline phases. Callers set it to the spec digest. Empty costs
+	// nothing: label sets and the closures pprof.Do needs are built
+	// only on the labeled branches, which is why every wrap site
+	// duplicates the call instead of abstracting it behind a func
+	// parameter (an unconditionally created closure would heap-allocate
+	// its captures on the hot path too).
+	ProfileLabel string
 }
 
 func (o Options) withDefaults() Options {
@@ -308,7 +321,20 @@ func dispatch(d *dtd.DTD, set *constraint.Set, opts Options) (Result, error) {
 
 	if !opts.SkipLint {
 		opts.Progress.SetPhase("lint")
-		rep := speclint.PrepassValidated(d, set, opts.Obs)
+		// Labeled-phase discipline (here and at every pprof.Do site in
+		// this package): the closure and every variable it captures are
+		// created inside the ProfileLabel branch, so the unlabeled hot
+		// path allocates nothing for profiling support.
+		var rep *speclint.Report
+		if opts.ProfileLabel != "" {
+			var lrep *speclint.Report
+			rec := opts.Obs
+			pprof.Do(labelCtx(opts), pprof.Labels("digest", opts.ProfileLabel, "phase", "lint"),
+				func(context.Context) { lrep = speclint.PrepassValidated(d, set, rec) })
+			rep = lrep
+		} else {
+			rep = speclint.PrepassValidated(d, set, opts.Obs)
+		}
 		res.Stats.LintFindings = len(rep.Diags)
 		if diag := rep.SoundError(); diag != nil {
 			route(opts.Obs, "lint_short_circuit")
@@ -328,7 +354,15 @@ func dispatch(d *dtd.DTD, set *constraint.Set, opts Options) (Result, error) {
 	if opts.Explain {
 		opts.Progress.SetPhase("prover")
 		psp := opts.Obs.Start("prover")
-		out := prover.Saturate(d, set)
+		var out prover.Outcome
+		if opts.ProfileLabel != "" {
+			var lout prover.Outcome
+			pprof.Do(labelCtx(opts), pprof.Labels("digest", opts.ProfileLabel, "phase", "prover"),
+				func(context.Context) { lout = prover.Saturate(d, set) })
+			out = lout
+		} else {
+			out = prover.Saturate(d, set)
+		}
 		res.Stats.ProverFacts = out.Facts
 		if psp != nil {
 			psp.SetInt("facts", int64(out.Facts))
@@ -351,11 +385,39 @@ func dispatch(d *dtd.DTD, set *constraint.Set, opts Options) (Result, error) {
 		}
 	}
 
+	if opts.ProfileLabel != "" {
+		// Everything past the prepasses is solver work, labeled as one
+		// "ilp" phase; the relative route refines it with a per-scope
+		// label from inside hierChecker.scope.
+		lres := res
+		lopts := opts
+		pprof.Do(labelCtx(opts), pprof.Labels("digest", opts.ProfileLabel, "phase", "ilp"),
+			func(context.Context) { decideRoute(d, set, prof, lopts, &lres) })
+		res = lres
+	} else {
+		decideRoute(d, set, prof, opts, &res)
+	}
+	if sp != nil {
+		sp.SetString("class", res.Class)
+		sp.SetString("method", res.Method)
+		sp.SetString("verdict", res.Verdict.String())
+		if res.Diagnosis != "" {
+			sp.SetString("diagnosis", res.Diagnosis)
+		}
+		res.Stats.record(opts.Obs)
+	}
+	return res, nil
+}
+
+// decideRoute runs the routed decision procedure — the ILP-bearing
+// stage of the pipeline, after the lint and prover prepasses have
+// declined to short-circuit.
+func decideRoute(d *dtd.DTD, set *constraint.Set, prof constraint.Profile, opts Options, res *Result) {
 	switch {
 	case prof.Relative:
 		route(opts.Obs, "relative")
 		opts.Progress.SetPhase("relative")
-		checkRelative(d, set, opts, &res)
+		checkRelative(d, set, opts, res)
 	case len(set.Incls) == 0 && !prof.Regular:
 		// SAT(AC_K): keys alone never conflict; only the DTD matters.
 		route(opts.Obs, "keys-only")
@@ -368,7 +430,7 @@ func dispatch(d *dtd.DTD, set *constraint.Set, opts Options) (Result, error) {
 			res.conclude(Consistent, dtdSatCert(opts))
 			if !opts.SkipWitness {
 				wsp := opts.Obs.Start("witness")
-				attachKeysOnlyWitness(d, set, opts, &res)
+				attachKeysOnlyWitness(d, set, opts, res)
 				wsp.End()
 			}
 		} else {
@@ -380,22 +442,22 @@ func dispatch(d *dtd.DTD, set *constraint.Set, opts Options) (Result, error) {
 	case prof.Regular:
 		route(opts.Obs, "regular")
 		opts.Progress.SetPhase("regular")
-		checkRegular(d, set, opts, &res)
+		checkRegular(d, set, opts, res)
 	default:
 		route(opts.Obs, "absolute")
 		opts.Progress.SetPhase("absolute")
-		checkAbsolute(d, set, prof, opts, &res)
+		checkAbsolute(d, set, prof, opts, res)
 	}
-	if sp != nil {
-		sp.SetString("class", res.Class)
-		sp.SetString("method", res.Method)
-		sp.SetString("verdict", res.Verdict.String())
-		if res.Diagnosis != "" {
-			sp.SetString("diagnosis", res.Diagnosis)
-		}
-		res.Stats.record(opts.Obs)
+}
+
+// labelCtx is the parent context pprof.Do stacks its labels onto: the
+// check's own context when one is attached, the background context
+// otherwise.
+func labelCtx(opts Options) context.Context {
+	if opts.Ctx != nil {
+		return opts.Ctx
 	}
-	return res, nil
+	return context.Background()
 }
 
 // route marks which decision procedure fired, both as a counter (for

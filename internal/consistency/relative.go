@@ -1,8 +1,10 @@
 package consistency
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime/pprof"
 	"sort"
 
 	"repro/internal/bruteforce"
@@ -161,6 +163,28 @@ func (h *hierChecker) scope(chain map[string]bool, tau string) hierScope {
 		}
 	}
 
+	// The solve runs under a per-scope pprof label when the check is
+	// labeled, so a CPU profile of a hierarchical check attributes
+	// samples to individual scope subproblems. Nested pprof.Do calls
+	// from the exit recursion above have already restored this
+	// goroutine's labels, so the scope label stacks on the check-wide
+	// ("digest", "phase") set. The closure (and the copy of the one
+	// reassigned local it captures) is created only on the labeled
+	// branch — the unlabeled path must not allocate for it.
+	if h.opts.ProfileLabel != "" {
+		ue := undecidedExit
+		pprof.Do(context.Background(), pprof.Labels("scope", key),
+			func(context.Context) { h.solveScope(chain, tau, key, sd, exits, banned, ue) })
+		return h.memo[key]
+	}
+	return h.solveScope(chain, tau, key, sd, exits, banned, undecidedExit)
+}
+
+// solveScope encodes and decides one (chain, τ) scope problem, records
+// its ledger row, and memoizes the outcome. The exit recursion has
+// already run; banned lists the exits proved inconsistent and
+// undecidedExit reports whether any exit came back Unknown.
+func (h *hierChecker) solveScope(chain map[string]bool, tau, key string, sd *dtd.DTD, exits []string, banned map[string]bool, undecidedExit bool) hierScope {
 	// The probe starts after the exit recursion, so a parent scope's
 	// row covers its own encode+solve only — children account for
 	// themselves and the ledger's total stays the real wall time. The

@@ -50,6 +50,12 @@ type Recorder struct {
 	epoch time.Time
 	// events is the bounded ring sink, nil until EnableEvents.
 	events *eventRing
+	// traceID is the W3C trace ID correlating this recorder's spans
+	// with logs, metrics exemplars, and flight bundles. It is lazily
+	// generated on first read so recorders created outside a serving
+	// context still carry one; the server overrides it with the
+	// caller's inbound trace ID via SetTraceID.
+	traceID string
 }
 
 // New returns an enabled Recorder.
@@ -78,18 +84,54 @@ func (r *Recorder) SetClock(now func() time.Time) {
 // allocate.
 func (r *Recorder) Enabled() bool { return r != nil }
 
+// SetTraceID pins the recorder's trace ID, normally to the trace ID
+// parsed from (or generated for) an inbound traceparent header.
+func (r *Recorder) SetTraceID(id string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.traceID = id
+	r.mu.Unlock()
+}
+
+// TraceID returns the recorder's W3C trace ID, generating one on
+// first use. A nil recorder reports "".
+func (r *Recorder) TraceID() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.traceID == "" {
+		r.traceID = NewTraceID()
+	}
+	return r.traceID
+}
+
 // Span is one timed phase of the pipeline. Spans nest: a span started
 // while another is open becomes its child. A nil *Span no-ops.
 type Span struct {
 	Name  string
 	Attrs []Attr
 
+	// id is the span's W3C span ID, assigned at Start.
+	id       string
 	start    time.Time
 	duration time.Duration
 	ended    bool
 	children []*Span
 
 	rec *Recorder
+}
+
+// SpanID returns the span's W3C span ID (16 hex characters). A nil
+// span reports "".
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
 }
 
 // Attr is one key/value annotation on a span. Exactly one of Int and
@@ -110,7 +152,7 @@ func (r *Recorder) Start(name string) *Span {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	sp := &Span{Name: name, start: r.now(), rec: r}
+	sp := &Span{Name: name, id: NewSpanID(), start: r.now(), rec: r}
 	if n := len(r.stack); n > 0 {
 		parent := r.stack[n-1]
 		parent.children = append(parent.children, sp)
@@ -249,6 +291,11 @@ func bucketOf(v int64) int {
 	return bits.Len64(uint64(v))
 }
 
+// BucketIndex exposes the value→bucket mapping so aggregators (the
+// telemetry registry's exemplar store) can address buckets the same
+// way the histogram does.
+func BucketIndex(v int64) int { return bucketOf(v) }
+
 // BucketLo returns the smallest value of bucket i.
 func BucketLo(i int) int64 {
 	if i <= 0 {
@@ -282,6 +329,7 @@ type snapshot struct {
 
 type spanCopy struct {
 	name     string
+	id       string
 	attrs    []Attr
 	startUS  int64
 	duration time.Duration
@@ -310,6 +358,7 @@ func (r *Recorder) snapshot() snapshot {
 		}
 		out := &spanCopy{
 			name:     s.Name,
+			id:       s.id,
 			attrs:    append([]Attr(nil), s.Attrs...),
 			startUS:  s.start.Sub(r.epoch).Microseconds(),
 			duration: d,

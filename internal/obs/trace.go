@@ -15,6 +15,7 @@ import (
 type SpanInfo struct {
 	Path       string `json:"path"`
 	Name       string `json:"name"`
+	SpanID     string `json:"span_id,omitempty"`
 	StartUS    int64  `json:"start_us"`
 	DurationUS int64  `json:"duration_us"`
 	Attrs      []Attr `json:"attrs,omitempty"`
@@ -38,6 +39,7 @@ func (r *Recorder) Spans() []SpanInfo {
 		out = append(out, SpanInfo{
 			Path:       path,
 			Name:       s.name,
+			SpanID:     s.id,
 			StartUS:    s.startUS,
 			DurationUS: s.duration.Microseconds(),
 			Attrs:      s.attrs,
@@ -163,7 +165,9 @@ func toChrome(e Event) chromeEvent {
 // WriteChromeTrace renders the recorder's events as one Chrome
 // trace-event JSON object, loadable in Perfetto (ui.perfetto.dev) or
 // about://tracing. The header carries the build stamp, so every trace
-// names the binary that produced it. A nil recorder writes nothing.
+// names the binary that produced it, plus the recorder's trace ID so
+// an exported trace joins against logs, audit rows, and exemplars. A
+// nil recorder writes nothing.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	if r == nil {
 		return nil
@@ -179,6 +183,7 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			"go_version": info.GoVersion,
 			"revision":   info.Revision,
 			"dirty":      fmt.Sprintf("%t", info.Dirty),
+			"trace_id":   r.TraceID(),
 		},
 	}
 	if dropped := r.DroppedEvents(); dropped > 0 {

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// This file implements the W3C Trace Context identifiers the serving
+// layer propagates: 16-byte trace IDs naming a whole request tree and
+// 8-byte span IDs naming one timed phase inside it, both rendered as
+// lowercase hex. A traceparent header ties an inbound request to its
+// caller's trace:
+//
+//	traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	             │  │                                │                │
+//	             │  trace-id (32 hex, not all zero)  parent-id        flags
+//	             version (not ff)                    (16 hex, nonzero)
+//
+// ParseTraceparent accepts any non-ff version (per spec, future
+// versions must stay parseable by their first four fields) but
+// requires version 00 headers to carry exactly the four fields above.
+
+// TraceIDLen and SpanIDLen are the hex-encoded lengths of the two
+// identifier kinds.
+const (
+	TraceIDLen = 32
+	SpanIDLen  = 16
+)
+
+// NewTraceID returns a fresh random W3C trace ID: 32 lowercase hex
+// characters, guaranteed not all zero (the spec's invalid value).
+func NewTraceID() string { return randHex(TraceIDLen / 2) }
+
+// NewSpanID returns a fresh random W3C span ID: 16 lowercase hex
+// characters, not all zero.
+func NewSpanID() string { return randHex(SpanIDLen / 2) }
+
+// randHex returns 2n lowercase hex characters of cryptographic
+// randomness, rejecting the all-zero draw.
+func randHex(n int) string {
+	buf := make([]byte, n)
+	for {
+		if _, err := rand.Read(buf); err != nil {
+			// crypto/rand is documented never to fail on supported
+			// platforms; if it does, identifiers cannot be trusted.
+			panic("obs: crypto/rand: " + err.Error())
+		}
+		zero := true
+		for _, b := range buf {
+			if b != 0 {
+				zero = false
+				break
+			}
+		}
+		if !zero {
+			return hex.EncodeToString(buf)
+		}
+	}
+}
+
+// ErrTraceparent is the sentinel wrapped by every ParseTraceparent
+// failure, so callers can branch with errors.Is.
+var ErrTraceparent = errors.New("malformed traceparent")
+
+// ParseTraceparent validates a traceparent header and returns its
+// trace-id and parent-id fields. It rejects the ff version, short or
+// non-hex identifiers, and the all-zero trace or parent ID.
+func ParseTraceparent(header string) (traceID, parentID string, err error) {
+	fail := func(format string, args ...any) (string, string, error) {
+		return "", "", fmt.Errorf("%w: %s", ErrTraceparent, fmt.Sprintf(format, args...))
+	}
+	parts := splitDash(header)
+	if len(parts) < 4 {
+		return fail("want version-traceid-parentid-flags, got %d field(s)", len(parts))
+	}
+	version := parts[0]
+	if len(version) != 2 || !isLowerHex(version) {
+		return fail("bad version field %q", version)
+	}
+	if version == "ff" {
+		return fail("version ff is forbidden")
+	}
+	if version == "00" && len(parts) != 4 {
+		return fail("version 00 must have exactly 4 fields, got %d", len(parts))
+	}
+	traceID = parts[1]
+	if len(traceID) != TraceIDLen || !isLowerHex(traceID) {
+		return fail("bad trace-id %q", traceID)
+	}
+	if isAllZero(traceID) {
+		return fail("all-zero trace-id")
+	}
+	parentID = parts[2]
+	if len(parentID) != SpanIDLen || !isLowerHex(parentID) {
+		return fail("bad parent-id %q", parentID)
+	}
+	if isAllZero(parentID) {
+		return fail("all-zero parent-id")
+	}
+	if flags := parts[3]; len(flags) != 2 || !isLowerHex(flags) {
+		return fail("bad flags field %q", flags)
+	}
+	return traceID, parentID, nil
+}
+
+// FormatTraceparent renders a version-00 traceparent header with the
+// sampled flag set, the form the daemon echoes on every response.
+func FormatTraceparent(traceID, spanID string) string {
+	return "00-" + traceID + "-" + spanID + "-01"
+}
+
+// splitDash splits on '-' without the strings.Split allocation games:
+// traceparent fields never contain dashes, so a plain scan suffices.
+func splitDash(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '-' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+// isLowerHex reports whether s is entirely lowercase hex digits.
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// isAllZero reports whether s is entirely '0' characters.
+func isAllZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}

@@ -18,13 +18,21 @@
 // procedures, so a client disconnect or timeout aborts the worst-case
 // exponential search promptly and leaks no goroutines.
 //
+// Every request also runs under W3C trace context: the middleware
+// parses an inbound traceparent header (or starts a fresh trace),
+// echoes it on the response, and the trace ID flows into the span
+// tree, the audit event, the latency-histogram exemplars, and the
+// response bodies, so one identifier joins every artifact a request
+// leaves behind.
+//
 // Beyond counters, every completed check leaves three observability
-// trails: an audit event (request ID, spec digest, verdict, phases)
-// in the configured audit log, an observation in the rolling 1m/5m/1h
-// windows that drive the rate/latency/burn-rate gauges, and — when the
-// check ran longer than Config.SlowThreshold — a rate-limited
-// quarantine capture pairing the Chrome trace with the offending spec
-// so slow checks can be replayed offline.
+// trails: an audit event (request ID, trace ID, spec digest, verdict,
+// phases) in the configured audit log, an observation in the rolling
+// 1m/5m/1h windows that drive the rate/latency/burn-rate gauges, and
+// an entry in the flight recorder's bounded ring — which, on a
+// trigger (slow threshold, 5xx/panic, abort, sampled inconsistent
+// verdict), dumps a rate-limited correlated bundle into
+// Config.QuarantineDir so anomalous checks can be replayed offline.
 package server
 
 import (
@@ -45,6 +53,7 @@ import (
 	xmlspec "repro"
 	"repro/internal/audit"
 	"repro/internal/certificate"
+	"repro/internal/flight"
 	"repro/internal/introspect"
 	"repro/internal/obs"
 	"repro/internal/prover"
@@ -79,16 +88,25 @@ type Config struct {
 	// status page always has data; the caller owns a file-backed log's
 	// lifecycle, including Close.
 	Audit *audit.Log
-	// SlowThreshold marks checks slower than it for quarantine capture
-	// (zero: no captures).
+	// SlowThreshold marks checks slower than it as slow: they bump the
+	// slow counter and trip the flight recorder's slow trigger (zero:
+	// no slow trigger).
 	SlowThreshold time.Duration
-	// QuarantineDir is where slow-check captures land, as a
-	// slow-<request-id>.json Chrome trace plus a slow-<request-id>.spec
-	// spec dump. Empty disables capture even with a threshold set.
+	// QuarantineDir is where flight bundles land, as a
+	// <trigger>-<trace-id>.json correlated bundle plus a matching
+	// .spec dump. Empty disables dumping (the in-memory flight ring
+	// still records).
 	QuarantineDir string
-	// SlowCaptureInterval rate-limits captures: at most one per
-	// interval (zero: one per minute).
+	// SlowCaptureInterval rate-limits flight dumps across all
+	// triggers: at most one bundle per interval (zero: one per
+	// minute).
 	SlowCaptureInterval time.Duration
+	// FlightSampleInconsistent dumps every Nth inconsistent verdict as
+	// a flight bundle (zero: off).
+	FlightSampleInconsistent int
+	// FlightMaxBundleBytes caps each flight bundle's .json size (zero:
+	// 4 MiB).
+	FlightMaxBundleBytes int64
 	// SLOTarget is the latency target of the serving SLO; checks
 	// slower than it burn error budget. Zero disables the SLO gauges.
 	SLOTarget time.Duration
@@ -113,9 +131,9 @@ type Server struct {
 	runningMu sync.Mutex
 	running   map[string]*runningCheck
 
-	// lastCapture rate-limits slow-check quarantine captures.
-	captureMu   sync.Mutex
-	lastCapture time.Time
+	// flight is the anomaly flight recorder: ring of recent requests
+	// plus the trigger-driven quarantine dumper.
+	flight *flight.Recorder
 }
 
 // runningCheck is one in-flight check as the status page shows it.
@@ -124,6 +142,7 @@ type Server struct {
 // ever blocking the search.
 type runningCheck struct {
 	ID         string `json:"request_id"`
+	TraceID    string `json:"trace_id,omitempty"`
 	SpecDigest string `json:"spec_digest,omitempty"`
 	StartedAt  time.Time
 	pub        *introspect.Publisher
@@ -158,6 +177,14 @@ func NewServer(cfg Config) *Server {
 		rolling: telemetry.NewRolling(cfg.SLOTarget.Microseconds()),
 		start:   time.Now(),
 		running: map[string]*runningCheck{},
+		flight: flight.New(flight.Options{
+			Dir:                cfg.QuarantineDir,
+			SlowThreshold:      cfg.SlowThreshold,
+			Interval:           cfg.SlowCaptureInterval,
+			SampleInconsistent: cfg.FlightSampleInconsistent,
+			MaxBundleBytes:     cfg.FlightMaxBundleBytes,
+			Logger:             cfg.Logger,
+		}),
 	}
 	s.reg.RegisterGauge("server_inflight_checks",
 		"Checks currently executing.",
@@ -179,8 +206,14 @@ func NewServer(cfg Config) *Server {
 	s.reg.Help("server.panics", "Handler panics recovered into 500 responses.")
 	s.reg.Help("server.request_us", "End-to-end HTTP request latency in microseconds.")
 	s.reg.Help("server.check_us", "Consistency-check latency in microseconds (verdict-bearing requests).")
-	s.reg.Help("server.slow_captures", "Slow checks quarantined as trace+spec pairs.")
+	s.reg.Help("server.slow_captures", "Flight bundles dumped to the quarantine directory (trace+spec pairs, any trigger).")
 	s.reg.Help("server.slow_checks", "Checks that exceeded the slow threshold (captured or not).")
+	s.reg.RegisterGauge("server_flight_triggered",
+		"Requests that tripped a flight-recorder trigger.",
+		func() float64 { t, _, _ := s.flight.Stats(); return float64(t) })
+	s.reg.RegisterGauge("server_flight_suppressed",
+		"Flight dumps suppressed by the shared rate limiter.",
+		func() float64 { _, _, sup := s.flight.Stats(); return float64(sup) })
 	return s
 }
 
@@ -235,6 +268,10 @@ type CheckOptions struct {
 // CheckResponse is the /check response body on success.
 type CheckResponse struct {
 	RequestID string `json:"request_id"`
+	// TraceID is the W3C trace ID this request ran under (also echoed
+	// in the traceparent response header): the join key for audit
+	// events, metric exemplars, and flight bundles.
+	TraceID string `json:"trace_id,omitempty"`
 	// SpecDigest is the canonical digest of the checked specification
 	// (internal/digest) — the key joining this response to audit
 	// events, traces, journal entries, and the status page.
@@ -259,6 +296,7 @@ type CheckResponse struct {
 // order (keys first, then inclusions).
 type ExplainResponse struct {
 	RequestID  string `json:"request_id"`
+	TraceID    string `json:"trace_id,omitempty"`
 	SpecDigest string `json:"spec_digest"`
 	Verdict    string `json:"verdict"`
 	Method     string `json:"method,omitempty"`
@@ -282,6 +320,7 @@ type ExplainResponse struct {
 // ErrorResponse is the body of every non-2xx reply.
 type ErrorResponse struct {
 	RequestID string `json:"request_id"`
+	TraceID   string `json:"trace_id,omitempty"`
 	Error     string `json:"error"`
 	// Kind distinguishes machine-readable failure classes:
 	// "parse", "overload", "deadline", "canceled", "internal".
@@ -293,9 +332,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "{\"status\":\"ok\",\"inflight\":%d}\n", s.inflight.Load())
 }
 
+// handleMetrics serves the registry under content negotiation: the
+// OpenMetrics exposition (with trace-ID exemplars on the histogram
+// buckets) when the scraper asks for it, the Prometheus text format
+// otherwise.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := s.reg.WritePrometheus(w); err != nil {
+	contentType, openMetrics := telemetry.NegotiateExposition(r.Header.Get("Accept"))
+	w.Header().Set("Content-Type", contentType)
+	var err error
+	if openMetrics {
+		err = s.reg.WriteOpenMetrics(w)
+	} else {
+		err = s.reg.WritePrometheus(w)
+	}
+	if err != nil {
 		s.log.Error("metrics write failed", "err", err)
 	}
 }
@@ -303,10 +353,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // admit applies the in-flight cap, answering 429 itself when the server
 // is at capacity. The caller must pair a successful admit with the
 // deferred decrement.
-func (s *Server) admit(w http.ResponseWriter, id string) bool {
+func (s *Server) admit(w http.ResponseWriter, id, tid string) bool {
 	if max := s.cfg.MaxInflight; max > 0 && s.inflight.Load() >= int64(max) {
 		s.reg.Add("server.rejects.overload", 1)
-		s.writeError(w, id, http.StatusTooManyRequests, "overload",
+		s.writeError(w, id, tid, http.StatusTooManyRequests, "overload",
 			fmt.Sprintf("at capacity (%d checks in flight)", max))
 		return false
 	}
@@ -319,25 +369,26 @@ func (s *Server) admit(w http.ResponseWriter, id string) bool {
 // the request itself and reports ok=false.
 func (s *Server) readSpecRequest(w http.ResponseWriter, r *http.Request, id string) (CheckRequest, *xmlspec.Spec, bool) {
 	var req CheckRequest
+	tid := traceID(r.Context())
 	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxRequestBytes+1))
 	if err != nil {
-		s.writeError(w, id, http.StatusBadRequest, "parse", "reading body: "+err.Error())
+		s.writeError(w, id, tid, http.StatusBadRequest, "parse", "reading body: "+err.Error())
 		return req, nil, false
 	}
 	if int64(len(body)) > s.cfg.MaxRequestBytes {
-		s.writeError(w, id, http.StatusRequestEntityTooLarge, "parse",
+		s.writeError(w, id, tid, http.StatusRequestEntityTooLarge, "parse",
 			fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxRequestBytes))
 		return req, nil, false
 	}
 	if err := json.Unmarshal(body, &req); err != nil {
 		s.reg.Add("server.errors.parse", 1)
-		s.writeError(w, id, http.StatusBadRequest, "parse", "decoding request: "+err.Error())
+		s.writeError(w, id, tid, http.StatusBadRequest, "parse", "decoding request: "+err.Error())
 		return req, nil, false
 	}
 	spec, err := xmlspec.Parse(req.DTD, req.Constraints)
 	if err != nil {
 		s.reg.Add("server.errors.parse", 1)
-		s.writeError(w, id, http.StatusBadRequest, "parse", err.Error())
+		s.writeError(w, id, tid, http.StatusBadRequest, "parse", err.Error())
 		return req, nil, false
 	}
 	return req, spec, true
@@ -345,8 +396,9 @@ func (s *Server) readSpecRequest(w http.ResponseWriter, r *http.Request, id stri
 
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	id := requestID(r.Context())
+	tid := traceID(r.Context())
 
-	if !s.admit(w, id) {
+	if !s.admit(w, id, tid) {
 		return
 	}
 	defer s.inflight.Add(-1)
@@ -361,7 +413,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	// snapshots into it, /debug/inflight reads them lock-free.
 	pub := introspect.NewPublisher()
 	s.runningMu.Lock()
-	s.running[id] = &runningCheck{ID: id, SpecDigest: dig, StartedAt: time.Now(), pub: pub}
+	s.running[id] = &runningCheck{ID: id, TraceID: tid, SpecDigest: dig, StartedAt: time.Now(), pub: pub}
 	s.runningMu.Unlock()
 	defer func() {
 		s.runningMu.Lock()
@@ -375,13 +427,16 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	// Per-request recorder: the span tree becomes this request's trace
 	// file, the counters and histograms aggregate into the registry.
 	rec := obs.New()
+	rec.SetTraceID(tid)
 	root := rec.Start("server.check")
 	root.SetString("request_id", id)
+	root.SetString("trace_id", tid)
 	root.SetString("spec_digest", dig)
 	spec.SetObserver(rec)
 
 	opts := req.Options.internal()
 	opts.Progress = pub
+	opts.ProfileLabel = dig
 	// The time-only ledger always runs: its rows feed the audit trail
 	// even when the client did not ask for them in the response.
 	// Allocation tracking stays off — ReadMemStats is too heavy for a
@@ -400,37 +455,38 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	}
 	root.End()
 	s.reg.Absorb(rec)
+	s.reg.Exemplar("server.check_us", elapsed.Microseconds(), tid)
 	s.writeTraceFile(id, rec)
 	s.rolling.Observe(elapsed.Microseconds(), err != nil)
-	s.captureSlow(id, dig, req, rec, elapsed)
 
 	ev := audit.Event{
 		RequestID:  id,
+		TraceID:    tid,
 		SpecDigest: dig,
 		ElapsedUS:  elapsed.Microseconds(),
 		Phases:     auditPhases(rec),
 	}
 
 	if err != nil {
+		var msg string
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
 			s.reg.Add("server.aborts.deadline", 1)
 			ev.Abort, ev.Status = "deadline", http.StatusGatewayTimeout
-			s.audit.Record(ev)
-			s.writeError(w, id, http.StatusGatewayTimeout, "deadline",
-				"check aborted: deadline exceeded after "+elapsed.String())
+			msg = "check aborted: deadline exceeded after " + elapsed.String()
 		case errors.Is(err, context.Canceled):
 			s.reg.Add("server.aborts.canceled", 1)
-			ev.Abort, ev.Status = "canceled", 499
-			s.audit.Record(ev)
 			// The client is usually gone; the status code is best-effort.
-			s.writeError(w, id, 499, "canceled", "check aborted: request canceled")
+			ev.Abort, ev.Status = "canceled", 499
+			msg = "check aborted: request canceled"
 		default:
 			s.reg.Add("server.errors.internal", 1)
 			ev.Abort, ev.Status = "internal", http.StatusInternalServerError
-			s.audit.Record(ev)
-			s.writeError(w, id, http.StatusInternalServerError, "internal", err.Error())
+			msg = err.Error()
 		}
+		s.audit.Record(ev)
+		s.observeFlight("check", req, ev, rec, pub, elapsed)
+		s.writeError(w, id, tid, ev.Status, ev.Abort, msg)
 		return
 	}
 
@@ -439,9 +495,11 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	ev.Status = http.StatusOK
 	ev.ScopeCosts = auditScopeCosts(res.Attribution)
 	s.audit.Record(ev)
+	s.observeFlight("check", req, ev, rec, pub, elapsed)
 
 	cresp := CheckResponse{
 		RequestID:   id,
+		TraceID:     tid,
 		SpecDigest:  dig,
 		Verdict:     res.Verdict.String(),
 		Class:       res.Class,
@@ -466,8 +524,9 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 // latency histogram, counters, and audit op.
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	id := requestID(r.Context())
+	tid := traceID(r.Context())
 
-	if !s.admit(w, id) {
+	if !s.admit(w, id, tid) {
 		return
 	}
 	defer s.inflight.Add(-1)
@@ -480,7 +539,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 
 	pub := introspect.NewPublisher()
 	s.runningMu.Lock()
-	s.running[id] = &runningCheck{ID: id, SpecDigest: dig, StartedAt: time.Now(), pub: pub}
+	s.running[id] = &runningCheck{ID: id, TraceID: tid, SpecDigest: dig, StartedAt: time.Now(), pub: pub}
 	s.runningMu.Unlock()
 	defer func() {
 		s.runningMu.Lock()
@@ -492,13 +551,16 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	rec := obs.New()
+	rec.SetTraceID(tid)
 	root := rec.Start("server.explain")
 	root.SetString("request_id", id)
+	root.SetString("trace_id", tid)
 	root.SetString("spec_digest", dig)
 	spec.SetObserver(rec)
 
 	opts := req.Options.internal()
 	opts.Progress = pub
+	opts.ProfileLabel = dig
 
 	start := time.Now()
 	ex, err := spec.ExplainContext(ctx, opts)
@@ -512,11 +574,13 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	root.End()
 	s.reg.Absorb(rec)
+	s.reg.Exemplar("server.explain_us", elapsed.Microseconds(), tid)
 	s.writeTraceFile(id, rec)
 	s.rolling.Observe(elapsed.Microseconds(), err != nil)
 
 	ev := audit.Event{
 		RequestID:  id,
+		TraceID:    tid,
 		Op:         "explain",
 		SpecDigest: dig,
 		ElapsedUS:  elapsed.Microseconds(),
@@ -524,24 +588,24 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if err != nil {
+		var msg string
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
 			s.reg.Add("server.aborts.deadline", 1)
 			ev.Abort, ev.Status = "deadline", http.StatusGatewayTimeout
-			s.audit.Record(ev)
-			s.writeError(w, id, http.StatusGatewayTimeout, "deadline",
-				"explain aborted: deadline exceeded after "+elapsed.String())
+			msg = "explain aborted: deadline exceeded after " + elapsed.String()
 		case errors.Is(err, context.Canceled):
 			s.reg.Add("server.aborts.canceled", 1)
 			ev.Abort, ev.Status = "canceled", 499
-			s.audit.Record(ev)
-			s.writeError(w, id, 499, "canceled", "explain aborted: request canceled")
+			msg = "explain aborted: request canceled"
 		default:
 			s.reg.Add("server.errors.internal", 1)
 			ev.Abort, ev.Status = "internal", http.StatusInternalServerError
-			s.audit.Record(ev)
-			s.writeError(w, id, http.StatusInternalServerError, "internal", err.Error())
+			msg = err.Error()
 		}
+		s.audit.Record(ev)
+		s.observeFlight("explain", req, ev, rec, pub, elapsed)
+		s.writeError(w, id, tid, ev.Status, ev.Abort, msg)
 		return
 	}
 
@@ -549,9 +613,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	ev.CertificateKind = ex.Certificate.Kind()
 	ev.Status = http.StatusOK
 	s.audit.Record(ev)
+	s.observeFlight("explain", req, ev, rec, pub, elapsed)
 
 	s.writeJSON(w, http.StatusOK, ExplainResponse{
 		RequestID:       id,
+		TraceID:         tid,
 		SpecDigest:      dig,
 		Verdict:         ex.Verdict.String(),
 		Method:          ex.Method,
@@ -593,51 +659,39 @@ func auditPhases(rec *obs.Recorder) []audit.Phase {
 	return phases
 }
 
-// captureSlow quarantines a slow check as a replayable pair of files —
-// slow-<id>.json (Chrome trace) and slow-<id>.spec (digest header, DTD,
-// constraint set) — at most once per SlowCaptureInterval so a storm of
-// slow checks cannot flood the directory. Failures are logged, never
-// surfaced: capture must not fail a check that finished.
-func (s *Server) captureSlow(id, dig string, req CheckRequest, rec *obs.Recorder, elapsed time.Duration) {
-	if s.cfg.SlowThreshold <= 0 || elapsed < s.cfg.SlowThreshold {
-		return
+// observeFlight hands a finished request to the flight recorder — the
+// single capture path for slow, errored, aborted, and sampled
+// inconsistent checks — and keeps the slow-check accounting. The
+// recorder's shared rate limiter and <trigger>-<trace_id> naming
+// guarantee a request is captured at most once, whatever combination
+// of triggers it trips. Capture failures are logged by the recorder,
+// never surfaced: capture must not fail a check that finished.
+func (s *Server) observeFlight(op string, req CheckRequest, ev audit.Event, rec *obs.Recorder, pub *introspect.Publisher, elapsed time.Duration) {
+	if s.cfg.SlowThreshold > 0 && elapsed >= s.cfg.SlowThreshold {
+		s.reg.Add("server.slow_checks", 1)
+		s.log.Warn("slow check",
+			"request_id", ev.RequestID, "trace_id", ev.TraceID, "spec_digest", ev.SpecDigest,
+			"elapsed", elapsed, "threshold", s.cfg.SlowThreshold)
 	}
-	s.reg.Add("server.slow_checks", 1)
-	s.log.Warn("slow check",
-		"request_id", id, "spec_digest", dig,
-		"elapsed", elapsed, "threshold", s.cfg.SlowThreshold)
-	if s.cfg.QuarantineDir == "" {
-		return
+	file := s.flight.Observe(flight.Request{
+		TraceID:     ev.TraceID,
+		RequestID:   ev.RequestID,
+		SpecDigest:  ev.SpecDigest,
+		Op:          op,
+		DTD:         req.DTD,
+		Constraints: req.Constraints,
+		Status:      ev.Status,
+		Abort:       ev.Abort,
+		Verdict:     ev.Verdict,
+		Elapsed:     elapsed,
+		Rec:         rec,
+		Progress:    pub,
+	})
+	if file != "" {
+		s.reg.Add("server.slow_captures", 1)
+		s.log.Warn("flight bundle dumped",
+			"request_id", ev.RequestID, "trace_id", ev.TraceID, "bundle", file)
 	}
-	s.captureMu.Lock()
-	if time.Since(s.lastCapture) < s.cfg.SlowCaptureInterval {
-		s.captureMu.Unlock()
-		return
-	}
-	s.lastCapture = time.Now()
-	s.captureMu.Unlock()
-
-	tracePath := filepath.Join(s.cfg.QuarantineDir, "slow-"+id+".json")
-	f, err := os.Create(tracePath)
-	if err != nil {
-		s.log.Error("slow capture", "request_id", id, "err", err)
-		return
-	}
-	err = rec.WriteChromeTrace(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		s.log.Error("slow capture trace", "request_id", id, "err", err)
-		return
-	}
-	spec := fmt.Sprintf("# spec_digest: %s\n# request_id: %s\n# elapsed: %s\n\n%s\n%%%%\n%s",
-		dig, id, elapsed, req.DTD, req.Constraints)
-	if err := os.WriteFile(filepath.Join(s.cfg.QuarantineDir, "slow-"+id+".spec"), []byte(spec), 0o644); err != nil {
-		s.log.Error("slow capture spec", "request_id", id, "err", err)
-		return
-	}
-	s.reg.Add("server.slow_captures", 1)
 }
 
 // checkContext derives the context a check runs under: the request
@@ -705,6 +759,6 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-func (s *Server) writeError(w http.ResponseWriter, id string, status int, kind, msg string) {
-	s.writeJSON(w, status, ErrorResponse{RequestID: id, Error: msg, Kind: kind})
+func (s *Server) writeError(w http.ResponseWriter, id, tid string, status int, kind, msg string) {
+	s.writeJSON(w, status, ErrorResponse{RequestID: id, TraceID: tid, Error: msg, Kind: kind})
 }

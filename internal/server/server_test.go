@@ -696,17 +696,32 @@ func TestSlowCaptureQuarantine(t *testing.T) {
 		}
 		t.Fatalf("quarantine has %d files %v, want exactly one trace+spec pair", len(entries), names)
 	}
-	tracePath := filepath.Join(dir, "slow-"+first.RequestID+".json")
-	specPath := filepath.Join(dir, "slow-"+first.RequestID+".spec")
-	traceData, err := os.ReadFile(tracePath)
+	if first.TraceID == "" {
+		t.Fatal("check response carries no trace_id")
+	}
+	tracePath := filepath.Join(dir, "slow-"+first.TraceID+".json")
+	specPath := filepath.Join(dir, "slow-"+first.TraceID+".spec")
+	bundleData, err := os.ReadFile(tracePath)
 	if err != nil {
 		t.Fatalf("trace: %v", err)
 	}
-	var trace struct {
-		TraceEvents []map[string]any `json:"traceEvents"`
+	var bundle struct {
+		Schema  string `json:"schema"`
+		Trigger string `json:"trigger"`
+		TraceID string `json:"trace_id"`
+		Trace   struct {
+			TraceEvents []map[string]any `json:"traceEvents"`
+		} `json:"trace"`
+		Goroutines string `json:"goroutines"`
 	}
-	if err := json.Unmarshal(traceData, &trace); err != nil || len(trace.TraceEvents) == 0 {
-		t.Fatalf("quarantined trace invalid (err %v, %d events)", err, len(trace.TraceEvents))
+	if err := json.Unmarshal(bundleData, &bundle); err != nil || len(bundle.Trace.TraceEvents) == 0 {
+		t.Fatalf("quarantined bundle invalid (err %v, %d events)", err, len(bundle.Trace.TraceEvents))
+	}
+	if bundle.Schema != "flight/v1" || bundle.Trigger != "slow" || bundle.TraceID != first.TraceID {
+		t.Fatalf("bundle header = %+v", bundle)
+	}
+	if !strings.Contains(bundle.Goroutines, "goroutine profile:") {
+		t.Error("bundle lacks a goroutine profile")
 	}
 	specData, err := os.ReadFile(specPath)
 	if err != nil {
@@ -714,6 +729,9 @@ func TestSlowCaptureQuarantine(t *testing.T) {
 	}
 	if !strings.Contains(string(specData), first.SpecDigest) {
 		t.Errorf("quarantined spec missing digest header:\n%s", specData)
+	}
+	if !strings.Contains(string(specData), "# trace_id: "+first.TraceID) {
+		t.Errorf("quarantined spec missing trace_id header:\n%s", specData)
 	}
 	if !strings.Contains(string(specData), "<!ELEMENT library") {
 		t.Errorf("quarantined spec missing DTD:\n%s", specData)

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/buildinfo"
+	"repro/internal/flight"
 	"repro/internal/telemetry"
 )
 
@@ -34,7 +35,10 @@ type StatusWindow struct {
 // progress snapshot its solver published (all search fields zero when
 // the check has not reached the solver yet).
 type StatusInflight struct {
-	RequestID  string `json:"request_id"`
+	RequestID string `json:"request_id"`
+	// TraceID joins this row with the request's trace, exemplars, and
+	// any flight bundle it ends up dumping.
+	TraceID    string `json:"trace_id,omitempty"`
 	SpecDigest string `json:"spec_digest,omitempty"`
 	ElapsedMS  int64  `json:"elapsed_ms"`
 	// Phase is the pipeline stage the check was last seen in ("lint",
@@ -74,10 +78,13 @@ type PhaseSummary struct {
 }
 
 // RecentCheck is one recent-ring row: the audit event plus its phase
-// summary.
+// summary and, when the flight recorder dumped this request, the
+// bundle filename in the quarantine directory — the status page's link
+// from a slow or errored row to its correlated capture.
 type RecentCheck struct {
 	audit.Event
 	PhaseSummary PhaseSummary `json:"phase_summary"`
+	Bundle       string       `json:"bundle,omitempty"`
 }
 
 // summarizePhases folds the audit event's slash-joined span paths into
@@ -112,6 +119,10 @@ type Status struct {
 	Windows       []StatusWindow    `json:"windows"`
 	Recent        []RecentCheck     `json:"recent"`
 	HotDigests    []audit.HotDigest `json:"hot_digests"`
+	// FlightBundles lists the most recent flight-recorder dumps
+	// (newest first); each row names the .json/.spec pair in the
+	// quarantine directory and the trace ID to correlate by.
+	FlightBundles []flight.Bundle `json:"flight_bundles"`
 }
 
 // status assembles the live snapshot both debug endpoints render.
@@ -123,8 +134,24 @@ func (s *Server) status() Status {
 		Recent:        []RecentCheck{},
 		HotDigests:    s.audit.Hot(16),
 	}
+	st.FlightBundles = s.flight.Bundles(16)
+	if st.FlightBundles == nil {
+		st.FlightBundles = []flight.Bundle{}
+	}
+	// Join recent rows to their flight bundles by trace ID, so a slow
+	// or errored check on the page points straight at its capture.
+	bundleByTrace := make(map[string]string, len(st.FlightBundles))
+	for _, b := range st.FlightBundles {
+		if _, ok := bundleByTrace[b.TraceID]; !ok {
+			bundleByTrace[b.TraceID] = b.File
+		}
+	}
 	for _, ev := range s.audit.Recent(16) {
-		st.Recent = append(st.Recent, RecentCheck{Event: ev, PhaseSummary: summarizePhases(ev.Phases)})
+		st.Recent = append(st.Recent, RecentCheck{
+			Event:        ev,
+			PhaseSummary: summarizePhases(ev.Phases),
+			Bundle:       bundleByTrace[ev.TraceID],
+		})
 	}
 	if st.HotDigests == nil {
 		st.HotDigests = []audit.HotDigest{}
@@ -166,6 +193,7 @@ func (s *Server) inflightRows() []StatusInflight {
 	for _, rc := range s.running {
 		row := StatusInflight{
 			RequestID:  rc.ID,
+			TraceID:    rc.TraceID,
 			SpecDigest: rc.SpecDigest,
 			ElapsedMS:  now.Sub(rc.StartedAt).Milliseconds(),
 		}
@@ -247,9 +275,9 @@ version {{.Build.Version}} ({{.Build.Revision}}, {{.Build.GoVersion}})
 <h2>In flight ({{len .Inflight}})</h2>
 {{if .Inflight}}
 <table>
-<tr><th>request</th><th>spec digest</th><th>running ms</th><th>phase</th><th>scope</th><th>nodes</th><th>pivots</th><th>restarts</th><th>bounds</th></tr>
+<tr><th>request</th><th>trace</th><th>spec digest</th><th>running ms</th><th>phase</th><th>scope</th><th>nodes</th><th>pivots</th><th>restarts</th><th>bounds</th></tr>
 {{range .Inflight}}
-<tr><td>{{.RequestID}}</td><td>{{.SpecDigest}}</td><td>{{.ElapsedMS}}</td><td>{{.Phase}}</td><td>{{if .ScopeKey}}#{{.ScopeIndex}} {{.ScopeKey}}{{end}}</td><td>{{.Nodes}}</td><td>{{.Pivots}}</td><td>{{.Restarts}}</td><td>{{.Bounds}}</td></tr>
+<tr><td>{{.RequestID}}</td><td>{{.TraceID}}</td><td>{{.SpecDigest}}</td><td>{{.ElapsedMS}}</td><td>{{.Phase}}</td><td>{{if .ScopeKey}}#{{.ScopeIndex}} {{.ScopeKey}}{{end}}</td><td>{{.Nodes}}</td><td>{{.Pivots}}</td><td>{{.Restarts}}</td><td>{{.Bounds}}</td></tr>
 {{end}}
 </table>
 <p class="muted">live solver progress, sampled lock-free; also at <a href="/debug/inflight">/debug/inflight</a></p>
@@ -268,11 +296,22 @@ version {{.Build.Version}} ({{.Build.Revision}}, {{.Build.GoVersion}})
 <h2>Recent checks</h2>
 {{if .Recent}}
 <table>
-<tr><th>time</th><th>request</th><th>spec digest</th><th>verdict</th><th>certificate</th><th>status</th><th>abort</th><th>&micro;s</th><th>lint/prover/ilp &micro;s</th></tr>
+<tr><th>time</th><th>request</th><th>trace</th><th>spec digest</th><th>verdict</th><th>certificate</th><th>status</th><th>abort</th><th>&micro;s</th><th>lint/prover/ilp &micro;s</th><th>bundle</th></tr>
 {{range .Recent}}
-<tr><td>{{.Time}}</td><td>{{.RequestID}}</td><td>{{.SpecDigest}}</td><td>{{.Verdict}}</td><td>{{.CertificateKind}}</td><td>{{.Status}}</td><td>{{.Abort}}</td><td>{{.ElapsedUS}}</td><td>{{.PhaseSummary.LintUS}}/{{.PhaseSummary.ProverUS}}/{{.PhaseSummary.ILPUS}}</td></tr>
+<tr><td>{{.Time}}</td><td>{{.RequestID}}</td><td>{{.TraceID}}</td><td>{{.SpecDigest}}</td><td>{{.Verdict}}</td><td>{{.CertificateKind}}</td><td>{{.Status}}</td><td>{{.Abort}}</td><td>{{.ElapsedUS}}</td><td>{{.PhaseSummary.LintUS}}/{{.PhaseSummary.ProverUS}}/{{.PhaseSummary.ILPUS}}</td><td>{{.Bundle}}</td></tr>
 {{end}}
 </table>
+{{else}}<p class="muted">none yet</p>{{end}}
+
+<h2>Flight bundles</h2>
+{{if .FlightBundles}}
+<table>
+<tr><th>time</th><th>file</th><th>trigger</th><th>trace</th><th>request</th><th>spec digest</th><th>bytes</th></tr>
+{{range .FlightBundles}}
+<tr><td>{{.Time}}</td><td>{{.File}}</td><td>{{.Trigger}}</td><td>{{.TraceID}}</td><td>{{.RequestID}}</td><td>{{.SpecDigest}}</td><td>{{.Bytes}}</td></tr>
+{{end}}
+</table>
+<p class="muted">correlated trace+spec captures in the quarantine directory; grep the audit log for the trace id</p>
 {{else}}<p class="muted">none yet</p>{{end}}
 
 <p class="muted">machine-readable: <a href="/debug/checks">/debug/checks</a> &middot; <a href="/metrics">/metrics</a></p>

@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExemplarRoundTrip: an exemplar stamped next to an observation
+// must come back out of the OpenMetrics exposition — and back through
+// ParseExposition — attached to the bucket its value falls into,
+// without disturbing the bucket counts.
+func TestExemplarRoundTrip(t *testing.T) {
+	r := NewRegistry("t")
+	r.nowUnix = func() float64 { return 1608520832.25 }
+	const trace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	r.Observe("server.check_us", 5)
+	r.Exemplar("server.check_us", 5, trace)
+
+	var buf strings.Builder
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.HasSuffix(strings.TrimRight(text, "\n"), "# EOF") {
+		t.Fatalf("OpenMetrics exposition must end with # EOF, got tail %q", text[len(text)-40:])
+	}
+	exp, err := ParseExposition(text)
+	if err != nil {
+		t.Fatalf("ParseExposition: %v\n%s", err, text)
+	}
+	var found bool
+	for _, s := range exp.Samples {
+		if s.Name != "t_server_check_us_bucket" || s.Exemplar == nil {
+			continue
+		}
+		found = true
+		if s.Labels["le"] != "7" {
+			t.Errorf("exemplar on le=%q bucket, want le=\"7\" (value 5 lands in 4..7)", s.Labels["le"])
+		}
+		if got := s.Exemplar.Labels["trace_id"]; got != trace {
+			t.Errorf("exemplar trace_id = %q", got)
+		}
+		if s.Exemplar.Value != 5 {
+			t.Errorf("exemplar value = %v", s.Exemplar.Value)
+		}
+		if !s.Exemplar.HasTimestamp || s.Exemplar.Unix != 1608520832.25 {
+			t.Errorf("exemplar ts = (%v, %v)", s.Exemplar.Unix, s.Exemplar.HasTimestamp)
+		}
+	}
+	if !found {
+		t.Fatalf("no bucket exemplar in exposition:\n%s", text)
+	}
+
+	// The exemplar must not have counted: one observation total.
+	cnt, ok := exp.Sample("t_server_check_us_count")
+	if !ok || cnt.Value != 1 {
+		t.Fatalf("histogram count = %v (ok=%v), want 1 — exemplars must not count", cnt.Value, ok)
+	}
+
+	// The Prometheus fallback must not carry exemplar syntax.
+	buf.Reset()
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "# {") {
+		t.Fatal("Prometheus text exposition must not contain exemplars")
+	}
+	if strings.Contains(buf.String(), "# EOF") {
+		t.Fatal("Prometheus text exposition must not contain # EOF")
+	}
+}
+
+// TestExemplarLastPerBucket: a second observation in the same bucket
+// replaces the bucket's exemplar.
+func TestExemplarLastPerBucket(t *testing.T) {
+	r := NewRegistry("t")
+	r.nowUnix = func() float64 { return 1 }
+	r.Observe("h", 4)
+	r.Exemplar("h", 4, "aaaa")
+	r.Observe("h", 6)
+	r.Exemplar("h", 6, "bbbb")
+
+	var buf strings.Builder
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseExposition(buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range exp.Samples {
+		if s.Name == "t_h_bucket" && s.Labels["le"] == "7" {
+			if s.Exemplar == nil || s.Exemplar.Labels["trace_id"] != "bbbb" {
+				t.Fatalf("bucket le=7 exemplar = %+v, want last observation (bbbb)", s.Exemplar)
+			}
+			return
+		}
+	}
+	t.Fatal("le=7 bucket not found")
+}
+
+// TestExemplarEmptyTraceIgnored: an empty trace ID must not produce an
+// exemplar (nothing to correlate with).
+func TestExemplarEmptyTraceIgnored(t *testing.T) {
+	r := NewRegistry("t")
+	r.Observe("h", 3)
+	r.Exemplar("h", 3, "")
+	var buf strings.Builder
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "# {") {
+		t.Fatalf("empty trace id produced an exemplar:\n%s", buf.String())
+	}
+}
+
+// TestParseExpositionExemplarRejects pins the malformed-exemplar
+// cases: missing label set, bad value, bad timestamp, unterminated
+// braces.
+func TestParseExpositionExemplarRejects(t *testing.T) {
+	cases := []struct {
+		name, line string
+	}{
+		{"no label set", `m_bucket{le="1"} 1 # 5 1.0`},
+		{"unterminated labels", `m_bucket{le="1"} 1 # {trace_id="x" 5`},
+		{"missing value", `m_bucket{le="1"} 1 # {trace_id="x"}`},
+		{"bad value", `m_bucket{le="1"} 1 # {trace_id="x"} five`},
+		{"bad timestamp", `m_bucket{le="1"} 1 # {trace_id="x"} 5 yesterday`},
+		{"trailing junk", `m_bucket{le="1"} 1 # {trace_id="x"} 5 1.0 extra`},
+		{"bad label name", `m_bucket{le="1"} 1 # {123="x"} 5`},
+	}
+	for _, tc := range cases {
+		if _, err := ParseExposition(tc.line); err == nil {
+			t.Errorf("%s: line %q accepted", tc.name, tc.line)
+		}
+	}
+	// And the well-formed spellings parse.
+	for _, ok := range []string{
+		`m_bucket{le="1"} 1 # {trace_id="abc"} 0.67`,
+		`m_bucket{le="1"} 1 # {trace_id="abc"} 0.67 1608520832.0`,
+		`m_total 17 # {trace_id="abc"} 0.34 123.1`,
+		"# EOF",
+	} {
+		if _, err := ParseExposition(ok); err != nil {
+			t.Errorf("valid line %q rejected: %v", ok, err)
+		}
+	}
+}
+
+// TestNegotiateExposition pins the Accept-header branch.
+func TestNegotiateExposition(t *testing.T) {
+	cases := []struct {
+		accept string
+		om     bool
+	}{
+		{"", false},
+		{"text/plain", false},
+		{"*/*", false},
+		{"application/openmetrics-text", true},
+		{"application/openmetrics-text; version=1.0.0", true},
+		{"text/plain, application/openmetrics-text;q=0.9", true},
+	}
+	for _, tc := range cases {
+		ct, om := NegotiateExposition(tc.accept)
+		if om != tc.om {
+			t.Errorf("Negotiate(%q) openMetrics = %v, want %v", tc.accept, om, tc.om)
+		}
+		want := PrometheusContentType
+		if tc.om {
+			want = OpenMetricsContentType
+		}
+		if ct != want {
+			t.Errorf("Negotiate(%q) content type = %q", tc.accept, ct)
+		}
+	}
+}

@@ -6,11 +6,24 @@ import (
 	"strings"
 )
 
-// Sample is one parsed metric line: name, optional labels, value.
+// Sample is one parsed metric line: name, optional labels, value, and
+// (OpenMetrics only) an optional exemplar.
 type Sample struct {
-	Name   string
+	Name     string
+	Labels   map[string]string
+	Value    float64
+	Exemplar *SampleExemplar
+}
+
+// SampleExemplar is a parsed OpenMetrics exemplar: the `# {labels} v
+// [ts]` suffix of a bucket or counter sample.
+type SampleExemplar struct {
 	Labels map[string]string
 	Value  float64
+	// Unix is the exemplar timestamp in seconds; HasTimestamp reports
+	// whether one was present.
+	Unix         float64
+	HasTimestamp bool
 }
 
 // Exposition is the parsed form of a text-format scrape.
@@ -32,10 +45,12 @@ func (e *Exposition) Sample(name string) (Sample, bool) {
 	return Sample{}, false
 }
 
-// ParseExposition validates a Prometheus text-format payload line by
-// line: every line must be blank, a `# HELP`/`# TYPE` comment, or a
-// `name{labels} value` sample with a well-formed name and value. It
-// returns the parsed samples or the first offending line.
+// ParseExposition validates a Prometheus or OpenMetrics text-format
+// payload line by line: every line must be blank, a `# HELP`/`# TYPE`
+// comment (or the OpenMetrics `# EOF` terminator), or a
+// `name{labels} value [timestamp] [# {labels} v [ts]]` sample with a
+// well-formed name, value, and (when present) exemplar. It returns
+// the parsed samples or the first offending line.
 func ParseExposition(text string) (*Exposition, error) {
 	exp := &Exposition{Types: map[string]string{}}
 	for i, line := range strings.Split(text, "\n") {
@@ -84,7 +99,8 @@ func parseComment(line string, exp *Exposition) error {
 	return nil
 }
 
-// parseSample parses `name{labels} value [timestamp]`.
+// parseSample parses `name{labels} value [timestamp]` with an
+// optional OpenMetrics `# {labels} value [ts]` exemplar suffix.
 func parseSample(line string) (Sample, error) {
 	rest := line
 	i := strings.IndexAny(rest, "{ ")
@@ -108,6 +124,16 @@ func parseSample(line string) (Sample, error) {
 		s.Labels = labels
 		rest = rest[end+1:]
 	}
+	// Split off the exemplar before field-splitting the value: label
+	// values were consumed above, so any '#' left marks the exemplar.
+	if hash := strings.Index(rest, "#"); hash >= 0 {
+		ex, err := parseExemplar(rest[hash+1:])
+		if err != nil {
+			return Sample{}, fmt.Errorf("%v in %q", err, line)
+		}
+		s.Exemplar = ex
+		rest = rest[:hash]
+	}
 	fields := strings.Fields(rest)
 	if len(fields) < 1 || len(fields) > 2 {
 		return Sample{}, fmt.Errorf("expected value [timestamp] after name, got %q", rest)
@@ -123,6 +149,42 @@ func parseSample(line string) (Sample, error) {
 		}
 	}
 	return s, nil
+}
+
+// parseExemplar parses the portion after a sample's '#' separator:
+// `{labels} value [timestamp]`, per the OpenMetrics exemplar grammar.
+// The label set is mandatory (that is what distinguishes an exemplar
+// from a stray comment), the timestamp is an optional float in
+// seconds.
+func parseExemplar(s string) (*SampleExemplar, error) {
+	s = strings.TrimSpace(s)
+	if len(s) == 0 || s[0] != '{' {
+		return nil, fmt.Errorf("exemplar without label set")
+	}
+	end := strings.Index(s, "}")
+	if end < 0 {
+		return nil, fmt.Errorf("unterminated exemplar label set")
+	}
+	labels, err := parseLabels(s[1:end])
+	if err != nil {
+		return nil, fmt.Errorf("exemplar %v", err)
+	}
+	ex := &SampleExemplar{Labels: labels}
+	fields := strings.Fields(s[end+1:])
+	if len(fields) < 1 || len(fields) > 2 {
+		return nil, fmt.Errorf("expected exemplar value [timestamp], got %q", s[end+1:])
+	}
+	if ex.Value, err = parseValue(fields[0]); err != nil {
+		return nil, fmt.Errorf("bad exemplar value %q: %v", fields[0], err)
+	}
+	if len(fields) == 2 {
+		ts, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad exemplar timestamp %q", fields[1])
+		}
+		ex.Unix, ex.HasTimestamp = ts, true
+	}
+	return ex, nil
 }
 
 // parseLabels parses `k1="v1",k2="v2"`. Escapes inside values follow

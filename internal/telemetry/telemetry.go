@@ -43,6 +43,23 @@ type Registry struct {
 	hists    map[string]*obs.Histogram
 	gauges   map[string]func() float64
 	help     map[string]string
+	// exemplars holds, per histogram name, the last exemplar stamped
+	// into each power-of-two bucket (keyed by obs.BucketIndex). They
+	// ride along the bucket counts in the OpenMetrics exposition but
+	// never contribute to the counts themselves — Observe/Absorb do the
+	// counting, Exemplar only annotates.
+	exemplars map[string]map[int]Exemplar
+	// nowUnix is the exemplar timestamp clock, swappable in tests.
+	nowUnix func() float64
+}
+
+// Exemplar is one traced observation attached to a histogram bucket:
+// the trace that produced the bucket's most recent value, with the
+// observed value and its unix timestamp in seconds.
+type Exemplar struct {
+	TraceID string
+	Value   int64
+	Unix    float64
 }
 
 // NewRegistry returns a registry with the given metric namespace
@@ -58,6 +75,8 @@ func NewRegistry(namespace string) *Registry {
 		hists:     map[string]*obs.Histogram{},
 		gauges:    map[string]func() float64{},
 		help:      map[string]string{},
+		exemplars: map[string]map[int]Exemplar{},
+		nowUnix:   func() float64 { return float64(time.Now().UnixMilli()) / 1e3 },
 	}
 	r.registerProcessGauges()
 	return r
@@ -114,6 +133,26 @@ func (r *Registry) Observe(name string, v int64) {
 	r.mu.Unlock()
 }
 
+// Exemplar stamps a traced observation onto the histogram bucket that
+// v falls into, replacing the bucket's previous exemplar. It does not
+// touch the histogram counts — callers pair it with the Observe (or
+// recorder Observe + Absorb) that actually counted v — so a request
+// observed on a per-request recorder and merged later is never
+// double-counted. An empty trace ID is a no-op.
+func (r *Registry) Exemplar(name string, v int64, traceID string) {
+	if traceID == "" {
+		return
+	}
+	r.mu.Lock()
+	m := r.exemplars[name]
+	if m == nil {
+		m = map[int]Exemplar{}
+		r.exemplars[name] = m
+	}
+	m[obs.BucketIndex(v)] = Exemplar{TraceID: traceID, Value: v, Unix: r.nowUnix()}
+	r.mu.Unlock()
+}
+
 // RegisterGauge installs a callback sampled at scrape time. Re-using a
 // name replaces the callback.
 func (r *Registry) RegisterGauge(name, help string, fn func() float64) {
@@ -160,7 +199,7 @@ func (r *Registry) Absorb(rec *obs.Recorder) {
 
 // snapshot copies the registry state under the lock; gauge callbacks
 // run outside it so a gauge may itself take locks.
-func (r *Registry) snapshot() (counters map[string]int64, hists map[string]obs.Histogram, gauges map[string]func() float64, help map[string]string) {
+func (r *Registry) snapshot() (counters map[string]int64, hists map[string]obs.Histogram, gauges map[string]func() float64, help map[string]string, exemplars map[string]map[int]Exemplar) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	counters = make(map[string]int64, len(r.counters))
@@ -179,15 +218,56 @@ func (r *Registry) snapshot() (counters map[string]int64, hists map[string]obs.H
 	for k, v := range r.help {
 		help[k] = v
 	}
-	return counters, hists, gauges, help
+	exemplars = make(map[string]map[int]Exemplar, len(r.exemplars))
+	for k, m := range r.exemplars {
+		cp := make(map[int]Exemplar, len(m))
+		for i, ex := range m {
+			cp[i] = ex
+		}
+		exemplars[k] = cp
+	}
+	return counters, hists, gauges, help, exemplars
 }
 
-// WritePrometheus renders the registry in the text exposition format:
-// every line is either a `# HELP`/`# TYPE` comment or a
-// `name{labels} value` sample. Families are sorted by name so scrapes
-// are deterministic.
+// WritePrometheus renders the registry in the text exposition format
+// (version 0.0.4): every line is either a `# HELP`/`# TYPE` comment or
+// a `name{labels} value` sample. Families are sorted by name so
+// scrapes are deterministic.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	counters, hists, gauges, help := r.snapshot()
+	return r.writeExposition(w, false)
+}
+
+// WriteOpenMetrics renders the registry in the OpenMetrics text
+// format: the same families as WritePrometheus, with `# TYPE` comments
+// on family names (the `_total` suffix moves to the sample line),
+// bucket exemplars in `# {trace_id="…"} v ts` form, and the mandatory
+// `# EOF` terminator.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	return r.writeExposition(w, true)
+}
+
+// PrometheusContentType and OpenMetricsContentType are the media types
+// the two expositions are served under.
+const (
+	PrometheusContentType  = "text/plain; version=0.0.4; charset=utf-8"
+	OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+// NegotiateExposition picks an exposition for an Accept header:
+// OpenMetrics when any listed media type asks for it, the Prometheus
+// text format otherwise (including for an empty header).
+func NegotiateExposition(accept string) (contentType string, openMetrics bool) {
+	for _, part := range strings.Split(accept, ",") {
+		mediaType := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		if mediaType == "application/openmetrics-text" {
+			return OpenMetricsContentType, true
+		}
+	}
+	return PrometheusContentType, false
+}
+
+func (r *Registry) writeExposition(w io.Writer, om bool) error {
+	counters, hists, gauges, help, exemplars := r.snapshot()
 	bw := &errWriter{w: w}
 
 	info := buildinfo.Get()
@@ -199,8 +279,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		fmt.Sprintf("%v", info.Dirty))
 
 	for _, name := range sortedKeys(counters) {
-		full := r.metricName(name) + "_total"
-		r.writeHeader(bw, full, help[name], "counter")
+		base := r.metricName(name)
+		full := base + "_total"
+		if om {
+			// OpenMetrics declares the family by its base name; the
+			// sample carries the _total suffix.
+			r.writeHeader(bw, base, help[name], "counter")
+		} else {
+			r.writeHeader(bw, full, help[name], "counter")
+		}
 		fmt.Fprintf(bw, "%s %d\n", full, counters[name])
 	}
 
@@ -223,10 +310,28 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		full := r.metricName(name)
 		r.writeHeader(bw, full, help[name], "histogram")
 		snap := h.Snapshot()
-		for _, b := range snap.Buckets {
-			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", full, formatFloat(float64(b.UpperBound)), b.Cumulative)
+		ex := exemplars[name]
+		maxIdx := len(snap.Buckets) // first bucket index past the rendered ones
+		for i, b := range snap.Buckets {
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d", full, formatFloat(float64(b.UpperBound)), b.Cumulative)
+			if om {
+				writeExemplar(bw, ex[i])
+			}
+			fmt.Fprintf(bw, "\n")
 		}
-		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", full, snap.Count)
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d", full, snap.Count)
+		if om {
+			// Exemplars stamped past the last occupied bucket belong to
+			// the +Inf bucket; keep the most recent one.
+			var inf Exemplar
+			for i, e := range ex {
+				if i >= maxIdx && e.Unix >= inf.Unix {
+					inf = e
+				}
+			}
+			writeExemplar(bw, inf)
+		}
+		fmt.Fprintf(bw, "\n")
 		fmt.Fprintf(bw, "%s_sum %d\n", full, snap.Sum)
 		fmt.Fprintf(bw, "%s_count %d\n", full, snap.Count)
 		for _, q := range []struct {
@@ -238,7 +343,19 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(bw, "%s %d\n", qn, q.v)
 		}
 	}
+	if om {
+		fmt.Fprintf(bw, "# EOF\n")
+	}
 	return bw.err
+}
+
+// writeExemplar appends the OpenMetrics exemplar suffix for a bucket
+// sample, or nothing when the bucket has no exemplar.
+func writeExemplar(w io.Writer, ex Exemplar) {
+	if ex.TraceID == "" {
+		return
+	}
+	fmt.Fprintf(w, " # {trace_id=%q} %d %.3f", ex.TraceID, ex.Value, ex.Unix)
 }
 
 // writeHeader emits the HELP (when present) and TYPE comments for a

@@ -376,6 +376,7 @@ type Registry struct{}
 
 func (r *Registry) Add(name string, delta int64)                 {}
 func (r *Registry) Observe(name string, v int64)                 {}
+func (r *Registry) Exemplar(name string, v int64, traceID string) {}
 func (r *Registry) Help(name, text string)                       {}
 func (r *Registry) RegisterGauge(name, help string, fn func() float64) {}
 `
@@ -407,10 +408,15 @@ var _ = telemetry.Registry{}
 func f(reg *telemetry.Registry, r *obs.Recorder) {
 	reg.Add("server.requests", 1)
 	reg.Observe("server.check_us", 5)
+	reg.Exemplar("server.check_us", 5, "4bf92f3577b34da6a3ce929d0e0e4736")
 	reg.Help("server.checks", "Checks completed.")
 	r.Add("solver.nodes", 1)
 	r.Sample("ilp.frontier_depth", 3)
 }`, 0, ""},
+		{"exemplar-uppercase", `
+func f(reg *telemetry.Registry) {
+	reg.Exemplar("server.CheckUS", 5, "4bf92f3577b34da6a3ce929d0e0e4736")
+}`, 1, "dotted snake_case"},
 		{"good-gauge", `
 func f(reg *telemetry.Registry) {
 	reg.RegisterGauge("slo_target_ms", "h", func() float64 { return 0 })

@@ -39,6 +39,7 @@ var promMethods = map[string]metricCall{
 	telemetryPath + ".Registry.RegisterGauge": {gauge: true},
 	telemetryPath + ".Registry.Add":           {},
 	telemetryPath + ".Registry.Observe":       {},
+	telemetryPath + ".Registry.Exemplar":      {},
 	telemetryPath + ".Registry.Help":          {},
 	obsPath + ".Recorder.Add":                 {},
 	obsPath + ".Recorder.Observe":             {},

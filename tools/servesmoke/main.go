@@ -24,13 +24,20 @@
 //     until a row reports a live solver snapshot — non-empty phase
 //     and a nonzero node count — proving the introspection plumbing
 //     publishes while a check runs, not just after it;
-//  9. SIGTERM the daemon, require a clean exit, then parse the audit
+//  9. POST /check with a caller-supplied W3C traceparent and follow
+//     the trace ID end to end: the response must echo it (header and
+//     body), and the OpenMetrics /metrics exposition (served under
+//     Accept negotiation, "# EOF"-terminated) must carry it as an
+//     exemplar on the check-duration histogram;
+//  10. SIGTERM the daemon, require a clean exit, then parse the audit
 //     log and match it against the responses — including an
-//     op:"explain" event — and require the quarantine directory
-//     stayed empty (nothing was slow);
-//  10. restart the daemon with a 1ns slow threshold, drive three
-//     checks, and require exactly one quarantined trace+spec pair
-//     (the capture rate limit holds).
+//     op:"explain" event and the propagated trace ID — and require
+//     the quarantine to hold exactly the deadline abort's flight
+//     bundle (one abort-<trace_id> .json+.spec pair, nothing else);
+//  11. restart the daemon with a 1ns slow threshold, drive three
+//     checks (the first under a known traceparent), and require
+//     exactly one flight bundle, named slow-<trace_id> after that
+//     known trace (the shared capture rate limit holds).
 //
 // Usage: servesmoke -bin ./bin/xmlconsistd
 //
@@ -195,6 +202,9 @@ func smoke(bin string) error {
 	if err := checkInflight(base); err != nil {
 		return err
 	}
+	if err := checkTraceCorrelation(base); err != nil {
+		return err
+	}
 
 	if err := d.shutdown(); err != nil {
 		return err
@@ -206,14 +216,26 @@ func smoke(bin string) error {
 	if err := checkAuditLog(auditPath, requestID, digest); err != nil {
 		return err
 	}
-	// Nothing crossed the 1h slow threshold, so the quarantine must be
-	// empty.
-	if entries, err := os.ReadDir(quarantine); err != nil {
+	// Nothing crossed the 1h slow threshold, but the 1ms-deadline abort
+	// tripped the flight recorder's abort trigger: the quarantine must
+	// hold exactly that bundle and nothing else.
+	entries, err := os.ReadDir(quarantine)
+	if err != nil {
 		return fmt.Errorf("quarantine dir: %w", err)
-	} else if len(entries) != 0 {
-		return fmt.Errorf("quarantine has %d files after a fast run, want 0", len(entries))
 	}
-	fmt.Println("servesmoke: quarantine empty under threshold")
+	if len(entries) != 2 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		return fmt.Errorf("quarantine has %v, want exactly the deadline abort's .json+.spec pair", names)
+	}
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "abort-") {
+			return fmt.Errorf("quarantine holds %s, want only abort-* flight bundles after a fast run", e.Name())
+		}
+	}
+	fmt.Println("servesmoke: quarantine holds exactly the deadline abort's flight bundle")
 
 	return slowCaptureRun(bin, filepath.Join(work, "q2"))
 }
@@ -235,11 +257,25 @@ func checkHealthz(base string) error {
 }
 
 func postCheck(base string, body map[string]any) (*http.Response, []byte, error) {
+	return postCheckTraced(base, body, "")
+}
+
+// postCheckTraced posts a check, propagating the caller's W3C
+// traceparent header when one is given.
+func postCheckTraced(base string, body map[string]any, traceparent string) (*http.Response, []byte, error) {
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return nil, nil, err
 	}
-	resp, err := http.Post(base+"/check", "application/json", bytes.NewReader(payload))
+	req, err := http.NewRequest(http.MethodPost, base+"/check", bytes.NewReader(payload))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return nil, nil, fmt.Errorf("POST /check: %w", err)
 	}
@@ -555,6 +591,87 @@ func checkInflight(base string) error {
 	return nil
 }
 
+// The fixed trace context servesmoke propagates in step 9, W3C
+// traceparent format: version 00, a 16-byte trace ID, the caller's
+// 8-byte span ID, and the sampled flag.
+const (
+	sentTraceID     = "4bf92f3577b34da6a3ce929d0e0e4736"
+	sentTraceparent = "00-" + sentTraceID + "-00f067aa0ba902b7-01"
+)
+
+// checkTraceCorrelation drives one check under a caller-supplied
+// traceparent and follows the trace ID across the serving artifacts:
+// the echoed response header, the response body, and an OpenMetrics
+// exemplar on the check-duration histogram.
+func checkTraceCorrelation(base string) error {
+	resp, out, err := postCheckTraced(base,
+		map[string]any{"dtd": consistentDTD, "constraints": consistentKeys}, sentTraceparent)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("traced check status %d: %s", resp.StatusCode, out)
+	}
+	echo := resp.Header.Get("traceparent")
+	parts := strings.Split(echo, "-")
+	if len(parts) != 4 || parts[0] != "00" || parts[1] != sentTraceID {
+		return fmt.Errorf("traceparent echo %q does not join trace %s", echo, sentTraceID)
+	}
+	if parts[2] == "00f067aa0ba902b7" {
+		return fmt.Errorf("traceparent echo %q reuses the caller's span ID instead of the server's own", echo)
+	}
+	var cr struct {
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.Unmarshal(out, &cr); err != nil {
+		return fmt.Errorf("decoding traced /check response: %w", err)
+	}
+	if cr.TraceID != sentTraceID {
+		return fmt.Errorf("response trace_id %q, want %s", cr.TraceID, sentTraceID)
+	}
+
+	// The traced check was the most recent observation, so its bucket's
+	// exemplar must name our trace — but only in the OpenMetrics
+	// exposition, negotiated via Accept.
+	req, err := http.NewRequest(http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "application/openmetrics-text")
+	mresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("GET /metrics (OpenMetrics): %w", err)
+	}
+	defer mresp.Body.Close()
+	text, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		return err
+	}
+	if ct := mresp.Header.Get("Content-Type"); ct != telemetry.OpenMetricsContentType {
+		return fmt.Errorf("OpenMetrics content type %q, want %q", ct, telemetry.OpenMetricsContentType)
+	}
+	if !strings.HasSuffix(strings.TrimRight(string(text), "\n"), "# EOF") {
+		return fmt.Errorf("OpenMetrics exposition is not # EOF-terminated")
+	}
+	exp, err := telemetry.ParseExposition(string(text))
+	if err != nil {
+		return fmt.Errorf("OpenMetrics exposition invalid: %w", err)
+	}
+	found := false
+	for _, s := range exp.Samples {
+		if s.Name == "xmlconsist_server_check_us_bucket" && s.Exemplar != nil &&
+			s.Exemplar.Labels["trace_id"] == sentTraceID {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("no check_us bucket exemplar carries trace %s", sentTraceID)
+	}
+	fmt.Printf("servesmoke: trace correlation ok (trace %s echoed, body stamped, exemplar on /metrics)\n", sentTraceID)
+	return nil
+}
+
 // checkAuditLog parses every line of the audit trail and requires the
 // first event to match the consistent check's response.
 func checkAuditLog(path, requestID, digest string) error {
@@ -568,6 +685,7 @@ func checkAuditLog(path, requestID, digest string) error {
 	}
 	type event struct {
 		RequestID  string `json:"request_id"`
+		TraceID    string `json:"trace_id"`
 		Op         string `json:"op"`
 		SpecDigest string `json:"spec_digest"`
 		Verdict    string `json:"verdict"`
@@ -579,6 +697,9 @@ func checkAuditLog(path, requestID, digest string) error {
 		if err := json.Unmarshal([]byte(line), &ev); err != nil {
 			return fmt.Errorf("audit line %d unparsable: %q: %v", i+1, line, err)
 		}
+		if ev.TraceID == "" {
+			return fmt.Errorf("audit line %d has no trace_id: %q", i+1, line)
+		}
 		if i == 0 {
 			first = ev
 		}
@@ -586,7 +707,7 @@ func checkAuditLog(path, requestID, digest string) error {
 	if first.RequestID != requestID || first.SpecDigest != digest || first.Verdict != "consistent" {
 		return fmt.Errorf("first audit event %+v does not match response (id %s, digest %s)", first, requestID, digest)
 	}
-	var sawAbort, sawExplain bool
+	var sawAbort, sawExplain, sawTrace bool
 	for _, line := range lines {
 		var ev event
 		json.Unmarshal([]byte(line), &ev)
@@ -596,6 +717,9 @@ func checkAuditLog(path, requestID, digest string) error {
 		if ev.Op == "explain" && ev.Verdict == "inconsistent" {
 			sawExplain = true
 		}
+		if ev.TraceID == sentTraceID && ev.Verdict == "consistent" {
+			sawTrace = true
+		}
 	}
 	if !sawAbort {
 		return fmt.Errorf("audit log records no deadline abort")
@@ -603,13 +727,19 @@ func checkAuditLog(path, requestID, digest string) error {
 	if !sawExplain {
 		return fmt.Errorf("audit log records no explain event")
 	}
+	if !sawTrace {
+		return fmt.Errorf("audit log never saw the propagated trace %s", sentTraceID)
+	}
 	fmt.Printf("servesmoke: audit log ok (%d events, digests match)\n", len(lines))
 	return nil
 }
 
 // slowCaptureRun restarts the daemon with an always-firing slow
-// threshold, drives three checks, and requires exactly one quarantined
-// trace+spec pair — the capture rate limit must hold.
+// threshold and drives three checks, the first under a known
+// traceparent. Exactly one flight bundle must land (the shared rate
+// limit holds), and — because the first slow check dumped it — its
+// filename must carry that known trace ID, closing the correlation
+// loop from caller header to on-disk artifact.
 func slowCaptureRun(bin, quarantine string) error {
 	d, err := startDaemon(bin,
 		"-slow-threshold", "1ns",
@@ -620,13 +750,27 @@ func slowCaptureRun(bin, quarantine string) error {
 	}
 	defer d.cmd.Process.Kill()
 
-	var digest string
-	for i := 0; i < 3; i++ {
-		dig, _, err := checkVerdict(d.base, consistentDTD, consistentKeys, "consistent")
-		if err != nil {
+	const slowTraceID = "aaaabbbbccccddddeeeeffff00001111"
+	resp, out, err := postCheckTraced(d.base,
+		map[string]any{"dtd": consistentDTD, "constraints": consistentKeys},
+		"00-"+slowTraceID+"-00f067aa0ba902b7-01")
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("slow run traced check: status %d: %s", resp.StatusCode, out)
+	}
+	var cr struct {
+		SpecDigest string `json:"spec_digest"`
+	}
+	if err := json.Unmarshal(out, &cr); err != nil {
+		return err
+	}
+	digest := cr.SpecDigest
+	for i := 0; i < 2; i++ {
+		if _, _, err := checkVerdict(d.base, consistentDTD, consistentKeys, "consistent"); err != nil {
 			return fmt.Errorf("slow run check %d: %w", i, err)
 		}
-		digest = dig
 	}
 	if err := d.shutdown(); err != nil {
 		return err
@@ -636,39 +780,51 @@ func slowCaptureRun(bin, quarantine string) error {
 	if err != nil {
 		return fmt.Errorf("quarantine dir: %w", err)
 	}
-	var trace, spec string
+	names := make([]string, 0, len(entries))
 	for _, e := range entries {
-		switch {
-		case strings.HasSuffix(e.Name(), ".json"):
-			trace = e.Name()
-		case strings.HasSuffix(e.Name(), ".spec"):
-			spec = e.Name()
-		}
+		names = append(names, e.Name())
 	}
-	if len(entries) != 2 || trace == "" || spec == "" {
-		names := make([]string, 0, len(entries))
-		for _, e := range entries {
-			names = append(names, e.Name())
-		}
-		return fmt.Errorf("quarantine has %v, want exactly one trace+spec pair", names)
+	if len(entries) != 2 {
+		return fmt.Errorf("quarantine has %v, want exactly one flight bundle pair", names)
+	}
+	bundle := "slow-" + slowTraceID + ".json"
+	spec := "slow-" + slowTraceID + ".spec"
+	bundleData, err := os.ReadFile(filepath.Join(quarantine, bundle))
+	if err != nil {
+		return fmt.Errorf("flight bundle not named after the trace (have %v): %w", names, err)
 	}
 	specData, err := os.ReadFile(filepath.Join(quarantine, spec))
 	if err != nil {
 		return err
 	}
 	if !strings.Contains(string(specData), digest) {
-		return fmt.Errorf("quarantined spec %s lacks digest %s", spec, digest)
+		return fmt.Errorf("flight spec dump %s lacks digest %s", spec, digest)
 	}
-	traceData, err := os.ReadFile(filepath.Join(quarantine, trace))
-	if err != nil {
-		return err
+	if !strings.Contains(string(specData), "# trace_id: "+slowTraceID) {
+		return fmt.Errorf("flight spec dump %s lacks its trace_id header", spec)
 	}
-	var tr struct {
-		TraceEvents []json.RawMessage `json:"traceEvents"`
+	var bf struct {
+		Schema  string `json:"schema"`
+		Trigger string `json:"trigger"`
+		TraceID string `json:"trace_id"`
+		Trace   struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		} `json:"trace"`
+		Goroutines string `json:"goroutines"`
 	}
-	if err := json.Unmarshal(traceData, &tr); err != nil || len(tr.TraceEvents) == 0 {
-		return fmt.Errorf("quarantined trace %s invalid (err %v, %d events)", trace, err, len(tr.TraceEvents))
+	if err := json.Unmarshal(bundleData, &bf); err != nil {
+		return fmt.Errorf("flight bundle %s invalid: %w", bundle, err)
 	}
-	fmt.Printf("servesmoke: slow capture ok (one pair: %s, %s)\n", trace, spec)
+	if bf.Schema != "flight/v1" || bf.Trigger != "slow" || bf.TraceID != slowTraceID {
+		return fmt.Errorf("flight bundle header = %s/%s/%s, want flight/v1/slow/%s",
+			bf.Schema, bf.Trigger, bf.TraceID, slowTraceID)
+	}
+	if len(bf.Trace.TraceEvents) == 0 {
+		return fmt.Errorf("flight bundle %s carries no Chrome trace events", bundle)
+	}
+	if !strings.Contains(bf.Goroutines, "goroutine profile:") {
+		return fmt.Errorf("flight bundle %s carries no goroutine profile", bundle)
+	}
+	fmt.Printf("servesmoke: flight capture ok (one pair named after trace %s)\n", slowTraceID)
 	return nil
 }

@@ -183,6 +183,13 @@ type Options struct {
 	// internal/introspect). Readers may call Snapshot concurrently at
 	// any time; the check never blocks on them.
 	Progress *ProgressPublisher
+	// ProfileLabel, when non-empty, runs the check's pipeline phases
+	// under runtime/pprof labels ("digest" = this value, "phase" =
+	// lint|prover|ilp, plus "scope" per hierarchical subproblem), so a
+	// CPU profile collected while checks run attributes its samples to
+	// specs and phases. Set it to the spec digest (Spec.Digest). Empty
+	// disables labeling at zero cost to the check.
+	ProfileLabel string
 }
 
 func (o *Options) internal(rec *obs.Recorder) consistency.Options {
@@ -203,6 +210,7 @@ func (o *Options) internal(rec *obs.Recorder) consistency.Options {
 		SkipCertificate: o.SkipCertificate,
 		Explain:         o.Explain,
 		Progress:        o.Progress,
+		ProfileLabel:    o.ProfileLabel,
 	}
 	if o.Attribution {
 		led := introspect.NewLedger()
