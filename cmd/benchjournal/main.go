@@ -31,6 +31,7 @@ import (
 	"repro/internal/digest"
 	"repro/internal/dtd"
 	"repro/internal/experiments"
+	"repro/internal/ilp"
 	"repro/internal/introspect"
 	"repro/internal/obs"
 )
@@ -113,13 +114,31 @@ func cases(seed int64) ([]benchCase, error) {
 		return benchCase{name: name, d: in.D, set: in.Set, opts: in.Opts, expect: in.Expect}
 	}
 	rng := rand.New(rand.NewSource(seed))
-	return []benchCase{
+	cs := []benchCase{
 		library,
 		geography,
 		fromInstance("fig3/unary-n=4", experiments.Fig3Unary(rng, 4)),
 		fromInstance("fig4/hierarchical-levels=4", experiments.Fig4Hierarchical(4, true)),
 		fromInstance("thm35/tractable-width=16", experiments.Thm35Tractable(16, true)),
-	}, nil
+	}
+
+	// Paired ablation cases. The lp= pair runs the same hard CNF
+	// instance with the simplex engaged at every stride level, once on
+	// the exact big.Rat tableau and once on the int64 fast path — the
+	// ratio between the two rows is the fast path's journaled speedup.
+	// The fig4 pair decides the same hierarchical family sequentially
+	// and with a four-worker scope pool.
+	hardCNF := experiments.Fig3Unary(rng, 6)
+	ratCase := fromInstance("fig3/unary-n=6/lp=rat", hardCNF)
+	ratCase.opts.ILP.LP = ilp.LPAlways
+	ratCase.opts.ILP.ForceRatLP = true
+	fastCase := fromInstance("fig3/unary-n=6/lp=fast", hardCNF)
+	fastCase.opts.ILP.LP = ilp.LPAlways
+	hier := experiments.Fig4Hierarchical(6, true)
+	seqCase := fromInstance("fig4/hierarchical-levels=6/seq", hier)
+	parCase := fromInstance("fig4/hierarchical-levels=6/parallel=4", hier)
+	parCase.opts.Parallelism = 4
+	return append(cs, ratCase, fastCase, seqCase, parCase), nil
 }
 
 // journalEntry measures one case and then runs it once more under a
@@ -162,6 +181,10 @@ func journalEntry(c benchCase, target time.Duration) (benchjournal.Entry, error)
 		BytesPerOp:  m.BytesPerOp,
 		SpecDigest:  digest.Spec(c.d, c.set),
 		Verdict:     res.Verdict.String(),
+
+		FastPathLPs:  res.Stats.FastPathLPs,
+		RatFallbacks: res.Stats.RatFallbacks,
+		Workers:      res.Stats.Workers,
 	}
 	if res.Certificate != nil {
 		entry.CertificateKind = res.Certificate.Kind()

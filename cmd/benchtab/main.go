@@ -37,7 +37,7 @@ var (
 	quickFlag   = flag.Bool("quick", false, "smaller sweeps")
 	seedFlag    = flag.Int64("seed", 2002, "random seed for the instance families")
 	metricsFlag = flag.String("metrics", "", "write per-instance metrics as JSON lines to this file (- for stdout)")
-	dumpFlag    = flag.String("dump-specs", "", "write one hard Figure 3 instance per family to this directory as <name>.dtd/<name>.keys and exit")
+	dumpFlag    = flag.String("dump-specs", "", "write one hard Figure 3/4 instance per family to this directory as <name>.dtd/<name>.keys and exit")
 	versionFlag = flag.Bool("version", false, "print version information and exit")
 )
 
@@ -66,6 +66,8 @@ type instanceMetrics struct {
 	Branches     int    `json:"branches"`
 	Pivots       int    `json:"pivots"`
 	MaxDepth     int    `json:"maxDepth"`
+	FastPathLPs  int    `json:"fastPathLPs"`
+	RatFallbacks int    `json:"ratFallbacks"`
 	Variables    int64  `json:"variables"`
 	Constraints  int64  `json:"constraints"`
 	Error        string `json:"error,omitempty"`
@@ -133,6 +135,8 @@ func (s *section) run(in experiments.Instance) {
 		Branches:     res.Stats.Branches,
 		Pivots:       res.Stats.Pivots,
 		MaxDepth:     res.Stats.MaxDepth,
+		FastPathLPs:  res.Stats.FastPathLPs,
+		RatFallbacks: res.Stats.RatFallbacks,
 		Variables:    rec.Counter("encode.variables"),
 		Constraints:  rec.Counter("encode.constraints"),
 	})
@@ -189,7 +193,8 @@ func main() {
 }
 
 // dumpSpecs writes one representative hard instance per decidable
-// Figure 3 family to dir as a <name>.dtd/<name>.keys pair, directly
+// Figure 3 and Figure 4 family to dir as a <name>.dtd/<name>.keys
+// pair, directly
 // usable with xmlconsist -dtd/-constraints or as the fields of a
 // /check request body. Sizes are picked so a check takes on the order
 // of a second: heavy enough to register in latency tooling (slow
@@ -208,6 +213,9 @@ func dumpSpecs(dir string, seed int64) int {
 	if in, ok := experiments.Fig3PDE(rng, 4); ok {
 		dumps = append(dumps, dump{"fig3-pde", in})
 	}
+	dumps = append(dumps,
+		dump{"fig4-hier", experiments.Fig4Hierarchical(8, true)},
+		dump{"fig4-dlocal", experiments.Fig4DLocal(rng, 6)})
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		return 1

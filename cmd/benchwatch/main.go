@@ -10,7 +10,7 @@
 // Usage:
 //
 //	benchwatch [-dir .] [-threshold 0.5] [-alloc-threshold 0.1]
-//	           [-max-allocs fig2/library=689] [-v]
+//	           [-max-allocs fig2/library=689] [-max-ns 'fig3/unary-n=4=40000000'] [-v]
 //
 // The baseline for each benchmark is the minimum over all runs before
 // the latest (the best the code has ever measured), which makes the
@@ -57,10 +57,13 @@ func (g allocGates) String() string {
 }
 
 func (g allocGates) Set(s string) error {
-	name, val, ok := strings.Cut(s, "=")
-	if !ok || name == "" {
+	// Split at the LAST '=': benchmark names themselves contain '='
+	// (fig3/unary-n=4), only the trailing segment is the gate value.
+	i := strings.LastIndex(s, "=")
+	if i <= 0 {
 		return fmt.Errorf("want name=value, got %q", s)
 	}
+	name, val := s[:i], s[i+1:]
 	v, err := strconv.ParseFloat(val, 64)
 	if err != nil {
 		return fmt.Errorf("bad gate value %q: %v", val, err)
@@ -150,10 +153,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		dir       = fs.String("dir", ".", "directory holding the BENCH_*.json journals")
 		threshold = fs.Float64("threshold", 0.5, "tolerated fractional ns/op regression vs the best prior run")
 		allocTol  = fs.Float64("alloc-threshold", 0.1, "tolerated fractional allocs/op regression vs the best prior run")
+		nsFloor   = fs.Float64("ns-floor", 0, "noise floor: skip relative ns/op comparison when the latest measurement is below this many ns (absolute -max-ns gates still apply)")
 		verbose   = fs.Bool("v", false, "print every comparison, not just regressions")
 		version   = fs.Bool("version", false, "print version information and exit")
 	)
+	nsGates := allocGates{}
 	fs.Var(gates, "max-allocs", "absolute allocs/op gate as name=value (repeatable); compares the rounded measurement")
+	fs.Var(nsGates, "max-ns", "absolute ns/op gate as name=value (repeatable); fails when the latest measurement exceeds it")
 	if err := fs.Parse(args); err != nil {
 		return 3
 	}
@@ -190,6 +196,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 					e.Name, e.AllocsPerOp, gate)
 			}
 		}
+		if gate, ok := nsGates[e.Name]; ok {
+			if e.NsPerOp > gate {
+				fmt.Fprintf(stdout, "REGRESSION %-30s ns/op %.0f exceeds gate %.0f\n",
+					e.Name, e.NsPerOp, gate)
+				regressions++
+			} else if *verbose {
+				fmt.Fprintf(stdout, "ok         %-30s ns/op %.0f within gate %.0f\n",
+					e.Name, e.NsPerOp, gate)
+			}
+		}
 		b := base[e.Name]
 		if b == nil {
 			if *verbose {
@@ -197,7 +213,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			continue
 		}
-		if delta := (e.NsPerOp - b.nsPerOp) / b.nsPerOp; delta > *threshold {
+		// Sub-floor measurements carry too much scheduler and machine
+		// noise for a relative comparison against the best run ever
+		// journaled; their absolute gates above still apply.
+		if delta := (e.NsPerOp - b.nsPerOp) / b.nsPerOp; delta > *threshold && e.NsPerOp >= *nsFloor {
 			fmt.Fprintf(stdout, "REGRESSION %-30s ns/op %.0f vs best %.0f (%+.1f%%, threshold %+.1f%%)\n",
 				e.Name, e.NsPerOp, b.nsPerOp, 100*delta, 100**threshold)
 			regressions++

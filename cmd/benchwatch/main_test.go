@@ -166,3 +166,38 @@ func TestEmptyDirErrors(t *testing.T) {
 		t.Fatalf("exit = %d, want 3\n%s", code, out)
 	}
 }
+
+// TestMaxNsGate: the absolute ns/op gate fails a measurement above it
+// and passes one below, baseline or not. Gate names are split at the
+// LAST '=' because benchmark names themselves contain '='.
+func TestMaxNsGate(t *testing.T) {
+	dir := t.TempDir()
+	writeJournal(t, filepath.Join(dir, "BENCH_2026-08-01.json"),
+		stampedRun("2026-08-01T10:00:00Z",
+			entry("fig3/unary-n=4", 50_000_000, 700),
+			entry("fig4/hierarchical-levels=4", 1_000_000, 500)))
+
+	code, out := runWatch(t, "-dir", dir, "-max-ns", "fig3/unary-n=4=40000000")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (50ms exceeds 40ms gate)\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "fig3/unary-n=4") {
+		t.Errorf("output missing ns gate regression:\n%s", out)
+	}
+
+	code, out = runWatch(t, "-dir", dir,
+		"-max-ns", "fig3/unary-n=4=60000000",
+		"-max-ns", "fig4/hierarchical-levels=4=2000000")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (both within gates)\n%s", code, out)
+	}
+}
+
+// TestGateParseLastEquals: a malformed gate (no value) errors out at
+// flag-parse time.
+func TestGateParseLastEquals(t *testing.T) {
+	code, _ := runWatch(t, "-max-ns", "=5")
+	if code != 3 {
+		t.Fatalf("exit = %d, want 3 for empty gate name", code)
+	}
+}

@@ -63,11 +63,20 @@ type Entry struct {
 	// (internal/digest), so journal entries join against audit events
 	// and traces from the same spec. Additive in repro-bench/v1:
 	// entries written by older builds simply lack it.
-	SpecDigest      string  `json:"spec_digest,omitempty"`
-	Verdict         string  `json:"verdict,omitempty"`
-	CertificateKind string  `json:"certificate_kind,omitempty"`
-	CertificateSize int     `json:"certificate_size,omitempty"`
-	Phases          []Phase `json:"phases,omitempty"`
+	SpecDigest      string `json:"spec_digest,omitempty"`
+	Verdict         string `json:"verdict,omitempty"`
+	CertificateKind string `json:"certificate_kind,omitempty"`
+	CertificateSize int    `json:"certificate_size,omitempty"`
+	// FastPathLPs and RatFallbacks split the case's LP relaxations
+	// between the int64 fast-path simplex and the exact big.Rat
+	// tableau it falls back to on overflow; Workers records the scope
+	// worker pool size when the case ran the hierarchical route in
+	// parallel. Additive in repro-bench/v1: entries written by older
+	// builds simply lack them.
+	FastPathLPs  int     `json:"fast_path_lps,omitempty"`
+	RatFallbacks int     `json:"rat_fallbacks,omitempty"`
+	Workers      int     `json:"workers,omitempty"`
+	Phases       []Phase `json:"phases,omitempty"`
 	// ScopeCosts is the instrumented run's per-scope cost ledger
 	// (internal/introspect): where the case's wall time, allocations,
 	// and solver effort went. Additive in repro-bench/v1: entries

@@ -120,6 +120,15 @@ type Options struct {
 	// row elsewhere. Check copies the rows into Result.Attribution.
 	// nil costs one nil check per subproblem.
 	Ledger *introspect.Ledger
+	// Parallelism bounds the worker pool that solves independent
+	// hierarchical scope subproblems concurrently on the relative
+	// route (Theorem 4.3 decomposition). 0 and 1 keep the sequential
+	// path (bit-for-bit the pre-parallel behavior, no extra
+	// allocations); N ≥ 2 uses up to N workers; a negative value uses
+	// GOMAXPROCS. Verdicts, certificates, and stats totals are
+	// identical to the sequential path by construction — only wall
+	// time and the order of ledger rows / span subtrees may differ.
+	Parallelism int
 	// ProfileLabel, when non-empty, runs the check's phases under
 	// runtime/pprof labels — ("digest", ProfileLabel, "phase",
 	// lint|prover|ilp), plus ("scope", key) around each hierarchical
@@ -209,6 +218,14 @@ type Stats struct {
 	// ProverShortCircuit records that the prover refuted the spec and
 	// the encoding/ILP layers never ran.
 	ProverShortCircuit bool
+	// FastPathLPs counts simplex relaxations the int64 fast path
+	// completed; RatFallbacks the ones that fell back to the exact
+	// big.Rat tableau on a potential overflow.
+	FastPathLPs  int
+	RatFallbacks int
+	// Workers is the scope-worker pool size the relative route ran
+	// with (0 when the check was sequential or took another route).
+	Workers int
 }
 
 // addILP merges one solver invocation's effort into the check stats.
@@ -222,6 +239,8 @@ func (s *Stats) addILP(st ilp.Stats) {
 		s.MaxDepth = st.MaxDepth
 	}
 	s.Saturations += st.Saturations
+	s.FastPathLPs += st.FastPathLPs
+	s.RatFallbacks += st.RatFallbacks
 }
 
 // merge accumulates another check's stats (hierarchical sub-checks).
@@ -237,6 +256,11 @@ func (s *Stats) merge(other Stats) {
 		s.MaxDepth = other.MaxDepth
 	}
 	s.Saturations += other.Saturations
+	s.FastPathLPs += other.FastPathLPs
+	s.RatFallbacks += other.RatFallbacks
+	if other.Workers > s.Workers {
+		s.Workers = other.Workers
+	}
 }
 
 // Result is the outcome of a consistency check.

@@ -80,7 +80,19 @@ func checkRelative(d *dtd.DTD, set *constraint.Set, opts Options, res *Result) {
 	}
 	res.Method = "hierarchical scope decomposition (Theorem 4.3)"
 	h := &hierChecker{d: d, set: set, opts: opts, contexts: scope.ContextTypes(d, set), memo: map[string]hierScope{}}
-	root := h.scope(map[string]bool{d.Root: true}, d.Root)
+	var root hierScope
+	if workers := resolveParallelism(opts.Parallelism); workers >= 2 {
+		// The fan-out builds its own checker and hands the decided memo
+		// back, rather than borrowing h: passing h into the pool would
+		// make this stack-allocated checker escape and cost the
+		// sequential hot path a heap allocation it never needed.
+		var memo map[string]hierScope
+		root, memo, h.stats = runParallelScopes(d, set, opts, h.contexts, workers)
+		h.memo = memo
+		res.Stats.Workers = workers
+	} else {
+		root = h.scope(map[string]bool{d.Root: true}, d.Root)
+	}
 	res.Stats.Scopes = len(h.memo)
 	res.Stats.merge(h.stats)
 	sp.SetInt("scopes", int64(len(h.memo)))
@@ -147,7 +159,7 @@ func (h *hierChecker) scope(chain map[string]bool, tau string) hierScope {
 	sd, exits := scope.DTD(h.d, h.contexts, tau)
 	// Recurse into exits first: inconsistent exits must not occur.
 	banned := map[string]bool{}
-	undecidedExit := false
+	var undecided []string
 	for _, e := range exits {
 		sub := map[string]bool{e: true}
 		for c := range chain {
@@ -157,7 +169,9 @@ func (h *hierChecker) scope(chain map[string]bool, tau string) hierScope {
 		case ilp.Unsat:
 			banned[e] = true
 		case ilp.Unknown:
-			undecidedExit = true
+			// The common case allocates nothing here: the slice stays
+			// nil unless some exit actually came back undecided.
+			undecided = append(undecided, e)
 		case ilp.Sat:
 			// Consistent exits stay allowed.
 		}
@@ -168,39 +182,49 @@ func (h *hierChecker) scope(chain map[string]bool, tau string) hierScope {
 	// samples to individual scope subproblems. Nested pprof.Do calls
 	// from the exit recursion above have already restored this
 	// goroutine's labels, so the scope label stacks on the check-wide
-	// ("digest", "phase") set. The closure (and the copy of the one
-	// reassigned local it captures) is created only on the labeled
-	// branch — the unlabeled path must not allocate for it.
+	// ("digest", "phase") set. The closure is created only on the
+	// labeled branch — the unlabeled path must not allocate for it.
 	if h.opts.ProfileLabel != "" {
-		ue := undecidedExit
 		pprof.Do(context.Background(), pprof.Labels("scope", key),
-			func(context.Context) { h.solveScope(chain, tau, key, sd, exits, banned, ue) })
+			func(context.Context) { h.solveScope(chain, tau, key, sd, exits, banned, undecided) })
 		return h.memo[key]
 	}
-	return h.solveScope(chain, tau, key, sd, exits, banned, undecidedExit)
+	return h.solveScope(chain, tau, key, sd, exits, banned, undecided)
 }
 
-// solveScope encodes and decides one (chain, τ) scope problem, records
-// its ledger row, and memoizes the outcome. The exit recursion has
-// already run; banned lists the exits proved inconsistent and
-// undecidedExit reports whether any exit came back Unknown.
-func (h *hierChecker) solveScope(chain map[string]bool, tau, key string, sd *dtd.DTD, exits []string, banned map[string]bool, undecidedExit bool) hierScope {
-	// The probe starts after the exit recursion, so a parent scope's
-	// row covers its own encode+solve only — children account for
-	// themselves and the ledger's total stays the real wall time. The
-	// live scope position is published here too: the exits above moved
-	// it, so re-mark this scope before its solve runs.
-	h.opts.Progress.SetScope(len(h.memo), key)
-	probe := beginProbe(h.opts.Ledger)
+// solveScope decides one (chain, τ) scope problem on the sequential
+// path and memoizes the outcome. The exit recursion has already run;
+// banned lists the exits proved inconsistent and undecided the exits
+// that came back Unknown.
+func (h *hierChecker) solveScope(chain map[string]bool, tau, key string, sd *dtd.DTD, exits []string, banned map[string]bool, undecided []string) hierScope {
+	out := solveScopeProblem(h, h.opts, &h.stats, len(h.memo), chain, tau, key, sd, exits, banned, undecided)
+	h.memo[key] = out
+	return out
+}
+
+// solveScopeProblem encodes and decides one (chain, τ) scope problem
+// and records its ledger row. It touches no shared checker state — ILP
+// effort accumulates into st, and the exit recursion's outcome arrives
+// as data (banned and undecided) — so the sequential recursion and the
+// parallel fan-out run the exact same decision logic and produce
+// identical hierScope outcomes.
+//
+// The probe starts after the exit recursion, so a parent scope's
+// row covers its own encode+solve only — children account for
+// themselves and the ledger's total stays the real wall time. The
+// live scope position is published here too: the exits recursed into
+// earlier moved it, so re-mark this scope before its solve runs.
+func solveScopeProblem(h *hierChecker, opts Options, st *Stats, scopeIndex int, chain map[string]bool, tau, key string, sd *dtd.DTD, exits []string, banned map[string]bool, undecided []string) hierScope {
+	opts.Progress.SetScope(scopeIndex, key)
+	probe := beginProbe(opts.Ledger)
 	local, forceZero := scope.LocalSet(h.d, sd, h.set, chain, tau)
 	enc, err := cardinality.EncodeAbsolute(sd, local)
 	if err != nil {
 		probe.record(key, tau, ilp.Unknown, ilp.Stats{}, 0, local)
-		h.memo[key] = hierScope{verdict: ilp.Unknown}
-		return h.memo[key]
+		return hierScope{verdict: ilp.Unknown}
 	}
 	var digest string
-	if !h.opts.SkipCertificate {
+	if !opts.SkipCertificate {
 		// Fingerprint the base system before the forced-zero constants
 		// and connectivity cuts mutate it: the certificate verifier
 		// compares against a fresh compilation of exactly this system.
@@ -214,9 +238,9 @@ func (h *hierChecker) solveScope(chain map[string]bool, tau, key string, sd *dtd
 			enc.Flow.Sys.AddConst(enc.Flow.Vars[fn], 0)
 		}
 	}
-	ilpRes, cuts := decideFlow(enc.Flow, h.opts)
-	h.stats.addILP(ilpRes.Stats)
-	h.stats.Cuts += cuts
+	ilpRes, cuts := decideFlow(enc.Flow, opts)
+	st.addILP(ilpRes.Stats)
+	st.Cuts += cuts
 	scopeStats, scopeCuts := ilpRes.Stats, cuts
 	out := hierScope{
 		verdict: ilpRes.Verdict,
@@ -231,17 +255,15 @@ func (h *hierChecker) solveScope(chain map[string]bool, tau, key string, sd *dtd
 	// A Sat that places an exit whose own problem is Unknown is
 	// unproven: retry with those exits banned as well, and downgrade
 	// to Unknown if the retry fails.
-	if out.verdict == ilp.Sat && undecidedExit && h.usesUndecidedExit(out) {
-		for _, e := range exits {
-			if !out.banned[e] && h.exitVerdict(chain, e) == ilp.Unknown {
-				if fn := enc.Flow.Lookup(e, 0); fn >= 0 {
-					enc.Flow.Sys.AddConst(enc.Flow.Vars[fn], 0)
-				}
+	if out.verdict == ilp.Sat && scopeUsesUndecidedExit(out, undecided) {
+		for _, e := range undecided {
+			if fn := enc.Flow.Lookup(e, 0); fn >= 0 {
+				enc.Flow.Sys.AddConst(enc.Flow.Vars[fn], 0)
 			}
 		}
-		retry, cuts2 := cardinality.DecideFlow(enc.Flow, h.opts.ILP)
-		h.stats.addILP(retry.Stats)
-		h.stats.Cuts += cuts2
+		retry, cuts2 := cardinality.DecideFlow(enc.Flow, opts.ILP)
+		st.addILP(retry.Stats)
+		st.Cuts += cuts2
 		scopeStats.Merge(retry.Stats)
 		scopeCuts += cuts2
 		if retry.Verdict == ilp.Sat {
@@ -252,26 +274,13 @@ func (h *hierChecker) solveScope(chain map[string]bool, tau, key string, sd *dtd
 		}
 	}
 	probe.record(key, tau, out.verdict, scopeStats, scopeCuts, local)
-	h.memo[key] = out
 	return out
 }
 
-// exitVerdict returns the memoized verdict of an exit's scope problem.
-func (h *hierChecker) exitVerdict(chain map[string]bool, e string) ilp.Verdict {
-	sub := map[string]bool{e: true}
-	for c := range chain {
-		sub[c] = true
-	}
-	return h.memo[scope.ChainKey(sub, e)].verdict
-}
-
-// usesUndecidedExit reports whether the satisfying assignment places
-// any exit whose own scope problem came back Unknown.
-func (h *hierChecker) usesUndecidedExit(s hierScope) bool {
-	for _, e := range s.exits {
-		if s.banned[e] || h.exitVerdict(s.chain, e) != ilp.Unknown {
-			continue
-		}
+// scopeUsesUndecidedExit reports whether the satisfying assignment
+// places any exit whose own scope problem came back Unknown.
+func scopeUsesUndecidedExit(s hierScope, undecided []string) bool {
+	for _, e := range undecided {
 		if fn := s.enc.Flow.Lookup(e, 0); fn >= 0 && s.vals != nil && s.vals[s.enc.Flow.Vars[fn]] > 0 {
 			return true
 		}

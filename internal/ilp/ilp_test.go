@@ -267,13 +267,13 @@ func TestLPFeasibleDirect(t *testing.T) {
 	// x + y ≤ 1, x ≥ 1, y ≥ 1 infeasible even rationally.
 	lo := []int64{1, 1}
 	hi := []int64{noBound, noBound}
-	rows := []lpRow{{terms: []Term{T(1, 0), T(1, 1)}, rel: LE, k: ratInt(1)}}
+	rows := []lpRow{{terms: []Term{T(1, 0), T(1, 1)}, rel: LE, k: 1}}
 	if ok, _ := lpFeasible(2, rows, lo, hi, nil); ok {
 		t.Fatal("infeasible LP reported feasible")
 	}
 	// x + y = 1 with x, y ≥ 0 feasible; check the point.
 	lo = []int64{0, 0}
-	rows = []lpRow{{terms: []Term{T(1, 0), T(1, 1)}, rel: EQ, k: ratInt(1)}}
+	rows = []lpRow{{terms: []Term{T(1, 0), T(1, 1)}, rel: EQ, k: 1}}
 	ok, pt := lpFeasible(2, rows, lo, hi, nil)
 	if !ok {
 		t.Fatal("feasible LP reported infeasible")

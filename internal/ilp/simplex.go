@@ -5,11 +5,14 @@ import (
 )
 
 // lpRow is one row of an LP feasibility problem in the internal
-// Σ coef·x ⋈ k form over the original system variables.
+// Σ coef·x ⋈ k form over the original system variables. Constants are
+// machine integers (every constructor has an integral right-hand
+// side), which is what lets the int64 fast path share the row list
+// with the exact big.Rat simplex.
 type lpRow struct {
 	terms []Term
 	rel   Rel
-	k     *big.Rat
+	k     int64
 }
 
 // lpFeasible decides feasibility of the rational relaxation
@@ -29,7 +32,7 @@ func lpFeasible(n int, rows []lpRow, lo, hi []int64, stats *Stats) (bool, []*big
 		b     *big.Rat
 	}
 	var std []stdRow
-	addRow := func(terms []Term, rel Rel, k *big.Rat) {
+	addRow := func(terms []Term, rel Rel, k int64) {
 		coefs := map[int]*big.Rat{}
 		for _, t := range terms {
 			c := coefs[int(t.Var)]
@@ -41,13 +44,13 @@ func lpFeasible(n int, rows []lpRow, lo, hi []int64, stats *Stats) (bool, []*big
 		}
 		switch rel {
 		case LE:
-			std = append(std, stdRow{coefs: coefs, b: new(big.Rat).Set(k)})
+			std = append(std, stdRow{coefs: coefs, b: ratInt(k)})
 			std[len(std)-1].coefs[-1] = ratInt(1) // marker: needs slack +1
 		case GE:
-			std = append(std, stdRow{coefs: coefs, b: new(big.Rat).Set(k)})
+			std = append(std, stdRow{coefs: coefs, b: ratInt(k)})
 			std[len(std)-1].coefs[-1] = ratInt(-1) // marker: slack -1
 		case EQ:
-			std = append(std, stdRow{coefs: coefs, b: new(big.Rat).Set(k)})
+			std = append(std, stdRow{coefs: coefs, b: ratInt(k)})
 			std[len(std)-1].coefs[-1] = ratInt(0) // no slack
 		}
 	}
@@ -56,10 +59,10 @@ func lpFeasible(n int, rows []lpRow, lo, hi []int64, stats *Stats) (bool, []*big
 	}
 	for i := 0; i < n; i++ {
 		if lo[i] > 0 {
-			addRow([]Term{T(1, Var(i))}, GE, ratInt(lo[i]))
+			addRow([]Term{T(1, Var(i))}, GE, lo[i])
 		}
 		if hi[i] != noBound {
-			addRow([]Term{T(1, Var(i))}, LE, ratInt(hi[i]))
+			addRow([]Term{T(1, Var(i))}, LE, hi[i])
 		}
 	}
 

@@ -67,6 +67,12 @@ type Options struct {
 	// DisableLP is shorthand for LP = LPNever (kept for the ablation
 	// benchmarks and simple call sites).
 	DisableLP bool
+	// ForceRatLP disables the int64 fast-path simplex so every
+	// relaxation runs on the exact big.Rat tableau. The fast path
+	// produces bit-identical verdicts and points by construction, so
+	// this knob exists for the differential harness and for ablation
+	// benchmarks, not for correctness.
+	ForceRatLP bool
 	// Obs receives solver spans and counters; nil disables
 	// observability (the hot path then pays one nil check).
 	Obs *obs.Recorder
@@ -135,6 +141,12 @@ type Stats struct {
 	// hit the saturation cap (a sign the instance strains the 2^56
 	// arithmetic window).
 	Saturations int
+	// FastPathLPs counts relaxations the int64 fast-path simplex
+	// completed; RatFallbacks counts the ones it abandoned to the
+	// exact big.Rat tableau on a potential overflow. FastPathLPs +
+	// RatFallbacks = LPCalls unless ForceRatLP disabled the fast path.
+	FastPathLPs  int
+	RatFallbacks int
 }
 
 // Merge accumulates other into s (MaxDepth by maximum, the rest by
@@ -149,6 +161,8 @@ func (s *Stats) Merge(other Stats) {
 	}
 	s.Pivots += other.Pivots
 	s.Saturations += other.Saturations
+	s.FastPathLPs += other.FastPathLPs
+	s.RatFallbacks += other.RatFallbacks
 }
 
 // record publishes the stats as obs counters under the ilp.* namespace.
@@ -163,6 +177,8 @@ func (s Stats) record(rec *obs.Recorder) {
 	rec.Set("ilp.max_depth", int64(s.MaxDepth))
 	rec.Add("ilp.pivots", int64(s.Pivots))
 	rec.Add("ilp.saturations", int64(s.Saturations))
+	rec.Add("ilp.fastpath_lps", int64(s.FastPathLPs))
+	rec.Add("ilp.rat_fallbacks", int64(s.RatFallbacks))
 }
 
 // Result is the solver output.
@@ -273,6 +289,12 @@ type solver struct {
 	canceled    bool            // the context fired mid-search
 	tainted     bool            // a cap/budget prune happened somewhere
 	capComplete bool            // the cap provably covers all solutions
+	// fastTab and rowBuf are scratch reused across the sibling
+	// branch-and-bound nodes of this solve: the int64 tableau backing
+	// arrays and the lpRow staging slice survive from one lpCheck to
+	// the next instead of being reallocated per relaxation.
+	fastTab fastTableau
+	rowBuf  []lpRow
 }
 
 // search explores the subproblem with the given bounds. It returns Sat
@@ -553,21 +575,33 @@ func (sv *solver) roundedCandidate(point []*big.Rat, lo, hi []int64) ([]int64, b
 
 func (sv *solver) lpCheck(lo, hi []int64) (bool, []*big.Rat) {
 	sv.stats.LPCalls++
-	rows := make([]lpRow, 0, len(sv.sys.Lins)+len(sv.sys.Conds)+len(sv.sys.Quads))
+	rows := sv.rowBuf[:0]
 	for _, l := range sv.sys.Lins {
-		rows = append(rows, lpRow{terms: l.Terms, rel: l.Rel, k: ratInt(l.K)})
+		rows = append(rows, lpRow{terms: l.Terms, rel: l.Rel, k: l.K})
 	}
 	// Conditionals whose premise is forced positive contribute their
 	// conclusion; quads with both factors fixed contribute linearly.
 	for _, c := range sv.sys.Conds {
 		if sumLower(c.If, lo) > 0 {
-			rows = append(rows, lpRow{terms: c.Then, rel: GE, k: ratInt(1)})
+			rows = append(rows, lpRow{terms: c.Then, rel: GE, k: 1})
 		}
 	}
 	for _, q := range sv.sys.Quads {
 		if lo[q.Y] == hi[q.Y] && lo[q.Z] == hi[q.Z] {
-			rows = append(rows, lpRow{terms: []Term{T(1, q.X)}, rel: LE, k: ratInt(lo[q.Y] * lo[q.Z])})
+			rows = append(rows, lpRow{terms: []Term{T(1, q.X)}, rel: LE, k: lo[q.Y] * lo[q.Z]})
 		}
+	}
+	sv.rowBuf = rows
+	if !sv.opts.ForceRatLP {
+		feasible, pt, completed := sv.fastTab.lpFeasibleFast(len(lo), rows, lo, hi, &sv.stats)
+		if completed {
+			sv.stats.FastPathLPs++
+			return feasible, pt
+		}
+		// Potential int64 overflow: rerun on the exact tableau. The
+		// abandoned attempt committed no pivots, so the stats match a
+		// pure big.Rat run.
+		sv.stats.RatFallbacks++
 	}
 	return lpFeasible(len(lo), rows, lo, hi, &sv.stats)
 }

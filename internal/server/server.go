@@ -83,6 +83,11 @@ type Config struct {
 	Pprof bool
 	// MaxRequestBytes bounds the /check request body (zero: 8 MiB).
 	MaxRequestBytes int64
+	// Parallelism is the default scope worker pool size for
+	// hierarchical checks (0/1: sequential; negative: one worker per
+	// CPU). A request's options.parallelism overrides it. Verdicts
+	// are identical at any setting; only wall time changes.
+	Parallelism int
 	// Audit receives one event per check. When nil, NewServer creates
 	// an in-memory log (ring and hot-digest table only, no file) so the
 	// status page always has data; the caller owns a file-backed log's
@@ -259,6 +264,10 @@ type CheckOptions struct {
 	MinimizeWitness bool  `json:"minimize_witness,omitempty"`
 	SkipLint        bool  `json:"skip_lint,omitempty"`
 	SkipCertificate bool  `json:"skip_certificate,omitempty"`
+	// Parallelism sets the scope worker pool size for hierarchical
+	// checks (0: the server default; 1: sequential; negative: one
+	// worker per CPU). Verdicts are identical at any setting.
+	Parallelism int `json:"parallelism,omitempty"`
 	// Attribution asks for the per-scope cost ledger in the response.
 	// The server always runs the (time-only) ledger for its audit
 	// trail; this flag only controls response inclusion.
@@ -435,6 +444,9 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	spec.SetObserver(rec)
 
 	opts := req.Options.internal()
+	if opts.Parallelism == 0 {
+		opts.Parallelism = s.cfg.Parallelism
+	}
 	opts.Progress = pub
 	opts.ProfileLabel = dig
 	// The time-only ledger always runs: its rows feed the audit trail
@@ -559,6 +571,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	spec.SetObserver(rec)
 
 	opts := req.Options.internal()
+	if opts.Parallelism == 0 {
+		opts.Parallelism = s.cfg.Parallelism
+	}
 	opts.Progress = pub
 	opts.ProfileLabel = dig
 
@@ -721,6 +736,7 @@ func (o CheckOptions) internal() *xmlspec.Options {
 		MinimizeWitness: o.MinimizeWitness,
 		SkipLint:        o.SkipLint,
 		SkipCertificate: o.SkipCertificate,
+		Parallelism:     o.Parallelism,
 		Attribution:     o.Attribution,
 	}
 }

@@ -1,0 +1,93 @@
+package xmlspec
+
+// Facade-level differential tests for the parallel scope fan-out: the
+// full testdata corpus, checked at every pool size, must reproduce
+// the sequential verdict, certificate, witness, and stats exactly.
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func resultFingerprint(t *testing.T, res Result) string {
+	t.Helper()
+	cert := ""
+	if res.Certificate != nil {
+		b, err := json.Marshal(res.Certificate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cert = string(b)
+	}
+	stats := res.Stats
+	stats.Workers = 0 // records the pool size by design
+	sb, err := json.Marshal(stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Verdict.String() + "|" + res.Class + "|" + res.Method + "|" +
+		res.Witness + "|" + cert + "|" + string(sb)
+}
+
+func TestParallelCorpusMatchesSequential(t *testing.T) {
+	corpus := []struct {
+		name, dtdFile, keysFile string
+	}{
+		{"library", "library.dtd", "library.keys"},
+		{"geography", "geography.dtd", "geography.keys"},
+		{"school", "school.dtd", "school.keys"},
+		{"school-extended", "school.dtd", "school-extended.keys"},
+	}
+	for _, c := range corpus {
+		dtdSrc, keySrc := load(t, c.dtdFile), load(t, c.keysFile)
+		// SkipLint keeps the solver route engaged even for specs the
+		// lint prepass would refute outright.
+		baseOpts := func(workers int) *Options {
+			return &Options{SkipLint: true, Parallelism: workers}
+		}
+		spec, err := Parse(dtdSrc, keySrc)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		seq, err := spec.Consistent(baseOpts(1))
+		if err != nil {
+			t.Fatalf("%s sequential: %v", c.name, err)
+		}
+		want := resultFingerprint(t, seq)
+		for _, workers := range []int{2, 8, -1} {
+			// A fresh Spec per run: nothing may leak between checks.
+			spec, err := Parse(dtdSrc, keySrc)
+			if err != nil {
+				t.Fatalf("%s: %v", c.name, err)
+			}
+			par, err := spec.Consistent(baseOpts(workers))
+			if err != nil {
+				t.Fatalf("%s parallel=%d: %v", c.name, workers, err)
+			}
+			if got := resultFingerprint(t, par); got != want {
+				t.Errorf("%s parallel=%d diverged from sequential\nparallel:   %s\nsequential: %s",
+					c.name, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelStatsSurfaceWorkers checks the facade surfaces the pool
+// size and the fast-path counters on a hierarchical check.
+func TestParallelStatsSurfaceWorkers(t *testing.T) {
+	spec, err := Parse(load(t, "library.dtd"), load(t, "library.keys"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := spec.Consistent(&Options{SkipLint: true, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Workers != 4 {
+		t.Errorf("Stats.Workers = %d, want 4", res.Stats.Workers)
+	}
+	if res.Stats.FastPathLPs+res.Stats.RatFallbacks != res.Stats.LPCalls {
+		t.Errorf("FastPathLPs (%d) + RatFallbacks (%d) != LPCalls (%d)",
+			res.Stats.FastPathLPs, res.Stats.RatFallbacks, res.Stats.LPCalls)
+	}
+}

@@ -95,3 +95,83 @@ func TestConcurrentCheckSharedRecorder(t *testing.T) {
 		t.Fatal("shared recorder produced no trace events")
 	}
 }
+
+// TestConcurrentParallelCheckSharedRecorder turns the screw further:
+// every Check itself runs with a scope worker pool, so the recorder
+// shards, ledger, and progress publisher feel parallel writers both
+// across checks and within one. The hierarchical spec below fans out
+// into several scopes per check.
+func TestConcurrentParallelCheckSharedRecorder(t *testing.T) {
+	rec := obs.New()
+	rec.EnableEvents(1024)
+
+	const hierDTD = `
+<!ELEMENT l0 (l1, l1, item0, item0, holder0)>
+<!ELEMENT l1 (item1, item1, holder1)>
+<!ELEMENT item0 EMPTY>
+<!ELEMENT item1 EMPTY>
+<!ELEMENT holder0 EMPTY>
+<!ELEMENT holder1 EMPTY>
+<!ATTLIST item0 v CDATA #REQUIRED>
+<!ATTLIST item1 v CDATA #REQUIRED>
+<!ATTLIST holder0 v CDATA #REQUIRED>
+<!ATTLIST holder1 v CDATA #REQUIRED>
+`
+	const hierKeys = `
+l0(item0.v -> item0)
+l1(item1.v -> item1)
+l0(holder0.v -> holder0)
+l1(holder1.v -> holder1)
+l0(item0.v ⊆ holder0.v)
+l1(item1.v ⊆ holder1.v)
+`
+
+	iters := 10
+	if testing.Short() {
+		iters = 3
+	}
+
+	var wg sync.WaitGroup
+	checkers := 4
+	errs := make(chan error, checkers)
+	for w := 0; w < checkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				spec, err := Parse(hierDTD, hierKeys)
+				if err != nil {
+					errs <- err
+					return
+				}
+				spec.SetObserver(rec)
+				res, err := spec.Consistent(&Options{SkipLint: true, Parallelism: 8, SkipWitness: true})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Verdict != Inconsistent {
+					errs <- errVerdict(res.Verdict)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("shared recorder produced no trace output")
+	}
+}
+
+type errVerdict Verdict
+
+func (e errVerdict) Error() string { return "unexpected verdict: " + Verdict(e).String() }
